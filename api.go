@@ -1,0 +1,189 @@
+// Package malevade is a from-scratch Go reproduction of "Malware Evasion
+// Attack and Defense" (Huang et al., DSN 2019; arXiv:1904.05747): a
+// DNN-based malware detector over 491 API-call features, the JSMA evasion
+// attack under white-box / grey-box / black-box threat models, four defenses
+// (adversarial training, defensive distillation, feature squeezing, PCA
+// dimensionality reduction), and drivers that regenerate every table and
+// figure of the paper's evaluation.
+//
+// The proprietary pieces of the original study (the McAfee corpus, sandbox
+// logs and target model) are replaced by synthetic equivalents that exercise
+// identical code paths; DESIGN.md documents each substitution and
+// EXPERIMENTS.md records paper-vs-measured results.
+//
+// # Quick start
+//
+//	corpus, _ := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(20))
+//	target, _ := malevade.TrainTarget(corpus.Train, 25, 5)
+//	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+//	results := malevade.NewJSMA(target, 0.1, 0.025).Run(mal.X)
+//	fmt.Println(malevade.SummarizeAttack(results))
+//
+// The package is a facade over internal/ packages; everything here is the
+// supported public surface.
+package malevade
+
+import (
+	"io"
+
+	"malevade/internal/attack"
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/evaluation"
+	"malevade/internal/experiments"
+	"malevade/internal/tensor"
+)
+
+// Re-exported core types. These are aliases, so values flow freely between
+// the facade and the internal packages.
+type (
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = tensor.Matrix
+	// Corpus bundles the train/validation/test splits.
+	Corpus = dataset.Corpus
+	// Dataset is one labelled split.
+	Dataset = dataset.Dataset
+	// DatasetConfig sizes a generated corpus.
+	DatasetConfig = dataset.Config
+	// Detector scores feature vectors (0 = clean, 1 = malware).
+	Detector = detector.Detector
+	// DNN is a neural-network-backed Detector.
+	DNN = detector.DNN
+	// Attack crafts adversarial examples.
+	Attack = attack.Attack
+	// AttackResult is the outcome for one sample.
+	AttackResult = attack.Result
+	// AttackStats aggregates a batch of results.
+	AttackStats = attack.Stats
+	// ConfusionMatrix holds TPR/TNR/FPR/FNR.
+	ConfusionMatrix = evaluation.ConfusionMatrix
+	// SecurityCurve is detection rate vs attack strength.
+	SecurityCurve = evaluation.Curve
+	// Profile scales experiment runs (small / medium / paper).
+	Profile = experiments.Profile
+	// Lab caches the corpora and models an experiment run shares.
+	Lab = experiments.Lab
+)
+
+// Class labels, matching the paper's convention.
+const (
+	LabelClean   = dataset.LabelClean
+	LabelMalware = dataset.LabelMalware
+)
+
+// NumFeatures is the width of the feature vector (491 API features).
+const NumFeatures = 491
+
+// Experiment profiles.
+var (
+	// ProfileSmall runs in seconds (CI and benchmarks).
+	ProfileSmall = experiments.Small
+	// ProfileMedium is the default reproduction scale.
+	ProfileMedium = experiments.Medium
+	// ProfilePaper uses the paper's full sizes (hours on one core).
+	ProfilePaper = experiments.PaperScale
+)
+
+// DetectorConfig parameterizes detector training (architecture, width
+// scale, epochs, batch size, learning rate, seed).
+type DetectorConfig = detector.TrainConfig
+
+// Architectures from the paper.
+const (
+	// ArchTarget is the simulated proprietary 4-layer target.
+	ArchTarget = detector.ArchTarget
+	// ArchSubstitute is Table IV's 5-layer substitute.
+	ArchSubstitute = detector.ArchSubstitute
+)
+
+// TableIConfig returns the paper's exact Table I dataset sizes; call
+// Scaled(n) for a 1/n-scale corpus with identical structure.
+func TableIConfig(seed uint64) DatasetConfig { return dataset.TableIConfig(seed) }
+
+// TrainDetector trains a detector with explicit hyper-parameters; use
+// TrainTarget/TrainSubstitute for the defaults.
+func TrainDetector(train *Dataset, cfg DetectorConfig) (*DNN, error) {
+	return detector.Train(train, cfg)
+}
+
+// GenerateCorpus synthesizes a corpus from the family-mixture model.
+func GenerateCorpus(cfg DatasetConfig) (*Corpus, error) { return dataset.Generate(cfg) }
+
+// TrainTarget trains the simulated proprietary target model (4-layer FC
+// DNN) with the repository's default hyper-parameters at full width.
+func TrainTarget(train *Dataset, epochs int, seed uint64) (*DNN, error) {
+	return detector.Train(train, detector.TrainConfig{
+		Arch:   detector.ArchTarget,
+		Epochs: epochs,
+		Seed:   seed,
+	})
+}
+
+// TrainSubstitute trains the paper's Table IV substitute model
+// (491-1200-1500-1300-2, Adam lr=0.001, batch 256).
+func TrainSubstitute(train *Dataset, epochs int, seed uint64) (*DNN, error) {
+	return detector.Train(train, detector.TrainConfig{
+		Arch:   detector.ArchSubstitute,
+		Epochs: epochs,
+		Seed:   seed,
+	})
+}
+
+// NewJSMA builds the paper's attack: add-only JSMA with per-step magnitude
+// theta and iteration budget gamma·491.
+func NewJSMA(model *DNN, theta, gamma float64) *attack.JSMA {
+	return &attack.JSMA{Model: model.Net, Theta: theta, Gamma: gamma}
+}
+
+// NewRandomAdd builds the Figure 3 control attack (random feature
+// additions).
+func NewRandomAdd(model *DNN, theta, gamma float64, seed uint64) *attack.RandomAdd {
+	return &attack.RandomAdd{Model: model.Net, Theta: theta, Gamma: gamma, Seed: seed}
+}
+
+// SummarizeAttack aggregates attack results.
+func SummarizeAttack(results []AttackResult) AttackStats { return attack.Summarize(results) }
+
+// AdvExamples packs attack results into a feature matrix aligned with the
+// attacked batch.
+func AdvExamples(results []AttackResult) *Matrix { return attack.AdvMatrix(results) }
+
+// DetectionRate is the fraction of rows the detector classifies as malware.
+func DetectionRate(d Detector, x *Matrix) float64 { return detector.DetectionRate(d, x) }
+
+// TransferRate is 1 − DetectionRate on adversarial examples: the paper's
+// grey/black-box headline metric.
+func TransferRate(target Detector, adv *Matrix) float64 {
+	return evaluation.TransferRate(target, adv)
+}
+
+// Evaluate builds a confusion matrix for a detector over a labelled split.
+func Evaluate(d Detector, ds *Dataset) ConfusionMatrix { return evaluation.Evaluate(d, ds) }
+
+// NewLab creates an experiment lab (cached corpora and models) for a
+// profile.
+func NewLab(p Profile) *Lab { return experiments.NewLab(p) }
+
+// RunExperiment regenerates one of the paper's tables/figures by id
+// ("table1".."table6", "fig1".."fig5", "fig3a", ..., "live"), writing the
+// artifact to w.
+func RunExperiment(l *Lab, id string, w io.Writer) error {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(l, w)
+}
+
+// RunAllExperiments regenerates every table and figure in paper order.
+func RunAllExperiments(l *Lab, w io.Writer) error { return experiments.RunAll(l, w) }
+
+// ExperimentIDs lists the available experiment identifiers in paper order.
+func ExperimentIDs() []string {
+	all := experiments.All()
+	out := make([]string, 0, len(all))
+	for _, e := range all {
+		out = append(out, e.ID)
+	}
+	return out
+}

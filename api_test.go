@@ -1,0 +1,114 @@
+package malevade_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"malevade"
+)
+
+// The facade tests exercise the package's public surface exactly as the
+// examples and README do.
+
+func TestQuickstartWorkflow(t *testing.T) {
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Train.Len() == 0 || corpus.Test.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+	target, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		Arch:       malevade.ArchTarget,
+		WidthScale: 0.1,
+		Epochs:     10,
+		BatchSize:  64,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := malevade.Evaluate(target, corpus.Test)
+	if cm.TPR() < 0.5 || cm.TNR() < 0.5 {
+		t.Fatalf("facade-trained detector too weak: %v", cm)
+	}
+
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	results := malevade.NewJSMA(target, 0.1, 0.03).Run(mal.X)
+	stats := malevade.SummarizeAttack(results)
+	if stats.N != mal.Len() {
+		t.Fatalf("attacked %d of %d", stats.N, mal.Len())
+	}
+	adv := malevade.AdvExamples(results)
+	if malevade.DetectionRate(target, adv) > malevade.DetectionRate(target, mal.X) {
+		t.Fatal("attack increased detection")
+	}
+	tr := malevade.TransferRate(target, adv)
+	if tr < 0 || tr > 1 {
+		t.Fatalf("transfer rate %v", tr)
+	}
+}
+
+func TestRandomAddFacade(t *testing.T) {
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(2).Scaled(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		Arch:       malevade.ArchTarget,
+		WidthScale: 0.08,
+		Epochs:     8,
+		BatchSize:  64,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	results := malevade.NewRandomAdd(target, 0.1, 0.02, 3).Run(mal.X)
+	if len(results) != mal.Len() {
+		t.Fatal("random attack result count")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := malevade.ExperimentIDs()
+	if len(ids) != 15 {
+		t.Fatalf("%d experiment ids, want 15", len(ids))
+	}
+	if ids[0] != "table1" || ids[len(ids)-1] != "live" {
+		t.Fatalf("unexpected ordering: %v", ids)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	l := malevade.NewLab(malevade.ProfileSmall)
+	var buf bytes.Buffer
+	if err := malevade.RunExperiment(l, "table3", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "writeprocessmemory") {
+		t.Fatal("table3 artifact missing excerpt content")
+	}
+	if err := malevade.RunExperiment(l, "bogus", &buf); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestNumFeaturesConstant(t *testing.T) {
+	if malevade.NumFeatures != 491 {
+		t.Fatalf("NumFeatures = %d", malevade.NumFeatures)
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	if malevade.ProfileSmall.Name != "small" ||
+		malevade.ProfileMedium.Name != "medium" ||
+		malevade.ProfilePaper.Name != "paper" {
+		t.Fatal("profile names wrong")
+	}
+	if malevade.ProfilePaper.ScaleDivisor != 1 {
+		t.Fatal("paper profile must be full scale")
+	}
+}

@@ -1,0 +1,71 @@
+// Blackbox-framework exercises Figure 2's real-world loop with explicit
+// steps (rather than the packaged experiment): wrap the target behind a
+// label-only oracle, train a substitute with Jacobian-based dataset
+// augmentation, craft JSMA adversarial examples on the substitute, and
+// deploy them against the target — reporting the oracle query budget, the
+// substitute/target agreement, and the transfer rate.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"malevade"
+	"malevade/internal/blackbox"
+	"malevade/internal/detector"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blackbox-framework:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lab := malevade.NewLab(malevade.ProfileSmall)
+	lab.Log = os.Stderr
+	target, err := lab.Target()
+	if err != nil {
+		return err
+	}
+	attackerData, err := lab.AttackerCorpus()
+	if err != nil {
+		return err
+	}
+	malware, err := lab.TestMalware()
+	if err != nil {
+		return err
+	}
+
+	// Step 1: the target is only reachable as a label oracle.
+	oracle := blackbox.NewDetectorOracle(target)
+
+	// Step 2: substitute training from a small attacker-owned seed set,
+	// expanded along the substitute's Jacobian each round.
+	seed := blackbox.SeedSet(attackerData.Val, 30, 1)
+	sub, err := blackbox.TrainSubstitute(oracle, seed, blackbox.SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     lab.Profile.TargetWidthScale,
+		Rounds:         4,
+		EpochsPerRound: 10,
+		Seed:           5,
+		Log:            os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("substitute trained with %d oracle queries over %d samples\n",
+		sub.QueriesUsed, sub.TrainingSetSize)
+	fmt.Printf("substitute/target agreement on held-out data: %.3f\n",
+		blackbox.AgreementWithTarget(sub.Model, target, malware.X))
+
+	// Step 3: craft on the substitute, deploy on the target.
+	adv := malevade.AdvExamples(malevade.NewJSMA(sub.Model, 0.1, 0.03).Run(malware.X))
+	before := malevade.DetectionRate(target, malware.X)
+	after := malevade.DetectionRate(target, adv)
+	fmt.Printf("target detection: %.3f -> %.3f (transfer rate %.3f)\n",
+		before, after, 1-after)
+	fmt.Println("the paper proposes this loop as future work (Figure 2); no reference numbers exist")
+	return nil
+}

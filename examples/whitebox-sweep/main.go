@@ -1,0 +1,28 @@
+// Whitebox-sweep regenerates Figure 3 end to end: the security evaluation
+// curves of the white-box JSMA attack over the paper's γ and θ grids, with
+// the random-addition control.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"malevade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "whitebox-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	lab := malevade.NewLab(malevade.ProfileSmall)
+	lab.Log = os.Stderr
+	if err := malevade.RunExperiment(lab, "fig3a", os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return malevade.RunExperiment(lab, "fig3b", os.Stdout)
+}

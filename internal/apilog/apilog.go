@@ -1,0 +1,121 @@
+// Package apilog implements the API-call feature substrate the paper's
+// detector is built on: the fixed 491-name API vocabulary (Table III), the
+// sandbox log format (Table II) with its writer and parser, and a sandbox
+// simulator that renders a sample's behaviour as a log so the end-to-end
+// source→log→features→detector path can be exercised — including the live
+// grey-box experiment where an API call is injected into source code and the
+// log regenerated.
+//
+// The real vocabulary and logs are McAfee-proprietary; this package rebuilds
+// them synthetically around the paper's published fragments. See DESIGN.md
+// §1 for the substitution argument.
+package apilog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NumFeatures is the width of the feature vector: the paper's 491 API
+// features.
+const NumFeatures = 491
+
+// Vocabulary size invariants are enforced by generator and tests; the
+// excerpt below is Table III of the paper.
+const (
+	// ExcerptStart is the first vocabulary index shown in Table III.
+	ExcerptStart = 475
+	// ExcerptEnd is the last vocabulary index shown in Table III.
+	ExcerptEnd = 484
+)
+
+// Name returns the API name at vocabulary index i.
+func Name(i int) string {
+	if i < 0 || i >= NumFeatures {
+		panic(fmt.Sprintf("apilog: feature index %d out of [0,%d)", i, NumFeatures))
+	}
+	return names[i]
+}
+
+// Names returns a copy of the full ordered vocabulary.
+func Names() []string {
+	out := make([]string, NumFeatures)
+	copy(out[:], names[:])
+	return out
+}
+
+// Index returns the vocabulary index of the (case-insensitive) API name.
+func Index(name string) (int, bool) {
+	lower := strings.ToLower(name)
+	i := sort.SearchStrings(names[:], lower)
+	if i < NumFeatures && names[i] == lower {
+		return i, true
+	}
+	return 0, false
+}
+
+// MustIndex is Index for names that are statically known to exist (e.g. the
+// paper's destroyicon); it panics on a miss, which indicates a corrupted
+// vocabulary, not bad input.
+func MustIndex(name string) int {
+	i, ok := Index(name)
+	if !ok {
+		panic(fmt.Sprintf("apilog: API %q not in vocabulary", name))
+	}
+	return i
+}
+
+// Contains reports whether name (case-insensitive) is in the vocabulary.
+func Contains(name string) bool {
+	_, ok := Index(name)
+	return ok
+}
+
+// displayNames maps vocabulary names to the mixed-case spelling the sandbox
+// renders in logs, for the APIs whose casing the paper's Table II shows.
+// Unlisted names render with a best-effort Win32-style casing.
+var displayNames = map[string]string{
+	"getstartupinfow":         "GetStartupInfoW",
+	"getstartupinfoa":         "GetStartupInfoA",
+	"getfiletype":             "GetFileType",
+	"getmodulehandlew":        "GetModuleHandleW",
+	"getmodulehandlea":        "GetModuleHandleA",
+	"getprocaddress":          "GetProcAddress",
+	"getstdhandle":            "GetStdHandle",
+	"freeenvironmentstringsw": "FreeEnvironmentStringsW",
+	"getcpinfo":               "GetCPInfo",
+	"writeprocessmemory":      "WriteProcessMemory",
+	"writefile":               "WriteFile",
+	"winexec":                 "WinExec",
+	"destroyicon":             "DestroyIcon",
+	"dllsload":                "DllsLoad",
+	"waitmessage":             "WaitMessage",
+	"windowfromdc":            "WindowFromDC",
+	"createremotethread":      "CreateRemoteThread",
+	"virtualallocex":          "VirtualAllocEx",
+	"loadlibrarya":            "LoadLibraryA",
+	"closehandle":             "CloseHandle",
+	"createfilew":             "CreateFileW",
+	"regsetvalueexa":          "RegSetValueExA",
+	"internetopena":           "InternetOpenA",
+	"urldownloadtofilea":      "URLDownloadToFileA",
+	"shellexecutea":           "ShellExecuteA",
+	"flsalloc":                "FlsAlloc",
+}
+
+// DisplayName returns the mixed-case rendering of a vocabulary name used in
+// log output. Names without a curated spelling get a heuristic
+// capitalization (first letter and letters after "w"/"a" suffix boundaries
+// are NOT guessed — the heuristic only uppercases the first rune, which is
+// enough for the parser, which is case-insensitive).
+func DisplayName(name string) string {
+	lower := strings.ToLower(name)
+	if d, ok := displayNames[lower]; ok {
+		return d
+	}
+	if lower == "" {
+		return ""
+	}
+	return strings.ToUpper(lower[:1]) + lower[1:]
+}

@@ -1,0 +1,363 @@
+package apilog
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestVocabularyInvariants pins the properties the rest of the system
+// depends on: size, ordering, uniqueness, and the Table III excerpt.
+func TestVocabularyInvariants(t *testing.T) {
+	all := Names()
+	if len(all) != NumFeatures {
+		t.Fatalf("vocabulary size %d, want %d", len(all), NumFeatures)
+	}
+	if !sort.StringsAreSorted(all) {
+		t.Fatal("vocabulary is not sorted")
+	}
+	seen := make(map[string]bool, len(all))
+	for _, n := range all {
+		if n == "" {
+			t.Fatal("empty vocabulary entry")
+		}
+		if n != strings.ToLower(n) {
+			t.Fatalf("vocabulary entry %q not lowercase", n)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate vocabulary entry %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestTableIIIExcerpt verifies indices 475-484 match the paper verbatim.
+func TestTableIIIExcerpt(t *testing.T) {
+	want := []string{
+		"waitmessage", "windowfromdc", "winexec", "writeconsolea",
+		"writeconsolew", "writefile", "writeprivateprofilestringa",
+		"writeprivateprofilestringw", "writeprocessmemory",
+		"writeprofilestringa",
+	}
+	for i, name := range want {
+		if got := Name(ExcerptStart + i); got != name {
+			t.Errorf("index %d = %q, want %q", ExcerptStart+i, got, name)
+		}
+	}
+}
+
+// TestPaperAPIsPresent verifies every API the paper's narrative uses exists.
+func TestPaperAPIsPresent(t *testing.T) {
+	for _, name := range []string{
+		"destroyicon", "dllsload", // Figure 1
+		"getstartupinfow", "getfiletype", "getmodulehandlew",
+		"getprocaddress", "getstdhandle", "freeenvironmentstringsw",
+		"getcpinfo", "flsalloc", // Table II
+		"writeprocessmemory", "winexec", // Table III + malware staples
+	} {
+		if !Contains(name) {
+			t.Errorf("vocabulary missing %q", name)
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	for i := 0; i < NumFeatures; i++ {
+		name := Name(i)
+		got, ok := Index(name)
+		if !ok || got != i {
+			t.Fatalf("Index(Name(%d)) = %d,%v", i, got, ok)
+		}
+	}
+}
+
+func TestIndexCaseInsensitive(t *testing.T) {
+	i, ok := Index("WriteProcessMemory")
+	if !ok || Name(i) != "writeprocessmemory" {
+		t.Fatalf("mixed-case lookup failed: %d %v", i, ok)
+	}
+}
+
+func TestIndexMiss(t *testing.T) {
+	if _, ok := Index("nosuchapi_xyzzy"); ok {
+		t.Fatal("lookup of nonexistent API succeeded")
+	}
+}
+
+func TestMustIndexPanicsOnMiss(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex did not panic")
+		}
+	}()
+	MustIndex("nosuchapi_xyzzy")
+}
+
+func TestNamePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(-1) did not panic")
+		}
+	}()
+	Name(-1)
+}
+
+// TestParseLineTableII parses lines lifted from the paper's Table II.
+func TestParseLineTableII(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantAPI  string
+		wantAddr uint64
+		wantArgs string
+		wantTID  int
+	}{
+		{
+			give:     `GetStartupInfoW:7FEFDD39C37 ()"61468"`,
+			wantAPI:  "getstartupinfow",
+			wantAddr: 0x7FEFDD39C37,
+			wantArgs: "",
+			wantTID:  61468,
+		},
+		{
+			give:     `GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"`,
+			wantAPI:  "getprocaddress",
+			wantAddr: 0x13FBC34D6,
+			wantArgs: `76D30000,"FlsAlloc"`,
+			wantTID:  61484,
+		},
+		{
+			give:     `FreeEnvironmentStringsW:13FBC4D49 ()"61484"`,
+			wantAPI:  "freeenvironmentstringsw",
+			wantAddr: 0x13FBC4D49,
+			wantArgs: "",
+			wantTID:  61484,
+		},
+		{
+			give:     `GetCPInfo:13FBC263D ()"61484"`,
+			wantAPI:  "getcpinfo",
+			wantAddr: 0x13FBC263D,
+			wantArgs: "",
+			wantTID:  61484,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.wantAPI, func(t *testing.T) {
+			e, err := ParseLine(tt.give)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.API != tt.wantAPI || e.Addr != tt.wantAddr || e.Args != tt.wantArgs || e.ThreadID != tt.wantTID {
+				t.Fatalf("ParseLine(%q) = %+v", tt.give, e)
+			}
+		})
+	}
+}
+
+func TestParseLineMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "no colon", give: "GetFileType 13F ()\"1\""},
+		{name: "bad addr", give: "GetFileType:XYZ ()\"1\""},
+		{name: "no parens", give: "GetFileType:13F \"1\""},
+		{name: "no tid", give: "GetFileType:13F ()"},
+		{name: "bad tid", give: "GetFileType:13F ()\"abc\""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseLine(tt.give); err == nil {
+				t.Errorf("ParseLine(%q) succeeded", tt.give)
+			}
+		})
+	}
+}
+
+// Property: Entry render → parse round-trips for any vocabulary API.
+func TestEntryRoundTripProperty(t *testing.T) {
+	f := func(idx uint16, addr uint64, tid uint16) bool {
+		e := Entry{
+			API:      Name(int(idx) % NumFeatures),
+			Addr:     addr % 0xFFFFFFFFFF,
+			Args:     "",
+			ThreadID: int(tid),
+		}
+		got, err := ParseLine(e.String())
+		if err != nil {
+			return false
+		}
+		return got.API == e.API && got.Addr == e.Addr && got.ThreadID == e.ThreadID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteParseLogRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{API: "getfiletype", Addr: 0x13FBC4707, ThreadID: 61484},
+		{API: "getprocaddress", Addr: 0x13FBC34D6, Args: `76D30000,"FlsAlloc"`, ThreadID: 61484},
+		{API: "writeprocessmemory", Addr: 0x7FEFDD39D0C, ThreadID: 61468},
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("parsed %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].API != entries[i].API || got[i].Addr != entries[i].Addr {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestParseLogSkipsBlankReportsMalformed(t *testing.T) {
+	log := "GetFileType:13F ()\"1\"\n\n\ngarbage line\n"
+	_, err := ParseLog(strings.NewReader(log))
+	var mal *ErrMalformedLine
+	if !errors.As(err, &mal) {
+		t.Fatalf("err = %v, want *ErrMalformedLine", err)
+	}
+	if mal.Line != 4 {
+		t.Fatalf("malformed line reported at %d, want 4", mal.Line)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	entries := []Entry{
+		{API: "writefile"},
+		{API: "writefile"},
+		{API: "getcpinfo"},
+		{API: "not_in_vocab"},
+	}
+	counts, skipped := Counts(entries)
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if counts[MustIndex("writefile")] != 2 {
+		t.Fatal("writefile count wrong")
+	}
+	if counts[MustIndex("getcpinfo")] != 1 {
+		t.Fatal("getcpinfo count wrong")
+	}
+	sum := 0.0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Fatalf("total counted calls %v, want 3", sum)
+	}
+}
+
+func TestSandboxRunRealizesExpectedCounts(t *testing.T) {
+	expected := make([]float64, NumFeatures)
+	expected[MustIndex("writefile")] = 40
+	expected[MustIndex("getprocaddress")] = 20
+	sb := NewSandbox(Win7, 1)
+	entries, err := sb.Run(expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, skipped := Counts(entries)
+	if skipped != 0 {
+		t.Fatalf("sandbox emitted %d non-vocabulary calls", skipped)
+	}
+	wf := counts[MustIndex("writefile")]
+	if wf < 20 || wf > 60 {
+		t.Fatalf("writefile realized %v from expectation 40", wf)
+	}
+	for i, c := range counts {
+		if c > 0 && expected[i] == 0 {
+			t.Fatalf("sandbox invented calls to %s", Name(i))
+		}
+	}
+}
+
+func TestSandboxRunWrongWidth(t *testing.T) {
+	sb := NewSandbox(Win7, 1)
+	if _, err := sb.Run(make([]float64, 10)); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestSandboxDeterministicPerSeed(t *testing.T) {
+	expected := make([]float64, NumFeatures)
+	expected[0] = 10
+	a, _ := NewSandbox(Win10, 7).Run(expected)
+	b, _ := NewSandbox(Win10, 7).Run(expected)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different trace lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestOSJitterOrdering(t *testing.T) {
+	// Win10 jitter > WinXP jitter: on a large expectation the realized
+	// totals should reflect it.
+	expected := make([]float64, NumFeatures)
+	for i := 0; i < 50; i++ {
+		expected[i] = 30
+	}
+	xp, _ := NewSandbox(WinXP, 3).Run(expected)
+	w10, _ := NewSandbox(Win10, 3).Run(expected)
+	if len(w10) <= len(xp) {
+		t.Fatalf("Win10 trace (%d calls) not larger than WinXP (%d)", len(w10), len(xp))
+	}
+}
+
+func TestRunMixedCoversAllGuests(t *testing.T) {
+	expected := make([]float64, NumFeatures)
+	expected[MustIndex("getfiletype")] = 25
+	all, err := RunMixed(expected, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := NewSandbox(Win7, 11).Run(expected)
+	if len(all) <= len(single) {
+		t.Fatalf("mixed trace %d calls, single-guest %d", len(all), len(single))
+	}
+}
+
+func TestOSVersionString(t *testing.T) {
+	tests := []struct {
+		give OSVersion
+		want string
+	}{
+		{give: WinXP, want: "WinXP"},
+		{give: Win7, want: "Win7"},
+		{give: Win8, want: "Win8"},
+		{give: Win10, want: "Win10"},
+		{give: OSVersion(99), want: "OSVersion(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestDisplayNameCurated(t *testing.T) {
+	if got := DisplayName("getstartupinfow"); got != "GetStartupInfoW" {
+		t.Errorf("DisplayName = %q", got)
+	}
+	if got := DisplayName("someunknownapi"); got != "Someunknownapi" {
+		t.Errorf("heuristic DisplayName = %q", got)
+	}
+	if got := DisplayName(""); got != "" {
+		t.Errorf("empty DisplayName = %q", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Command gen regenerates ../vocab.go: the fixed, ordered 491-name API
+// vocabulary the detector's feature vector is indexed by.
+//
+// The paper's feature list is proprietary; Table III discloses a 10-name
+// excerpt at indices 475-484 and the attack narrative names a handful more
+// (destroyicon, dllsload, writeprocessmemory, ...). This generator rebuilds a
+// plausible vocabulary around those fixed points:
+//
+//   - indices 475-484 are exactly the Table III excerpt;
+//   - indices 485-490 are the six alphabetical successors closing the list;
+//   - indices 0-474 are drawn from a pool of real Win32 API names (all
+//     alphabetically before "waitmessage"), with every API the paper
+//     mentions pinned, trimmed deterministically to exactly 475 names.
+//
+// Run from the repository root:
+//
+//	go run ./internal/apilog/gen
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// anchors is the Table III excerpt, verbatim, at indices 475-484.
+var anchors = []string{
+	"waitmessage",
+	"windowfromdc",
+	"winexec",
+	"writeconsolea",
+	"writeconsolew",
+	"writefile",
+	"writeprivateprofilestringa",
+	"writeprivateprofilestringw",
+	"writeprocessmemory",
+	"writeprofilestringa",
+}
+
+// tail closes the vocabulary after the excerpt (indices 485-490).
+var tail = []string{
+	"writeprofilestringw",
+	"wsacleanup",
+	"wsasocketa",
+	"wsastartup",
+	"wsprintfa",
+	"wvsprintfa",
+}
+
+// mustKeep are APIs the paper's text, Table II log excerpt, Figure 1, or
+// this repository's generative family model depend on; trimming may never
+// remove them.
+var mustKeep = []string{
+	"destroyicon", "dllsload", // Figure 1's injected APIs
+	"getstartupinfow", "getfiletype", "getmodulehandlew", "getprocaddress",
+	"getstdhandle", "freeenvironmentstringsw", "getcpinfo", // Table II
+	"flsalloc", // Table II GetProcAddress argument
+	// Suspicious-behaviour cluster (dataset generator's malware signal).
+	"virtualallocex", "createremotethread", "loadlibrarya",
+	"urldownloadtofilea", "regsetvalueexa", "cryptencrypt",
+	"setwindowshookexa", "internetopena", "shellexecutea",
+	"openprocess", "regcreatekeyexa", "terminateprocess",
+	"process32first", "process32next", "ntwritevirtualmemory",
+	"netuseradd", "socket", "send", "recv", "connect", "startservicea",
+	"createservicea", "readprocessmemory", "virtualprotectex",
+	"queueuserapc", "setthreadcontext", "sendinput", "blockinput",
+	"keybd_event", "getasynckeystate", "internetconnecta",
+	"internetreadfile", "httpsendrequesta", "ftpputfilea",
+	"isdebuggerpresent", "createtoolhelp32snapshot", "adjusttokenprivileges",
+	"logonusera", "cryptacquirecontexta", "cryptdecrypt", "crypthashdata",
+	"cryptgenkey", "gethostbyname", "inet_addr", "htons", "getaddrinfo",
+	"internetopenurla", "deletefilea", "movefileexa", "settimer",
+	"createmutexa", "findwindowa", "getclipboarddata", "setclipboarddata",
+	"openclipboard", "mouse_event", "sendto", "recvfrom", "bind", "listen",
+	"accept", "closesocket", "getadaptersinfo", "enumprocesses",
+	// Benign-behaviour clusters (GUI, file I/O, COM, GDI, system info).
+	"createwindowexa", "showwindow", "getmessagea", "dispatchmessagea",
+	"beginpaint", "endpaint", "createfilew", "readfile", "findfirstfilew",
+	"getwindowtexta", "loadicona", "bitblt", "textouta",
+	"getopenfilenamea", "cocreateinstance", "regqueryvalueexa",
+	"regopenkeyexa", "regdeletevaluea", "messageboxa", "getsystemmetrics",
+	"getkeystate", "getmodulefilenamea", "getcomputernamea", "getusernamea",
+	"getversionexa", "globalmemorystatusex", "translatemessage",
+	"defwindowproca", "registerclassexa", "updatewindow", "invalidaterect",
+	"getdc", "releasedc", "selectobject", "deleteobject",
+	"createcompatibledc", "stretchblt", "findnextfilew", "findclose",
+	"setfilepointer", "getfilesize", "flushfilebuffers", "createdirectorya",
+	"getwindowsdirectorya", "gettemppatha", "getlocaltime", "getsystemtime",
+	// Common-runtime cluster (present in nearly every sample).
+	"closehandle", "getlasterror", "heapalloc", "heapfree",
+	"multibytetowidechar", "widechartomultibyte", "entercriticalsection",
+	"leavecriticalsection", "tlsgetvalue", "gettickcount", "virtualalloc",
+	"virtualfree", "getcurrentprocessid", "getcurrentthreadid", "sleep",
+	"exitprocess", "getcommandlinea", "getenvironmentstrings",
+	"queryperformancecounter", "interlockedincrement",
+	"initializecriticalsection", "getversion", "getacp", "lstrlena",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vocabgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	head := buildHead()
+	names := make([]string, 0, len(head)+len(anchors)+len(tail))
+	names = append(names, head...)
+	names = append(names, anchors...)
+	names = append(names, tail...)
+	if len(names) != 491 {
+		return fmt.Errorf("vocabulary has %d names, want 491", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		return fmt.Errorf("vocabulary is not sorted")
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return fmt.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString("// Code generated by internal/apilog/gen. DO NOT EDIT.\n\n")
+	buf.WriteString("package apilog\n\n")
+	buf.WriteString("// names is the fixed 491-entry API vocabulary. Indices 475-484 reproduce\n")
+	buf.WriteString("// the paper's Table III excerpt verbatim.\n")
+	buf.WriteString("var names = [NumFeatures]string{\n")
+	for _, n := range names {
+		fmt.Fprintf(&buf, "\t%q,\n", n)
+	}
+	buf.WriteString("}\n")
+	if err := os.WriteFile("internal/apilog/vocab.go", buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("write vocab.go: %w", err)
+	}
+	fmt.Printf("wrote internal/apilog/vocab.go with %d names\n", len(names))
+	return nil
+}
+
+// buildHead assembles exactly 475 unique names, all strictly before
+// "waitmessage", containing every mustKeep entry.
+func buildHead() []string {
+	set := make(map[string]bool, len(pool))
+	for _, n := range pool {
+		if n < "waitmessage" {
+			set[n] = true
+		}
+	}
+	for _, n := range mustKeep {
+		if n >= "waitmessage" {
+			continue // anchors cover these
+		}
+		set[n] = true
+	}
+	keep := make(map[string]bool, len(mustKeep))
+	for _, n := range mustKeep {
+		keep[n] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const want = 475
+	// Too many: first drop "w"-suffixed twins of ANSI/Unicode pairs (never a
+	// mustKeep name), scanning once from the end.
+	for i := len(names) - 1; i >= 0 && len(names) > want; i-- {
+		n := names[i]
+		if keep[n] {
+			continue
+		}
+		if strings.HasSuffix(n, "w") && set[strings.TrimSuffix(n, "w")+"a"] {
+			names = append(names[:i], names[i+1:]...)
+			delete(set, n)
+		}
+	}
+	// Still too many: spread the remaining drops evenly across the
+	// alphabet so no semantic neighbourhood is wiped out.
+	for len(names) > want {
+		excess := len(names) - want
+		stride := len(names) / excess
+		if stride < 1 {
+			stride = 1
+		}
+		var kept []string
+		dropped := 0
+		for i, n := range names {
+			if dropped < excess && !keep[n] && i%stride == stride-1 {
+				dropped++
+				continue
+			}
+			kept = append(kept, n)
+		}
+		names = kept
+	}
+	// Too few: synthesize "ex"-suffixed variants of existing names.
+	for suffix := 2; len(names) < want; suffix++ {
+		for _, base := range append([]string(nil), names...) {
+			cand := fmt.Sprintf("%s%d", base, suffix)
+			if cand < "waitmessage" && !set[cand] {
+				set[cand] = true
+				names = append(names, cand)
+				if len(names) == want {
+					break
+				}
+			}
+		}
+		sort.Strings(names)
+	}
+	sort.Strings(names)
+	return names
+}

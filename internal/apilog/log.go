@@ -1,0 +1,152 @@
+package apilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The sandbox log format, reproduced from the paper's Table II:
+//
+//	GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"
+//	GetStartupInfoW:7FEFDD39C37 ()"61468"
+//
+// i.e. one API call per line: DisplayName ':' hex-address ' (' args ')'
+// '"' thread-id '"'. The parser is deliberately liberal (trailing garbage
+// after the thread id is ignored, casing is normalized) because downstream
+// only ever needs the per-API call counts.
+
+// Entry is one parsed or to-be-rendered log line.
+type Entry struct {
+	// API is the vocabulary (lowercase) name of the called API.
+	API string
+	// Addr is the call-site address rendered in hex.
+	Addr uint64
+	// Args is the raw text between the parentheses (may be empty).
+	Args string
+	// ThreadID is the quoted trailing identifier.
+	ThreadID int
+}
+
+// String renders the entry in Table II syntax.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s:%X (%s)\"%d\"", DisplayName(e.API), e.Addr, e.Args, e.ThreadID)
+}
+
+// ErrMalformedLine reports an unparseable log line with its line number.
+type ErrMalformedLine struct {
+	Line int
+	Text string
+	Why  string
+}
+
+func (e *ErrMalformedLine) Error() string {
+	return fmt.Sprintf("apilog: line %d malformed (%s): %q", e.Line, e.Why, e.Text)
+}
+
+// ParseLine parses one Table II-format log line.
+func ParseLine(line string) (Entry, error) {
+	colon := strings.IndexByte(line, ':')
+	if colon <= 0 {
+		return Entry{}, fmt.Errorf("apilog: no API:addr separator in %q", line)
+	}
+	api := strings.ToLower(strings.TrimSpace(line[:colon]))
+	rest := line[colon+1:]
+
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return Entry{}, fmt.Errorf("apilog: no argument list in %q", line)
+	}
+	addrText := strings.TrimSpace(rest[:open])
+	addr, err := strconv.ParseUint(addrText, 16, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("apilog: bad address %q: %w", addrText, err)
+	}
+
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if closeIdx < open {
+		return Entry{}, fmt.Errorf("apilog: unterminated argument list in %q", line)
+	}
+	args := rest[open+1 : closeIdx]
+
+	tail := rest[closeIdx+1:]
+	firstQ := strings.IndexByte(tail, '"')
+	lastQ := strings.LastIndexByte(tail, '"')
+	if firstQ < 0 || lastQ <= firstQ {
+		return Entry{}, fmt.Errorf("apilog: missing thread id in %q", line)
+	}
+	tid, err := strconv.Atoi(tail[firstQ+1 : lastQ])
+	if err != nil {
+		return Entry{}, fmt.Errorf("apilog: bad thread id in %q: %w", line, err)
+	}
+	return Entry{API: api, Addr: addr, Args: args, ThreadID: tid}, nil
+}
+
+// WriteLog renders entries to w, one per line.
+func WriteLog(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := bw.WriteString(e.String()); err != nil {
+			return fmt.Errorf("apilog: write log: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("apilog: write log: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("apilog: flush log: %w", err)
+	}
+	return nil
+}
+
+// ParseLog reads a full log and returns the entries. Blank lines are
+// skipped; a malformed line yields an *ErrMalformedLine.
+func ParseLog(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, err := ParseLine(line)
+		if err != nil {
+			return nil, &ErrMalformedLine{Line: lineNo, Text: line, Why: err.Error()}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("apilog: scan log: %w", err)
+	}
+	return out, nil
+}
+
+// Counts aggregates entries into a NumFeatures-wide call-count vector.
+// Calls to APIs outside the vocabulary are counted in the returned `skipped`
+// total (real logs always contain APIs the feature list ignores).
+func Counts(entries []Entry) (counts []float64, skipped int) {
+	counts = make([]float64, NumFeatures)
+	for _, e := range entries {
+		if i, ok := Index(e.API); ok {
+			counts[i]++
+		} else {
+			skipped++
+		}
+	}
+	return counts, skipped
+}
+
+// CountsFromLog parses a log stream directly into a count vector.
+func CountsFromLog(r io.Reader) (counts []float64, skipped int, err error) {
+	entries, err := ParseLog(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts, skipped = Counts(entries)
+	return counts, skipped, nil
+}

@@ -1,0 +1,152 @@
+package apilog
+
+import (
+	"fmt"
+
+	"malevade/internal/rng"
+)
+
+// Sandbox simulates the dynamic-analysis environment that produced the
+// paper's logs: given a sample's behaviour (expected call count per API), it
+// renders a concrete trace with realistic addresses, thread ids, and
+// per-OS-version jitter. The paper's "mixed data" came from running each
+// sample on Win7, WinXP, Win8 and Win10; OSVersion reproduces that source of
+// count variance.
+
+// OSVersion identifies the simulated sandbox guest.
+type OSVersion int
+
+// Guest OS versions in the paper's mixed dataset.
+const (
+	WinXP OSVersion = iota + 1
+	Win7
+	Win8
+	Win10
+)
+
+// AllOSVersions lists the paper's four guests.
+var AllOSVersions = []OSVersion{WinXP, Win7, Win8, Win10}
+
+// String returns the conventional name of the guest.
+func (v OSVersion) String() string {
+	switch v {
+	case WinXP:
+		return "WinXP"
+	case Win7:
+		return "Win7"
+	case Win8:
+		return "Win8"
+	case Win10:
+		return "Win10"
+	default:
+		return fmt.Sprintf("OSVersion(%d)", int(v))
+	}
+}
+
+// jitter returns the multiplicative count jitter for the guest: different
+// Windows builds route library calls slightly differently, so the same
+// binary produces slightly different call counts per guest.
+func (v OSVersion) jitter() float64 {
+	switch v {
+	case WinXP:
+		return 0.92
+	case Win7:
+		return 1.0
+	case Win8:
+		return 1.05
+	case Win10:
+		return 1.11
+	default:
+		return 1.0
+	}
+}
+
+// Sandbox renders behaviour profiles into logs.
+type Sandbox struct {
+	// OS is the guest version; zero value defaults to Win7.
+	OS OSVersion
+
+	rng *rng.RNG
+}
+
+// NewSandbox creates a sandbox for the given guest seeded deterministically.
+func NewSandbox(os OSVersion, seed uint64) *Sandbox {
+	if os == 0 {
+		os = Win7
+	}
+	return &Sandbox{OS: os, rng: rng.New(seed)}
+}
+
+// Run renders a trace for a sample whose expected call counts are given per
+// vocabulary index. Expected counts are scaled by the guest's jitter and
+// then sampled (Poisson), so repeated runs of one sample differ the way real
+// sandbox runs do. The trace interleaves APIs in randomized bursts, the way
+// real logs interleave unrelated subsystem activity.
+func (s *Sandbox) Run(expectedCounts []float64) ([]Entry, error) {
+	if len(expectedCounts) != NumFeatures {
+		return nil, fmt.Errorf("apilog: sandbox run with %d expected counts, want %d", len(expectedCounts), NumFeatures)
+	}
+	jitter := s.OS.jitter()
+	// Draw the realized count per API.
+	realized := make([]int, NumFeatures)
+	total := 0
+	for i, c := range expectedCounts {
+		if c <= 0 {
+			continue
+		}
+		n := s.rng.Poisson(c * jitter)
+		realized[i] = n
+		total += n
+	}
+	// Flatten to a call sequence, then shuffle in bursts: a burst keeps
+	// 1-4 consecutive calls to one API together (loops produce runs).
+	seq := make([]int, 0, total)
+	for i, n := range realized {
+		for k := 0; k < n; k++ {
+			seq = append(seq, i)
+		}
+	}
+	s.rng.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+
+	// Two or three simulated threads, Table II-style 5-digit ids.
+	numThreads := 2 + s.rng.Intn(2)
+	threads := make([]int, numThreads)
+	for i := range threads {
+		threads[i] = 60000 + 4*s.rng.Intn(1000)
+	}
+	entries := make([]Entry, 0, len(seq))
+	for _, apiIdx := range seq {
+		entries = append(entries, Entry{
+			API:      names[apiIdx],
+			Addr:     s.randomAddr(),
+			Args:     "",
+			ThreadID: threads[s.rng.Intn(numThreads)],
+		})
+	}
+	return entries, nil
+}
+
+// randomAddr produces module-looking call-site addresses: either low 64-bit
+// image addresses (13FBCxxxx) or high system-DLL addresses (7FEFDDxxxxx),
+// mirroring the two ranges visible in Table II.
+func (s *Sandbox) randomAddr() uint64 {
+	if s.rng.Bernoulli(0.5) {
+		return 0x13FBC0000 + uint64(s.rng.Intn(0xFFFF))
+	}
+	return 0x7FEFDD00000 + uint64(s.rng.Intn(0xFFFFF))
+}
+
+// RunMixed renders one trace per guest OS and returns the concatenation —
+// the paper's "mixed data ... generated from Win7, WinXP, Win8, and Win10".
+func RunMixed(expectedCounts []float64, seed uint64) ([]Entry, error) {
+	var all []Entry
+	for i, os := range AllOSVersions {
+		sb := NewSandbox(os, seed+uint64(i)*7919)
+		entries, err := sb.Run(expectedCounts)
+		if err != nil {
+			return nil, fmt.Errorf("apilog: mixed run on %s: %w", os, err)
+		}
+		all = append(all, entries...)
+	}
+	return all, nil
+}

@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPGDAddOnlyAndBounded(t *testing.T) {
+	a := &PGD{Model: testModel.Net, Epsilon: 0.2, Steps: 8}
+	for _, r := range a.Run(testMalware) {
+		for f := range r.Adversarial {
+			delta := r.Adversarial[f] - r.Original[f]
+			if delta < -1e-12 {
+				t.Fatalf("PGD decreased feature %d", f)
+			}
+			if delta > 0.2+1e-12 {
+				t.Fatalf("PGD exceeded epsilon: delta=%v", delta)
+			}
+			if r.Adversarial[f] > 1+1e-12 {
+				t.Fatalf("PGD exceeded clamp: %v", r.Adversarial[f])
+			}
+		}
+	}
+}
+
+func TestPGDEvades(t *testing.T) {
+	a := &PGD{Model: testModel.Net, Epsilon: 0.3, Steps: 10}
+	rate := Summarize(a.Run(testMalware)).EvasionRate
+	if rate < 0.5 {
+		t.Fatalf("PGD evasion rate %.3f", rate)
+	}
+}
+
+func TestPGDStrongerWithLargerEpsilon(t *testing.T) {
+	weak := &PGD{Model: testModel.Net, Epsilon: 0.02, Steps: 10}
+	strong := &PGD{Model: testModel.Net, Epsilon: 0.3, Steps: 10}
+	rWeak := Summarize(weak.Run(testMalware)).EvasionRate
+	rStrong := Summarize(strong.Run(testMalware)).EvasionRate
+	if rStrong < rWeak {
+		t.Fatalf("PGD evasion shrank with epsilon: %.3f -> %.3f", rWeak, rStrong)
+	}
+}
+
+func TestPGDZeroEpsilonIsIdentity(t *testing.T) {
+	a := &PGD{Model: testModel.Net, Epsilon: 0}
+	for _, r := range a.Run(testMalware) {
+		if r.L2 != 0 {
+			t.Fatal("epsilon=0 perturbed the input")
+		}
+	}
+}
+
+func TestPGDDefaults(t *testing.T) {
+	a := &PGD{Model: testModel.Net, Epsilon: 0.1}
+	if a.steps() != 10 {
+		t.Fatalf("default steps %d", a.steps())
+	}
+	if got := a.alpha(); got != 0.025 {
+		t.Fatalf("default alpha %v", got)
+	}
+	if !strings.Contains(a.Name(), "pgd") {
+		t.Fatal(a.Name())
+	}
+}
+
+func TestPGDDoesNotMutateInput(t *testing.T) {
+	x := testMalware.Clone()
+	before := append([]float64(nil), x.Data...)
+	(&PGD{Model: testModel.Net, Epsilon: 0.2}).Run(x)
+	for i := range before {
+		if x.Data[i] != before[i] {
+			t.Fatal("PGD mutated input")
+		}
+	}
+}

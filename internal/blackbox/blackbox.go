@@ -1,0 +1,253 @@
+// Package blackbox implements the paper's Figure 2 framework for grey-box
+// and black-box attacks in a real-world setting: the attacker trains a
+// substitute model — querying the target only for labels — crafts
+// adversarial examples on the substitute, and deploys them against the
+// target, relying on transferability.
+//
+// The substitute-training loop is the Jacobian-based dataset augmentation of
+// Papernot et al. (ref [21] of the paper): starting from a small seed set,
+// each round trains the substitute on oracle-labelled data and then expands
+// the set along the substitute's Jacobian directions, tracing out the
+// target's decision boundary with a bounded query budget.
+package blackbox
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/nn"
+	"malevade/internal/tensor"
+)
+
+// Oracle is the attacker's only view of the target system: a label for a
+// feature vector. Implementations count queries; real-world oracles (an AV
+// verdict API) are slow and rate-limited, which is why the framework tracks
+// the budget explicitly.
+type Oracle interface {
+	// Label returns the target's class decision for one sample.
+	Label(x []float64) int
+	// Queries returns how many labels have been served.
+	Queries() int64
+}
+
+// DetectorOracle adapts any Detector into a query-counting Oracle.
+type DetectorOracle struct {
+	Target detector.Detector
+
+	queries atomic.Int64
+}
+
+var _ Oracle = (*DetectorOracle)(nil)
+
+// NewDetectorOracle wraps a target detector.
+func NewDetectorOracle(target detector.Detector) *DetectorOracle {
+	return &DetectorOracle{Target: target}
+}
+
+// Label implements Oracle.
+func (o *DetectorOracle) Label(x []float64) int {
+	o.queries.Add(1)
+	m := tensor.FromSlice(1, len(x), x)
+	return o.Target.Predict(m)[0]
+}
+
+// Queries implements Oracle.
+func (o *DetectorOracle) Queries() int64 { return o.queries.Load() }
+
+// SubstituteConfig parameterizes the substitute-training loop.
+type SubstituteConfig struct {
+	// Arch is the substitute architecture (default Table IV's 5-layer).
+	Arch detector.Arch
+	// WidthScale shrinks hidden widths for fast profiles.
+	WidthScale float64
+	// Rounds is the number of Jacobian-augmentation rounds (default 4).
+	Rounds int
+	// Lambda is the augmentation step size (default 0.1).
+	Lambda float64
+	// EpochsPerRound trains the substitute this long each round
+	// (default 10).
+	EpochsPerRound int
+	// BatchSize defaults to 64 (seed sets are small).
+	BatchSize int
+	// LearningRate defaults to 0.001.
+	LearningRate float64
+	// MaxQueries aborts augmentation when the oracle budget is exhausted
+	// (0 = unlimited).
+	MaxQueries int64
+	// Seed drives initialization.
+	Seed uint64
+	// Log, when non-nil, receives one line per round.
+	Log io.Writer
+}
+
+func (c *SubstituteConfig) setDefaults() {
+	if c.Arch == 0 {
+		c.Arch = detector.ArchSubstitute
+	}
+	if c.WidthScale == 0 {
+		c.WidthScale = 1
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.1
+	}
+	if c.EpochsPerRound == 0 {
+		c.EpochsPerRound = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.001
+	}
+}
+
+// SubstituteResult is the outcome of the substitute-training loop.
+type SubstituteResult struct {
+	// Model is the trained substitute.
+	Model *detector.DNN
+	// TrainingSetSize is the final augmented set size.
+	TrainingSetSize int
+	// QueriesUsed is the oracle budget consumed.
+	QueriesUsed int64
+	// RoundAgreement records, per round, the substitute's agreement with
+	// the oracle labels of its own training set (a convergence signal).
+	RoundAgreement []float64
+}
+
+// TrainSubstitute runs the Jacobian-augmentation loop: label the seed set
+// via the oracle, train, expand each sample one λ·sign(Jacobian) step toward
+// its oracle label's gradient, re-label, repeat.
+func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (*SubstituteResult, error) {
+	cfg.setDefaults()
+	if seed.Rows == 0 {
+		return nil, fmt.Errorf("blackbox: empty seed set")
+	}
+	inDim := seed.Cols
+
+	net, err := nn.NewMLP(nn.MLPConfig{
+		Dims: cfg.Arch.Dims(inDim, cfg.WidthScale),
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: build substitute: %w", err)
+	}
+
+	x := seed.Clone()
+	labels := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		labels[i] = oracle.Label(x.Row(i))
+	}
+	res := &SubstituteResult{}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := nn.Train(net, x, nn.OneHot(labels, 2), nn.TrainConfig{
+			Epochs:    cfg.EpochsPerRound,
+			BatchSize: cfg.BatchSize,
+			Optimizer: nn.NewAdam(cfg.LearningRate),
+			Seed:      cfg.Seed + uint64(round) + 1,
+		}); err != nil {
+			return nil, fmt.Errorf("blackbox: round %d: %w", round, err)
+		}
+		agreement := labelAgreement(net, x, labels)
+		res.RoundAgreement = append(res.RoundAgreement, agreement)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "round %d: set=%d agreement=%.3f queries=%d\n",
+				round, x.Rows, agreement, oracle.Queries())
+		}
+		if round == cfg.Rounds-1 {
+			break
+		}
+		if cfg.MaxQueries > 0 && oracle.Queries()+int64(x.Rows) > cfg.MaxQueries {
+			break // budget would be exceeded by another augmentation
+		}
+
+		// Jacobian augmentation: x' = clamp(x + λ·sign(∂F_label/∂x)).
+		augmented := tensor.New(x.Rows*2, inDim)
+		copy(augmented.Data[:len(x.Data)], x.Data)
+		newLabels := make([]int, 0, x.Rows*2)
+		newLabels = append(newLabels, labels...)
+		for i := 0; i < x.Rows; i++ {
+			jac := net.InputJacobian(x.Row(i), 1)
+			dst := augmented.Row(x.Rows + i)
+			src := x.Row(i)
+			jRow := jac.Row(labels[i])
+			for f := range dst {
+				step := 0.0
+				switch {
+				case jRow[f] > 0:
+					step = cfg.Lambda
+				case jRow[f] < 0:
+					step = -cfg.Lambda
+				}
+				v := src[f] + step
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				dst[f] = v
+			}
+			newLabels = append(newLabels, oracle.Label(dst))
+		}
+		x = augmented
+		labels = newLabels
+	}
+	res.Model = detector.NewDNN(net)
+	res.TrainingSetSize = x.Rows
+	res.QueriesUsed = oracle.Queries()
+	return res, nil
+}
+
+func labelAgreement(net *nn.Network, x *tensor.Matrix, labels []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := net.PredictClass(x)
+	ok := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(labels))
+}
+
+// AgreementWithTarget measures substitute/target label agreement on a held
+// set — the transferability precondition.
+func AgreementWithTarget(sub detector.Detector, target detector.Detector, x *tensor.Matrix) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	a := sub.Predict(x)
+	b := target.Predict(x)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a))
+}
+
+// SeedSet draws a small attacker-owned sample set: the handful of malware
+// and clean files the attacker has on hand (the framework's "attacker data"
+// box in Figure 2).
+func SeedSet(d *dataset.Dataset, perClass int, seed uint64) *tensor.Matrix {
+	clean := d.FilterLabel(dataset.LabelClean)
+	mal := d.FilterLabel(dataset.LabelMalware)
+	rows := make([][]float64, 0, perClass*2)
+	for i := 0; i < perClass && i < clean.Len(); i++ {
+		rows = append(rows, clean.X.Row(i))
+	}
+	for i := 0; i < perClass && i < mal.Len(); i++ {
+		rows = append(rows, mal.X.Row(i))
+	}
+	_ = seed // reserved for future subsampling strategies
+	return tensor.FromRows(rows)
+}

@@ -1,0 +1,185 @@
+package blackbox
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"malevade/internal/attack"
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+var (
+	bbCorpus = func() *dataset.Corpus {
+		c, err := dataset.Generate(dataset.TableIConfig(21).Scaled(120))
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}()
+	bbTarget = func() *detector.DNN {
+		d, err := detector.Train(bbCorpus.Train, detector.TrainConfig{
+			Arch:       detector.ArchTarget,
+			WidthScale: 0.1,
+			Epochs:     15,
+			BatchSize:  64,
+			Seed:       23,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}()
+)
+
+func TestDetectorOracleCountsQueries(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	if o.Queries() != 0 {
+		t.Fatal("fresh oracle has queries")
+	}
+	x := bbCorpus.Val.X.Row(0)
+	o.Label(x)
+	o.Label(x)
+	if o.Queries() != 2 {
+		t.Fatalf("queries = %d, want 2", o.Queries())
+	}
+}
+
+func TestOracleLabelsMatchTarget(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	pred := bbTarget.Predict(bbCorpus.Val.X)
+	n := bbCorpus.Val.Len()
+	if n > 20 {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		if got := o.Label(bbCorpus.Val.X.Row(i)); got != pred[i] {
+			t.Fatalf("oracle label %d != target %d", got, pred[i])
+		}
+	}
+}
+
+func TestSeedSet(t *testing.T) {
+	seed := SeedSet(bbCorpus.Test, 10, 1)
+	if seed.Rows != 20 || seed.Cols != 491 {
+		t.Fatalf("seed %dx%d", seed.Rows, seed.Cols)
+	}
+	// Requesting more than available caps at the split size.
+	small := SeedSet(bbCorpus.Val, 10000, 1)
+	if small.Rows != bbCorpus.Val.Len() {
+		t.Fatalf("oversized request returned %d rows", small.Rows)
+	}
+}
+
+func TestTrainSubstituteValidation(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	if _, err := TrainSubstitute(o, tensor.New(0, 491), SubstituteConfig{}); err == nil {
+		t.Fatal("expected empty-seed error")
+	}
+}
+
+func TestTrainSubstituteLoop(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	seed := SeedSet(bbCorpus.Val, 15, 1)
+	var log bytes.Buffer
+	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+		Arch:           detector.ArchTarget, // small substitute for speed
+		WidthScale:     0.05,
+		Rounds:         3,
+		EpochsPerRound: 8,
+		Seed:           3,
+		Log:            &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set doubles per round: 30 → 60 → 120.
+	if res.TrainingSetSize != seed.Rows*4 {
+		t.Fatalf("final set %d, want %d", res.TrainingSetSize, seed.Rows*4)
+	}
+	if res.QueriesUsed != int64(seed.Rows*4) {
+		t.Fatalf("queries %d, want %d", res.QueriesUsed, seed.Rows*4)
+	}
+	if len(res.RoundAgreement) != 3 {
+		t.Fatalf("%d agreement entries", len(res.RoundAgreement))
+	}
+	// The substitute must fit its oracle labels by the last round.
+	last := res.RoundAgreement[len(res.RoundAgreement)-1]
+	if last < 0.8 {
+		t.Fatalf("final oracle-label agreement %.3f", last)
+	}
+	if !strings.Contains(log.String(), "round 0") {
+		t.Fatal("no training log")
+	}
+}
+
+func TestTrainSubstituteRespectsQueryBudget(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	seed := SeedSet(bbCorpus.Val, 15, 1)
+	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     0.05,
+		Rounds:         6,
+		EpochsPerRound: 4,
+		MaxQueries:     100,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesUsed > 100+int64(seed.Rows) {
+		t.Fatalf("query budget blown: %d", res.QueriesUsed)
+	}
+}
+
+func TestSubstituteAgreesWithTarget(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	seed := SeedSet(bbCorpus.Test, 40, 1)
+	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     0.08,
+		Rounds:         4,
+		EpochsPerRound: 10,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := AgreementWithTarget(res.Model, bbTarget, bbCorpus.Test.X)
+	if agree < 0.7 {
+		t.Fatalf("substitute/target agreement %.3f — boundary not learned", agree)
+	}
+}
+
+// TestBlackBoxEndToEnd is the Figure 2 loop: oracle → substitute → JSMA →
+// transfer to the target.
+func TestBlackBoxEndToEnd(t *testing.T) {
+	o := NewDetectorOracle(bbTarget)
+	seed := SeedSet(bbCorpus.Test, 40, 1)
+	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     0.08,
+		Rounds:         4,
+		EpochsPerRound: 12,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal := bbCorpus.Test.FilterLabel(dataset.LabelMalware)
+	j := &attack.JSMA{Model: res.Model.Net, Theta: 0.1, Gamma: 0.03}
+	adv := attack.AdvMatrix(j.Run(mal.X))
+	baseline := detector.DetectionRate(bbTarget, mal.X)
+	attacked := detector.DetectionRate(bbTarget, adv)
+	if attacked > baseline-0.1 {
+		t.Fatalf("black-box transfer too weak: %.3f -> %.3f", baseline, attacked)
+	}
+}
+
+func TestAgreementEmptyMatrix(t *testing.T) {
+	if AgreementWithTarget(bbTarget, bbTarget, tensor.New(0, 491)) != 0 {
+		t.Fatal("empty agreement should be 0")
+	}
+}

@@ -1,0 +1,383 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"malevade/internal/apilog"
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// Dataset is one split: normalized features, raw counts, integer labels and
+// family provenance. X and Counts share row indices with Y and Fams.
+type Dataset struct {
+	// X is the n×491 normalized feature matrix.
+	X *tensor.Matrix
+	// Counts is the n×491 raw call-count matrix (kept so binary-feature
+	// views and count-space replays stay exact).
+	Counts *tensor.Matrix
+	// Y holds the labels (LabelClean / LabelMalware).
+	Y []int
+	// Fams holds the family name each sample was drawn from.
+	Fams []string
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// NumClean counts clean samples.
+func (d *Dataset) NumClean() int { return d.countLabel(LabelClean) }
+
+// NumMalware counts malware samples.
+func (d *Dataset) NumMalware() int { return d.countLabel(LabelMalware) }
+
+func (d *Dataset) countLabel(label int) int {
+	n := 0
+	for _, y := range d.Y {
+		if y == label {
+			n++
+		}
+	}
+	return n
+}
+
+// FilterLabel returns the subset with the given label (copies rows).
+func (d *Dataset) FilterLabel(label int) *Dataset {
+	idx := make([]int, 0, d.Len())
+	for i, y := range d.Y {
+		if y == label {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}
+
+// Subset returns a new Dataset with the selected row indices (copies).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		X:      tensor.New(len(idx), d.X.Cols),
+		Counts: tensor.New(len(idx), d.Counts.Cols),
+		Y:      make([]int, len(idx)),
+		Fams:   make([]string, len(idx)),
+	}
+	for row, src := range idx {
+		copy(out.X.Row(row), d.X.Row(src))
+		copy(out.Counts.Row(row), d.Counts.Row(src))
+		out.Y[row] = d.Y[src]
+		out.Fams[row] = d.Fams[src]
+	}
+	return out
+}
+
+// Concat appends other's rows to d's, returning a new Dataset.
+func (d *Dataset) Concat(other *Dataset) *Dataset {
+	if d.X.Cols != other.X.Cols {
+		panic(fmt.Sprintf("dataset: Concat width %d vs %d", d.X.Cols, other.X.Cols))
+	}
+	n := d.Len() + other.Len()
+	out := &Dataset{
+		X:      tensor.New(n, d.X.Cols),
+		Counts: tensor.New(n, d.Counts.Cols),
+		Y:      make([]int, 0, n),
+		Fams:   make([]string, 0, n),
+	}
+	copy(out.X.Data[:len(d.X.Data)], d.X.Data)
+	copy(out.X.Data[len(d.X.Data):], other.X.Data)
+	copy(out.Counts.Data[:len(d.Counts.Data)], d.Counts.Data)
+	copy(out.Counts.Data[len(d.Counts.Data):], other.Counts.Data)
+	out.Y = append(append(out.Y, d.Y...), other.Y...)
+	out.Fams = append(append(out.Fams, d.Fams...), other.Fams...)
+	return out
+}
+
+// Shuffle permutes rows in place, deterministically under seed.
+func (d *Dataset) Shuffle(seed uint64) {
+	r := rng.New(seed)
+	r.Shuffle(d.Len(), func(i, j int) {
+		swapRows(d.X, i, j)
+		swapRows(d.Counts, i, j)
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+		d.Fams[i], d.Fams[j] = d.Fams[j], d.Fams[i]
+	})
+}
+
+func swapRows(m *tensor.Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// BinaryView returns a Dataset whose X is the binary-feature rendering of
+// the raw counts (grey-box experiment 2). Counts/Y/Fams are shared slices.
+func (d *Dataset) BinaryView() *Dataset {
+	bx := tensor.New(d.Counts.Rows, d.Counts.Cols)
+	for i := 0; i < d.Counts.Rows; i++ {
+		row := d.Counts.Row(i)
+		out := bx.Row(i)
+		for j, c := range row {
+			if c > 0 {
+				out[j] = 1
+			}
+		}
+	}
+	return &Dataset{X: bx, Counts: d.Counts, Y: d.Y, Fams: d.Fams}
+}
+
+// Deduplicate removes rows with identical feature vectors, keeping the
+// first occurrence — the paper's "sanity check on the data to reduce the
+// duplicated samples" before adversarial training. Returns the deduplicated
+// dataset and the number of rows removed.
+func (d *Dataset) Deduplicate() (*Dataset, int) {
+	seen := make(map[uint64][]int, d.Len()) // hash → candidate row indices
+	keep := make([]int, 0, d.Len())
+	removed := 0
+rows:
+	for i := 0; i < d.Len(); i++ {
+		h := hashRow(d.X.Row(i))
+		for _, j := range seen[h] {
+			if equalRows(d.X.Row(i), d.X.Row(j)) {
+				removed++
+				continue rows
+			}
+		}
+		seen[h] = append(seen[h], i)
+		keep = append(keep, i)
+	}
+	if removed == 0 {
+		return d, 0
+	}
+	return d.Subset(keep), removed
+}
+
+func hashRow(row []float64) uint64 {
+	// FNV-1a over the float bits.
+	h := uint64(14695981039346656037)
+	for _, v := range row {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func equalRows(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Config sizes the generated corpus. The zero value is invalid; use
+// TableIConfig (paper sizes) or TableIConfig.Scaled.
+type Config struct {
+	// Per-split class counts (Table I).
+	TrainClean, TrainMalware int
+	ValClean, ValMalware     int
+	TestClean, TestMalware   int
+
+	// NumCleanFamilies / NumMalwareFamilies size the family banks.
+	NumCleanFamilies   int
+	NumMalwareFamilies int
+
+	// TestNovelFamilyFraction is the fraction of test samples drawn from
+	// families never seen at training time — the domain shift created by
+	// the paper's VirusTotal test feed being "independent of the training
+	// data". Default 0.3.
+	TestNovelFamilyFraction float64
+
+	// Family mixture shape knobs.
+	Families FamilyConfig
+
+	// Seed drives everything; equal seeds give byte-identical corpora.
+	Seed uint64
+
+	// FamilySeed, when non-zero, seeds the family banks separately from
+	// sample drawing. Two corpora with equal FamilySeed but different
+	// Seed come from the same software ecosystem (same families) while
+	// containing different samples — the paper's grey-box setting, where
+	// attacker and defender independently collect from one malware
+	// landscape.
+	FamilySeed uint64
+}
+
+// TableIConfig returns the paper's exact Table I sizes: 57,170 train
+// (28,594 clean / 28,576 malware), 578 validation (280/298), 45,028 test
+// (16,154 clean / 28,874 malware).
+func TableIConfig(seed uint64) Config {
+	return Config{
+		TrainClean: 28594, TrainMalware: 28576,
+		ValClean: 280, ValMalware: 298,
+		TestClean: 16154, TestMalware: 28874,
+		NumCleanFamilies:        60,
+		NumMalwareFamilies:      90,
+		TestNovelFamilyFraction: 0.3,
+		Seed:                    seed,
+	}
+}
+
+// Scaled divides every split size by factor (≥1), keeping class balance and
+// at least 8 samples per class per split, and shrinks the family banks
+// proportionally (minimum 6 per class). Structure is unchanged — only scale.
+func (c Config) Scaled(factor float64) Config {
+	if factor < 1 {
+		factor = 1
+	}
+	shrink := func(n int) int {
+		v := int(math.Round(float64(n) / factor))
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	c.TrainClean, c.TrainMalware = shrink(c.TrainClean), shrink(c.TrainMalware)
+	c.ValClean, c.ValMalware = shrink(c.ValClean), shrink(c.ValMalware)
+	c.TestClean, c.TestMalware = shrink(c.TestClean), shrink(c.TestMalware)
+	// Family diversity is deliberately NOT scaled down: with few families a
+	// high-capacity net memorizes family fingerprints (idiosyncratic API
+	// subsets) instead of the class signal, inflating adversarial margins
+	// and distorting every attack experiment. Synthesis of family profiles
+	// is cheap; only sample counts shrink.
+	return c
+}
+
+func (c Config) validate() error {
+	for _, v := range []struct {
+		name string
+		n    int
+	}{
+		{"TrainClean", c.TrainClean}, {"TrainMalware", c.TrainMalware},
+		{"ValClean", c.ValClean}, {"ValMalware", c.ValMalware},
+		{"TestClean", c.TestClean}, {"TestMalware", c.TestMalware},
+		{"NumCleanFamilies", c.NumCleanFamilies},
+		{"NumMalwareFamilies", c.NumMalwareFamilies},
+	} {
+		if v.n <= 0 {
+			return fmt.Errorf("dataset: config field %s = %d, must be positive", v.name, v.n)
+		}
+	}
+	if c.TestNovelFamilyFraction < 0 || c.TestNovelFamilyFraction > 1 {
+		return fmt.Errorf("dataset: TestNovelFamilyFraction %v out of [0,1]", c.TestNovelFamilyFraction)
+	}
+	return nil
+}
+
+// Corpus bundles the three generated splits with their provenance.
+type Corpus struct {
+	Train, Val, Test *Dataset
+	Config           Config
+	CleanBank        *FamilyBank
+	MalwareBank      *FamilyBank
+}
+
+// Generate synthesizes a full corpus per the config. Train and validation
+// samples come from the first 70% of each family bank; test samples mix
+// those families with held-out novel families per TestNovelFamilyFraction.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TestNovelFamilyFraction == 0 {
+		cfg.TestNovelFamilyFraction = 0.3
+	}
+	root := rng.New(cfg.Seed)
+	familySeed := cfg.FamilySeed
+	if familySeed == 0 {
+		familySeed = cfg.Seed
+	}
+	bankRoot := rng.New(familySeed)
+	cleanBank := NewFamilyBank(LabelClean, cfg.NumCleanFamilies, bankRoot.Uint64(), cfg.Families)
+	malBank := NewFamilyBank(LabelMalware, cfg.NumMalwareFamilies, bankRoot.Uint64(), cfg.Families)
+	root.Uint64() // preserve the draw sequence of pre-FamilySeed corpora
+	root.Uint64()
+
+	cleanKnown, cleanNovel := splitBank(cleanBank, 0.7)
+	malKnown, malNovel := splitBank(malBank, 0.7)
+	// Slices of the novel (never-trained-on) families model real-world
+	// drift: evasive malware that fakes trust markers, and aggressive
+	// gray software whose suspicious load exceeds the training range.
+	// Together they produce the paper's baseline miss/false-alarm mass
+	// (TPR 0.883, TNR 0.964) without contaminating the training signal.
+	driftRNG := root.Split()
+	for _, f := range malNovel {
+		if driftRNG.Bernoulli(0.4) {
+			MakeEvasive(f, driftRNG)
+		}
+	}
+	for _, f := range cleanNovel {
+		if driftRNG.Bernoulli(0.12) {
+			MakeAggressive(f, driftRNG)
+		}
+	}
+
+	sampler := &sampler{r: root.Split()}
+	train := sampler.draw(cleanKnown, cfg.TrainClean, malKnown, cfg.TrainMalware, 0, nil, nil)
+	val := sampler.draw(cleanKnown, cfg.ValClean, malKnown, cfg.ValMalware, 0, nil, nil)
+	test := sampler.draw(cleanKnown, cfg.TestClean, malKnown, cfg.TestMalware,
+		cfg.TestNovelFamilyFraction, cleanNovel, malNovel)
+
+	train.Shuffle(root.Uint64())
+	val.Shuffle(root.Uint64())
+	test.Shuffle(root.Uint64())
+	return &Corpus{
+		Train: train, Val: val, Test: test,
+		Config:      cfg,
+		CleanBank:   cleanBank,
+		MalwareBank: malBank,
+	}, nil
+}
+
+func splitBank(b *FamilyBank, knownFrac float64) (known, novel []*Family) {
+	cut := int(float64(len(b.Families)) * knownFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(b.Families) {
+		cut = len(b.Families) - 1
+	}
+	if cut < 1 { // single-family bank: reuse it for both
+		return b.Families, b.Families
+	}
+	return b.Families[:cut], b.Families[cut:]
+}
+
+type sampler struct {
+	r *rng.RNG
+}
+
+// draw assembles nClean+nMal samples; novelFrac of each class comes from the
+// novel banks when provided.
+func (s *sampler) draw(clean []*Family, nClean int, mal []*Family, nMal int,
+	novelFrac float64, cleanNovel, malNovel []*Family) *Dataset {
+	total := nClean + nMal
+	d := &Dataset{
+		X:      tensor.New(total, apilog.NumFeatures),
+		Counts: tensor.New(total, apilog.NumFeatures),
+		Y:      make([]int, 0, total),
+		Fams:   make([]string, 0, total),
+	}
+	row := 0
+	emit := func(fams, novel []*Family, n, label int) {
+		for i := 0; i < n; i++ {
+			pool := fams
+			if novelFrac > 0 && len(novel) > 0 && s.r.Bernoulli(novelFrac) {
+				pool = novel
+			}
+			f := pool[s.r.Intn(len(pool))]
+			counts := f.Sample(s.r)
+			copy(d.Counts.Row(row), counts)
+			copy(d.X.Row(row), Normalize(counts))
+			d.Y = append(d.Y, label)
+			d.Fams = append(d.Fams, f.Name)
+			row++
+		}
+	}
+	emit(clean, cleanNovel, nClean, LabelClean)
+	emit(mal, malNovel, nMal, LabelMalware)
+	return d
+}

@@ -1,0 +1,475 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"malevade/internal/apilog"
+	"malevade/internal/rng"
+)
+
+func TestNormalizeCountBounds(t *testing.T) {
+	tests := []struct {
+		name string
+		give float64
+		want float64
+	}{
+		{name: "zero", give: 0, want: 0},
+		{name: "negative clamps", give: -5, want: 0},
+		{name: "max saturates", give: MaxCount, want: 1},
+		{name: "beyond max clamps", give: 1e6, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NormalizeCount(tt.give); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("NormalizeCount(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeCountMonotone(t *testing.T) {
+	prev := -1.0
+	for c := 0.0; c <= 300; c++ {
+		v := NormalizeCount(c)
+		if v < prev {
+			t.Fatalf("NormalizeCount not monotone at %v", c)
+		}
+		prev = v
+	}
+}
+
+func TestSingleCallFeatureValue(t *testing.T) {
+	// One API call should land near the paper's θ=0.1 operating point so
+	// one θ step corresponds to roughly one injected call.
+	v := NormalizeCount(1)
+	if v < 0.1 || v > 0.2 {
+		t.Fatalf("NormalizeCount(1) = %v, want ≈0.167", v)
+	}
+}
+
+// Property: Denormalize inverts Normalize for whole counts in range.
+func TestNormalizeRoundTripProperty(t *testing.T) {
+	f := func(cRaw uint16) bool {
+		c := float64(cRaw % (MaxCount + 1))
+		back := math.Round(DenormalizeFeature(NormalizeCount(c)))
+		return back == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeVector(t *testing.T) {
+	counts := make([]float64, apilog.NumFeatures)
+	counts[3] = 10
+	x := Normalize(counts)
+	if x[3] <= 0 || x[0] != 0 {
+		t.Fatalf("Normalize vector wrong: x[3]=%v x[0]=%v", x[3], x[0])
+	}
+}
+
+func TestNormalizeWrongWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Normalize(make([]float64, 10))
+}
+
+func TestBinarize(t *testing.T) {
+	counts := make([]float64, apilog.NumFeatures)
+	counts[0] = 3
+	counts[7] = 1
+	b := Binarize(counts)
+	if b[0] != 1 || b[7] != 1 {
+		t.Fatal("present APIs not set")
+	}
+	sum := 0.0
+	for _, v := range b {
+		sum += v
+	}
+	if sum != 2 {
+		t.Fatalf("binary sum %v, want 2", sum)
+	}
+}
+
+func TestBinarizeFeaturesMatchesBinarizeCounts(t *testing.T) {
+	r := rng.New(5)
+	counts := make([]float64, apilog.NumFeatures)
+	for i := range counts {
+		if r.Bernoulli(0.2) {
+			counts[i] = float64(1 + r.Intn(20))
+		}
+	}
+	a := Binarize(counts)
+	b := BinarizeFeatures(Normalize(counts))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("binary views disagree at %d", i)
+		}
+	}
+}
+
+func TestCountsFromFeaturesRoundTrip(t *testing.T) {
+	counts := make([]float64, apilog.NumFeatures)
+	counts[5] = 17
+	counts[100] = MaxCount // saturation boundary survives the round trip
+	counts[200] = MaxCount + 100
+	back := CountsFromFeatures(Normalize(counts))
+	if back[5] != 17 || back[100] != MaxCount {
+		t.Fatalf("round trip: %v %v", back[5], back[100])
+	}
+	if back[200] != MaxCount {
+		t.Fatalf("beyond-max count should clamp to %d, got %v", MaxCount, back[200])
+	}
+}
+
+func TestFamilyProfilesDiffer(t *testing.T) {
+	cfg := FamilyConfig{}
+	a := NewCleanFamily(0, rng.New(1), cfg)
+	b := NewMalwareFamily(0, rng.New(2), cfg)
+	if a.Label != LabelClean || b.Label != LabelMalware {
+		t.Fatal("labels wrong")
+	}
+	// Malware families should put more mass on the suspicious cluster.
+	suspicious := SuspiciousIndices()
+	sumA, sumB := 0.0, 0.0
+	for _, i := range suspicious {
+		sumA += a.Rates[i]
+		sumB += b.Rates[i]
+	}
+	if sumB <= sumA {
+		t.Fatalf("malware suspicious mass %v <= clean %v", sumB, sumA)
+	}
+}
+
+func TestStealthyFamiliesExist(t *testing.T) {
+	bank := NewFamilyBank(LabelMalware, 60, 3, FamilyConfig{})
+	stealthy := 0
+	for _, f := range bank.Families {
+		if f.Stealthy {
+			stealthy++
+		}
+	}
+	if stealthy == 0 || stealthy > 30 {
+		t.Fatalf("stealthy families = %d of 60, want a meaningful minority", stealthy)
+	}
+	if !strings.Contains(bank.Describe(), "stealthy") {
+		t.Error("Describe missing stealthy count")
+	}
+}
+
+func TestFamilySampleNonNegativeAndSparse(t *testing.T) {
+	f := NewMalwareFamily(1, rng.New(7), FamilyConfig{})
+	counts := f.Sample(rng.New(8))
+	nonZero := 0
+	for _, c := range counts {
+		if c < 0 {
+			t.Fatal("negative count")
+		}
+		if c > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 10 || nonZero > 300 {
+		t.Fatalf("sample has %d active APIs, want sparse but populated", nonZero)
+	}
+}
+
+func TestGenerateTableISizes(t *testing.T) {
+	cfg := TableIConfig(1).Scaled(200) // tiny but structurally identical
+	corpus, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Train.Len() != cfg.TrainClean+cfg.TrainMalware {
+		t.Fatalf("train %d, want %d", corpus.Train.Len(), cfg.TrainClean+cfg.TrainMalware)
+	}
+	if corpus.Train.NumClean() != cfg.TrainClean {
+		t.Fatalf("train clean %d, want %d", corpus.Train.NumClean(), cfg.TrainClean)
+	}
+	if corpus.Val.Len() != cfg.ValClean+cfg.ValMalware {
+		t.Fatalf("val size %d", corpus.Val.Len())
+	}
+	if corpus.Test.NumMalware() != cfg.TestMalware {
+		t.Fatalf("test malware %d, want %d", corpus.Test.NumMalware(), cfg.TestMalware)
+	}
+}
+
+func TestTableIConfigExactPaperSizes(t *testing.T) {
+	cfg := TableIConfig(0)
+	if cfg.TrainClean+cfg.TrainMalware != 57170 {
+		t.Errorf("train total %d, want 57170", cfg.TrainClean+cfg.TrainMalware)
+	}
+	if cfg.ValClean+cfg.ValMalware != 578 {
+		t.Errorf("val total %d, want 578", cfg.ValClean+cfg.ValMalware)
+	}
+	if cfg.TestClean+cfg.TestMalware != 45028 {
+		t.Errorf("test total %d, want 45028", cfg.TestClean+cfg.TestMalware)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TableIConfig(42).Scaled(400)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train.X.Data {
+		if a.Train.X.Data[i] != b.Train.X.Data[i] {
+			t.Fatal("same seed produced different corpora")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := TableIConfig(1)
+	bad.TrainClean = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	bad2 := TableIConfig(1)
+	bad2.TestNovelFamilyFraction = 2
+	if _, err := Generate(bad2); err == nil {
+		t.Fatal("expected fraction error")
+	}
+}
+
+func TestFeaturesInUnitInterval(t *testing.T) {
+	corpus, err := Generate(TableIConfig(9).Scaled(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range corpus.Train.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("feature %v out of [0,1]", v)
+		}
+	}
+}
+
+// TestClassSeparability verifies the generative model yields a learnable but
+// imperfect problem: a trivial nearest-centroid rule should beat chance by a
+// wide margin yet stay below perfection (the stealthy/gray overlap).
+func TestClassSeparability(t *testing.T) {
+	corpus, err := Generate(TableIConfig(11).Scaled(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := corpus.Train, corpus.Test
+	centroids := [2][]float64{
+		make([]float64, train.X.Cols),
+		make([]float64, train.X.Cols),
+	}
+	n := [2]int{}
+	for i := 0; i < train.Len(); i++ {
+		y := train.Y[i]
+		n[y]++
+		for j, v := range train.X.Row(i) {
+			centroids[y][j] += v
+		}
+	}
+	for y := 0; y < 2; y++ {
+		for j := range centroids[y] {
+			centroids[y][j] /= float64(n[y])
+		}
+	}
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		row := test.X.Row(i)
+		d0, d1 := 0.0, 0.0
+		for j, v := range row {
+			a := v - centroids[0][j]
+			b := v - centroids[1][j]
+			d0 += a * a
+			d1 += b * b
+		}
+		pred := 0
+		if d1 < d0 {
+			pred = 1
+		}
+		if pred == test.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	// The designed geometry concentrates class evidence in a thin marker
+	// direction, so a naive centroid rule is deliberately mediocre — it
+	// must beat chance clearly but is far below the DNN's accuracy.
+	if acc < 0.65 {
+		t.Fatalf("nearest-centroid accuracy %.3f — classes not separable enough", acc)
+	}
+	if acc > 0.995 {
+		t.Fatalf("nearest-centroid accuracy %.3f — classes unrealistically separable", acc)
+	}
+}
+
+func TestSubsetFilterConcat(t *testing.T) {
+	corpus, err := Generate(TableIConfig(13).Scaled(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := corpus.Val
+	mal := d.FilterLabel(LabelMalware)
+	clean := d.FilterLabel(LabelClean)
+	if mal.Len()+clean.Len() != d.Len() {
+		t.Fatalf("filter split %d+%d != %d", mal.Len(), clean.Len(), d.Len())
+	}
+	for _, y := range mal.Y {
+		if y != LabelMalware {
+			t.Fatal("FilterLabel leaked clean sample")
+		}
+	}
+	joined := mal.Concat(clean)
+	if joined.Len() != d.Len() {
+		t.Fatalf("concat %d != %d", joined.Len(), d.Len())
+	}
+}
+
+func TestSubsetCopies(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(17).Scaled(500))
+	d := corpus.Val
+	sub := d.Subset([]int{0})
+	sub.X.Set(0, 0, 0.987654)
+	if d.X.At(0, 0) == 0.987654 {
+		t.Fatal("Subset shares storage")
+	}
+}
+
+func TestShuffleKeepsAlignment(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(19).Scaled(500))
+	d := corpus.Val
+	// Record feature-hash → label mapping, shuffle, verify preserved.
+	type pair struct {
+		y   int
+		fam string
+	}
+	byHash := make(map[uint64]pair, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		byHash[hashRow(d.X.Row(i))] = pair{y: d.Y[i], fam: d.Fams[i]}
+	}
+	d.Shuffle(99)
+	for i := 0; i < d.Len(); i++ {
+		want, ok := byHash[hashRow(d.X.Row(i))]
+		if !ok {
+			t.Fatal("shuffle corrupted a row")
+		}
+		if want.y != d.Y[i] || want.fam != d.Fams[i] {
+			t.Fatal("shuffle broke row/label alignment")
+		}
+	}
+}
+
+func TestBinaryView(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(23).Scaled(500))
+	b := corpus.Val.BinaryView()
+	for i, v := range b.X.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("binary view value %v", v)
+		}
+		if (v == 1) != (corpus.Val.Counts.Data[i] > 0) {
+			t.Fatal("binary view disagrees with counts")
+		}
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(29).Scaled(500))
+	d := corpus.Val
+	dup := d.Concat(d.Subset([]int{0, 1, 2}))
+	got, removed := dup.Deduplicate()
+	if removed != 3 {
+		t.Fatalf("removed %d duplicates, want 3", removed)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("dedup size %d, want %d", got.Len(), d.Len())
+	}
+	// Idempotent.
+	again, removed2 := got.Deduplicate()
+	if removed2 != 0 || again.Len() != got.Len() {
+		t.Fatal("dedup not idempotent")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(31).Scaled(500))
+	d := corpus.Val
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("loaded %d rows, want %d", got.Len(), d.Len())
+	}
+	for i := range d.X.Data {
+		if got.X.Data[i] != d.X.Data[i] {
+			t.Fatal("features corrupted")
+		}
+	}
+	for i := range d.Y {
+		if got.Y[i] != d.Y[i] || got.Fams[i] != d.Fams[i] {
+			t.Fatal("labels/fams corrupted")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(37).Scaled(500))
+	path := t.TempDir() + "/val.gob"
+	if err := corpus.Val.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != corpus.Val.Len() {
+		t.Fatal("file round trip size mismatch")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gob")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	corpus, _ := Generate(TableIConfig(41).Scaled(800))
+	d := corpus.Val.Subset([]int{0, 1})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d CSV lines, want 2", len(lines))
+	}
+	fields := strings.Split(lines[0], ",")
+	if len(fields) != 1+apilog.NumFeatures {
+		t.Fatalf("%d CSV fields, want %d", len(fields), 1+apilog.NumFeatures)
+	}
+}
+
+func TestSuspiciousIndicesNonEmptyAndCopied(t *testing.T) {
+	a := SuspiciousIndices()
+	if len(a) < 20 {
+		t.Fatalf("only %d suspicious APIs", len(a))
+	}
+	a[0] = -99
+	if SuspiciousIndices()[0] == -99 {
+		t.Fatal("SuspiciousIndices returns shared slice")
+	}
+}

@@ -1,0 +1,113 @@
+// Package dataset synthesizes the training/validation/test corpora of the
+// paper's Table I and implements its feature pipeline: raw per-API call
+// counts are log-transformed and normalized to [0,1] ("The raw counts of the
+// APIs were applied to feature transformation and the values were normalized
+// to [0,1]"), with a binary-feature variant for the paper's second grey-box
+// experiment.
+//
+// The real corpus is McAfee-proprietary; this package replaces it with a
+// family-mixture generative model over the 491-API vocabulary (see DESIGN.md
+// §1): clean and malware populations are mixtures of software families, each
+// with a characteristic API usage profile, so the detector faces the same
+// statistical structure — class-discriminative APIs with smooth, overlapping
+// class-conditional densities — that the paper's attacks exploit.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"malevade/internal/apilog"
+)
+
+// MaxCount is the call-count that saturates a normalized feature at 1.0.
+// With this reference, one API call maps to ≈0.167 — so the paper's θ=0.1
+// perturbation magnitude corresponds to roughly one injected call, and the
+// eight copies of one API the paper's live test injects reach ≈0.53, deep
+// into the feature's dynamic range. (A larger reference flattens the
+// response so much that repeated injections of a single API stop moving
+// the detector, which contradicts the paper's live experiment.)
+const MaxCount = 63
+
+var logMaxCount = math.Log(1 + float64(MaxCount))
+
+// NormalizeCount maps one raw call count to the [0,1] feature value:
+// log(1+c)/log(1+MaxCount), clamped.
+func NormalizeCount(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	v := math.Log(1+c) / logMaxCount
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// DenormalizeFeature inverts NormalizeCount: the raw count whose normalized
+// value is x. Values are clamped into [0, MaxCount]. The inverse is what
+// lets adversarial feature-space perturbations be replayed as concrete API
+// call additions (Figure 1, live grey-box test).
+func DenormalizeFeature(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return math.Exp(x*logMaxCount) - 1
+}
+
+// Normalize maps a full count vector to feature space. The input must be
+// apilog.NumFeatures wide.
+func Normalize(counts []float64) []float64 {
+	mustWidth("Normalize", counts)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = NormalizeCount(c)
+	}
+	return out
+}
+
+// Binarize maps a count vector to the binary feature view used by the
+// paper's second grey-box experiment: 1 when the API appears, else 0.
+func Binarize(counts []float64) []float64 {
+	mustWidth("Binarize", counts)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// BinarizeFeatures maps normalized features to the binary view (any
+// non-zero feature was at least one call).
+func BinarizeFeatures(features []float64) []float64 {
+	mustWidth("BinarizeFeatures", features)
+	out := make([]float64, len(features))
+	for i, v := range features {
+		if v > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// CountsFromFeatures inverts Normalize for a full vector, rounding to whole
+// calls.
+func CountsFromFeatures(features []float64) []float64 {
+	mustWidth("CountsFromFeatures", features)
+	out := make([]float64, len(features))
+	for i, v := range features {
+		out[i] = math.Round(DenormalizeFeature(v))
+	}
+	return out
+}
+
+func mustWidth(op string, v []float64) {
+	if len(v) != apilog.NumFeatures {
+		panic(fmt.Sprintf("dataset: %s on %d-wide vector, want %d", op, len(v), apilog.NumFeatures))
+	}
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"malevade/internal/tensor"
+)
+
+// Persistence: datasets round-trip through gob (compact, exact) and export
+// to CSV for external analysis.
+
+// gobDataset is the wire form of Dataset.
+type gobDataset struct {
+	Rows, Cols int
+	X          []float64
+	Counts     []float64
+	Y          []int
+	Fams       []string
+}
+
+// Save writes the dataset in gob form.
+func (d *Dataset) Save(w io.Writer) error {
+	g := gobDataset{
+		Rows:   d.X.Rows,
+		Cols:   d.X.Cols,
+		X:      d.X.Data,
+		Counts: d.Counts.Data,
+		Y:      d.Y,
+		Fams:   d.Fams,
+	}
+	if err := gob.NewEncoder(w).Encode(&g); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var g gobDataset
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if g.Rows*g.Cols != len(g.X) || len(g.X) != len(g.Counts) {
+		return nil, fmt.Errorf("dataset: corrupt payload: %dx%d vs %d features, %d counts",
+			g.Rows, g.Cols, len(g.X), len(g.Counts))
+	}
+	if g.Rows != len(g.Y) || g.Rows != len(g.Fams) {
+		return nil, fmt.Errorf("dataset: corrupt payload: %d rows vs %d labels, %d fams",
+			g.Rows, len(g.Y), len(g.Fams))
+	}
+	return &Dataset{
+		X:      tensor.FromSlice(g.Rows, g.Cols, g.X),
+		Counts: tensor.FromSlice(g.Rows, g.Cols, g.Counts),
+		Y:      g.Y,
+		Fams:   g.Fams,
+	}, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	return d.Save(f)
+}
+
+// LoadFile reads a dataset written by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// WriteCSV exports label + features, one row per sample, for external
+// tooling. The first column is the label; the remaining 491 are features.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	for i := 0; i < d.Len(); i++ {
+		if _, err := fmt.Fprintf(w, "%d", d.Y[i]); err != nil {
+			return fmt.Errorf("dataset: write csv: %w", err)
+		}
+		for _, v := range d.X.Row(i) {
+			if _, err := fmt.Fprintf(w, ",%.6g", v); err != nil {
+				return fmt.Errorf("dataset: write csv: %w", err)
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return fmt.Errorf("dataset: write csv: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Package defense implements the paper's four defenses (§II-C): adversarial
+// training (with the Table V dataset construction, including the
+// deduplication sanity check), defensive distillation at temperature T,
+// feature squeezing with an L1-distance detector, and PCA dimensionality
+// reduction to k components.
+//
+// Defenses are evaluated the way the paper evaluates them (Table VI):
+// against a fixed set of adversarial examples crafted by the grey-box attack
+// (θ=0.1, γ=0.02) — not against per-defense adaptive attacks, which the
+// conclusion explicitly leaves open.
+package defense
+
+import (
+	"fmt"
+
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+// AdvTrainingSets is the Table V construction: an augmented training set and
+// the three-way test view.
+type AdvTrainingSets struct {
+	// Train is the augmented, deduplicated training set (clean + malware
+	// + adversarial examples labelled malware).
+	Train *dataset.Dataset
+	// Duplicates is how many rows the sanity check removed.
+	Duplicates int
+}
+
+// BuildAdvTrainingSet assembles the paper's adversarial-training corpus: the
+// base training set plus adversarial examples labelled as malware, balanced
+// by construction of the base set, with duplicate rows removed ("we did
+// sanity check on the data to reduce the duplicated samples").
+//
+// advX rows are adversarial feature vectors (crafted from training malware);
+// they inherit the malware label.
+func BuildAdvTrainingSet(base *dataset.Dataset, advX *tensor.Matrix) (*AdvTrainingSets, error) {
+	if advX.Rows > 0 && advX.Cols != base.X.Cols {
+		return nil, fmt.Errorf("defense: adversarial width %d != base width %d", advX.Cols, base.X.Cols)
+	}
+	advDS := &dataset.Dataset{
+		X:      advX.Clone(),
+		Counts: tensor.New(advX.Rows, advX.Cols), // counts unknown for crafted rows
+		Y:      make([]int, advX.Rows),
+		Fams:   make([]string, advX.Rows),
+	}
+	for i := range advDS.Y {
+		advDS.Y[i] = dataset.LabelMalware
+		advDS.Fams[i] = "adversarial"
+	}
+	joined := base.Concat(advDS)
+	deduped, removed := joined.Deduplicate()
+	return &AdvTrainingSets{Train: deduped, Duplicates: removed}, nil
+}
+
+// AdversarialTraining retrains the detector architecture on the augmented
+// set. cfg carries the detector training hyper-parameters.
+func AdversarialTraining(sets *AdvTrainingSets, cfg detector.TrainConfig) (*detector.DNN, error) {
+	d, err := detector.Train(sets.Train, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("defense: adversarial training: %w", err)
+	}
+	return d, nil
+}

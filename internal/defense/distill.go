@@ -1,0 +1,98 @@
+package defense
+
+import (
+	"fmt"
+	"io"
+
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/nn"
+)
+
+// DistillConfig parameterizes defensive distillation (Papernot et al.,
+// ref [23]; §II-C2 of the paper). The paper evaluates T=50.
+type DistillConfig struct {
+	// Temperature is the distillation temperature (default 50).
+	Temperature float64
+	// Arch, WidthScale, Epochs, BatchSize, LearningRate mirror
+	// detector.TrainConfig; Epochs is required.
+	Arch         detector.Arch
+	WidthScale   float64
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Seed         uint64
+	Log          io.Writer
+}
+
+func (c *DistillConfig) setDefaults() {
+	if c.Temperature == 0 {
+		c.Temperature = 50
+	}
+	if c.Arch == 0 {
+		c.Arch = detector.ArchTarget
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.001
+	}
+	if c.WidthScale == 0 {
+		c.WidthScale = 1
+	}
+}
+
+// Distill runs the two-model defensive-distillation procedure: a teacher is
+// trained at temperature T on hard labels, then a student of the same
+// architecture is trained at temperature T on the teacher's soft labels
+// ("the additional knowledge in probabilities"). The deployed student runs
+// at T=1, which is what makes its softmax gradients vanishingly small — the
+// gradient-masking effect the defense relies on.
+func Distill(train *dataset.Dataset, cfg DistillConfig) (*detector.DNN, error) {
+	cfg.setDefaults()
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("defense: distillation Epochs must be set")
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("defense: distillation on empty training set")
+	}
+	dims := cfg.Arch.Dims(train.X.Cols, cfg.WidthScale)
+
+	teacher, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("defense: build teacher: %w", err)
+	}
+	err = nn.Train(teacher, train.X, nn.OneHot(train.Y, 2), nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Optimizer: nn.NewAdam(cfg.LearningRate),
+		Loss:      nn.NewSoftmaxCrossEntropy(cfg.Temperature),
+		Seed:      cfg.Seed + 1,
+		Log:       cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("defense: train teacher: %w", err)
+	}
+
+	// Soft labels: the teacher's probabilities at temperature T.
+	soft := teacher.Probs(train.X, cfg.Temperature)
+
+	student, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, fmt.Errorf("defense: build student: %w", err)
+	}
+	err = nn.Train(student, train.X, soft, nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Optimizer: nn.NewAdam(cfg.LearningRate),
+		Loss:      nn.NewSoftmaxCrossEntropy(cfg.Temperature),
+		Seed:      cfg.Seed + 3,
+		Log:       cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("defense: train student: %w", err)
+	}
+	// Deployed at T=1 per the distillation recipe.
+	return detector.NewDNN(student), nil
+}

@@ -1,0 +1,126 @@
+package defense
+
+import (
+	"fmt"
+
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+// Ensemble combines defenses by probability averaging or malicious-veto
+// voting. The paper's §III-C closes with exactly this suggestion: "the
+// results suggest we may consider ensemble adversarial training and
+// dimension reduction" — adversarial training contributes advEx detection
+// with intact TNR, dimensionality reduction contributes robustness for
+// malware variants, and the ensemble keeps both.
+
+// EnsembleMode selects how member votes combine.
+type EnsembleMode int
+
+// Combination rules.
+const (
+	// EnsembleMean averages the members' malware probabilities.
+	EnsembleMean EnsembleMode = iota + 1
+	// EnsembleMaxProb takes the most suspicious member's probability —
+	// a malicious veto: any member convinced of malice decides.
+	EnsembleMaxProb
+	// EnsembleMajority takes the majority class vote (ties → malware).
+	EnsembleMajority
+)
+
+// String names the mode.
+func (m EnsembleMode) String() string {
+	switch m {
+	case EnsembleMean:
+		return "mean"
+	case EnsembleMaxProb:
+		return "max-prob"
+	case EnsembleMajority:
+		return "majority"
+	default:
+		return fmt.Sprintf("EnsembleMode(%d)", int(m))
+	}
+}
+
+// Ensemble is a Detector built from member detectors.
+type Ensemble struct {
+	// Members are the combined detectors; all must share InDim.
+	Members []detector.Detector
+	// Mode defaults to EnsembleMean.
+	Mode EnsembleMode
+}
+
+var _ detector.Detector = (*Ensemble)(nil)
+
+// NewEnsemble validates and builds an ensemble.
+func NewEnsemble(mode EnsembleMode, members ...detector.Detector) (*Ensemble, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("defense: ensemble needs at least one member")
+	}
+	in := members[0].InDim()
+	for i, m := range members[1:] {
+		if m.InDim() != in {
+			return nil, fmt.Errorf("defense: ensemble member %d width %d != %d", i+1, m.InDim(), in)
+		}
+	}
+	if mode == 0 {
+		mode = EnsembleMean
+	}
+	return &Ensemble{Members: members, Mode: mode}, nil
+}
+
+// MalwareProb combines members' probabilities per the mode. For
+// EnsembleMajority the result is the vote fraction, which preserves the
+// Predict threshold semantics at 0.5.
+func (e *Ensemble) MalwareProb(x *tensor.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	switch e.Mode {
+	case EnsembleMaxProb:
+		for _, m := range e.Members {
+			for i, p := range m.MalwareProb(x) {
+				if p > out[i] {
+					out[i] = p
+				}
+			}
+		}
+	case EnsembleMajority:
+		for _, m := range e.Members {
+			for i, c := range m.Predict(x) {
+				if c == 1 {
+					out[i]++
+				}
+			}
+		}
+		inv := 1 / float64(len(e.Members))
+		for i := range out {
+			out[i] *= inv
+		}
+	default: // EnsembleMean
+		for _, m := range e.Members {
+			for i, p := range m.MalwareProb(x) {
+				out[i] += p
+			}
+		}
+		inv := 1 / float64(len(e.Members))
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+// Predict thresholds the combined probability at 0.5; EnsembleMajority ties
+// resolve to malware (a detector errs toward caution).
+func (e *Ensemble) Predict(x *tensor.Matrix) []int {
+	probs := e.MalwareProb(x)
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		if p >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// InDim returns the members' shared feature width.
+func (e *Ensemble) InDim() int { return e.Members[0].InDim() }

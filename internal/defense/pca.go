@@ -1,0 +1,225 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+// PCA dimensionality reduction (Bhagoji et al., ref [27]; §II-C4): project
+// the 491 features onto the top k principal components of the training
+// distribution and train the classifier in the reduced space. The paper
+// selects k=19. The defense's premise is that adversarial perturbations rely
+// on low-variance directions that the projection discards.
+
+// PCA holds a fitted principal-component projection.
+type PCA struct {
+	// Mean is the training mean subtracted before projection.
+	Mean []float64
+	// Components is k×d: row i is the i-th principal axis.
+	Components *tensor.Matrix
+	// Eigenvalues are the variances along the components, descending.
+	Eigenvalues []float64
+}
+
+// FitPCA computes the top-k principal components of x's rows via Jacobi
+// eigendecomposition of the covariance matrix. k must be in [1, cols].
+func FitPCA(x *tensor.Matrix, k int) (*PCA, error) {
+	if x.Rows < 2 {
+		return nil, fmt.Errorf("defense: PCA needs >= 2 samples, got %d", x.Rows)
+	}
+	if k < 1 || k > x.Cols {
+		return nil, fmt.Errorf("defense: PCA k=%d out of [1,%d]", k, x.Cols)
+	}
+	d := x.Cols
+	mean := make([]float64, d)
+	x.ColMeans(mean)
+
+	// Covariance (d×d), single pass over centered rows.
+	cov := tensor.New(d, d)
+	centered := make([]float64, d)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j := range centered {
+			centered[j] = row[j] - mean[j]
+		}
+		for a := 0; a < d; a++ {
+			ca := centered[a]
+			if ca == 0 {
+				continue
+			}
+			covRow := cov.Row(a)
+			for b, cb := range centered {
+				covRow[b] += ca * cb
+			}
+		}
+	}
+	inv := 1 / float64(x.Rows-1)
+	for i := range cov.Data {
+		cov.Data[i] *= inv
+	}
+
+	vals, vecs := jacobiEigen(cov, 64)
+	order := argsortDesc(vals)
+	pca := &PCA{
+		Mean:        mean,
+		Components:  tensor.New(k, d),
+		Eigenvalues: make([]float64, k),
+	}
+	for r := 0; r < k; r++ {
+		col := order[r]
+		pca.Eigenvalues[r] = vals[col]
+		for c := 0; c < d; c++ {
+			pca.Components.Set(r, c, vecs.At(c, col))
+		}
+	}
+	return pca, nil
+}
+
+// Project maps rows of x into the k-dimensional component space.
+func (p *PCA) Project(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != len(p.Mean) {
+		panic(fmt.Sprintf("defense: PCA project width %d, want %d", x.Cols, len(p.Mean)))
+	}
+	k := p.Components.Rows
+	out := tensor.New(x.Rows, k)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for r := 0; r < k; r++ {
+			comp := p.Components.Row(r)
+			sum := 0.0
+			for j, v := range row {
+				sum += (v - p.Mean[j]) * comp[j]
+			}
+			out.Set(i, r, sum)
+		}
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations.
+// Returns eigenvalues and the eigenvector matrix (columns are vectors).
+func jacobiEigen(a *tensor.Matrix, maxSweeps int) ([]float64, *tensor.Matrix) {
+	n := a.Rows
+	m := a.Clone()
+	v := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				phi := 0.5 * math.Atan2(2*apq, aqq-app)
+				c := math.Cos(phi)
+				s := math.Sin(phi)
+				for i := 0; i < n; i++ {
+					mip := m.At(i, p)
+					miq := m.At(i, q)
+					m.Set(i, p, c*mip-s*miq)
+					m.Set(i, q, s*mip+c*miq)
+				}
+				for i := 0; i < n; i++ {
+					mpi := m.At(p, i)
+					mqi := m.At(q, i)
+					m.Set(p, i, c*mpi-s*mqi)
+					m.Set(q, i, s*mpi+c*mqi)
+				}
+				for i := 0; i < n; i++ {
+					vip := v.At(i, p)
+					viq := v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v
+}
+
+func argsortDesc(vals []float64) []int {
+	order := make([]int, len(vals))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && vals[order[j]] > vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// DimReduction is the fitted defense: PCA projection plus a classifier
+// trained in the reduced space.
+type DimReduction struct {
+	PCA   *PCA
+	Model *detector.DNN
+}
+
+var _ detector.Detector = (*DimReduction)(nil)
+
+// DimReductionConfig parameterizes the defense. The paper selects K=19.
+type DimReductionConfig struct {
+	// K is the retained component count (default 19).
+	K int
+	// Train carries the classifier's hyper-parameters (Epochs required).
+	Train detector.TrainConfig
+}
+
+// NewDimReduction fits PCA on the training features and trains the
+// classifier on the projected data.
+func NewDimReduction(train *dataset.Dataset, cfg DimReductionConfig) (*DimReduction, error) {
+	if cfg.K == 0 {
+		cfg.K = 19
+	}
+	pca, err := FitPCA(train.X, cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("defense: dim reduction: %w", err)
+	}
+	projected := &dataset.Dataset{
+		X:      pca.Project(train.X),
+		Counts: tensor.New(train.Len(), cfg.K),
+		Y:      train.Y,
+		Fams:   train.Fams,
+	}
+	model, err := detector.Train(projected, cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("defense: dim reduction classifier: %w", err)
+	}
+	return &DimReduction{PCA: pca, Model: model}, nil
+}
+
+// MalwareProb projects and scores.
+func (d *DimReduction) MalwareProb(x *tensor.Matrix) []float64 {
+	return d.Model.MalwareProb(d.PCA.Project(x))
+}
+
+// Predict projects and classifies.
+func (d *DimReduction) Predict(x *tensor.Matrix) []int {
+	return d.Model.Predict(d.PCA.Project(x))
+}
+
+// InDim returns the pre-projection feature width.
+func (d *DimReduction) InDim() int { return len(d.PCA.Mean) }

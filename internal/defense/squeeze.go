@@ -1,0 +1,153 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+// Feature squeezing (Xu et al., ref [25]; §II-C3): squeeze the input's
+// degrees of freedom, compare the model's prediction on the original and
+// squeezed inputs with the L1 norm, and flag the sample as adversarial when
+// the distance exceeds a threshold. The assumption — which the paper's
+// Table VI shows only partially holds for this feature space — is that
+// squeezing perturbs adversarial predictions much more than legitimate ones.
+
+// Squeezer reduces input degrees of freedom.
+type Squeezer interface {
+	// Squeeze returns the squeezed copy of x (x is not modified).
+	Squeeze(x []float64) []float64
+	// Name identifies the squeezer.
+	Name() string
+}
+
+// BitDepthSqueezer quantizes features to 2^Bits levels, the canonical
+// squeezer for [0,1]-normalized inputs.
+type BitDepthSqueezer struct {
+	// Bits is the retained bit depth (1..16).
+	Bits int
+}
+
+var _ Squeezer = BitDepthSqueezer{}
+
+// Name implements Squeezer.
+func (s BitDepthSqueezer) Name() string { return fmt.Sprintf("bitdepth-%d", s.Bits) }
+
+// Squeeze rounds each value to the nearest of 2^Bits levels.
+func (s BitDepthSqueezer) Squeeze(x []float64) []float64 {
+	if s.Bits < 1 || s.Bits > 16 {
+		panic(fmt.Sprintf("defense: bit depth %d out of [1,16]", s.Bits))
+	}
+	levels := math.Pow(2, float64(s.Bits)) - 1
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Round(v*levels) / levels
+	}
+	return out
+}
+
+// FeatureSqueezing is the combined detector: a sample is declared
+// adversarial when ‖F(x) − F(squeeze(x))‖₁ exceeds Threshold.
+type FeatureSqueezing struct {
+	// Base is the undefended model.
+	Base *detector.DNN
+	// Squeezer reduces the input (default: 3-bit depth).
+	Squeezer Squeezer
+	// Threshold on the L1 prediction distance.
+	Threshold float64
+}
+
+// NewFeatureSqueezing builds the defense with a calibrated threshold: the
+// quantile of clean-sample L1 distances at (1 − targetFPR), the standard
+// calibration from the feature-squeezing paper.
+func NewFeatureSqueezing(base *detector.DNN, sq Squeezer, clean *tensor.Matrix, targetFPR float64) (*FeatureSqueezing, error) {
+	if sq == nil {
+		sq = BitDepthSqueezer{Bits: 3}
+	}
+	if targetFPR <= 0 || targetFPR >= 1 {
+		return nil, fmt.Errorf("defense: squeezing target FPR %v out of (0,1)", targetFPR)
+	}
+	if clean.Rows == 0 {
+		return nil, fmt.Errorf("defense: squeezing calibration needs clean samples")
+	}
+	fs := &FeatureSqueezing{Base: base, Squeezer: sq}
+	dists := fs.Distances(clean)
+	sort.Float64s(dists)
+	idx := int(float64(len(dists)) * (1 - targetFPR))
+	if idx >= len(dists) {
+		idx = len(dists) - 1
+	}
+	fs.Threshold = dists[idx]
+	return fs, nil
+}
+
+// Distances returns the per-row L1 prediction distances that drive the
+// adversarial decision.
+func (f *FeatureSqueezing) Distances(x *tensor.Matrix) []float64 {
+	origProbs := f.Base.Net.Probs(x, 1).Clone()
+	squeezed := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(squeezed.Row(i), f.Squeezer.Squeeze(x.Row(i)))
+	}
+	sqProbs := f.Base.Net.Probs(squeezed, 1)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = tensor.L1Distance(origProbs.Row(i), sqProbs.Row(i))
+	}
+	return out
+}
+
+// IsAdversarial flags each row whose prediction distance exceeds the
+// threshold.
+func (f *FeatureSqueezing) IsAdversarial(x *tensor.Matrix) []bool {
+	dists := f.Distances(x)
+	out := make([]bool, len(dists))
+	for i, d := range dists {
+		out[i] = d > f.Threshold
+	}
+	return out
+}
+
+// Predict implements a defended decision: a row is reported malware when
+// the squeezing detector flags it OR the base model predicts malware on the
+// squeezed input. (The squeezed input is used for the class decision, as in
+// the squeezing paper's joint deployment.)
+func (f *FeatureSqueezing) Predict(x *tensor.Matrix) []int {
+	flags := f.IsAdversarial(x)
+	squeezed := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(squeezed.Row(i), f.Squeezer.Squeeze(x.Row(i)))
+	}
+	pred := f.Base.Predict(squeezed)
+	for i := range pred {
+		if flags[i] {
+			pred[i] = 1 // flagged ⇒ treated as malicious
+		}
+	}
+	return pred
+}
+
+// MalwareProb reports the base model's probability on the squeezed input,
+// saturated to 1 for flagged rows.
+func (f *FeatureSqueezing) MalwareProb(x *tensor.Matrix) []float64 {
+	flags := f.IsAdversarial(x)
+	squeezed := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(squeezed.Row(i), f.Squeezer.Squeeze(x.Row(i)))
+	}
+	probs := f.Base.MalwareProb(squeezed)
+	for i := range probs {
+		if flags[i] {
+			probs[i] = 1
+		}
+	}
+	return probs
+}
+
+// InDim returns the expected feature width.
+func (f *FeatureSqueezing) InDim() int { return f.Base.InDim() }
+
+var _ detector.Detector = (*FeatureSqueezing)(nil)

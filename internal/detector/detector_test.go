@@ -1,0 +1,174 @@
+package detector
+
+import (
+	"testing"
+
+	"malevade/internal/dataset"
+	"malevade/internal/tensor"
+)
+
+// smallCorpus generates one tiny corpus per test binary; training tests
+// share it to stay fast on a single core.
+var smallCorpus = func() *dataset.Corpus {
+	c, err := dataset.Generate(dataset.TableIConfig(1).Scaled(150))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+func trainSmallTarget(t *testing.T) *DNN {
+	t.Helper()
+	d, err := Train(smallCorpus.Train, TrainConfig{
+		Arch:       ArchTarget,
+		WidthScale: 0.1,
+		Epochs:     12,
+		BatchSize:  64,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestArchDims(t *testing.T) {
+	tests := []struct {
+		name  string
+		arch  Arch
+		scale float64
+		want  []int
+	}{
+		{name: "substitute paper widths", arch: ArchSubstitute, scale: 1, want: []int{491, 1200, 1500, 1300, 2}},
+		{name: "target default", arch: ArchTarget, scale: 1, want: []int{491, 512, 256, 2}},
+		{name: "substitute tenth", arch: ArchSubstitute, scale: 0.1, want: []int{491, 120, 150, 130, 2}},
+		{name: "floor at 16", arch: ArchTarget, scale: 0.01, want: []int{491, 16, 16, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.arch.Dims(491, tt.scale)
+			if len(got) != len(tt.want) {
+				t.Fatalf("dims %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("dims %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if ArchTarget.String() != "target-4layer" || ArchSubstitute.String() != "substitute-5layer" {
+		t.Fatal("arch names wrong")
+	}
+	if Arch(9).String() != "Arch(9)" {
+		t.Fatal("unknown arch name wrong")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(smallCorpus.Train, TrainConfig{}); err == nil {
+		t.Fatal("expected error without Epochs")
+	}
+	empty := smallCorpus.Train.Subset(nil)
+	if _, err := Train(empty, TrainConfig{Epochs: 1}); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestTrainedDetectorSeparates(t *testing.T) {
+	d := trainSmallTarget(t)
+	trainAcc := Accuracy(d, smallCorpus.Train)
+	if trainAcc < 0.9 {
+		t.Fatalf("train accuracy %.3f < 0.9", trainAcc)
+	}
+	testAcc := Accuracy(d, smallCorpus.Test)
+	if testAcc < 0.8 {
+		t.Fatalf("test accuracy %.3f < 0.8", testAcc)
+	}
+	// Test accuracy should trail train accuracy (domain shift exists)
+	// but not collapse.
+	if testAcc > trainAcc+0.02 {
+		t.Logf("note: test accuracy %.3f above train %.3f (small-sample noise)", testAcc, trainAcc)
+	}
+}
+
+func TestMalwareProbInUnitInterval(t *testing.T) {
+	d := trainSmallTarget(t)
+	probs := d.MalwareProb(smallCorpus.Val.X)
+	if len(probs) != smallCorpus.Val.Len() {
+		t.Fatalf("%d probs for %d rows", len(probs), smallCorpus.Val.Len())
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of [0,1]", p)
+		}
+	}
+}
+
+func TestPredictConsistentWithProb(t *testing.T) {
+	d := trainSmallTarget(t)
+	probs := d.MalwareProb(smallCorpus.Val.X)
+	pred := d.Predict(smallCorpus.Val.X)
+	for i := range pred {
+		wantMal := probs[i] > 0.5
+		isMal := pred[i] == dataset.LabelMalware
+		if wantMal != isMal {
+			t.Fatalf("sample %d: prob %.3f but predicted %d", i, probs[i], pred[i])
+		}
+	}
+}
+
+func TestConfidenceSingleSample(t *testing.T) {
+	d := trainSmallTarget(t)
+	mal := smallCorpus.Test.FilterLabel(dataset.LabelMalware)
+	c := d.Confidence(mal.X.Row(0))
+	if c < 0 || c > 1 {
+		t.Fatalf("confidence %v", c)
+	}
+}
+
+func TestDetectionRateBounds(t *testing.T) {
+	d := trainSmallTarget(t)
+	mal := smallCorpus.Test.FilterLabel(dataset.LabelMalware)
+	clean := smallCorpus.Test.FilterLabel(dataset.LabelClean)
+	tpr := DetectionRate(d, mal.X)
+	fpr := DetectionRate(d, clean.X)
+	if tpr < 0.7 {
+		t.Fatalf("malware detection rate %.3f too low", tpr)
+	}
+	if fpr > 0.25 {
+		t.Fatalf("clean false-alarm rate %.3f too high", fpr)
+	}
+	if tpr <= fpr {
+		t.Fatalf("tpr %.3f <= fpr %.3f: detector not discriminating", tpr, fpr)
+	}
+}
+
+func TestDetectionRateEmpty(t *testing.T) {
+	d := trainSmallTarget(t)
+	if got := DetectionRate(d, tensor.New(0, d.InDim())); got != 0 {
+		t.Fatalf("empty detection rate = %v", got)
+	}
+}
+
+func TestInDim(t *testing.T) {
+	d := trainSmallTarget(t)
+	if d.InDim() != 491 {
+		t.Fatalf("InDim = %d", d.InDim())
+	}
+}
+
+func TestTemperatureDefaultsToOne(t *testing.T) {
+	d := trainSmallTarget(t)
+	p1 := d.MalwareProb(smallCorpus.Val.X)
+	d.Temperature = 1
+	p2 := d.MalwareProb(smallCorpus.Val.X)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("zero temperature should equal T=1")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package evaluation
+
+import (
+	"fmt"
+	"sort"
+
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+)
+
+// ROC analysis: the paper reports operating-point rates; the ROC view adds
+// the threshold-free comparison used when tuning a deployed engine's
+// trigger threshold.
+
+// ROCPoint is one (FPR, TPR) operating point.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64
+	TPR       float64
+}
+
+// ROC computes the full ROC curve of a detector's malware probability over
+// a labelled dataset. Points are ordered by descending threshold (from
+// (0,0) to (1,1)).
+func ROC(d detector.Detector, ds *dataset.Dataset) ([]ROCPoint, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("evaluation: ROC over empty dataset")
+	}
+	probs := d.MalwareProb(ds.X)
+	type scored struct {
+		p   float64
+		mal bool
+	}
+	rows := make([]scored, ds.Len())
+	positives, negatives := 0, 0
+	for i, p := range probs {
+		mal := ds.Y[i] == dataset.LabelMalware
+		rows[i] = scored{p: p, mal: mal}
+		if mal {
+			positives++
+		} else {
+			negatives++
+		}
+	}
+	if positives == 0 || negatives == 0 {
+		return nil, fmt.Errorf("evaluation: ROC needs both classes (%d pos, %d neg)", positives, negatives)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p > rows[j].p })
+
+	out := []ROCPoint{{Threshold: 1, FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(rows); {
+		// Consume ties together so the curve is threshold-consistent.
+		t := rows[i].p
+		for i < len(rows) && rows[i].p == t {
+			if rows[i].mal {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: t,
+			FPR:       float64(fp) / float64(negatives),
+			TPR:       float64(tp) / float64(positives),
+		})
+	}
+	return out, nil
+}
+
+// AUC integrates the ROC curve with the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// TPRAtFPR interpolates the detection rate at a fixed false-positive budget
+// — how production AV thresholds are chosen.
+func TPRAtFPR(points []ROCPoint, fpr float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].FPR >= fpr {
+			lo, hi := points[i-1], points[i]
+			if hi.FPR == lo.FPR {
+				return hi.TPR
+			}
+			frac := (fpr - lo.FPR) / (hi.FPR - lo.FPR)
+			return lo.TPR + frac*(hi.TPR-lo.TPR)
+		}
+	}
+	return points[len(points)-1].TPR
+}

@@ -1,0 +1,140 @@
+package evaluation
+
+import (
+	"math"
+	"testing"
+
+	"malevade/internal/dataset"
+	"malevade/internal/tensor"
+)
+
+// fakeScorer is a deterministic Detector for ROC math tests.
+type fakeScorer struct {
+	probs []float64
+}
+
+func (f *fakeScorer) MalwareProb(x *tensor.Matrix) []float64 {
+	return append([]float64(nil), f.probs[:x.Rows]...)
+}
+
+func (f *fakeScorer) Predict(x *tensor.Matrix) []int {
+	out := make([]int, x.Rows)
+	for i := range out {
+		if f.probs[i] > 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func (f *fakeScorer) InDim() int { return 2 }
+
+func fakeDataset(labels []int) *dataset.Dataset {
+	n := len(labels)
+	return &dataset.Dataset{
+		X:      tensor.New(n, 2),
+		Counts: tensor.New(n, 2),
+		Y:      labels,
+		Fams:   make([]string, n),
+	}
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	d := &fakeScorer{probs: []float64{0.9, 0.8, 0.2, 0.1}}
+	ds := fakeDataset([]int{1, 1, 0, 0})
+	points, err := ROC(d, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(points); math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+	// Curve must start at (0,0) and end at (1,1).
+	first, last := points[0], points[len(points)-1]
+	if first.FPR != 0 || first.TPR != 0 || last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve endpoints wrong: %+v %+v", first, last)
+	}
+}
+
+func TestROCRandomScorerAUCHalf(t *testing.T) {
+	// Interleaved scores: AUC = 0.5.
+	d := &fakeScorer{probs: []float64{0.8, 0.7, 0.6, 0.5}}
+	ds := fakeDataset([]int{1, 0, 1, 0})
+	points, err := ROC(d, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(points); math.Abs(auc-0.5) > 0.26 {
+		t.Fatalf("interleaved AUC = %v", auc)
+	}
+}
+
+func TestROCTiesGroupedAtomically(t *testing.T) {
+	// Two samples share a score with different labels: the curve must
+	// move diagonally through the tie, not create an artificial corner.
+	d := &fakeScorer{probs: []float64{0.5, 0.5}}
+	ds := fakeDataset([]int{1, 0})
+	points, err := ROC(d, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points for a single tie group, want 2", len(points))
+	}
+	if auc := AUC(points); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want exactly 0.5", auc)
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	d := &fakeScorer{probs: []float64{0.5}}
+	if _, err := ROC(d, fakeDataset(nil)); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := ROC(d, fakeDataset([]int{1})); err == nil {
+		t.Fatal("expected single-class error")
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	points, err := ROC(evalModel, evalCorpus.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].FPR < points[i-1].FPR-1e-12 || points[i].TPR < points[i-1].TPR-1e-12 {
+			t.Fatal("ROC not monotone")
+		}
+	}
+	auc := AUC(points)
+	if auc < 0.85 {
+		t.Fatalf("trained detector AUC %.3f too low", auc)
+	}
+}
+
+func TestTPRAtFPR(t *testing.T) {
+	points := []ROCPoint{
+		{Threshold: 1, FPR: 0, TPR: 0},
+		{Threshold: 0.5, FPR: 0.1, TPR: 0.8},
+		{Threshold: 0.1, FPR: 1, TPR: 1},
+	}
+	if got := TPRAtFPR(points, 0.1); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("TPR@0.1 = %v", got)
+	}
+	// Interpolated halfway between (0.1, 0.8) and (1, 1).
+	if got := TPRAtFPR(points, 0.55); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("TPR@0.55 = %v", got)
+	}
+	if got := TPRAtFPR(points, 2); got != 1 {
+		t.Fatalf("TPR beyond range = %v", got)
+	}
+	if TPRAtFPR(nil, 0.5) != 0 {
+		t.Fatal("empty TPRAtFPR")
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if AUC(nil) != 0 || AUC([]ROCPoint{{}}) != 0 {
+		t.Fatal("degenerate AUC should be 0")
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the CLI/bench identifier (e.g. "table6", "fig3a").
+	ID string
+	// Paper references the corresponding table/figure.
+	Paper string
+	// Desc summarizes what is reproduced.
+	Desc string
+	// Run executes the experiment against a lab and writes the artifact.
+	Run func(l *Lab, w io.Writer) error
+}
+
+// registry lists every experiment in paper order.
+var registry = []Experiment{
+	{ID: "table1", Paper: "Table I", Desc: "dataset split sizes", Run: TableI},
+	{ID: "table2", Paper: "Table II", Desc: "sandbox log excerpt", Run: TableII},
+	{ID: "table3", Paper: "Table III", Desc: "API feature excerpt (indices 475-484)", Run: TableIII},
+	{ID: "table4", Paper: "Table IV", Desc: "substitute model architecture", Run: TableIV},
+	{ID: "table5", Paper: "Table V", Desc: "adversarial training dataset", Run: TableV},
+	{ID: "table6", Paper: "Table VI", Desc: "defense testing results (4 defenses)", Run: TableVI},
+	{ID: "fig1", Paper: "Figure 1", Desc: "adversarial example walkthrough", Run: Figure1},
+	{ID: "fig2", Paper: "Figure 2", Desc: "black-box attack framework", Run: Figure2},
+	{ID: "fig3a", Paper: "Figure 3(a)", Desc: "white-box gamma sweep + random control", Run: Figure3a},
+	{ID: "fig3b", Paper: "Figure 3(b)", Desc: "white-box theta sweep", Run: Figure3b},
+	{ID: "fig4a", Paper: "Figure 4(a)", Desc: "grey-box gamma sweep", Run: Figure4a},
+	{ID: "fig4b", Paper: "Figure 4(b)", Desc: "grey-box theta sweep", Run: Figure4b},
+	{ID: "fig4c", Paper: "Figure 4(c)", Desc: "grey-box with binary features", Run: Figure4c},
+	{ID: "fig5", Paper: "Figure 5", Desc: "L2 distance analysis", Run: Figure5},
+	{ID: "live", Paper: "§III-B exp. 3", Desc: "live grey-box source-editing test", Run: LiveGreyBox},
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}
+
+// RunAll executes every experiment against one shared lab, separating the
+// artifacts with headers. It stops at the first failure.
+func RunAll(l *Lab, w io.Writer) error {
+	for _, e := range registry {
+		if _, err := fmt.Fprintf(w, "\n================ %s — %s [%s] ================\n",
+			e.Paper, e.Desc, e.ID); err != nil {
+			return err
+		}
+		if err := e.Run(l, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

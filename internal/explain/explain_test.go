@@ -1,0 +1,179 @@
+package explain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"malevade/internal/attack"
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+)
+
+var (
+	exCorpus = func() *dataset.Corpus {
+		c, err := dataset.Generate(dataset.TableIConfig(41).Scaled(120))
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}()
+	exModel = func() *detector.DNN {
+		d, err := detector.Train(exCorpus.Train, detector.TrainConfig{
+			Arch:       detector.ArchTarget,
+			WidthScale: 0.1,
+			Epochs:     15,
+			BatchSize:  64,
+			Seed:       41,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}()
+)
+
+func TestExplainValidation(t *testing.T) {
+	if _, err := Explain(exModel, make([]float64, 5)); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestExplainAttributesOnlyActiveFeatures(t *testing.T) {
+	mal := exCorpus.Test.FilterLabel(dataset.LabelMalware)
+	x := mal.X.Row(0)
+	ex, err := Explain(exModel, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.MalwareProb < 0 || ex.MalwareProb > 1 {
+		t.Fatalf("prob %v", ex.MalwareProb)
+	}
+	for _, a := range ex.Attributions {
+		if x[a.Feature] == 0 {
+			t.Fatalf("zero-valued feature %s attributed %v", a.API, a.Score)
+		}
+		if a.Value != x[a.Feature] {
+			t.Fatal("attribution value mismatch")
+		}
+	}
+	// Sorted by |score| descending.
+	for i := 1; i < len(ex.Attributions); i++ {
+		if abs(ex.Attributions[i].Score) > abs(ex.Attributions[i-1].Score)+1e-12 {
+			t.Fatal("attributions not sorted")
+		}
+	}
+}
+
+func TestSuspiciousAPIsCarryMalwareEvidence(t *testing.T) {
+	// For a confidently detected malware sample, the top malware evidence
+	// should include suspicious-cluster APIs.
+	mal := exCorpus.Test.FilterLabel(dataset.LabelMalware)
+	probs := exModel.MalwareProb(mal.X)
+	pick := -1
+	for i, p := range probs {
+		if p > 0.9 {
+			pick = i
+			break
+		}
+	}
+	if pick == -1 {
+		t.Skip("no confident malware at this scale")
+	}
+	ex, err := Explain(exModel, mal.X.Row(pick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	malEv, _ := ex.TopEvidence(10)
+	if len(malEv) == 0 {
+		t.Fatal("no malware evidence for a confident detection")
+	}
+	suspicious := make(map[int]bool)
+	for _, i := range dataset.SuspiciousIndices() {
+		suspicious[i] = true
+	}
+	hits := 0
+	for _, a := range malEv {
+		if suspicious[a.Feature] {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Errorf("top evidence contains no suspicious-cluster API: %+v", malEv)
+	}
+}
+
+func TestTopClampsToAvailable(t *testing.T) {
+	mal := exCorpus.Test.FilterLabel(dataset.LabelMalware)
+	ex, err := Explain(exModel, mal.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Top(1_000_000); len(got) != len(ex.Attributions) {
+		t.Fatal("Top did not clamp")
+	}
+	if got := ex.Top(1); len(got) != 1 {
+		t.Fatal("Top(1) wrong")
+	}
+}
+
+func TestRenderContainsEvidence(t *testing.T) {
+	mal := exCorpus.Test.FilterLabel(dataset.LabelMalware)
+	ex, err := Explain(exModel, mal.X.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ex.Render(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "P(malware)") ||
+		!strings.Contains(out, "malware evidence:") ||
+		!strings.Contains(out, "clean evidence:") {
+		t.Fatalf("render output incomplete:\n%s", out)
+	}
+}
+
+// TestDiffExplanationsNamesInjectedAPIs ties interpretability to the
+// attack: the diff of original-vs-adversarial explanations must name
+// exactly the APIs the JSMA injected, each with increased clean evidence.
+func TestDiffExplanationsNamesInjectedAPIs(t *testing.T) {
+	mal := exCorpus.Test.FilterLabel(dataset.LabelMalware)
+	j := &attack.JSMA{Model: exModel.Net, Theta: 0.1, Gamma: 0.02}
+	r := j.PerturbOne(mal.X.Row(0))
+	if len(r.ModifiedFeatures) == 0 {
+		t.Skip("attack did not modify this sample")
+	}
+	diffs, err := DiffExplanations(exModel, r.Original, r.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != len(r.ModifiedFeatures) {
+		t.Fatalf("%d diffs for %d modified features", len(diffs), len(r.ModifiedFeatures))
+	}
+	modified := make(map[int]bool)
+	for _, f := range r.ModifiedFeatures {
+		modified[f] = true
+	}
+	for _, d := range diffs {
+		if !modified[d.Feature] {
+			t.Fatalf("diff names unmodified feature %s", d.API)
+		}
+		if d.DeltaX <= 0 {
+			t.Fatalf("add-only attack produced negative delta on %s", d.API)
+		}
+		// The injected API must now push toward clean (negative score)
+		// more than before.
+		if d.AdvScore >= d.OrigScore {
+			t.Errorf("feature %s attribution did not move toward clean: %v -> %v",
+				d.API, d.OrigScore, d.AdvScore)
+		}
+	}
+}
+
+func TestDiffExplanationsValidation(t *testing.T) {
+	if _, err := DiffExplanations(exModel, make([]float64, 3), make([]float64, 4)); err == nil {
+		t.Fatal("expected length error")
+	}
+}

@@ -1,0 +1,223 @@
+package livetest
+
+import (
+	"strings"
+	"testing"
+
+	"malevade/internal/apilog"
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+)
+
+var (
+	ltCorpus = func() *dataset.Corpus {
+		c, err := dataset.Generate(dataset.TableIConfig(31).Scaled(120))
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}()
+	ltDetector = func() *detector.DNN {
+		d, err := detector.Train(ltCorpus.Train, detector.TrainConfig{
+			Arch:       detector.ArchTarget,
+			WidthScale: 0.1,
+			Epochs:     15,
+			BatchSize:  64,
+			Seed:       31,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}()
+	ltSubstitute = func() *detector.DNN {
+		d, err := detector.Train(ltCorpus.Train, detector.TrainConfig{
+			Arch:       detector.ArchSubstitute,
+			WidthScale: 0.05,
+			Epochs:     15,
+			BatchSize:  64,
+			Seed:       37,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}()
+)
+
+func TestNewSourceFileValidation(t *testing.T) {
+	if _, err := NewSourceFile("x", make([]float64, 5)); err == nil {
+		t.Fatal("expected width error")
+	}
+}
+
+func TestInjectAPI(t *testing.T) {
+	src, err := NewSourceFile("s", make([]float64, apilog.NumFeatures))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.InjectAPI("destroyicon", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.InjectAPI("destroyicon", 2); err != nil {
+		t.Fatal(err)
+	}
+	eff := src.EffectiveBehaviour()
+	if eff[apilog.MustIndex("destroyicon")] != 5 {
+		t.Fatalf("effective injection = %v, want 5", eff[apilog.MustIndex("destroyicon")])
+	}
+	if err := src.InjectAPI("nosuchapi", 1); err == nil {
+		t.Fatal("expected unknown-API error")
+	}
+	if err := src.InjectAPI("destroyicon", -1); err == nil {
+		t.Fatal("expected negative error")
+	}
+	src.ResetInjections()
+	if src.EffectiveBehaviour()[apilog.MustIndex("destroyicon")] != 0 {
+		t.Fatal("reset did not clear injections")
+	}
+}
+
+func TestInjectionDoesNotMutateBehaviour(t *testing.T) {
+	behaviour := make([]float64, apilog.NumFeatures)
+	behaviour[0] = 7
+	src, _ := NewSourceFile("s", behaviour)
+	_ = src.InjectAPI(apilog.Name(0), 5)
+	if behaviour[0] != 7 {
+		t.Fatal("caller slice mutated")
+	}
+	if src.Behaviour[0] != 7 {
+		t.Fatal("base behaviour mutated by injection")
+	}
+}
+
+func TestRunDetectionPipeline(t *testing.T) {
+	row, err := MostConfidentMalware(ltDetector, ltCorpus.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := MalwareSourceFromSample(ltCorpus.Test, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, logText, err := src.RunDetection(ltDetector, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf < 0.5 {
+		t.Fatalf("most-confident malware scored %.3f through the pipeline", conf)
+	}
+	// The log must be parseable Table II syntax.
+	if _, err := apilog.ParseLog(strings.NewReader(logText)); err != nil {
+		t.Fatalf("pipeline log unparseable: %v", err)
+	}
+}
+
+func TestMostConfidentMalwareErrors(t *testing.T) {
+	cleanOnly := ltCorpus.Test.FilterLabel(dataset.LabelClean)
+	if _, err := MostConfidentMalware(ltDetector, cleanOnly); err == nil {
+		t.Fatal("expected no-malware error")
+	}
+	if _, err := SubjectNear(ltDetector, cleanOnly, 0.98); err == nil {
+		t.Fatal("expected no-malware error from SubjectNear")
+	}
+}
+
+func TestSubjectNearPicksComparableConfidence(t *testing.T) {
+	row, err := SubjectNear(ltDetector, ltCorpus.Test, PaperSubjectConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := ltDetector.Confidence(ltCorpus.Test.X.Row(row))
+	if conf < 0.9 || conf > 0.999 {
+		t.Fatalf("subject confidence %.4f not near the paper's 0.9843", conf)
+	}
+}
+
+func TestMalwareSourceFromSampleBounds(t *testing.T) {
+	if _, err := MalwareSourceFromSample(ltCorpus.Test, -1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := MalwareSourceFromSample(ltCorpus.Test, ltCorpus.Test.Len()); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// TestLiveGreyBoxTrajectory reproduces the §III-B live experiment shape:
+// confidence starts high and collapses as one API call is injected
+// repeatedly (98.43% → 88.88% → … → ≈0 in the paper).
+func TestLiveGreyBoxTrajectory(t *testing.T) {
+	row, err := SubjectNear(ltDetector, ltCorpus.Test, PaperSubjectConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := MalwareSourceFromSample(ltCorpus.Test, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := &Experiment{Detector: ltDetector, Substitute: ltSubstitute, SandboxSeed: 7}
+	apis, err := exp.TopAPIs(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := exp.RunMulti(src, apis, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 25 {
+		t.Fatalf("%d trajectory points", len(traj))
+	}
+	start := traj[0].Confidence
+	end := traj[len(traj)-1].Confidence
+	if start < 0.8 {
+		t.Fatalf("starting confidence %.3f too low for the live-test subject", start)
+	}
+	if end > start-0.3 {
+		t.Fatalf("confidence did not collapse: %.3f -> %.3f (apis=%v)", start, end, apis)
+	}
+	// Broad monotone trend: final third below first third.
+	firstThird, lastThird := 0.0, 0.0
+	n := len(traj) / 3
+	for i := 0; i < n; i++ {
+		firstThird += traj[i].Confidence
+		lastThird += traj[len(traj)-1-i].Confidence
+	}
+	if lastThird >= firstThird {
+		t.Fatal("no downward trend in confidence trajectory")
+	}
+}
+
+func TestSingleAPIFirstCallMovesConfidence(t *testing.T) {
+	// The paper's sharpest observation: ONE added API call visibly moves
+	// the engine (98.43% → 88.88%). Verify a single call of the best
+	// candidate produces a measurable drop.
+	row, err := SubjectNear(ltDetector, ltCorpus.Test, PaperSubjectConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := MalwareSourceFromSample(ltCorpus.Test, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := &Experiment{Detector: ltDetector, Substitute: ltSubstitute, SandboxSeed: 11}
+	api, err := exp.PickBestAPI(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := exp.Run(src, api, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj[8].Confidence > traj[0].Confidence-0.02 {
+		t.Fatalf("eight calls of %s moved confidence only %.4f -> %.4f",
+			api, traj[0].Confidence, traj[8].Confidence)
+	}
+}
+
+func TestExperimentRunValidation(t *testing.T) {
+	src, _ := NewSourceFile("s", make([]float64, apilog.NumFeatures))
+	exp := &Experiment{Detector: ltDetector, Substitute: ltSubstitute}
+	if _, err := exp.Run(src, "destroyicon", -1); err == nil {
+		t.Fatal("expected negative maxTimes error")
+	}
+}

@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// Numerical gradient checking: the single most important test in this
+// package. If analytic backprop matches central finite differences on random
+// networks, every consumer (training, JSMA saliency, distillation) inherits
+// correctness.
+
+// numericalParamGrad estimates dLoss/dParam[idx] by central differences.
+func numericalParamGrad(net *Network, loss Loss, x, targets *tensor.Matrix, p *Param, idx int) float64 {
+	const h = 1e-5
+	orig := p.Value.Data[idx]
+	p.Value.Data[idx] = orig + h
+	lPlus := loss.Forward(net.Forward(x, false), targets)
+	p.Value.Data[idx] = orig - h
+	lMinus := loss.Forward(net.Forward(x, false), targets)
+	p.Value.Data[idx] = orig
+	return (lPlus - lMinus) / (2 * h)
+}
+
+func analyticParamGrads(net *Network, loss Loss, x, targets *tensor.Matrix) {
+	net.ZeroGrads()
+	logits := net.Forward(x, false)
+	grad := loss.Gradient(logits, targets)
+	net.Backward(grad)
+}
+
+func checkNetGradients(t *testing.T, net *Network, loss Loss, x, targets *tensor.Matrix) {
+	t.Helper()
+	analyticParamGrads(net, loss, x, targets)
+	// Snapshot analytic grads before finite differences disturb caches.
+	type snap struct {
+		p    *Param
+		grad []float64
+	}
+	var snaps []snap
+	for _, p := range net.Params() {
+		g := make([]float64, len(p.Grad.Data))
+		copy(g, p.Grad.Data)
+		snaps = append(snaps, snap{p: p, grad: g})
+	}
+	r := rng.New(99)
+	for si, s := range snaps {
+		// Probe a handful of random coordinates per parameter tensor.
+		probes := 6
+		if len(s.grad) < probes {
+			probes = len(s.grad)
+		}
+		for k := 0; k < probes; k++ {
+			idx := r.Intn(len(s.grad))
+			want := numericalParamGrad(net, loss, x, targets, s.p, idx)
+			got := s.grad[idx]
+			scale := math.Max(math.Abs(want), math.Abs(got))
+			if scale < 1e-7 {
+				continue
+			}
+			if math.Abs(got-want)/scale > 1e-4 {
+				t.Errorf("param %d (%s) idx %d: analytic %v vs numeric %v", si, s.p.Name, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestGradientCheckReLUNet(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{5, 8, 7, 3}, Activation: "relu", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	x := tensor.New(6, 5)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	targets := OneHot([]int{0, 1, 2, 0, 1, 2}, 3)
+	checkNetGradients(t, net, NewSoftmaxCrossEntropy(1), x, targets)
+}
+
+func TestGradientCheckSigmoidNet(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{4, 6, 2}, Activation: "sigmoid", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	x := tensor.New(5, 4)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	targets := OneHot([]int{0, 1, 0, 1, 0}, 2)
+	checkNetGradients(t, net, NewSoftmaxCrossEntropy(1), x, targets)
+}
+
+func TestGradientCheckTanhNetMSE(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{3, 5, 2}, Activation: "tanh", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	x := tensor.New(4, 3)
+	targets := tensor.New(4, 2)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	for i := range targets.Data {
+		targets.Data[i] = r.NormFloat64()
+	}
+	checkNetGradients(t, net, MSE{}, x, targets)
+}
+
+func TestGradientCheckHighTemperature(t *testing.T) {
+	// Distillation trains at T=50; the gradient must stay exact there.
+	net, err := NewMLP(MLPConfig{Dims: []int{4, 6, 2}, Activation: "relu", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	x := tensor.New(5, 4)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64() * 3
+	}
+	// Soft targets, as in distillation.
+	targets := tensor.New(5, 2)
+	for i := 0; i < 5; i++ {
+		p := 0.2 + 0.6*r.Float64()
+		targets.Set(i, 0, p)
+		targets.Set(i, 1, 1-p)
+	}
+	checkNetGradients(t, net, NewSoftmaxCrossEntropy(50), x, targets)
+}
+
+// TestClassGradientNumerical validates the JSMA forward derivative:
+// ClassGradient must match finite differences of Probs.
+func TestClassGradientNumerical(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{6, 10, 2}, Activation: "relu", Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	x := tensor.New(3, 6)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	const h = 1e-6
+	for _, class := range []int{0, 1} {
+		grad := net.ClassGradient(x, class, 1)
+		for i := 0; i < x.Rows; i++ {
+			for j := 0; j < x.Cols; j++ {
+				orig := x.At(i, j)
+				x.Set(i, j, orig+h)
+				pPlus := net.Probs(x, 1).At(i, class)
+				x.Set(i, j, orig-h)
+				pMinus := net.Probs(x, 1).At(i, class)
+				x.Set(i, j, orig)
+				want := (pPlus - pMinus) / (2 * h)
+				got := grad.At(i, j)
+				if math.Abs(got-want) > 1e-4*math.Max(1, math.Abs(want)) {
+					t.Fatalf("class %d sample %d feature %d: analytic %v vs numeric %v",
+						class, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClassGradientLeavesParamsClean verifies the documented contract that
+// ClassGradient does not leak parameter-gradient side effects.
+func TestClassGradientLeavesParamsClean(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{4, 5, 2}, Activation: "relu", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 4)
+	x.Fill(0.5)
+	net.ClassGradient(x, 0, 1)
+	for _, p := range net.Params() {
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("ClassGradient left non-zero parameter gradients")
+			}
+		}
+	}
+}
+
+// TestInputJacobianRowsMatchClassGradient ties the two gradient APIs
+// together.
+func TestInputJacobianRowsMatchClassGradient(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{5, 7, 3}, Activation: "relu", Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(18)
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	jac := net.InputJacobian(x, 1)
+	if jac.Rows != 3 || jac.Cols != 5 {
+		t.Fatalf("Jacobian shape %dx%d, want 3x5", jac.Rows, jac.Cols)
+	}
+	xm := tensor.FromSlice(1, 5, append([]float64(nil), x...))
+	for c := 0; c < 3; c++ {
+		g := net.ClassGradient(xm, c, 1)
+		for j := 0; j < 5; j++ {
+			if math.Abs(jac.At(c, j)-g.At(0, j)) > 1e-12 {
+				t.Fatalf("Jacobian row %d disagrees with ClassGradient", c)
+			}
+		}
+	}
+}
+
+// Softmax Jacobian identity: rows of ClassGradient summed over classes must
+// vanish (probabilities sum to 1, so their gradients sum to 0).
+func TestClassGradientsSumToZero(t *testing.T) {
+	net, err := NewMLP(MLPConfig{Dims: []int{4, 6, 3}, Activation: "tanh", Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(20)
+	x := tensor.New(4, 4)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	sum := tensor.New(4, 4)
+	for c := 0; c < 3; c++ {
+		tensor.AXPY(sum, 1, net.ClassGradient(x, c, 1))
+	}
+	if m := sum.MaxAbs(); m > 1e-10 {
+		t.Fatalf("Σ_c ∂F_c/∂x = %v, want 0", m)
+	}
+}

@@ -1,0 +1,329 @@
+// Package nn implements the feed-forward neural-network engine behind both
+// the target malware detector (4-layer FC DNN) and the Table IV substitute
+// model (491-1200-1500-1300-2): dense layers, ReLU/Sigmoid/Tanh activations,
+// dropout, temperature softmax, hard- and soft-label cross-entropy, SGD and
+// Adam optimizers, a minibatch trainer, and — critically for the JSMA attack
+// — gradients of class probabilities with respect to the *input*.
+//
+// The engine is CPU-only, float64, deterministic under a fixed seed, and
+// stdlib-only. It is sized for the paper's workload (hundreds of thousands
+// of 491-dimensional samples), not for general deep learning.
+package nn
+
+import (
+	"fmt"
+
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// Param is one trainable parameter tensor with its gradient accumulator.
+// Optimizers mutate Value in place; Backward accumulates into Grad.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// Layer is one differentiable stage of a network. Forward must cache
+// whatever Backward needs; Backward consumes the cache of the most recent
+// Forward call and returns the gradient with respect to that input.
+// Implementations are not safe for concurrent use.
+type Layer interface {
+	// Forward computes the layer output for a batch (rows are samples).
+	// training selects training-time behaviour (e.g. dropout masking).
+	Forward(x *tensor.Matrix, training bool) *tensor.Matrix
+	// Backward receives dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients as a side effect.
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's trainable parameters (nil if none).
+	Params() []*Param
+	// OutDim returns the width of the layer's output given its input
+	// width, used for shape validation when stacking layers.
+	OutDim(inDim int) (int, error)
+}
+
+// Dense is a fully connected layer: y = xW + b, with W shaped in×out.
+type Dense struct {
+	W *Param
+	B *Param
+
+	in, out int
+	lastX   *tensor.Matrix // cached input batch
+	outBuf  *tensor.Matrix
+	gradIn  *tensor.Matrix
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense builds a dense layer with He-normal initialized weights (the
+// right scaling for the ReLU stacks this repository trains) and zero biases.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: NewDense invalid shape %dx%d", in, out))
+	}
+	w := tensor.New(in, out)
+	std := heStd(in)
+	for i := range w.Data {
+		w.Data[i] = r.Normal(0, std)
+	}
+	return &Dense{
+		W:   &Param{Name: "W", Value: w, Grad: tensor.New(in, out)},
+		B:   &Param{Name: "b", Value: tensor.New(1, out), Grad: tensor.New(1, out)},
+		in:  in,
+		out: out,
+	}
+}
+
+func heStd(fanIn int) float64 {
+	// sqrt(2/fanIn); via exp/log-free arithmetic to keep imports minimal.
+	return sqrt(2 / float64(fanIn))
+}
+
+// Forward computes y = xW + b for a batch.
+func (d *Dense) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if x.Cols != d.in {
+		panic(fmt.Sprintf("nn: Dense input width %d, want %d", x.Cols, d.in))
+	}
+	d.lastX = x
+	if d.outBuf == nil || d.outBuf.Rows != x.Rows {
+		d.outBuf = tensor.New(x.Rows, d.out)
+	}
+	tensor.MatMul(d.outBuf, x, d.W.Value)
+	tensor.AddRowVector(d.outBuf, d.B.Value.Row(0))
+	return d.outBuf
+}
+
+// Backward accumulates dW = xᵀg, db = Σ_rows g and returns g Wᵀ.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	if grad.Rows != d.lastX.Rows || grad.Cols != d.out {
+		panic(fmt.Sprintf("nn: Dense.Backward grad %dx%d, want %dx%d", grad.Rows, grad.Cols, d.lastX.Rows, d.out))
+	}
+	// Parameter gradients accumulate so gradient checks can sum batches;
+	// the optimizer zeroes them after each step.
+	wg := tensor.New(d.in, d.out)
+	tensor.MatMulAT(wg, d.lastX, grad)
+	tensor.AXPY(d.W.Grad, 1, wg)
+	bg := make([]float64, d.out)
+	grad.ColSums(bg)
+	for j, v := range bg {
+		d.B.Grad.Data[j] += v
+	}
+	if d.gradIn == nil || d.gradIn.Rows != grad.Rows {
+		d.gradIn = tensor.New(grad.Rows, d.in)
+	}
+	tensor.MatMulBT(d.gradIn, grad, d.W.Value)
+	return d.gradIn
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutDim validates the input width and returns the output width.
+func (d *Dense) OutDim(inDim int) (int, error) {
+	if inDim != d.in {
+		return 0, fmt.Errorf("nn: dense layer expects width %d, got %d", d.in, inDim)
+	}
+	return d.out, nil
+}
+
+// InDim returns the layer's expected input width.
+func (d *Dense) InDim() int { return d.in }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask   []bool
+	outBuf *tensor.Matrix
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0, x).
+func (l *ReLU) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if l.outBuf == nil || !l.outBuf.SameShape(x) {
+		l.outBuf = tensor.New(x.Rows, x.Cols)
+		l.mask = make([]bool, len(x.Data))
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			l.outBuf.Data[i] = v
+			l.mask[i] = true
+		} else {
+			l.outBuf.Data[i] = 0
+			l.mask[i] = false
+		}
+	}
+	return l.outBuf
+}
+
+// Backward zeroes gradient where the forward input was non-positive.
+func (l *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.mask == nil || len(l.mask) != len(grad.Data) {
+		panic("nn: ReLU.Backward before Forward or shape change")
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		if l.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (l *ReLU) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (l *ReLU) OutDim(inDim int) (int, error) { return inDim, nil }
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	outBuf *tensor.Matrix
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward computes the element-wise logistic function.
+func (l *Sigmoid) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if l.outBuf == nil || !l.outBuf.SameShape(x) {
+		l.outBuf = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		l.outBuf.Data[i] = sigmoid(v)
+	}
+	return l.outBuf
+}
+
+// Backward multiplies by s(1-s) using the cached forward output.
+func (l *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.outBuf == nil || !l.outBuf.SameShape(grad) {
+		panic("nn: Sigmoid.Backward before Forward or shape change")
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		s := l.outBuf.Data[i]
+		out.Data[i] = g * s * (1 - s)
+	}
+	return out
+}
+
+// Params returns nil; Sigmoid has no parameters.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (l *Sigmoid) OutDim(inDim int) (int, error) { return inDim, nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	outBuf *tensor.Matrix
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward computes element-wise tanh.
+func (l *Tanh) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix {
+	if l.outBuf == nil || !l.outBuf.SameShape(x) {
+		l.outBuf = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		l.outBuf.Data[i] = tanh(v)
+	}
+	return l.outBuf
+}
+
+// Backward multiplies by 1 - tanh².
+func (l *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.outBuf == nil || !l.outBuf.SameShape(grad) {
+		panic("nn: Tanh.Backward before Forward or shape change")
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		th := l.outBuf.Data[i]
+		out.Data[i] = g * (1 - th*th)
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (l *Tanh) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (l *Tanh) OutDim(inDim int) (int, error) { return inDim, nil }
+
+// Dropout zeroes a fraction of activations during training and rescales the
+// survivors by 1/(1-rate) (inverted dropout), so inference needs no change.
+type Dropout struct {
+	Rate float64
+
+	rng  *rng.RNG
+	mask []float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout builds a dropout layer. rate must be in [0, 1).
+func NewDropout(rate float64, r *rng.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: r}
+}
+
+// Forward applies the dropout mask in training mode and is the identity in
+// inference mode.
+func (l *Dropout) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	if !training || l.Rate == 0 {
+		// Identity: mark mask nil so Backward passes gradients through.
+		l.mask = nil
+		return x
+	}
+	if len(l.mask) != len(x.Data) {
+		l.mask = make([]float64, len(x.Data))
+	}
+	keep := 1 - l.Rate
+	scale := 1 / keep
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if l.rng.Float64() < keep {
+			l.mask[i] = scale
+			out.Data[i] = v * scale
+		} else {
+			l.mask[i] = 0
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (l *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if l.mask == nil {
+		return grad
+	}
+	if len(l.mask) != len(grad.Data) {
+		panic("nn: Dropout.Backward shape mismatch")
+	}
+	out := tensor.New(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		out.Data[i] = g * l.mask[i]
+	}
+	return out
+}
+
+// Params returns nil; Dropout has no parameters.
+func (l *Dropout) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (l *Dropout) OutDim(inDim int) (int, error) { return inDim, nil }

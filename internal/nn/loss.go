@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+
+	"malevade/internal/tensor"
+)
+
+// Loss maps (logits, targets) to a scalar loss and the gradient of that loss
+// with respect to the logits. Targets are per-row probability vectors: a
+// one-hot row for hard labels, a teacher distribution for distillation soft
+// labels. Both views share one code path, which is exactly why the paper's
+// defensive-distillation defense slots in with no special casing.
+type Loss interface {
+	// Forward returns the mean loss over the batch.
+	Forward(logits, targets *tensor.Matrix) float64
+	// Gradient returns dLoss/dLogits for the batch (mean reduction).
+	Gradient(logits, targets *tensor.Matrix) *tensor.Matrix
+}
+
+// SoftmaxCrossEntropy is cross-entropy on softmax(logits/T). With T = 1 and
+// one-hot targets it is ordinary classification loss; with T > 1 and soft
+// targets it is the distillation objective of Papernot et al.
+type SoftmaxCrossEntropy struct {
+	// Temperature scales the logits before the softmax. Must be > 0;
+	// NewSoftmaxCrossEntropy defaults it to 1.
+	Temperature float64
+}
+
+var _ Loss = (*SoftmaxCrossEntropy)(nil)
+
+// NewSoftmaxCrossEntropy returns the loss at the given temperature
+// (0 means 1).
+func NewSoftmaxCrossEntropy(temperature float64) *SoftmaxCrossEntropy {
+	if temperature == 0 {
+		temperature = 1
+	}
+	if temperature < 0 {
+		panic(fmt.Sprintf("nn: negative softmax temperature %v", temperature))
+	}
+	return &SoftmaxCrossEntropy{Temperature: temperature}
+}
+
+// Forward returns the mean cross-entropy −Σ t·log p over the batch.
+func (l *SoftmaxCrossEntropy) Forward(logits, targets *tensor.Matrix) float64 {
+	assertLossShapes("SoftmaxCrossEntropy", logits, targets)
+	probs := make([]float64, logits.Cols)
+	total := 0.0
+	for i := 0; i < logits.Rows; i++ {
+		SoftmaxRow(logits.Row(i), probs, l.Temperature)
+		tRow := targets.Row(i)
+		for j, tj := range tRow {
+			if tj != 0 {
+				total -= tj * safeLog(probs[j])
+			}
+		}
+	}
+	return total / float64(logits.Rows)
+}
+
+// Gradient returns (softmax(logits/T) − targets) / (N·T), the exact gradient
+// of Forward with respect to the logits.
+func (l *SoftmaxCrossEntropy) Gradient(logits, targets *tensor.Matrix) *tensor.Matrix {
+	assertLossShapes("SoftmaxCrossEntropy", logits, targets)
+	out := tensor.New(logits.Rows, logits.Cols)
+	probs := make([]float64, logits.Cols)
+	scale := 1 / (float64(logits.Rows) * l.Temperature)
+	for i := 0; i < logits.Rows; i++ {
+		SoftmaxRow(logits.Row(i), probs, l.Temperature)
+		tRow := targets.Row(i)
+		oRow := out.Row(i)
+		for j := range oRow {
+			oRow[j] = (probs[j] - tRow[j]) * scale
+		}
+	}
+	return out
+}
+
+// MSE is mean squared error on raw logits; provided for gradient-check tests
+// and regression-style probes, not used by the main pipeline.
+type MSE struct{}
+
+var _ Loss = (*MSE)(nil)
+
+// Forward returns mean (logit − target)² over all elements.
+func (MSE) Forward(logits, targets *tensor.Matrix) float64 {
+	assertLossShapes("MSE", logits, targets)
+	total := 0.0
+	for i := range logits.Data {
+		d := logits.Data[i] - targets.Data[i]
+		total += d * d
+	}
+	return total / float64(len(logits.Data))
+}
+
+// Gradient returns 2(logits − targets)/N.
+func (MSE) Gradient(logits, targets *tensor.Matrix) *tensor.Matrix {
+	assertLossShapes("MSE", logits, targets)
+	out := tensor.New(logits.Rows, logits.Cols)
+	scale := 2 / float64(len(logits.Data))
+	for i := range logits.Data {
+		out.Data[i] = (logits.Data[i] - targets.Data[i]) * scale
+	}
+	return out
+}
+
+// OneHot encodes integer labels as rows of a classes-wide matrix.
+func OneHot(labels []int, classes int) *tensor.Matrix {
+	out := tensor.New(len(labels), classes)
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("nn: OneHot label %d out of [0,%d)", l, classes))
+		}
+		out.Set(i, l, 1)
+	}
+	return out
+}
+
+// SmoothedOneHot encodes labels with label smoothing ε: the true class gets
+// 1−ε+ε/classes, every other class ε/classes. Smoothing bounds the optimal
+// logit gap at log((1−ε)·(classes−1)/ε + 1), keeping trained models at
+// finite confidence — the regime real production detectors operate in (the
+// paper's live sample scores 98.43%, not 99.99%).
+func SmoothedOneHot(labels []int, classes int, eps float64) *tensor.Matrix {
+	if eps < 0 || eps >= 1 {
+		panic(fmt.Sprintf("nn: label smoothing %v out of [0,1)", eps))
+	}
+	out := tensor.New(len(labels), classes)
+	lo := eps / float64(classes)
+	hi := 1 - eps + lo
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("nn: SmoothedOneHot label %d out of [0,%d)", l, classes))
+		}
+		row := out.Row(i)
+		for j := range row {
+			row[j] = lo
+		}
+		row[l] = hi
+	}
+	return out
+}
+
+func assertLossShapes(op string, logits, targets *tensor.Matrix) {
+	if !logits.SameShape(targets) {
+		panic(fmt.Sprintf("nn: %s logits %dx%d vs targets %dx%d",
+			op, logits.Rows, logits.Cols, targets.Rows, targets.Cols))
+	}
+}

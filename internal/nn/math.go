@@ -1,0 +1,58 @@
+package nn
+
+import "math"
+
+// Small numeric helpers shared across the package. Kept in one place so the
+// stability tricks (max-shifted softmax, clamped logs) are auditable.
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func sigmoid(x float64) float64 {
+	// Split on sign to avoid overflow in exp for large |x|.
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }
+
+// SoftmaxRow writes softmax(logits/temperature) into out. It is numerically
+// stable (max-shifted) and tolerates temperature != 1 for defensive
+// distillation. len(out) must equal len(logits); temperature must be > 0.
+func SoftmaxRow(logits, out []float64, temperature float64) {
+	if len(logits) != len(out) {
+		panic("nn: SoftmaxRow length mismatch")
+	}
+	if temperature <= 0 {
+		panic("nn: SoftmaxRow non-positive temperature")
+	}
+	maxLogit := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp((v - maxLogit) / temperature)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// safeLog returns log(x) clamped away from -Inf; used by cross-entropy so a
+// saturated probability cannot poison the loss with infinities.
+func safeLog(x float64) float64 {
+	const floor = 1e-12
+	if x < floor {
+		x = floor
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// Network is an ordered stack of layers ending in logits. Classification
+// probabilities are obtained with Probs (temperature softmax applied outside
+// the layer stack, which is what defensive distillation requires).
+//
+// A Network is not safe for concurrent use: layers cache activations between
+// Forward and Backward. Clone the network (via Spec round-trip) for parallel
+// readers.
+type Network struct {
+	layers []Layer
+	inDim  int
+	outDim int
+}
+
+// NewNetwork stacks the given layers. inDim is the expected input width;
+// the constructor validates that consecutive layer shapes agree.
+func NewNetwork(inDim int, layers ...Layer) (*Network, error) {
+	if inDim <= 0 {
+		return nil, fmt.Errorf("nn: non-positive input width %d", inDim)
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: network needs at least one layer")
+	}
+	width := inDim
+	for i, l := range layers {
+		next, err := l.OutDim(width)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		width = next
+	}
+	return &Network{layers: layers, inDim: inDim, outDim: width}, nil
+}
+
+// MLPConfig describes a plain multi-layer perceptron: Dims lists every layer
+// width from input to logits (e.g. Table IV's substitute is
+// [491, 1200, 1500, 1300, 2]); a hidden activation is inserted between all
+// consecutive dense layers, and optional dropout after each hidden
+// activation.
+type MLPConfig struct {
+	// Dims holds the layer widths, input first, logits last. Must have at
+	// least two entries.
+	Dims []int
+	// Activation selects the hidden non-linearity: "relu" (default),
+	// "sigmoid", or "tanh".
+	Activation string
+	// DropoutRate, when > 0, adds inverted dropout after every hidden
+	// activation.
+	DropoutRate float64
+	// Seed drives weight initialization (and dropout masks).
+	Seed uint64
+}
+
+// NewMLP builds a fully connected network per cfg.
+func NewMLP(cfg MLPConfig) (*Network, error) {
+	if len(cfg.Dims) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs >= 2 dims, got %d", len(cfg.Dims))
+	}
+	for i, d := range cfg.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: MLP dim %d is %d, must be positive", i, d)
+		}
+	}
+	r := rng.New(cfg.Seed)
+	var layers []Layer
+	for i := 0; i+1 < len(cfg.Dims); i++ {
+		layers = append(layers, NewDense(cfg.Dims[i], cfg.Dims[i+1], r))
+		isHidden := i+2 < len(cfg.Dims)
+		if !isHidden {
+			break
+		}
+		act, err := newActivation(cfg.Activation)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, act)
+		if cfg.DropoutRate > 0 {
+			layers = append(layers, NewDropout(cfg.DropoutRate, r.Split()))
+		}
+	}
+	return NewNetwork(cfg.Dims[0], layers...)
+}
+
+func newActivation(name string) (Layer, error) {
+	switch name {
+	case "", "relu":
+		return NewReLU(), nil
+	case "sigmoid":
+		return NewSigmoid(), nil
+	case "tanh":
+		return NewTanh(), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown activation %q", name)
+	}
+}
+
+// InDim returns the expected input width.
+func (n *Network) InDim() int { return n.inDim }
+
+// OutDim returns the logits width (number of classes).
+func (n *Network) OutDim() int { return n.outDim }
+
+// Layers exposes the layer stack (read-only by convention).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs the batch through the stack and returns logits. The returned
+// matrix is owned by the network's internal buffers; callers that retain it
+// across calls must Clone it.
+func (n *Network) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	if x.Cols != n.inDim {
+		panic(fmt.Sprintf("nn: Forward input width %d, want %d", x.Cols, n.inDim))
+	}
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h, training)
+	}
+	return h
+}
+
+// Backward propagates dLoss/dLogits through the stack, accumulating
+// parameter gradients, and returns dLoss/dInput.
+func (n *Network) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	g := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns every trainable parameter in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total scalar parameter count (Table IV reporting).
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// ZeroGrads clears all parameter gradient accumulators.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Probs returns softmax(logits/temperature) for a batch; rows sum to 1.
+func (n *Network) Probs(x *tensor.Matrix, temperature float64) *tensor.Matrix {
+	logits := n.Forward(x, false)
+	out := tensor.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		SoftmaxRow(logits.Row(i), out.Row(i), temperature)
+	}
+	return out
+}
+
+// PredictClass returns the argmax class per row.
+func (n *Network) PredictClass(x *tensor.Matrix) []int {
+	logits := n.Forward(x, false)
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = logits.RowArgmax(i)
+	}
+	return out
+}
+
+// ClassGradient computes, for every sample in the batch, the gradient of the
+// softmax probability of `class` with respect to the input:
+// ∂F_class(x)/∂x. This is the forward derivative the JSMA saliency map is
+// built from (Eq. 1 of the paper). Parameter gradients accumulated as a side
+// effect are discarded (zeroed) before returning.
+//
+// The returned matrix has the batch's shape (rows = samples, cols = input
+// width).
+func (n *Network) ClassGradient(x *tensor.Matrix, class int, temperature float64) *tensor.Matrix {
+	if class < 0 || class >= n.outDim {
+		panic(fmt.Sprintf("nn: ClassGradient class %d out of [0,%d)", class, n.outDim))
+	}
+	logits := n.Forward(x, false)
+	// dF_c/dz_j = p_c (δ_cj − p_j) / T for softmax with temperature T.
+	seed := tensor.New(logits.Rows, logits.Cols)
+	probs := make([]float64, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		SoftmaxRow(logits.Row(i), probs, temperature)
+		pc := probs[class]
+		row := seed.Row(i)
+		for j := range row {
+			delta := 0.0
+			if j == class {
+				delta = 1
+			}
+			row[j] = pc * (delta - probs[j]) / temperature
+		}
+	}
+	grad := n.Backward(seed).Clone()
+	n.ZeroGrads() // discard the parameter-gradient side effect
+	return grad
+}
+
+// InputJacobian returns the full Jacobian ∂F/∂x for one sample: a
+// outDim×inDim matrix whose row c is ∂F_c/∂x. Used by the black-box
+// substitute-training loop (Jacobian-based dataset augmentation).
+func (n *Network) InputJacobian(x []float64, temperature float64) *tensor.Matrix {
+	if len(x) != n.inDim {
+		panic(fmt.Sprintf("nn: InputJacobian input width %d, want %d", len(x), n.inDim))
+	}
+	jac := tensor.New(n.outDim, n.inDim)
+	xm := tensor.FromSlice(1, n.inDim, x)
+	for c := 0; c < n.outDim; c++ {
+		g := n.ClassGradient(xm, c, temperature)
+		copy(jac.Row(c), g.Row(0))
+	}
+	return jac
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"malevade/internal/tensor"
+)
+
+// Optimizer applies one update step from accumulated parameter gradients and
+// then clears them. Implementations keep per-parameter state keyed by slot
+// order, so an optimizer must be used with a single parameter set.
+type Optimizer interface {
+	// Step consumes p.Grad for every parameter, updates p.Value in place,
+	// and zeroes the gradients.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// decoupled L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD constructs an SGD optimizer. lr must be positive.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD non-positive lr %v", lr))
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step performs v ← m·v − lr·(g + wd·w); w ← w + v.
+func (o *SGD) Step(params []*Param) {
+	if o.velocity == nil {
+		o.velocity = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			o.velocity[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	if len(o.velocity) != len(params) {
+		panic("nn: SGD used with a different parameter set")
+	}
+	for i, p := range params {
+		v := o.velocity[i]
+		for k := range p.Value.Data {
+			g := p.Grad.Data[k] + o.WeightDecay*p.Value.Data[k]
+			v.Data[k] = o.Momentum*v.Data[k] - o.LR*g
+			p.Value.Data[k] += v.Data[k]
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) — the paper trains its substitute
+// model with Adam at lr=0.001.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m []*tensor.Matrix
+	v []*tensor.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam constructs Adam with the canonical defaults for any zero field:
+// beta1=0.9, beta2=0.999, eps=1e-8.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: Adam non-positive lr %v", lr))
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step performs the bias-corrected Adam update.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = make([]*tensor.Matrix, len(params))
+		o.v = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			o.m[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+			o.v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+	}
+	if len(o.m) != len(params) {
+		panic("nn: Adam used with a different parameter set")
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		m, v := o.m[i], o.v[i]
+		for k := range p.Value.Data {
+			g := p.Grad.Data[k] + o.WeightDecay*p.Value.Data[k]
+			m.Data[k] = o.Beta1*m.Data[k] + (1-o.Beta1)*g
+			v.Data[k] = o.Beta2*v.Data[k] + (1-o.Beta2)*g*g
+			mHat := m.Data[k] / c1
+			vHat := v.Data[k] / c2
+			p.Value.Data[k] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+		p.Grad.Zero()
+	}
+}

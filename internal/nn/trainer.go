@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// TrainConfig controls the minibatch training loop. The paper's substitute
+// model uses Epochs=1000, BatchSize=256, Adam lr=0.001 (Section III-B);
+// scaled-down profiles shrink Epochs, never the algorithm.
+type TrainConfig struct {
+	// Epochs is the number of passes over the data; must be >= 1.
+	Epochs int
+	// BatchSize is the minibatch size; must be >= 1. The last batch of an
+	// epoch may be smaller.
+	BatchSize int
+	// Optimizer defaults to Adam(0.001) when nil (the paper's setting).
+	Optimizer Optimizer
+	// Loss defaults to SoftmaxCrossEntropy at temperature 1 when nil.
+	Loss Loss
+	// Seed drives epoch shuffling.
+	Seed uint64
+	// Log, when non-nil, receives one line per LogEvery epochs.
+	Log io.Writer
+	// LogEvery defaults to 10 when Log is set and the field is 0.
+	LogEvery int
+	// OnEpoch, when non-nil, is invoked after every epoch with the epoch
+	// index (0-based) and mean training loss; returning a non-nil error
+	// stops training early and is returned to the caller wrapped.
+	OnEpoch func(epoch int, meanLoss float64) error
+}
+
+// ErrTrainingDiverged is returned when the loss or activations become
+// non-finite during training.
+var ErrTrainingDiverged = errors.New("nn: training diverged (non-finite loss)")
+
+// Train fits the network to (x, targets) with minibatch gradient descent.
+// targets rows are probability vectors (one-hot for hard labels). The input
+// matrices are not modified.
+func Train(net *Network, x, targets *tensor.Matrix, cfg TrainConfig) error {
+	if x.Rows != targets.Rows {
+		return fmt.Errorf("nn: Train sample count %d != target count %d", x.Rows, targets.Rows)
+	}
+	if x.Rows == 0 {
+		return errors.New("nn: Train on empty dataset")
+	}
+	if x.Cols != net.InDim() {
+		return fmt.Errorf("nn: Train input width %d, want %d", x.Cols, net.InDim())
+	}
+	if targets.Cols != net.OutDim() {
+		return fmt.Errorf("nn: Train target width %d, want %d", targets.Cols, net.OutDim())
+	}
+	if cfg.Epochs < 1 {
+		return fmt.Errorf("nn: Train epochs %d < 1", cfg.Epochs)
+	}
+	if cfg.BatchSize < 1 {
+		return fmt.Errorf("nn: Train batch size %d < 1", cfg.BatchSize)
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = NewAdam(0.001)
+	}
+	loss := cfg.Loss
+	if loss == nil {
+		loss = NewSoftmaxCrossEntropy(1)
+	}
+	logEvery := cfg.LogEvery
+	if logEvery <= 0 {
+		logEvery = 10
+	}
+
+	r := rng.New(cfg.Seed)
+	n := x.Rows
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	batchX := tensor.New(cfg.BatchSize, x.Cols)
+	batchT := tensor.New(cfg.BatchSize, targets.Cols)
+	params := net.Params()
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		epochLoss := 0.0
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			bx := batchX
+			bt := batchT
+			if bs != cfg.BatchSize {
+				bx = tensor.New(bs, x.Cols)
+				bt = tensor.New(bs, targets.Cols)
+			}
+			for bi, src := range order[start:end] {
+				copy(bx.Row(bi), x.Row(src))
+				copy(bt.Row(bi), targets.Row(src))
+			}
+
+			logits := net.Forward(bx, true)
+			l := loss.Forward(logits, bt)
+			if !isFinite(l) {
+				return fmt.Errorf("%w: epoch %d batch %d", ErrTrainingDiverged, epoch, batches)
+			}
+			epochLoss += l
+			batches++
+
+			grad := loss.Gradient(logits, bt)
+			net.Backward(grad)
+			opt.Step(params)
+		}
+		meanLoss := epochLoss / float64(batches)
+		if cfg.Log != nil && (epoch%logEvery == 0 || epoch == cfg.Epochs-1) {
+			fmt.Fprintf(cfg.Log, "epoch %4d/%d  loss %.6f\n", epoch+1, cfg.Epochs, meanLoss)
+		}
+		if cfg.OnEpoch != nil {
+			if err := cfg.OnEpoch(epoch, meanLoss); err != nil {
+				return fmt.Errorf("nn: training stopped at epoch %d: %w", epoch, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Accuracy returns the fraction of rows whose argmax prediction matches the
+// integer label.
+func Accuracy(net *Network, x *tensor.Matrix, labels []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	if x.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: Accuracy rows %d != labels %d", x.Rows, len(labels)))
+	}
+	pred := net.PredictClass(x)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+func isFinite(x float64) bool { return x == x && x < 1e300 && x > -1e300 }

@@ -1,0 +1,233 @@
+// Package report renders experiment results for terminals and files: fixed
+// width ASCII tables (for the paper's tables) and ASCII line charts (for its
+// security-evaluation-curve figures), plus CSV emitters for external
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width table with a title.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of Sprintf-formatted cells, one verb set per cell.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("report: render table: %w", err)
+	}
+	return nil
+}
+
+// Fmt formats a float for table cells; NaN renders as "nan" exactly like
+// the paper's Table VI.
+func Fmt(v float64) string {
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is an ASCII line chart sized for terminals.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	Series []Series
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("report: chart %q has no points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		r := height - 1 - row
+		grid[r][col] = mark
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		// Connect consecutive points with linear interpolation.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := width / max(1, len(s.X)-1)
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(max(1, steps))
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, mark)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], mark)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%8.3f ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.3f └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          %-*.4g%*.4g\n", width/2, minX, width-width/2, maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "          x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	legend := make([]string, 0, len(c.Series))
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "          %s\n", strings.Join(legend, "   "))
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("report: render chart: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV emits the chart's series as CSV: x,series1,series2,... rows,
+// using the first series' x grid.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", c.Title)
+	}
+	header := []string{"x"}
+	for _, s := range c.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return fmt.Errorf("report: write csv: %w", err)
+	}
+	base := c.Series[0]
+	for i := range base.X {
+		cells := []string{fmt.Sprintf("%g", base.X[i])}
+		for _, s := range c.Series {
+			if i < len(s.Y) {
+				cells = append(cells, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return fmt.Errorf("report: write csv: %w", err)
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

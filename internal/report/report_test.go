@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("TABLE I: THE DATASET", "Dataset", "Number of Samples")
+	tab.AddRow("Training Set", "57170")
+	tab.AddRow("Test Set", "45028")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TABLE I", "Dataset", "57170", "45028", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("only-one-cell")
+	tab.AddRow("x", "y", "overflow-dropped")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "overflow") {
+		t.Fatal("overflow cell not dropped")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "Name", "TPR", "TNR")
+	tab.AddRowf("%s|%.3f|%s", "NoDefense", 0.883, Fmt(math.NaN()))
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.883") || !strings.Contains(buf.String(), "nan") {
+		t.Fatalf("AddRowf rendering:\n%s", buf.String())
+	}
+}
+
+func TestFmtNaN(t *testing.T) {
+	if Fmt(math.NaN()) != "nan" {
+		t.Fatal("NaN should render as nan (Table VI style)")
+	}
+	if Fmt(0.5) != "0.500" {
+		t.Fatalf("Fmt(0.5) = %q", Fmt(0.5))
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "Fig. 3(a) security evaluation curve",
+		XLabel: "gamma",
+		YLabel: "detection rate",
+		Series: []Series{
+			{Name: "JSMA", X: []float64{0, 0.01, 0.02, 0.03}, Y: []float64{0.92, 0.7, 0.2, 0.05}},
+			{Name: "random", X: []float64{0, 0.01, 0.02, 0.03}, Y: []float64{0.92, 0.91, 0.92, 0.9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 3(a)", "JSMA", "random", "gamma", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Monotone-decreasing JSMA series should place '*' high on the left:
+	// verify at least that both min and max y labels are printed.
+	if !strings.Contains(out, "0.050") && !strings.Contains(out, "0.05") {
+		t.Fatalf("y-min label missing:\n%s", out)
+	}
+}
+
+func TestChartEmptyErrors(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("expected error for empty chart")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "pt", X: []float64{1}, Y: []float64{2}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{0.5, 0.5}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err) // degenerate y-range must not divide by zero
+	}
+}
+
+func TestChartWriteCSV(t *testing.T) {
+	c := &Chart{
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{30, 40}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if lines[1] != "0,10,30" || lines[2] != "1,20,40" {
+		t.Fatalf("csv rows %v", lines[1:])
+	}
+}
+
+func TestChartWriteCSVEmpty(t *testing.T) {
+	c := &Chart{}
+	if err := c.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,340 @@
+// Package rng provides a small, deterministic pseudo-random toolkit used by
+// every stochastic component in this repository: dataset synthesis, weight
+// initialization, minibatch shuffling, and attack tie-breaking.
+//
+// Determinism is a hard requirement for reproducing the paper's experiments:
+// every consumer receives an explicit *RNG (never a package-level source), and
+// independent subsystems derive independent streams via Split so that adding
+// draws in one subsystem cannot perturb another.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as its
+// authors recommend. It is not cryptographically secure and is not meant to
+// be; it is fast, well distributed, and trivially reproducible across
+// platforms because it only uses uint64 arithmetic.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// RNG is a deterministic pseudo-random number generator with derived-stream
+// support. The zero value is not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+	// cachedNorm holds the second Box-Muller variate between calls.
+	cachedNorm    float64
+	hasCachedNorm bool
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next output.
+// It is used for seeding so that nearby seeds yield unrelated streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given seed. Two generators built
+// from the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new, statistically independent generator from r. The
+// parent's stream advances by two draws; the child is seeded from them.
+// Use Split to give each subsystem its own stream.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ rotl(r.Uint64(), 32))
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand; callers control n so this is a programmer error, not input.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn called with non-positive n=%d", n))
+	}
+	// Lemire's nearly-divisionless bounded sampling with rejection to
+	// remove modulo bias.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// NormFloat64 returns a standard normal variate via the Box-Muller
+// transform. The second variate of each pair is cached so cost amortizes to
+// one log/sqrt per two draws.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasCachedNorm {
+		r.hasCachedNorm = false
+		return r.cachedNorm
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64() // avoid log(0)
+	}
+	v := r.Float64()
+	radius := math.Sqrt(-2 * math.Log(u))
+	theta := 2 * math.Pi * v
+	r.cachedNorm = radius * math.Sin(theta)
+	r.hasCachedNorm = true
+	return radius * math.Cos(theta)
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation. sigma must be >= 0.
+func (r *RNG) Normal(mean, sigma float64) float64 {
+	return mean + sigma*r.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma)); the workhorse for API-call count
+// rates, which are heavy-tailed in real sandbox logs.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Poisson returns a Poisson variate with the given rate. Knuth's product
+// method is used below lambda=30; above that, the PA normal-based rejection
+// of Atkinson keeps cost constant.
+func (r *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		limit := math.Exp(-lambda)
+		product := r.Float64()
+		n := 0
+		for product > limit {
+			product *= r.Float64()
+			n++
+		}
+		return n
+	default:
+		// Atkinson's PA algorithm.
+		c := 0.767 - 3.36/lambda
+		beta := math.Pi / math.Sqrt(3*lambda)
+		alpha := beta * lambda
+		k := math.Log(c) - lambda - math.Log(beta)
+		for {
+			u := r.Float64()
+			if u == 0 || u == 1 {
+				continue
+			}
+			x := (alpha - math.Log((1-u)/u)) / beta
+			n := math.Floor(x + 0.5)
+			if n < 0 {
+				continue
+			}
+			v := r.Float64()
+			if v == 0 {
+				continue
+			}
+			y := alpha - beta*x
+			lhs := y + math.Log(v/((1+math.Exp(y))*(1+math.Exp(y))))
+			rhs := k + n*math.Log(lambda) - logFactorial(n)
+			if lhs <= rhs {
+				return int(n)
+			}
+		}
+	}
+}
+
+// logFactorial returns ln(n!) via Stirling's series for large n and a direct
+// product for small n.
+func logFactorial(n float64) float64 {
+	if n < 16 {
+		f := 1.0
+		for i := 2.0; i <= n; i++ {
+			f *= i
+		}
+		return math.Log(f)
+	}
+	// Stirling with the 1/(12n) correction term.
+	return n*math.Log(n) - n + 0.5*math.Log(2*math.Pi*n) + 1/(12*n)
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang method.
+// shape must be > 0.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("rng: Gamma called with non-positive shape=%v", shape))
+	}
+	if shape < 1 {
+		// Boost to shape+1 and scale back (Marsaglia–Tsang §6).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet fills out with a Dirichlet(alpha) sample. out and alpha must have
+// equal, non-zero length. The result sums to 1.
+func (r *RNG) Dirichlet(alpha, out []float64) {
+	if len(alpha) == 0 || len(alpha) != len(out) {
+		panic(fmt.Sprintf("rng: Dirichlet length mismatch alpha=%d out=%d", len(alpha), len(out)))
+	}
+	sum := 0.0
+	for i, a := range alpha {
+		g := r.Gamma(a)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate draw (all underflowed); fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Categorical returns an index drawn proportionally to weights. Weights must
+// be non-negative with a positive sum.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("rng: Categorical negative or NaN weight %v", w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Categorical weights sum to zero")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // float round-off: last index
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function, matching the
+// contract of math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics if k > n.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("rng: sample k=%d > n=%d", k, n))
+	}
+	// Floyd's algorithm: O(k) expected time, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.ShuffleInts(out)
+	return out
+}

@@ -1,0 +1,373 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child must not replay the parent's continuation.
+	p := make([]uint64, 50)
+	c := make([]uint64, 50)
+	for i := range p {
+		p[i] = parent.Uint64()
+		c[i] = child.Uint64()
+	}
+	matches := 0
+	for i := range p {
+		if p[i] == c[i] {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("parent and child streams matched %d/50 positions", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d has %d draws, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Normal(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal(10,2) mean = %v", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	tests := []struct {
+		name   string
+		lambda float64
+	}{
+		{name: "small", lambda: 0.5},
+		{name: "medium", lambda: 8},
+		{name: "knuth-boundary", lambda: 29.5},
+		{name: "large", lambda: 120},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := New(19)
+			const n = 50000
+			sum, sumSq := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				v := float64(r.Poisson(tt.lambda))
+				sum += v
+				sumSq += v * v
+			}
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			tol := 4 * math.Sqrt(tt.lambda/n) * math.Sqrt(tt.lambda) // generous
+			if tol < 0.05 {
+				tol = 0.05
+			}
+			if math.Abs(mean-tt.lambda) > tt.lambda*0.05+tol {
+				t.Errorf("Poisson(%v) mean = %v", tt.lambda, mean)
+			}
+			if math.Abs(variance-tt.lambda) > tt.lambda*0.15+tol {
+				t.Errorf("Poisson(%v) variance = %v", tt.lambda, variance)
+			}
+		})
+	}
+}
+
+func TestPoissonNonPositiveLambda(t *testing.T) {
+	r := New(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	tests := []struct {
+		name  string
+		shape float64
+	}{
+		{name: "sub-one", shape: 0.3},
+		{name: "one", shape: 1},
+		{name: "large", shape: 9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := New(23)
+			const n = 100000
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += r.Gamma(tt.shape)
+			}
+			mean := sum / n
+			if math.Abs(mean-tt.shape) > 0.05*tt.shape+0.02 {
+				t.Errorf("Gamma(%v) mean = %v", tt.shape, mean)
+			}
+		})
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(29)
+	alpha := []float64{0.5, 1, 2, 8}
+	out := make([]float64, len(alpha))
+	for trial := 0; trial < 100; trial++ {
+		r.Dirichlet(alpha, out)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				t.Fatalf("negative Dirichlet component %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sum = %v, want 1", sum)
+		}
+	}
+}
+
+func TestDirichletMean(t *testing.T) {
+	r := New(31)
+	alpha := []float64{1, 3}
+	out := make([]float64, 2)
+	sum0 := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r.Dirichlet(alpha, out)
+		sum0 += out[0]
+	}
+	// E[X_0] = alpha_0 / sum(alpha) = 0.25.
+	if mean := sum0 / n; math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("Dirichlet mean[0] = %v, want 0.25", mean)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	r := New(37)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bucket drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.25 {
+		t.Errorf("weight-3/weight-1 ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(43)
+	for trial := 0; trial < 200; trial++ {
+		got := r.SampleWithoutReplacement(20, 7)
+		if len(got) != 7 {
+			t.Fatalf("sample size = %d, want 7", len(got))
+		}
+		seen := make(map[int]bool, 7)
+		for _, v := range got {
+			if v < 0 || v >= 20 {
+				t.Fatalf("sample element %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample element %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	r := New(47)
+	got := r.SampleWithoutReplacement(5, 5)
+	seen := make(map[int]bool)
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("full sample is not a permutation: %v", got)
+	}
+}
+
+// Property: Intn never exceeds its bound for any positive n and any seed.
+func TestIntnProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identical seeds always replay identical streams across all
+// generator types.
+func TestReplayProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 20; i++ {
+			if a.Float64() != b.Float64() {
+				return false
+			}
+			if a.NormFloat64() != b.NormFloat64() {
+				return false
+			}
+			if a.Poisson(4.2) != b.Poisson(4.2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(53)
+	for i := 0; i < 1000; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(100)
+	}
+}

@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+
+	"malevade/internal/rng"
+)
+
+// TestMatMulParallelMatchesSerial forces the sharded path and compares it
+// to the serial kernel element-for-element.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	r := rng.New(81)
+	// Big enough to pass the parallel threshold: 200*200*100 = 4M madds.
+	a := randomMatrix(r, 200, 200)
+	b := randomMatrix(r, 200, 100)
+
+	parallel := New(200, 100)
+	MatMul(parallel, a, b) // takes the sharded path under GOMAXPROCS(4)
+
+	serial := New(200, 100)
+	matMulRange(serial, a, b, 0, a.Rows)
+
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("parallel matmul diverges at %d: %v vs %v", i, parallel.Data[i], serial.Data[i])
+		}
+	}
+}
+
+// TestMatMulParallelOddShapes exercises shard-boundary arithmetic with row
+// counts that do not divide evenly by the worker count.
+func TestMatMulParallelOddShapes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(3)
+	defer runtime.GOMAXPROCS(prev)
+
+	r := rng.New(83)
+	for _, rows := range []int{7, 97, 101} {
+		a := randomMatrix(r, rows, 300)
+		b := randomMatrix(r, 300, 80)
+		got := New(rows, 80)
+		MatMul(got, a, b)
+		want := New(rows, 80)
+		matMulRange(want, a, b, 0, rows)
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("rows=%d diverges at %d", rows, i)
+			}
+		}
+	}
+}
+
+// TestMatMulOverwritesDst verifies both paths fully overwrite a dirty
+// destination (the kernel zeroes per-row rather than relying on dst.Zero).
+func TestMatMulOverwritesDst(t *testing.T) {
+	r := rng.New(89)
+	a := randomMatrix(r, 5, 4)
+	b := randomMatrix(r, 4, 3)
+	clean := New(5, 3)
+	MatMul(clean, a, b)
+	dirty := New(5, 3)
+	dirty.Fill(123.456)
+	MatMul(dirty, a, b)
+	for i := range clean.Data {
+		if clean.Data[i] != dirty.Data[i] {
+			t.Fatal("dirty destination leaked into result")
+		}
+	}
+}

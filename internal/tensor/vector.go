@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Norms and vector helpers used across the attack / defense evaluation.
+// The paper measures perturbations with the L2 norm (Figure 5) and the
+// feature-squeezing defense with the L1 norm on prediction vectors.
+
+// L1Norm returns Σ|v_i|.
+func L1Norm(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += math.Abs(x)
+	}
+	return sum
+}
+
+// L2Norm returns sqrt(Σ v_i²), computed with overflow-safe scaling.
+func L2Norm(v []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// LInfNorm returns max|v_i|.
+func LInfNorm(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// L1Distance returns Σ|a_i - b_i|. Slices must have equal length.
+func L1Distance(a, b []float64) float64 {
+	assertSameLen("L1Distance", a, b)
+	sum := 0.0
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum
+}
+
+// L2Distance returns the Euclidean distance between a and b.
+func L2Distance(a, b []float64) float64 {
+	assertSameLen("L2Distance", a, b)
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// LInfDistance returns max|a_i - b_i|.
+func LInfDistance(a, b []float64) float64 {
+	assertSameLen("LInfDistance", a, b)
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// L0Distance counts coordinates where a and b differ by more than eps; the
+// JSMA evaluation uses it to report how many features an attack touched.
+func L0Distance(a, b []float64, eps float64) int {
+	assertSameLen("L0Distance", a, b)
+	n := 0
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			n++
+		}
+	}
+	return n
+}
+
+// Dot returns Σ a_i * b_i.
+func Dot(a, b []float64) float64 {
+	assertSameLen("Dot", a, b)
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// StdDev returns the population standard deviation (0 for len < 2).
+func StdDev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}
+
+// Argmax returns the index of the maximum element; -1 for an empty slice.
+// Ties break toward the lower index.
+func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func assertSameLen(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: %s length %d != %d", op, len(a), len(b)))
+	}
+}

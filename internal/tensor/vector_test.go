@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"malevade/internal/rng"
+)
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{name: "L1", got: L1Norm(v), want: 7},
+		{name: "L2", got: L2Norm(v), want: 5},
+		{name: "LInf", got: LInfNorm(v), want: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if math.Abs(tt.got-tt.want) > 1e-12 {
+				t.Errorf("= %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormsEmpty(t *testing.T) {
+	if L1Norm(nil) != 0 || L2Norm(nil) != 0 || LInfNorm(nil) != 0 {
+		t.Fatal("empty-vector norms should be 0")
+	}
+}
+
+func TestL2NormOverflowSafe(t *testing.T) {
+	v := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := L2Norm(v); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("L2Norm overflow-unsafe: got %v, want %v", got, want)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 4, 0}
+	if got := L1Distance(a, b); got != 5 {
+		t.Errorf("L1Distance = %v, want 5", got)
+	}
+	if got := L2Distance(a, b); math.Abs(got-math.Sqrt(13)) > 1e-12 {
+		t.Errorf("L2Distance = %v, want sqrt(13)", got)
+	}
+	if got := LInfDistance(a, b); got != 3 {
+		t.Errorf("LInfDistance = %v, want 3", got)
+	}
+	if got := L0Distance(a, b, 1e-9); got != 2 {
+		t.Errorf("L0Distance = %v, want 2", got)
+	}
+}
+
+func TestL0DistanceEpsilon(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{1e-12, 0.5}
+	if got := L0Distance(a, b, 1e-9); got != 1 {
+		t.Fatalf("L0Distance with eps = %d, want 1", got)
+	}
+}
+
+func TestDistanceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	L2Distance([]float64{1}, []float64{1, 2})
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(v); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate Mean/StdDev should be 0")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want int
+	}{
+		{name: "empty", give: nil, want: -1},
+		{name: "single", give: []float64{3}, want: 0},
+		{name: "last", give: []float64{1, 2, 5}, want: 2},
+		{name: "tie-low", give: []float64{5, 5, 1}, want: 0},
+		{name: "negative", give: []float64{-3, -1, -2}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Argmax(tt.give); got != tt.want {
+				t.Errorf("Argmax(%v) = %d, want %d", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: triangle inequality for L2 distance.
+func TestL2TriangleInequality(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(16)
+		a, b, c := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = r.NormFloat64(), r.NormFloat64(), r.NormFloat64()
+		}
+		return L2Distance(a, c) <= L2Distance(a, b)+L2Distance(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: norms are absolutely homogeneous: ||s·v|| == |s|·||v||.
+func TestNormHomogeneity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(16)
+		s := r.Normal(0, 3)
+		v := make([]float64, n)
+		sv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v[i] = r.NormFloat64()
+			sv[i] = s * v[i]
+		}
+		abs := math.Abs(s)
+		return math.Abs(L1Norm(sv)-abs*L1Norm(v)) < 1e-9 &&
+			math.Abs(L2Norm(sv)-abs*L2Norm(v)) < 1e-9 &&
+			math.Abs(LInfNorm(sv)-abs*LInfNorm(v)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
