@@ -31,6 +31,7 @@ import (
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
 	"malevade/internal/experiments"
+	"malevade/internal/serve"
 	"malevade/internal/tensor"
 )
 
@@ -63,6 +64,14 @@ type (
 	Profile = experiments.Profile
 	// Lab caches the corpora and models an experiment run shares.
 	Lab = experiments.Lab
+	// Scorer is the concurrent batched scoring engine: a worker pool
+	// that coalesces concurrent callers' rows into shared batched
+	// forward passes. It implements Detector and is safe for any number
+	// of concurrent callers.
+	Scorer = serve.Scorer
+	// ScorerOptions tunes a Scorer's worker count, batch cap and queue
+	// depth; the zero value picks defaults.
+	ScorerOptions = serve.Options
 )
 
 // Class labels, matching the paper's convention.
@@ -127,6 +136,15 @@ func TrainSubstitute(train *Dataset, epochs int, seed uint64) (*DNN, error) {
 		Epochs: epochs,
 		Seed:   seed,
 	})
+}
+
+// NewScorer starts a concurrent batched scoring engine over d's network,
+// preserving d's softmax temperature. Scoring through the engine is
+// bit-identical to scoring through d directly; callers must Close the
+// scorer to release its workers, and must not train d's network while the
+// scorer is live.
+func NewScorer(d *DNN, opts ScorerOptions) *Scorer {
+	return serve.New(d.Net, d.Temperature, opts)
 }
 
 // NewJSMA builds the paper's attack: add-only JSMA with per-step magnitude

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"malevade/internal/apilog"
 	"malevade/internal/attack"
@@ -12,6 +14,8 @@ import (
 	"malevade/internal/detector"
 	"malevade/internal/explain"
 	"malevade/internal/nn"
+	"malevade/internal/serve"
+	"malevade/internal/tensor"
 )
 
 func cmdDataset(args []string) error {
@@ -172,6 +176,81 @@ func cmdAttack(args []string) error {
 	fmt.Printf("transfer/evasion rate:    %.4f\n", 1-attacked)
 	fmt.Printf("mean L2 perturbation:     %.4f\n", stats.MeanL2)
 	fmt.Printf("mean modified features:   %.2f\n", stats.MeanModified)
+	return nil
+}
+
+// cmdScore drives the concurrent batched scoring engine over a saved model:
+// the dataset's rows are split among -clients goroutines whose requests
+// coalesce inside the engine — the serving shape of a production detector.
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.gob", "detector model (from 'malevade train')")
+	dataPath := fs.String("data", "data/test.gob", "dataset to score")
+	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 256, "max rows per merged forward pass")
+	clients := fs.Int("clients", 8, "concurrent client goroutines submitting rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := nn.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.LoadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	if ds.Len() == 0 {
+		return fmt.Errorf("score: empty dataset %s", *dataPath)
+	}
+	if *clients <= 0 {
+		*clients = 1
+	}
+	sc := serve.New(net, 1, serve.Options{Workers: *workers, MaxBatch: *batch})
+	defer sc.Close()
+
+	rows := ds.X.Rows
+	cols := ds.X.Cols
+	preds := make([]int, rows)
+	per := (rows + *clients - 1) / *clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			x := tensor.FromSlice(hi-lo, cols, ds.X.Data[lo*cols:hi*cols])
+			copy(preds[lo:hi], sc.Predict(x))
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	malware := 0
+	correct := 0
+	for i, p := range preds {
+		if p == dataset.LabelMalware {
+			malware++
+		}
+		if p == ds.Y[i] {
+			correct++
+		}
+	}
+	batches, scored := sc.Stats()
+	fmt.Printf("samples scored:      %d\n", rows)
+	fmt.Printf("flagged as malware:  %d (%.4f)\n", malware, float64(malware)/float64(rows))
+	fmt.Printf("label agreement:     %.4f\n", float64(correct)/float64(rows))
+	fmt.Printf("merged batches:      %d (mean %.1f rows/batch)\n", batches, float64(scored)/float64(batches))
+	fmt.Printf("throughput:          %.0f rows/s (%d clients, %s)\n",
+		float64(rows)/elapsed.Seconds(), *clients, elapsed.Round(time.Millisecond))
 	return nil
 }
 

@@ -5,6 +5,7 @@
 //	malevade dataset -scale 20 -seed 3 -out data/    synthesize a corpus
 //	malevade train   -data data/train.gob -model target -out target.gob
 //	malevade attack  -model target.gob -data data/test.gob -theta 0.1 -gamma 0.025
+//	malevade score   -model target.gob -data data/test.gob -clients 8
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
 //
@@ -40,6 +41,8 @@ func run(args []string) error {
 		return cmdTrain(args[1:])
 	case "attack":
 		return cmdAttack(args[1:])
+	case "score":
+		return cmdScore(args[1:])
 	case "vocab":
 		return cmdVocab(args[1:])
 	case "explain":
@@ -61,6 +64,7 @@ commands:
   dataset   synthesize and save a corpus
   train     train a target or substitute model
   attack    run the JSMA attack against a saved model
+  score     score a dataset through the concurrent batched engine
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features
 
@@ -87,6 +91,7 @@ func cmdRepro(args []string) error {
 		return err
 	}
 	lab := experiments.NewLab(profile)
+	defer lab.Close()
 	if !*quiet {
 		lab.Log = os.Stderr
 	}

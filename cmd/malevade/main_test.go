@@ -76,6 +76,16 @@ func TestDatasetTrainAttackExplainPipeline(t *testing.T) {
 		t.Fatal("expected unknown-attack error")
 	}
 
+	if err := run([]string{"score",
+		"-model", model, "-data", filepath.Join(dataDir, "test.gob"),
+		"-workers", "2", "-batch", "32", "-clients", "4"}); err != nil {
+		t.Fatalf("score: %v", err)
+	}
+	if err := run([]string{"score", "-model", model,
+		"-data", "/nonexistent/d.gob"}); err == nil {
+		t.Fatal("expected score load error")
+	}
+
 	if err := run([]string{"explain",
 		"-model", model, "-data", filepath.Join(dataDir, "test.gob"),
 		"-row", "0", "-attack"}); err != nil {

@@ -1,0 +1,3 @@
+module malevade
+
+go 1.24

@@ -110,6 +110,27 @@ func (s Stats) String() string {
 		s.N, s.EvasionRate, s.MeanL2, s.MeanModified)
 }
 
+// BatchScorer scores a batch of feature rows to logits. Both *nn.Network
+// (serial pooled inference) and *serve.Scorer (the concurrent batched
+// engine) satisfy it; every attack scores its evasion checks through one,
+// so multi-sample crafting coalesces with other callers when an engine is
+// plugged in. Implementations must return numbers identical to
+// Model.Forward(x, false) — the attacks' step decisions depend on it.
+type BatchScorer interface {
+	Logits(x *tensor.Matrix) *tensor.Matrix
+}
+
+var _ BatchScorer = (*nn.Network)(nil)
+
+// scorerOr returns sc when set, falling back to the crafting model's own
+// (serial) inference path.
+func scorerOr(sc BatchScorer, model *nn.Network) BatchScorer {
+	if sc != nil {
+		return sc
+	}
+	return model
+}
+
 // predictsClean reports whether the model's argmax for row i is the clean
 // class.
 func predictsClean(logits *tensor.Matrix, i int) bool {
@@ -118,12 +139,12 @@ func predictsClean(logits *tensor.Matrix, i int) bool {
 
 // evaluateEvasion computes final Evaded flags and L2 norms for a crafted
 // batch.
-func evaluateEvasion(model *nn.Network, results []Result) {
+func evaluateEvasion(sc BatchScorer, results []Result) {
 	if len(results) == 0 {
 		return
 	}
 	adv := AdvMatrix(results)
-	logits := model.Forward(adv, false)
+	logits := sc.Logits(adv)
 	for i := range results {
 		results[i].Evaded = predictsClean(logits, i)
 		results[i].L2 = tensor.L2Distance(results[i].Adversarial, results[i].Original)

@@ -20,6 +20,9 @@ type RandomAdd struct {
 	Gamma float64
 	// Seed drives feature selection.
 	Seed uint64
+	// Scorer optionally routes evasion evaluation through a shared
+	// scoring engine.
+	Scorer BatchScorer
 }
 
 var _ Attack = (*RandomAdd)(nil)
@@ -50,7 +53,7 @@ func (a *RandomAdd) Run(x *tensor.Matrix) []Result {
 			results[i].ModifiedFeatures = append(results[i].ModifiedFeatures, f)
 		}
 	}
-	evaluateEvasion(a.Model, results)
+	evaluateEvasion(scorerOr(a.Scorer, a.Model), results)
 	return results
 }
 
@@ -63,6 +66,9 @@ type FGSM struct {
 	Model *nn.Network
 	// Theta is the step magnitude.
 	Theta float64
+	// Scorer optionally routes evasion evaluation through a shared
+	// scoring engine.
+	Scorer BatchScorer
 }
 
 var _ Attack = (*FGSM)(nil)
@@ -94,6 +100,6 @@ func (a *FGSM) Run(x *tensor.Matrix) []Result {
 			results[i].ModifiedFeatures = append(results[i].ModifiedFeatures, f)
 		}
 	}
-	evaluateEvasion(a.Model, results)
+	evaluateEvasion(scorerOr(a.Scorer, a.Model), results)
 	return results
 }

@@ -45,6 +45,11 @@ type JSMA struct {
 	// a real binary would break it, which is exactly why the paper
 	// forbids it.
 	AllowRemoval bool
+	// Scorer, when non-nil, routes the per-iteration evasion checks
+	// through a shared scoring engine (serve.Scorer) instead of the
+	// crafting model's own inference path. Gradient computation always
+	// stays on Model.
+	Scorer BatchScorer
 }
 
 var _ Attack = (*JSMA)(nil)
@@ -82,16 +87,17 @@ func (j *JSMA) Run(x *tensor.Matrix) []Result {
 			Adversarial: adv.Row(i),
 		}
 	}
+	sc := scorerOr(j.Scorer, j.Model)
 	budget := FeatureBudget(j.Gamma, x.Cols)
 	if budget == 0 || j.Theta <= 0 {
-		evaluateEvasion(j.Model, results)
+		evaluateEvasion(sc, results)
 		return results
 	}
 
 	hi := j.clampHi()
 	active := make([]bool, n)
 	modified := make([][]bool, n)
-	logits := j.Model.Forward(adv, false)
+	logits := sc.Logits(adv)
 	numActive := 0
 	for i := 0; i < n; i++ {
 		if !predictsClean(logits, i) {
@@ -159,7 +165,7 @@ func (j *JSMA) Run(x *tensor.Matrix) []Result {
 			}
 		}
 		// Retire samples that now evade.
-		logits = j.Model.Forward(adv, false)
+		logits = sc.Logits(adv)
 		for i := 0; i < n; i++ {
 			if active[i] && predictsClean(logits, i) {
 				active[i] = false
@@ -167,7 +173,7 @@ func (j *JSMA) Run(x *tensor.Matrix) []Result {
 			}
 		}
 	}
-	evaluateEvasion(j.Model, results)
+	evaluateEvasion(sc, results)
 	return results
 }
 

@@ -22,6 +22,9 @@ type PGD struct {
 	Alpha float64
 	// Steps is the iteration count (default 10).
 	Steps int
+	// Scorer optionally routes evasion evaluation through a shared
+	// scoring engine.
+	Scorer BatchScorer
 }
 
 var _ Attack = (*PGD)(nil)
@@ -58,7 +61,7 @@ func (a *PGD) Run(x *tensor.Matrix) []Result {
 		results[i] = Result{Original: x.Row(i), Adversarial: adv.Row(i)}
 	}
 	if a.Epsilon <= 0 {
-		evaluateEvasion(a.Model, results)
+		evaluateEvasion(scorerOr(a.Scorer, a.Model), results)
 		return results
 	}
 	alpha := a.alpha()
@@ -92,6 +95,6 @@ func (a *PGD) Run(x *tensor.Matrix) []Result {
 			}
 		}
 	}
-	evaluateEvasion(a.Model, results)
+	evaluateEvasion(scorerOr(a.Scorer, a.Model), results)
 	return results
 }

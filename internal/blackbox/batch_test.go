@@ -1,0 +1,119 @@
+package blackbox
+
+import (
+	"sync"
+	"testing"
+
+	"malevade/internal/detector"
+	"malevade/internal/nn"
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+func oracleNet(t *testing.T) *detector.DNN {
+	t.Helper()
+	net, err := nn.NewMLP(nn.MLPConfig{Dims: []int{10, 8, 2}, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detector.NewDNN(net)
+}
+
+// TestDetectorOracleLabelBatch checks the batched fast path agrees with
+// per-row labeling and counts one query per row.
+func TestDetectorOracleLabelBatch(t *testing.T) {
+	d := oracleNet(t)
+	r := rng.New(72)
+	x := tensor.New(13, 10)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+
+	perRow := NewDetectorOracle(d)
+	var want []int
+	for i := 0; i < x.Rows; i++ {
+		want = append(want, perRow.Label(x.Row(i)))
+	}
+
+	batched := NewDetectorOracle(d)
+	got := LabelAll(batched, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LabelBatch[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if batched.Queries() != perRow.Queries() {
+		t.Fatalf("batched path counted %d queries, per-row %d", batched.Queries(), perRow.Queries())
+	}
+	if batched.Queries() != int64(x.Rows) {
+		t.Fatalf("counted %d queries, want %d", batched.Queries(), x.Rows)
+	}
+}
+
+// perRowOracle hides the batch method to exercise LabelAll's fallback.
+type perRowOracle struct{ o *DetectorOracle }
+
+func (p *perRowOracle) Label(x []float64) int { return p.o.Label(x) }
+func (p *perRowOracle) Queries() int64        { return p.o.Queries() }
+
+func TestLabelAllFallsBackPerRow(t *testing.T) {
+	d := oracleNet(t)
+	r := rng.New(73)
+	x := tensor.New(5, 10)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	p := &perRowOracle{o: NewDetectorOracle(d)}
+	got := LabelAll(p, x)
+	want := NewDetectorOracle(d).LabelBatch(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fallback label %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if p.Queries() != int64(x.Rows) {
+		t.Fatalf("fallback counted %d queries, want %d", p.Queries(), x.Rows)
+	}
+}
+
+// TestDetectorOracleConcurrentQueries hammers one oracle from many
+// goroutines — the shape of parallel black-box attack campaigns — and
+// checks the atomic budget accounting. Run with -race.
+func TestDetectorOracleConcurrentQueries(t *testing.T) {
+	d := oracleNet(t)
+	o := NewDetectorOracle(d)
+	r := rng.New(74)
+	x := tensor.New(6, 10)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	want := NewDetectorOracle(d).LabelBatch(x)
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				got := o.LabelBatch(x)
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- "oracle labels diverged under concurrency"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	if q := o.Queries(); q != int64(goroutines*iters*x.Rows) {
+		t.Fatalf("query budget %d, want %d", q, goroutines*iters*x.Rows)
+	}
+}

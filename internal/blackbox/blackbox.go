@@ -33,14 +33,39 @@ type Oracle interface {
 	Queries() int64
 }
 
-// DetectorOracle adapts any Detector into a query-counting Oracle.
+// BatchOracle is an Oracle that can label a whole batch in one call — the
+// fast path the substitute-training loop uses for its seed and augmentation
+// sets instead of one forward pass per row.
+type BatchOracle interface {
+	Oracle
+	// LabelBatch returns the target's class decision for every row of x,
+	// counting one query per row.
+	LabelBatch(x *tensor.Matrix) []int
+}
+
+// LabelAll labels every row of x, taking the batched fast path when the
+// oracle supports it.
+func LabelAll(o Oracle, x *tensor.Matrix) []int {
+	if bo, ok := o.(BatchOracle); ok {
+		return bo.LabelBatch(x)
+	}
+	out := make([]int, x.Rows)
+	for i := range out {
+		out[i] = o.Label(x.Row(i))
+	}
+	return out
+}
+
+// DetectorOracle adapts any Detector into a query-counting BatchOracle.
+// Query counting is atomic, so the oracle is safe for concurrent callers
+// whenever the wrapped Target is (detector.DNN and serve.Scorer both are).
 type DetectorOracle struct {
 	Target detector.Detector
 
 	queries atomic.Int64
 }
 
-var _ Oracle = (*DetectorOracle)(nil)
+var _ BatchOracle = (*DetectorOracle)(nil)
 
 // NewDetectorOracle wraps a target detector.
 func NewDetectorOracle(target detector.Detector) *DetectorOracle {
@@ -52,6 +77,12 @@ func (o *DetectorOracle) Label(x []float64) int {
 	o.queries.Add(1)
 	m := tensor.FromSlice(1, len(x), x)
 	return o.Target.Predict(m)[0]
+}
+
+// LabelBatch implements BatchOracle with a single batched forward pass.
+func (o *DetectorOracle) LabelBatch(x *tensor.Matrix) []int {
+	o.queries.Add(int64(x.Rows))
+	return o.Target.Predict(x)
 }
 
 // Queries implements Oracle.
@@ -139,10 +170,7 @@ func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (
 	}
 
 	x := seed.Clone()
-	labels := make([]int, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		labels[i] = oracle.Label(x.Row(i))
-	}
+	labels := LabelAll(oracle, x)
 	res := &SubstituteResult{}
 
 	for round := 0; round < cfg.Rounds; round++ {
@@ -168,10 +196,12 @@ func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (
 		}
 
 		// Jacobian augmentation: x' = clamp(x + λ·sign(∂F_label/∂x)).
+		// The Jacobians come one row at a time (InputJacobian runs the
+		// train-time backward pass, which is single-caller); the oracle
+		// labels for the whole augmented block are then fetched in one
+		// batched query.
 		augmented := tensor.New(x.Rows*2, inDim)
 		copy(augmented.Data[:len(x.Data)], x.Data)
-		newLabels := make([]int, 0, x.Rows*2)
-		newLabels = append(newLabels, labels...)
 		for i := 0; i < x.Rows; i++ {
 			jac := net.InputJacobian(x.Row(i), 1)
 			dst := augmented.Row(x.Rows + i)
@@ -193,10 +223,10 @@ func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (
 				}
 				dst[f] = v
 			}
-			newLabels = append(newLabels, oracle.Label(dst))
 		}
+		fresh := tensor.FromSlice(x.Rows, inDim, augmented.Data[len(x.Data):])
+		labels = append(labels, LabelAll(oracle, fresh)...)
 		x = augmented
-		labels = newLabels
 	}
 	res.Model = detector.NewDNN(net)
 	res.TrainingSetSize = x.Rows

@@ -8,6 +8,8 @@ package evaluation
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"malevade/internal/attack"
 	"malevade/internal/dataset"
@@ -111,6 +113,18 @@ type SweepSpec struct {
 	Values []float64
 	// MakeAttack builds the attack for a given strength value.
 	MakeAttack func(strength float64) attack.Attack
+	// MakeWorkerAttack, when non-nil, enables the parallel sweep: Sweep
+	// fans strengths out across min(GOMAXPROCS, len(Values)) worker
+	// goroutines and calls MakeWorkerAttack once per worker to obtain
+	// that worker's attack factory. The factory must bind any state the
+	// attack mutates — in particular, gradient-based attacks cache
+	// activations in their crafting network, so each worker needs its
+	// own nn.Network Clone. Target must then be safe for concurrent
+	// scoring (detector.DNN and serve.Scorer are). Curve points come
+	// back in Values order regardless of scheduling, and every attack in
+	// this repository is deterministic per strength, so the resulting
+	// curve is identical to a serial sweep.
+	MakeWorkerAttack func() func(strength float64) attack.Attack
 	// Target scores the crafted adversarial examples. In the white-box
 	// setting it is the crafting model; in grey/black-box settings it
 	// differs.
@@ -122,35 +136,85 @@ type SweepSpec struct {
 }
 
 // Sweep runs the attack at every strength against the malware matrix and
-// returns the security evaluation curve.
+// returns the security evaluation curve. With MakeWorkerAttack set, sweep
+// points fan out across the available cores; otherwise they run serially
+// via MakeAttack.
 func Sweep(spec SweepSpec, malware *tensor.Matrix) (*Curve, error) {
-	if spec.MakeAttack == nil || spec.Target == nil {
-		return nil, fmt.Errorf("evaluation: sweep %q needs MakeAttack and Target", spec.Name)
+	if (spec.MakeAttack == nil && spec.MakeWorkerAttack == nil) || spec.Target == nil {
+		return nil, fmt.Errorf("evaluation: sweep %q needs MakeAttack (or MakeWorkerAttack) and Target", spec.Name)
 	}
 	if len(spec.Values) == 0 {
 		return nil, fmt.Errorf("evaluation: sweep %q has no strengths", spec.Name)
 	}
 	curve := &Curve{Name: spec.Name, Param: spec.Param}
-	for _, v := range spec.Values {
-		atk := spec.MakeAttack(v)
-		results := atk.Run(malware)
+	curve.Pts = make([]CurvePoint, len(spec.Values))
+	point := func(mk func(strength float64) attack.Attack, i int) {
+		v := spec.Values[i]
+		results := mk(v).Run(malware)
 		stats := attack.Summarize(results)
 		adv := attack.AdvMatrix(results)
 		if spec.Transform != nil {
-			for i := range results {
-				mapped := spec.Transform(results[i].Adversarial, results[i].Original)
-				copy(adv.Row(i), mapped)
+			for r := range results {
+				mapped := spec.Transform(results[r].Adversarial, results[r].Original)
+				copy(adv.Row(r), mapped)
 			}
 		}
-		curve.Pts = append(curve.Pts, CurvePoint{
+		curve.Pts[i] = CurvePoint{
 			Strength:           v,
 			DetectionRate:      detector.DetectionRate(spec.Target, adv),
 			CraftDetectionRate: 1 - stats.EvasionRate,
 			MeanL2:             stats.MeanL2,
 			MeanModified:       stats.MeanModified,
-		})
+		}
 	}
+	if spec.MakeWorkerAttack == nil {
+		for i := range spec.Values {
+			point(spec.MakeAttack, i)
+		}
+		return curve, nil
+	}
+	FanOut(len(spec.Values), false, func() func(i int) {
+		mk := spec.MakeWorkerAttack()
+		return func(i int) { point(mk, i) }
+	})
 	return curve, nil
+}
+
+// FanOut runs point(i) for every i in [0,n) across min(GOMAXPROCS, n)
+// worker goroutines — or strictly in order when serial is true. makeWorker
+// is called once per worker to bind per-worker state (e.g. a cloned
+// crafting network); the returned point functions must write results into
+// index-addressed slots, which keeps output identical to a serial run.
+// Sweep and the experiment drivers share this scaffold.
+func FanOut(n int, serial bool, makeWorker func() func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if serial || workers <= 1 {
+		point := makeWorker()
+		for i := 0; i < n; i++ {
+			point(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			point := makeWorker()
+			for i := range idx {
+				point(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // TransferRate is the paper's grey/black-box headline metric: the fraction

@@ -10,6 +10,7 @@ import (
 	"malevade/internal/dataset"
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
+	"malevade/internal/nn"
 	"malevade/internal/report"
 )
 
@@ -90,6 +91,32 @@ func activeCount(x []float64) int {
 	return n
 }
 
+// craftSweep wires a sweep's attack construction for the lab's concurrency
+// mode: serial labs bind the shared crafting network; concurrent labs give
+// each sweep worker its own Clone, because gradient-based crafting mutates
+// per-network activation caches. Exactly one of the two returned factories
+// is non-nil (they slot into SweepSpec.MakeAttack / MakeWorkerAttack).
+func craftSweep(l *Lab, craft *nn.Network, mk func(net *nn.Network, v float64) attack.Attack) (
+	func(v float64) attack.Attack, func() func(v float64) attack.Attack) {
+	if l.Serial {
+		return func(v float64) attack.Attack { return mk(craft, v) }, nil
+	}
+	return nil, func() func(v float64) attack.Attack {
+		net := craft.Clone()
+		return func(v float64) attack.Attack { return mk(net, v) }
+	}
+}
+
+// forEachPoint fans grid indices out across the available cores — or runs
+// them in order for Serial labs. makeWorker returns one worker's point
+// function, binding any cloned crafting models; point functions write
+// results into index-addressed slots, so output ordering (and, since every
+// attack here is deterministic per strength, content) is identical either
+// way.
+func (l *Lab) forEachPoint(n int, makeWorker func() func(i int)) {
+	evaluation.FanOut(n, l.Serial, makeWorker)
+}
+
 // Figure3a is the white-box γ sweep at θ=0.1 with the random-addition
 // control ("randomly adding features does not decrease the detection
 // rates").
@@ -102,26 +129,30 @@ func Figure3a(l *Lab, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mkJSMA, mkJSMAWorker := craftSweep(l, target.Net, func(net *nn.Network, g float64) attack.Attack {
+		return &attack.JSMA{Model: net, Theta: 0.1, Gamma: g}
+	})
 	jsmaCurve, err := evaluation.Sweep(evaluation.SweepSpec{
-		Name:   "JSMA",
-		Param:  "gamma",
-		Values: gammaGrid,
-		MakeAttack: func(g float64) attack.Attack {
-			return &attack.JSMA{Model: target.Net, Theta: 0.1, Gamma: g}
-		},
-		Target: target,
+		Name:             "JSMA",
+		Param:            "gamma",
+		Values:           gammaGrid,
+		MakeAttack:       mkJSMA,
+		MakeWorkerAttack: mkJSMAWorker,
+		Target:           target,
 	}, mal.X)
 	if err != nil {
 		return err
 	}
+	mkRand, mkRandWorker := craftSweep(l, target.Net, func(net *nn.Network, g float64) attack.Attack {
+		return &attack.RandomAdd{Model: net, Theta: 0.1, Gamma: g, Seed: l.Profile.Seed + 41}
+	})
 	randCurve, err := evaluation.Sweep(evaluation.SweepSpec{
-		Name:   "random add",
-		Param:  "gamma",
-		Values: gammaGrid,
-		MakeAttack: func(g float64) attack.Attack {
-			return &attack.RandomAdd{Model: target.Net, Theta: 0.1, Gamma: g, Seed: l.Profile.Seed + 41}
-		},
-		Target: target,
+		Name:             "random add",
+		Param:            "gamma",
+		Values:           gammaGrid,
+		MakeAttack:       mkRand,
+		MakeWorkerAttack: mkRandWorker,
+		Target:           target,
 	}, mal.X)
 	if err != nil {
 		return err
@@ -140,14 +171,16 @@ func Figure3b(l *Lab, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mk, mkWorker := craftSweep(l, target.Net, func(net *nn.Network, th float64) attack.Attack {
+		return &attack.JSMA{Model: net, Theta: th, Gamma: 0.025}
+	})
 	curve, err := evaluation.Sweep(evaluation.SweepSpec{
-		Name:   "JSMA",
-		Param:  "theta",
-		Values: thetaGrid,
-		MakeAttack: func(th float64) attack.Attack {
-			return &attack.JSMA{Model: target.Net, Theta: th, Gamma: 0.025}
-		},
-		Target: target,
+		Name:             "JSMA",
+		Param:            "theta",
+		Values:           thetaGrid,
+		MakeAttack:       mk,
+		MakeWorkerAttack: mkWorker,
+		Target:           target,
 	}, mal.X)
 	if err != nil {
 		return err
@@ -160,8 +193,8 @@ func Figure3b(l *Lab, w io.Writer) error {
 // evaluated on both models.
 func Figure4a(l *Lab, w io.Writer) error {
 	return greyBoxSweep(l, w, "FIGURE 4(a): GREY-BOX SECURITY EVALUATION (theta=0.100)",
-		"gamma", gammaGrid, func(sub *detector.DNN, v float64) attack.Attack {
-			return &attack.JSMA{Model: sub.Net, Theta: 0.1, Gamma: v}
+		"gamma", gammaGrid, func(net *nn.Network, v float64) attack.Attack {
+			return &attack.JSMA{Model: net, Theta: 0.1, Gamma: v}
 		})
 }
 
@@ -169,13 +202,13 @@ func Figure4a(l *Lab, w io.Writer) error {
 // paper's headline operating point with target detection 0.147).
 func Figure4b(l *Lab, w io.Writer) error {
 	return greyBoxSweep(l, w, "FIGURE 4(b): GREY-BOX SECURITY EVALUATION (gamma=0.005)",
-		"theta", thetaGrid, func(sub *detector.DNN, v float64) attack.Attack {
-			return &attack.JSMA{Model: sub.Net, Theta: v, Gamma: 0.005}
+		"theta", thetaGrid, func(net *nn.Network, v float64) attack.Attack {
+			return &attack.JSMA{Model: net, Theta: v, Gamma: 0.005}
 		})
 }
 
 func greyBoxSweep(l *Lab, w io.Writer, title, param string, grid []float64,
-	mk func(sub *detector.DNN, v float64) attack.Attack) error {
+	mk func(net *nn.Network, v float64) attack.Attack) error {
 	target, err := l.Target()
 	if err != nil {
 		return err
@@ -188,14 +221,14 @@ func greyBoxSweep(l *Lab, w io.Writer, title, param string, grid []float64,
 	if err != nil {
 		return err
 	}
+	mkAttack, mkWorker := craftSweep(l, sub.Net, mk)
 	targetCurve, err := evaluation.Sweep(evaluation.SweepSpec{
-		Name:   "target model",
-		Param:  param,
-		Values: grid,
-		MakeAttack: func(v float64) attack.Attack {
-			return mk(sub, v)
-		},
-		Target: target,
+		Name:             "target model",
+		Param:            param,
+		Values:           grid,
+		MakeAttack:       mkAttack,
+		MakeWorkerAttack: mkWorker,
+		Target:           target,
 	}, mal.X)
 	if err != nil {
 		return err
@@ -239,32 +272,41 @@ func Figure4c(l *Lab, w io.Writer) error {
 	}
 	binView := mal.BinaryView()
 
-	targetCurve := &evaluation.Curve{Name: "target model", Param: "gamma"}
-	subCurve := &evaluation.Curve{Name: "substitute (binary)", Param: "gamma"}
-	for _, g := range gammaGrid {
-		j := &attack.JSMA{Model: bsub.Net, Theta: 1.0, Gamma: g} // binary: set to 1
-		results := j.Run(binView.X)
-		stats := attack.Summarize(results)
-
-		// Replay in the target's count space: each newly set API is
-		// "added once" to the sample's raw counts.
-		advTarget := mal.X.Clone()
-		for i, r := range results {
-			counts := append([]float64(nil), mal.Counts.Row(i)...)
-			for _, f := range r.ModifiedFeatures {
-				counts[f]++
-			}
-			copy(advTarget.Row(i), dataset.Normalize(counts))
+	targetCurve := &evaluation.Curve{Name: "target model", Param: "gamma",
+		Pts: make([]evaluation.CurvePoint, len(gammaGrid))}
+	subCurve := &evaluation.Curve{Name: "substitute (binary)", Param: "gamma",
+		Pts: make([]evaluation.CurvePoint, len(gammaGrid))}
+	l.forEachPoint(len(gammaGrid), func() func(pi int) {
+		craft := bsub.Net
+		if !l.Serial {
+			craft = craft.Clone() // JSMA gradients need a per-worker network
 		}
-		targetCurve.Pts = append(targetCurve.Pts, evaluation.CurvePoint{
-			Strength:      g,
-			DetectionRate: detector.DetectionRate(target, advTarget),
-		})
-		subCurve.Pts = append(subCurve.Pts, evaluation.CurvePoint{
-			Strength:      g,
-			DetectionRate: 1 - stats.EvasionRate,
-		})
-	}
+		return func(pi int) {
+			g := gammaGrid[pi]
+			j := &attack.JSMA{Model: craft, Theta: 1.0, Gamma: g} // binary: set to 1
+			results := j.Run(binView.X)
+			stats := attack.Summarize(results)
+
+			// Replay in the target's count space: each newly set API is
+			// "added once" to the sample's raw counts.
+			advTarget := mal.X.Clone()
+			for i, r := range results {
+				counts := append([]float64(nil), mal.Counts.Row(i)...)
+				for _, f := range r.ModifiedFeatures {
+					counts[f]++
+				}
+				copy(advTarget.Row(i), dataset.Normalize(counts))
+			}
+			targetCurve.Pts[pi] = evaluation.CurvePoint{
+				Strength:      g,
+				DetectionRate: detector.DetectionRate(target, advTarget),
+			}
+			subCurve.Pts[pi] = evaluation.CurvePoint{
+				Strength:      g,
+				DetectionRate: 1 - stats.EvasionRate,
+			}
+		}
+	})
 	if err := renderCurves(w, "FIGURE 4(c): GREY-BOX WITH BINARY FEATURES (theta=0.100)",
 		"gamma", targetCurve, subCurve); err != nil {
 		return err
@@ -292,14 +334,25 @@ func Figure5(l *Lab, w io.Writer) error {
 	}
 	clean := c.Test.FilterLabel(dataset.LabelClean)
 
-	render := func(title, param string, grid []float64, mk func(v float64) *attack.JSMA) error {
+	render := func(title, param string, grid []float64, mk func(net *nn.Network, v float64) *attack.JSMA) error {
 		series := []report.Series{
 			{Name: "d(malware, advEx)"},
 			{Name: "d(malware, clean)"},
 			{Name: "d(clean, advEx)"},
 		}
-		for _, v := range grid {
-			an := evaluation.AnalyzeL2(v, mk(v).Run(mal.X), clean.X)
+		analyses := make([]evaluation.L2Analysis, len(grid))
+		l.forEachPoint(len(grid), func() func(pi int) {
+			craft := sub.Net
+			if !l.Serial {
+				craft = craft.Clone()
+			}
+			return func(pi int) {
+				v := grid[pi]
+				analyses[pi] = evaluation.AnalyzeL2(v, mk(craft, v).Run(mal.X), clean.X)
+			}
+		})
+		for i, an := range analyses {
+			v := grid[i]
 			series[0].X = append(series[0].X, v)
 			series[0].Y = append(series[0].Y, an.MalwareToAdv)
 			series[1].X = append(series[1].X, v)
@@ -311,14 +364,14 @@ func Figure5(l *Lab, w io.Writer) error {
 		return chart.Render(w)
 	}
 	if err := render("FIGURE 5(a): L2 DISTANCES, GREY-BOX (theta=0.100)", "gamma", gammaGrid,
-		func(v float64) *attack.JSMA {
-			return &attack.JSMA{Model: sub.Net, Theta: 0.1, Gamma: v}
+		func(net *nn.Network, v float64) *attack.JSMA {
+			return &attack.JSMA{Model: net, Theta: 0.1, Gamma: v}
 		}); err != nil {
 		return err
 	}
 	return render("FIGURE 5(b): L2 DISTANCES, GREY-BOX (gamma=0.005)", "theta", thetaGrid,
-		func(v float64) *attack.JSMA {
-			return &attack.JSMA{Model: sub.Net, Theta: v, Gamma: 0.005}
+		func(net *nn.Network, v float64) *attack.JSMA {
+			return &attack.JSMA{Model: net, Theta: v, Gamma: 0.005}
 		})
 }
 
@@ -338,7 +391,18 @@ func Figure2(l *Lab, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	oracle := blackbox.NewDetectorOracle(target)
+	// The oracle answers label queries through the concurrent engine —
+	// the deployment shape the framework models, where the target is a
+	// production scoring service (numerically identical either way).
+	var oracleTarget detector.Detector = target
+	if !l.Serial {
+		sc, err := l.TargetScorer()
+		if err != nil {
+			return err
+		}
+		oracleTarget = sc
+	}
+	oracle := blackbox.NewDetectorOracle(oracleTarget)
 	seed := blackbox.SeedSet(ac.Val, 40, l.Profile.Seed+43)
 	res, err := blackbox.TrainSubstitute(oracle, seed, blackbox.SubstituteConfig{
 		Arch:           detector.ArchTarget,

@@ -113,6 +113,91 @@ func TestGradientCheckTanhNetMSE(t *testing.T) {
 	checkNetGradients(t, net, MSE{}, x, targets)
 }
 
+func TestGradientCheckTanhNetCE(t *testing.T) {
+	// Tanh under the classification loss (the MSE variant above probes a
+	// different gradient path through the loss).
+	net, err := NewMLP(MLPConfig{Dims: []int{5, 9, 6, 3}, Activation: "tanh", Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(32)
+	x := tensor.New(6, 5)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	targets := OneHot([]int{0, 1, 2, 2, 1, 0}, 3)
+	checkNetGradients(t, net, NewSoftmaxCrossEntropy(1), x, targets)
+}
+
+func TestGradientCheckDropoutNetInference(t *testing.T) {
+	// A dropout-bearing stack in inference mode: the layer must be an
+	// exact identity in both directions, so the full-network gradient
+	// check has to pass as if the layer were absent. This pins the
+	// mask-nil pass-through the scratch-state refactor relies on.
+	net, err := NewMLP(MLPConfig{Dims: []int{4, 8, 6, 2}, Activation: "tanh", DropoutRate: 0.5, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(34)
+	x := tensor.New(5, 4)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	targets := OneHot([]int{0, 1, 0, 1, 1}, 2)
+	checkNetGradients(t, net, NewSoftmaxCrossEntropy(1), x, targets)
+}
+
+// TestDropoutTrainingGradient pins the training-mode dropout gradient to
+// the mask drawn at Forward time: out = x⊙m, so dLoss/dx must be g⊙m with
+// m[i] ∈ {0, 1/(1-rate)}, and the keep fraction must match the rate.
+func TestDropoutTrainingGradient(t *testing.T) {
+	const rate = 0.3
+	l := NewDropout(rate, rng.New(35))
+	r := rng.New(36)
+	x := tensor.New(20, 25)
+	for i := range x.Data {
+		x.Data[i] = 1 + r.Float64() // bounded away from 0 so masks are visible
+	}
+	out := l.Forward(x, true)
+
+	scale := 1 / (1 - rate)
+	kept := 0
+	mask := make([]float64, len(x.Data))
+	for i, v := range out.Data {
+		switch v {
+		case 0:
+			mask[i] = 0
+		case x.Data[i] * scale:
+			mask[i] = scale
+			kept++
+		default:
+			t.Fatalf("output %d is %v, want 0 or %v (inverted dropout)", i, v, x.Data[i]*scale)
+		}
+	}
+	if frac := float64(kept) / float64(len(x.Data)); frac < 0.55 || frac > 0.85 {
+		t.Fatalf("keep fraction %.3f implausible for rate %v", frac, rate)
+	}
+
+	g := tensor.New(20, 25)
+	for i := range g.Data {
+		g.Data[i] = r.NormFloat64()
+	}
+	back := l.Backward(g)
+	for i, v := range back.Data {
+		if want := g.Data[i] * mask[i]; v != want {
+			t.Fatalf("grad %d = %v, want %v (same mask as Forward)", i, v, want)
+		}
+	}
+
+	// Inference mode must reset to exact pass-through in both directions.
+	if inf := l.Forward(x, false); &inf.Data[0] != &x.Data[0] {
+		t.Fatal("inference Forward should be the identity (no copy)")
+	}
+	if back := l.Backward(g); &back.Data[0] != &g.Data[0] {
+		t.Fatal("inference Backward should pass the gradient through")
+	}
+}
+
 func TestGradientCheckHighTemperature(t *testing.T) {
 	// Distillation trains at T=50; the gradient must stay exact there.
 	net, err := NewMLP(MLPConfig{Dims: []int{4, 6, 2}, Activation: "relu", Seed: 7})

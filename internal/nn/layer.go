@@ -8,6 +8,13 @@
 // The engine is CPU-only, float64, deterministic under a fixed seed, and
 // stdlib-only. It is sized for the paper's workload (hundreds of thousands
 // of 491-dimensional samples), not for general deep learning.
+//
+// State is split into immutable shared weights and per-caller scratch: the
+// inference path (Network.Infer with an explicit Workspace, or the pooled
+// Logits/Probs/PredictClass) is safe for any number of concurrent readers,
+// while the train-time Forward/Backward pair caches activations in the
+// layers and stays single-caller. See the Network doc for the full
+// contract.
 package nn
 
 import (
@@ -28,7 +35,8 @@ type Param struct {
 // Layer is one differentiable stage of a network. Forward must cache
 // whatever Backward needs; Backward consumes the cache of the most recent
 // Forward call and returns the gradient with respect to that input.
-// Implementations are not safe for concurrent use.
+// Forward and Backward are the train-time path and are not safe for
+// concurrent use; InferInto is the shared-read inference path and is.
 type Layer interface {
 	// Forward computes the layer output for a batch (rows are samples).
 	// training selects training-time behaviour (e.g. dropout masking).
@@ -36,6 +44,12 @@ type Layer interface {
 	// Backward receives dLoss/dOutput and returns dLoss/dInput,
 	// accumulating parameter gradients as a side effect.
 	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// InferInto writes the layer's inference-mode output for x into dst
+	// (pre-sized to x.Rows × OutDim by the caller). It must only read
+	// parameters — never touch the train-time caches — so any number of
+	// goroutines may InferInto one shared layer concurrently, each with
+	// its own dst, as long as nobody is mutating the parameters.
+	InferInto(dst, x *tensor.Matrix)
 	// Params returns the layer's trainable parameters (nil if none).
 	Params() []*Param
 	// OutDim returns the width of the layer's output given its input
@@ -119,6 +133,16 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	return d.gradIn
 }
 
+// InferInto computes y = xW + b into dst without touching the training
+// caches.
+func (d *Dense) InferInto(dst, x *tensor.Matrix) {
+	if x.Cols != d.in {
+		panic(fmt.Sprintf("nn: Dense input width %d, want %d", x.Cols, d.in))
+	}
+	tensor.MatMul(dst, x, d.W.Value)
+	tensor.AddRowVector(dst, d.B.Value.Row(0))
+}
+
 // Params returns the weight and bias parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
@@ -176,6 +200,17 @@ func (l *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+// InferInto computes max(0, x) into dst without touching the mask cache.
+func (l *ReLU) InferInto(dst, x *tensor.Matrix) {
+	for i, v := range x.Data {
+		if v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
 // Params returns nil; ReLU has no parameters.
 func (l *ReLU) Params() []*Param { return nil }
 
@@ -216,6 +251,14 @@ func (l *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+// InferInto computes the logistic function into dst without touching the
+// output cache.
+func (l *Sigmoid) InferInto(dst, x *tensor.Matrix) {
+	for i, v := range x.Data {
+		dst.Data[i] = sigmoid(v)
+	}
+}
+
 // Params returns nil; Sigmoid has no parameters.
 func (l *Sigmoid) Params() []*Param { return nil }
 
@@ -254,6 +297,13 @@ func (l *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		out.Data[i] = g * (1 - th*th)
 	}
 	return out
+}
+
+// InferInto computes tanh into dst without touching the output cache.
+func (l *Tanh) InferInto(dst, x *tensor.Matrix) {
+	for i, v := range x.Data {
+		dst.Data[i] = tanh(v)
+	}
 }
 
 // Params returns nil; Tanh has no parameters.
@@ -320,6 +370,12 @@ func (l *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		out.Data[i] = g * l.mask[i]
 	}
 	return out
+}
+
+// InferInto is the identity (inverted dropout needs no inference-time
+// rescaling); it copies so dst stays layer-independent.
+func (l *Dropout) InferInto(dst, x *tensor.Matrix) {
+	copy(dst.Data, x.Data)
 }
 
 // Params returns nil; Dropout has no parameters.

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"malevade/internal/rng"
 	"malevade/internal/tensor"
@@ -11,13 +12,23 @@ import (
 // probabilities are obtained with Probs (temperature softmax applied outside
 // the layer stack, which is what defensive distillation requires).
 //
-// A Network is not safe for concurrent use: layers cache activations between
-// Forward and Backward. Clone the network (via Spec round-trip) for parallel
-// readers.
+// Concurrency model: the network splits into immutable shared weights and
+// per-caller scratch state. The inference entry points — Infer (explicit
+// Workspace), Logits, Probs, PredictClass — never touch layer-owned caches,
+// so any number of goroutines may score one shared network concurrently,
+// provided nobody is mutating the parameters (training) at the same time.
+// The train-time pair Forward/Backward and the gradient helpers built on it
+// (ClassGradient, InputJacobian) cache activations in the layers and remain
+// single-caller: at most one goroutine may use them on a given network at a
+// time (Clone the network for parallel gradient work).
 type Network struct {
 	layers []Layer
 	inDim  int
 	outDim int
+	// widths[i] is the output width of layers[i], fixed at construction.
+	widths []int
+	// wsPool recycles Workspaces for the pooled inference entry points.
+	wsPool sync.Pool
 }
 
 // NewNetwork stacks the given layers. inDim is the expected input width;
@@ -30,14 +41,16 @@ func NewNetwork(inDim int, layers ...Layer) (*Network, error) {
 		return nil, fmt.Errorf("nn: network needs at least one layer")
 	}
 	width := inDim
+	widths := make([]int, 0, len(layers))
 	for i, l := range layers {
 		next, err := l.OutDim(width)
 		if err != nil {
 			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
 		}
 		width = next
+		widths = append(widths, width)
 	}
-	return &Network{layers: layers, inDim: inDim, outDim: width}, nil
+	return &Network{layers: layers, inDim: inDim, outDim: width, widths: widths}, nil
 }
 
 // MLPConfig describes a plain multi-layer perceptron: Dims lists every layer
@@ -113,7 +126,9 @@ func (n *Network) Layers() []Layer { return n.layers }
 
 // Forward runs the batch through the stack and returns logits. The returned
 // matrix is owned by the network's internal buffers; callers that retain it
-// across calls must Clone it.
+// across calls must Clone it. Forward mutates layer-owned caches (Backward
+// consumes them), so it is single-caller; concurrent readers use Infer or
+// the pooled entry points instead.
 func (n *Network) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 	if x.Cols != n.inDim {
 		panic(fmt.Sprintf("nn: Forward input width %d, want %d", x.Cols, n.inDim))
@@ -123,6 +138,66 @@ func (n *Network) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
 		h = l.Forward(h, training)
 	}
 	return h
+}
+
+// Workspace holds the per-caller activation buffers one concurrent reader
+// needs to run inference against a shared Network. A Workspace is itself
+// single-caller — give each goroutine its own (NewWorkspace), or use the
+// pooled entry points Logits/Probs/PredictClass, which borrow one
+// internally.
+type Workspace struct {
+	bufs []*tensor.Matrix // one activation buffer per layer, sized lazily
+}
+
+// NewWorkspace returns an empty workspace for this network; buffers are
+// allocated on first use and resized when the batch shape changes.
+func (n *Network) NewWorkspace() *Workspace {
+	return &Workspace{bufs: make([]*tensor.Matrix, len(n.layers))}
+}
+
+// Infer runs the batch through the stack in inference mode, drawing every
+// scratch activation from ws. Unlike Forward it neither reads nor writes
+// layer-owned state, so any number of goroutines may Infer against one
+// shared network — each with its own Workspace — as long as no goroutine is
+// concurrently training. The returned logits matrix is owned by ws and
+// stays valid until the next Infer with the same workspace. Results are
+// bit-identical to Forward(x, false): each output row depends only on its
+// own input row, so batching and scheduling cannot change the numbers.
+func (n *Network) Infer(ws *Workspace, x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != n.inDim {
+		panic(fmt.Sprintf("nn: Infer input width %d, want %d", x.Cols, n.inDim))
+	}
+	if len(ws.bufs) != len(n.layers) {
+		ws.bufs = make([]*tensor.Matrix, len(n.layers))
+	}
+	h := x
+	for i, l := range n.layers {
+		dst := ws.bufs[i]
+		if dst == nil || dst.Rows != x.Rows || dst.Cols != n.widths[i] {
+			dst = tensor.New(x.Rows, n.widths[i])
+			ws.bufs[i] = dst
+		}
+		l.InferInto(dst, h)
+		h = dst
+	}
+	return h
+}
+
+func (n *Network) getWorkspace() *Workspace {
+	if ws, ok := n.wsPool.Get().(*Workspace); ok {
+		return ws
+	}
+	return n.NewWorkspace()
+}
+
+// Logits scores a batch in inference mode and returns a freshly allocated
+// logits matrix. Safe for any number of concurrent callers (shared weights,
+// pooled per-call workspaces).
+func (n *Network) Logits(x *tensor.Matrix) *tensor.Matrix {
+	ws := n.getWorkspace()
+	out := n.Infer(ws, x).Clone()
+	n.wsPool.Put(ws)
+	return out
 }
 
 // Backward propagates dLoss/dLogits through the stack, accumulating
@@ -161,22 +236,28 @@ func (n *Network) ZeroGrads() {
 }
 
 // Probs returns softmax(logits/temperature) for a batch; rows sum to 1.
+// Safe for concurrent callers.
 func (n *Network) Probs(x *tensor.Matrix, temperature float64) *tensor.Matrix {
-	logits := n.Forward(x, false)
+	ws := n.getWorkspace()
+	logits := n.Infer(ws, x)
 	out := tensor.New(logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
 		SoftmaxRow(logits.Row(i), out.Row(i), temperature)
 	}
+	n.wsPool.Put(ws)
 	return out
 }
 
-// PredictClass returns the argmax class per row.
+// PredictClass returns the argmax class per row. Safe for concurrent
+// callers.
 func (n *Network) PredictClass(x *tensor.Matrix) []int {
-	logits := n.Forward(x, false)
+	ws := n.getWorkspace()
+	logits := n.Infer(ws, x)
 	out := make([]int, logits.Rows)
 	for i := range out {
 		out[i] = logits.RowArgmax(i)
 	}
+	n.wsPool.Put(ws)
 	return out
 }
 
@@ -185,6 +266,10 @@ func (n *Network) PredictClass(x *tensor.Matrix) []int {
 // ∂F_class(x)/∂x. This is the forward derivative the JSMA saliency map is
 // built from (Eq. 1 of the paper). Parameter gradients accumulated as a side
 // effect are discarded (zeroed) before returning.
+//
+// ClassGradient runs Forward+Backward and therefore inherits their
+// single-caller contract; concurrent gradient work needs per-goroutine
+// Clones.
 //
 // The returned matrix has the batch's shape (rows = samples, cols = input
 // width).

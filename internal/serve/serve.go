@@ -1,0 +1,275 @@
+// Package serve implements the concurrent batched scoring engine: a fixed
+// pool of worker goroutines, each owning a private nn.Workspace, pulls
+// score requests from a shared queue and opportunistically coalesces the
+// rows of many concurrent callers into one batched forward pass, scattering
+// the logits back to each caller when the batch completes.
+//
+// The engine exists because the paper reproduction's hot paths — attack
+// evasion checks, black-box oracle queries, table/figure sweeps — are all
+// forward-only scoring of a frozen model, which row-at-a-time Forward calls
+// serve poorly twice over: per-call overhead dominates a one-row matmul,
+// and the old layer-cache design serialized every caller. A Scorer fixes
+// both: callers fan out freely, and their rows merge into large matmuls.
+//
+// Determinism: each logits row depends only on its own input row, so batch
+// composition, coalescing order and worker scheduling cannot change the
+// numbers — scoring through the engine is bit-identical to serial
+// net.Forward(x, false). Tests and the experiments package rely on this.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/nn"
+	"malevade/internal/tensor"
+)
+
+// Options tunes a Scorer. The zero value picks sensible defaults.
+type Options struct {
+	// Workers is the number of scoring goroutines (default GOMAXPROCS).
+	Workers int
+	// MaxBatch caps the rows merged into one forward pass, and is the
+	// chunk size large requests are split into (default 256). Coalescing
+	// is opportunistic: a worker merges whatever is already queued, up to
+	// this cap — it never waits for a batch to fill.
+	MaxBatch int
+	// QueueDepth is the pending-request queue capacity (default
+	// 4×Workers).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	return o
+}
+
+// request is one contiguous slab of rows to score. x views the caller's
+// input; logits views the caller's output destination; done is closed once
+// logits is filled.
+type request struct {
+	x      *tensor.Matrix
+	logits *tensor.Matrix
+	done   chan struct{}
+}
+
+// Scorer is the concurrent batched scoring engine over one frozen network.
+// All scoring methods are safe for any number of concurrent callers; the
+// network's parameters must not be mutated (trained) while the scorer is
+// live. A Scorer implements detector.Detector, so it drops in anywhere a
+// detector is scored.
+type Scorer struct {
+	net  *nn.Network
+	temp float64
+	opts Options
+
+	// mu guards closed against sends on reqs: submitters hold the read
+	// side, Close holds the write side while closing the channel.
+	mu     sync.RWMutex
+	closed bool
+	reqs   chan *request
+	wg     sync.WaitGroup
+
+	batches atomic.Int64 // merged batches executed
+	rows    atomic.Int64 // rows scored
+}
+
+var _ detector.Detector = (*Scorer)(nil)
+
+// New starts a scorer over net with the given softmax temperature for the
+// probability head (0 means 1). Callers must Close the scorer to release
+// its workers.
+func New(net *nn.Network, temperature float64, opts Options) *Scorer {
+	if temperature <= 0 {
+		temperature = 1
+	}
+	s := &Scorer{net: net, temp: temperature, opts: opts.withDefaults()}
+	s.reqs = make(chan *request, s.opts.QueueDepth)
+	s.wg.Add(s.opts.Workers)
+	for i := 0; i < s.opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// worker owns one nn.Workspace and a reusable merge buffer for its whole
+// life, so steady-state scoring allocates nothing but result matrices.
+func (s *Scorer) worker() {
+	defer s.wg.Done()
+	ws := s.net.NewWorkspace()
+	var merged *tensor.Matrix
+	pend := make([]*request, 0, 8)
+	var carry *request // drained request that would overflow the cap
+	for {
+		first := carry
+		carry = nil
+		if first == nil {
+			var ok bool
+			if first, ok = <-s.reqs; !ok {
+				return
+			}
+		}
+		pend = append(pend[:0], first)
+		rows := first.x.Rows
+		// Opportunistically coalesce whatever else is queued; never wait
+		// for more work to arrive, and never merge past MaxBatch — a
+		// request that would overflow carries over to the next batch.
+	drain:
+		for rows < s.opts.MaxBatch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				if rows+r.x.Rows > s.opts.MaxBatch {
+					carry = r
+					break drain
+				}
+				pend = append(pend, r)
+				rows += r.x.Rows
+			default:
+				break drain
+			}
+		}
+		merged = s.score(ws, merged, pend)
+	}
+}
+
+// score runs one merged batch and scatters logits back to each request.
+func (s *Scorer) score(ws *nn.Workspace, merged *tensor.Matrix, pend []*request) *tensor.Matrix {
+	s.batches.Add(1)
+	if len(pend) == 1 {
+		r := pend[0]
+		r.logits.CopyFrom(s.net.Infer(ws, r.x))
+		s.rows.Add(int64(r.x.Rows))
+		close(r.done)
+		return merged
+	}
+	total := 0
+	for _, r := range pend {
+		total += r.x.Rows
+	}
+	if merged == nil || merged.Rows != total {
+		merged = tensor.New(total, s.net.InDim())
+	}
+	off := 0
+	for _, r := range pend {
+		copy(merged.Data[off:], r.x.Data)
+		off += len(r.x.Data)
+	}
+	logits := s.net.Infer(ws, merged)
+	off = 0
+	for _, r := range pend {
+		n := r.x.Rows * logits.Cols
+		copy(r.logits.Data, logits.Data[off:off+n])
+		off += n
+		s.rows.Add(int64(r.x.Rows))
+		close(r.done)
+	}
+	return merged
+}
+
+func (s *Scorer) submit(r *request) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		panic("serve: Scorer used after Close")
+	}
+	s.reqs <- r
+	s.mu.RUnlock()
+}
+
+// Logits scores every row of x and returns a fresh rows×OutDim logits
+// matrix. Large inputs are split into MaxBatch chunks so the worker pool
+// shares one call; rows from concurrent callers coalesce into shared
+// batches. Bit-identical to net.Forward(x, false).
+func (s *Scorer) Logits(x *tensor.Matrix) *tensor.Matrix {
+	outDim := s.net.OutDim()
+	out := tensor.New(x.Rows, outDim)
+	if x.Rows == 0 {
+		return out
+	}
+	if x.Cols != s.net.InDim() {
+		panic(fmt.Sprintf("serve: input width %d, want %d", x.Cols, s.net.InDim()))
+	}
+	chunk := s.opts.MaxBatch
+	pending := make([]*request, 0, (x.Rows+chunk-1)/chunk)
+	for start := 0; start < x.Rows; start += chunk {
+		end := start + chunk
+		if end > x.Rows {
+			end = x.Rows
+		}
+		r := &request{
+			x:      tensor.FromSlice(end-start, x.Cols, x.Data[start*x.Cols:end*x.Cols]),
+			logits: tensor.FromSlice(end-start, outDim, out.Data[start*outDim:end*outDim]),
+			done:   make(chan struct{}),
+		}
+		s.submit(r)
+		pending = append(pending, r)
+	}
+	for _, r := range pending {
+		<-r.done
+	}
+	return out
+}
+
+// MalwareProb implements detector.Detector: P(class=1|x) per row at the
+// scorer's temperature.
+func (s *Scorer) MalwareProb(x *tensor.Matrix) []float64 {
+	logits := s.Logits(x)
+	out := make([]float64, logits.Rows)
+	probs := make([]float64, logits.Cols)
+	for i := range out {
+		nn.SoftmaxRow(logits.Row(i), probs, s.temp)
+		out[i] = probs[dataset.LabelMalware]
+	}
+	return out
+}
+
+// Predict implements detector.Detector: argmax class per row.
+func (s *Scorer) Predict(x *tensor.Matrix) []int {
+	logits := s.Logits(x)
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = logits.RowArgmax(i)
+	}
+	return out
+}
+
+// InDim implements detector.Detector.
+func (s *Scorer) InDim() int { return s.net.InDim() }
+
+// OutDim returns the logits width.
+func (s *Scorer) OutDim() int { return s.net.OutDim() }
+
+// Stats reports how many merged batches have executed and how many rows
+// they carried; rows/batches is the mean coalescing factor.
+func (s *Scorer) Stats() (batches, rows int64) {
+	return s.batches.Load(), s.rows.Load()
+}
+
+// Close stops the workers after draining in-flight requests. Idempotent;
+// scoring after Close panics.
+func (s *Scorer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.reqs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
