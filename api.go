@@ -27,11 +27,13 @@ import (
 	"io"
 
 	"malevade/internal/attack"
+	"malevade/internal/blackbox"
 	"malevade/internal/dataset"
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
 	"malevade/internal/experiments"
 	"malevade/internal/serve"
+	"malevade/internal/server"
 	"malevade/internal/tensor"
 )
 
@@ -72,6 +74,21 @@ type (
 	// ScorerOptions tunes a Scorer's worker count, batch cap and queue
 	// depth; the zero value picks defaults.
 	ScorerOptions = serve.Options
+	// Server is the HTTP scoring daemon: POST /v1/score and /v1/label,
+	// GET /healthz and /v1/stats, and atomic model hot-reload via POST
+	// /v1/reload (or Reload). It implements http.Handler.
+	Server = server.Server
+	// ServerOptions configures a Server; ModelPath is required.
+	ServerOptions = server.Options
+	// Oracle is the attacker's label-only view of a target detector.
+	Oracle = blackbox.Oracle
+	// HTTPOracle queries a remote Server's /v1/label endpoint — the
+	// paper's black-box setting over a real network boundary.
+	HTTPOracle = blackbox.HTTPOracle
+	// SubstituteConfig parameterizes black-box substitute training.
+	SubstituteConfig = blackbox.SubstituteConfig
+	// SubstituteResult is the outcome of substitute training.
+	SubstituteResult = blackbox.SubstituteResult
 )
 
 // Class labels, matching the paper's convention.
@@ -145,6 +162,34 @@ func TrainSubstitute(train *Dataset, epochs int, seed uint64) (*DNN, error) {
 // scorer is live.
 func NewScorer(d *DNN, opts ScorerOptions) *Scorer {
 	return serve.New(d.Net, d.Temperature, opts)
+}
+
+// NewServer starts the HTTP scoring daemon over the model saved at
+// opts.ModelPath (see DNN.Net.SaveFile). Serve it with any http.Server and
+// Close it when done; Reload (or POST /v1/reload, or SIGHUP under
+// `malevade serve`) hot-swaps the model without dropping in-flight requests.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// NewHTTPOracle points a label oracle at a remote scoring daemon, so
+// TrainSubstitute can attack a detector it reaches only over the network.
+func NewHTTPOracle(baseURL string) *HTTPOracle { return blackbox.NewHTTPOracle(baseURL) }
+
+// NewDetectorOracle wraps an in-process detector as a query-counting label
+// oracle (the reference for wire-driven attacks).
+func NewDetectorOracle(target Detector) Oracle { return blackbox.NewDetectorOracle(target) }
+
+// TrainSubstituteViaOracle runs the paper's Figure 2 substitute-training
+// loop against any label oracle — in-process or HTTP — using Jacobian-based
+// dataset augmentation from the attacker's seed set. (TrainSubstitute, by
+// contrast, trains the Table IV architecture directly on labelled data.)
+func TrainSubstituteViaOracle(oracle Oracle, seed *Matrix, cfg SubstituteConfig) (*SubstituteResult, error) {
+	return blackbox.TrainSubstitute(oracle, seed, cfg)
+}
+
+// SeedSet draws the attacker's small per-class sample set from a dataset —
+// the "attacker data" box of the paper's Figure 2 framework.
+func SeedSet(d *Dataset, perClass int, seed uint64) *Matrix {
+	return blackbox.SeedSet(d, perClass, seed)
 }
 
 // NewJSMA builds the paper's attack: add-only JSMA with per-step magnitude

@@ -6,6 +6,7 @@
 //	malevade train   -data data/train.gob -model target -out target.gob
 //	malevade attack  -model target.gob -data data/test.gob -theta 0.1 -gamma 0.025
 //	malevade score   -model target.gob -data data/test.gob -clients 8
+//	malevade serve   -model target.gob -addr 127.0.0.1:8446
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
 //
@@ -43,6 +44,8 @@ func run(args []string) error {
 		return cmdAttack(args[1:])
 	case "score":
 		return cmdScore(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "vocab":
 		return cmdVocab(args[1:])
 	case "explain":
@@ -65,6 +68,7 @@ commands:
   train     train a target or substitute model
   attack    run the JSMA attack against a saved model
   score     score a dataset through the concurrent batched engine
+  serve     run the HTTP scoring daemon (hot-reload via SIGHUP or /v1/reload)
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features
 

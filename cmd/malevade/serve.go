@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"malevade/internal/serve"
+	"malevade/internal/server"
+)
+
+// cmdServe runs the HTTP scoring daemon: the paper's deployed-detector
+// setting, where clients (and adversaries) probe the model over the network.
+// SIGHUP or POST /v1/reload hot-reloads the model file without dropping
+// in-flight requests; SIGTERM/SIGINT shuts down gracefully.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8446", "listen address")
+	modelPath := fs.String("model", "model.gob", "detector model (from 'malevade train')")
+	temp := fs.Float64("temp", 1, "softmax temperature for the probability head")
+	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 256, "max rows per merged forward pass")
+	maxRows := fs.Int("max-rows", 4096, "max rows per scoring request")
+	maxBytes := fs.Int64("max-bytes", 32<<20, "max request body bytes")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{
+		ModelPath:    *modelPath,
+		Temperature:  *temp,
+		Scorer:       serve.Options{Workers: *workers, MaxBatch: *batch},
+		MaxRows:      *maxRows,
+		MaxBodyBytes: *maxBytes,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serving %s on http://%s (version %d); SIGHUP reloads, SIGTERM drains\n",
+		*modelPath, *addr, srv.ModelVersion())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+	for {
+		select {
+		case err := <-errCh:
+			return fmt.Errorf("serve: %w", err)
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				version, err := srv.Reload("")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "serve: reload failed, keeping current model: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "serve: hot-reloaded model (version %d)\n", version)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: %v received, draining...\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("serve: shutdown: %w", err)
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Serve-http runs the full deployed-detector loop in one process: train a
+// small target model, save it to disk, stand up the HTTP scoring daemon over
+// it, then play both operator and adversary against the live endpoint —
+// score a batch, hot-reload a retrained model, and drive the paper's
+// black-box substitute-training loop through the wire oracle.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"malevade"
+	"malevade/internal/detector"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-http:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Operator side: train a small detector and deploy it behind HTTP.
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(150))
+	if err != nil {
+		return err
+	}
+	target, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		WidthScale: 0.1, Epochs: 15, BatchSize: 64, Seed: 5,
+	})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "malevade-serve")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "target.gob")
+	if err := target.Net.SaveFile(modelPath); err != nil {
+		return err
+	}
+
+	srv, err := malevade.NewServer(malevade.ServerOptions{ModelPath: modelPath})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	// httptest stands in for `malevade serve -model target.gob`; the wire
+	// traffic is identical.
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("daemon up at %s (model version %d)\n", ts.URL, srv.ModelVersion())
+
+	// Client side: score the first test rows over HTTP.
+	rows := make([][]float64, 4)
+	for i := range rows {
+		rows[i] = corpus.Test.X.Row(i)
+	}
+	reqBody, _ := json.Marshal(struct {
+		Rows [][]float64 `json:"rows"`
+	}{Rows: rows})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	var scored struct {
+		ModelVersion int64 `json:"model_version"`
+		Results      []struct {
+			Prob  float64 `json:"prob"`
+			Class int     `json:"class"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&scored)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for i, r := range scored.Results {
+		fmt.Printf("row %d (label %d): P(malware)=%.4f class=%d\n",
+			i, corpus.Test.Y[i], r.Prob, r.Class)
+	}
+
+	// Operator side again: retrain and hot-reload without dropping traffic.
+	retrained, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		WidthScale: 0.1, Epochs: 20, BatchSize: 64, Seed: 6,
+	})
+	if err != nil {
+		return err
+	}
+	if err := retrained.Net.SaveFile(modelPath); err != nil {
+		return err
+	}
+	version, err := srv.Reload("")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hot-reloaded retrained model: version %d\n", version)
+
+	// Adversary side: the daemon is a black-box label oracle; run the
+	// paper's substitute-training loop against it over the wire.
+	oracle := malevade.NewHTTPOracle(ts.URL)
+	seed := malevade.SeedSet(corpus.Val, 20, 1)
+	sub, err := malevade.TrainSubstituteViaOracle(oracle, seed, malevade.SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     0.1,
+		Rounds:         3,
+		EpochsPerRound: 8,
+		Seed:           9,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("substitute trained over the wire: %d oracle queries, %d samples\n",
+		sub.QueriesUsed, sub.TrainingSetSize)
+
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	adv := malevade.AdvExamples(malevade.NewJSMA(sub.Model, 0.1, 0.025).Run(mal.X))
+	fmt.Printf("black-box transfer rate vs live endpoint's model: %.4f\n",
+		malevade.TransferRate(retrained, adv))
+	return nil
+}

@@ -114,8 +114,11 @@ func DisplayName(name string) string {
 	if d, ok := displayNames[lower]; ok {
 		return d
 	}
-	if lower == "" {
-		return ""
+	// Heuristic capitalization only touches a leading ASCII letter; byte-
+	// slicing a multi-byte rune (or case-mapping exotic Unicode) would
+	// produce names the case-insensitive parser cannot round-trip.
+	if lower == "" || lower[0] < 'a' || lower[0] > 'z' {
+		return lower
 	}
 	return strings.ToUpper(lower[:1]) + lower[1:]
 }

@@ -1,0 +1,72 @@
+package apilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine fuzzes the Table II log-line parser. Contract: never panic;
+// when a line parses, rendering the entry with Entry.String and re-parsing
+// must round-trip losslessly (the parser and renderer agree on the syntax).
+func FuzzParseLine(f *testing.F) {
+	f.Add(`GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"`)
+	f.Add(`GetStartupInfoW:7FEFDD39C37 ()"61468"`)
+	f.Add(`closehandle:0 ()"0"`)
+	f.Add(`weird:FF (a)(b)"-12"`)
+	f.Add(`noaddr: ()"1"`)
+	f.Add(`:FF ()"1"`)
+	f.Add(`x:ZZ ()"1"`)
+	f.Add(`x:FF ()"not a number"`)
+	f.Add(`x:FF (unterminated"1"`)
+	f.Add(``)
+	f.Add(`x:FF ()`)
+	f.Add("tab\t:FF ()\"1\"")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := ParseLine(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered entry failed: %v\nline: %q\nrendered: %q", err, line, rendered)
+		}
+		if e2 != e {
+			t.Fatalf("round-trip mismatch:\nline: %q\nfirst: %+v\nrendered: %q\nsecond: %+v", line, e, rendered, e2)
+		}
+	})
+}
+
+// FuzzParseLog fuzzes the whole-log parser: arbitrary byte streams must
+// yield entries or a typed error, never a panic, and the entry count can
+// never exceed the line count.
+func FuzzParseLog(f *testing.F) {
+	f.Add([]byte("GetProcAddress:13FBC34D6 (76D30000,\"FlsAlloc\")\"61484\"\nGetStartupInfoW:7FEFDD39C37 ()\"61468\"\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("garbage line\n"))
+	f.Add([]byte{0x00, 0xFF, 0xFE})
+	f.Add([]byte("x:FF ()\"1\"\r\nx:FF ()\"2\"\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ParseLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		lines := strings.Count(string(data), "\n") + 1
+		if len(entries) > lines {
+			t.Fatalf("%d entries from %d lines", len(entries), lines)
+		}
+		// Parsed entries must survive Counts aggregation (the downstream
+		// consumer) without panicking, with sane totals.
+		counts, skipped := Counts(entries)
+		total := 0.0
+		for _, c := range counts {
+			total += c
+		}
+		if int(total)+skipped != len(entries) {
+			t.Fatalf("counts %v + skipped %d != %d entries", total, skipped, len(entries))
+		}
+	})
+}

@@ -53,6 +53,9 @@ func ParseLine(line string) (Entry, error) {
 		return Entry{}, fmt.Errorf("apilog: no API:addr separator in %q", line)
 	}
 	api := strings.ToLower(strings.TrimSpace(line[:colon]))
+	if api == "" {
+		return Entry{}, fmt.Errorf("apilog: empty API name in %q", line)
+	}
 	rest := line[colon+1:]
 
 	open := strings.IndexByte(rest, '(')

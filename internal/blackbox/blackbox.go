@@ -43,6 +43,15 @@ type BatchOracle interface {
 	LabelBatch(x *tensor.Matrix) []int
 }
 
+// OracleError wraps a failure of the oracle itself (a transport or protocol
+// error from a remote target, say) so it can cross the error-less Oracle
+// interface as a panic and be recovered into TrainSubstitute's error return.
+type OracleError struct{ Err error }
+
+func (e *OracleError) Error() string { return e.Err.Error() }
+
+func (e *OracleError) Unwrap() error { return e.Err }
+
 // LabelAll labels every row of x, taking the batched fast path when the
 // oracle supports it.
 func LabelAll(o Oracle, x *tensor.Matrix) []int {
@@ -154,7 +163,20 @@ type SubstituteResult struct {
 // TrainSubstitute runs the Jacobian-augmentation loop: label the seed set
 // via the oracle, train, expand each sample one λ·sign(Jacobian) step toward
 // its oracle label's gradient, re-label, repeat.
-func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (*SubstituteResult, error) {
+//
+// Oracle failures mid-loop (an *OracleError panic from a remote oracle like
+// HTTPOracle) are returned as errors, so a network blip against a live
+// target aborts the run cleanly instead of crashing the process.
+func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (res *SubstituteResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			oe, ok := r.(*OracleError)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, fmt.Errorf("blackbox: oracle failed: %w", oe.Err)
+		}
+	}()
 	cfg.setDefaults()
 	if seed.Rows == 0 {
 		return nil, fmt.Errorf("blackbox: empty seed set")
@@ -171,7 +193,7 @@ func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (
 
 	x := seed.Clone()
 	labels := LabelAll(oracle, x)
-	res := &SubstituteResult{}
+	res = &SubstituteResult{}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		if err := nn.Train(net, x, nn.OneHot(labels, 2), nn.TrainConfig{

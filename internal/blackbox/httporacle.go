@@ -1,0 +1,140 @@
+package blackbox
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"malevade/internal/tensor"
+)
+
+// HTTPOracle queries a remote malevade scoring daemon's POST /v1/label
+// endpoint for hard labels — the paper's real-world black-box setting, where
+// the attacker's only access to the deployed detector is a verdict API over
+// the network. It implements BatchOracle, so TrainSubstitute and LabelAll
+// use it unchanged in place of an in-process DetectorOracle.
+//
+// Large batches are split into MaxBatch-row requests. Query counting matches
+// DetectorOracle exactly (one query per row), so wire-driven and in-process
+// substitute training consume identical budgets.
+type HTTPOracle struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8446".
+	BaseURL string
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// MaxBatch caps the rows sent in one request (default 1024); keep it
+	// at or below the server's -max-rows limit.
+	MaxBatch int
+
+	queries atomic.Int64
+}
+
+var _ BatchOracle = (*HTTPOracle)(nil)
+
+// NewHTTPOracle points an oracle at a scoring daemon.
+func NewHTTPOracle(baseURL string) *HTTPOracle {
+	return &HTTPOracle{BaseURL: baseURL}
+}
+
+// labelRequest/labelResponse mirror the server's wire schema. They are
+// declared locally so the attacker side shares no code with the service it
+// probes — the client speaks only the documented JSON contract.
+type labelRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+type labelResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	Labels       []int `json:"labels"`
+}
+
+type remoteError struct {
+	Error string `json:"error"`
+}
+
+// Labels fetches the target's hard labels for every row of x, splitting the
+// batch into MaxBatch-row requests. This is the error-returning core; the
+// Oracle methods wrap it.
+func (o *HTTPOracle) Labels(x *tensor.Matrix) ([]int, error) {
+	chunk := o.MaxBatch
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	out := make([]int, 0, x.Rows)
+	for start := 0; start < x.Rows; start += chunk {
+		end := start + chunk
+		if end > x.Rows {
+			end = x.Rows
+		}
+		labels, err := o.labelChunk(x, start, end)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, labels...)
+	}
+	return out, nil
+}
+
+func (o *HTTPOracle) labelChunk(x *tensor.Matrix, start, end int) ([]int, error) {
+	req := labelRequest{Rows: make([][]float64, 0, end-start)}
+	for i := start; i < end; i++ {
+		req.Rows = append(req.Rows, x.Row(i))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: encode label request: %w", err)
+	}
+	client := o.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(o.BaseURL+"/v1/label", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: query oracle: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: read oracle response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var remote remoteError
+		if json.Unmarshal(payload, &remote) == nil && remote.Error != "" {
+			return nil, fmt.Errorf("blackbox: oracle refused (%s): %s", resp.Status, remote.Error)
+		}
+		return nil, fmt.Errorf("blackbox: oracle refused: %s", resp.Status)
+	}
+	var lr labelResponse
+	if err := json.Unmarshal(payload, &lr); err != nil {
+		return nil, fmt.Errorf("blackbox: decode oracle response: %w", err)
+	}
+	if len(lr.Labels) != end-start {
+		return nil, fmt.Errorf("blackbox: oracle returned %d labels for %d rows", len(lr.Labels), end-start)
+	}
+	o.queries.Add(int64(end - start))
+	return lr.Labels, nil
+}
+
+// Label implements Oracle for one sample. The Oracle interface has no error
+// path, so transport failures panic with an *OracleError; TrainSubstitute
+// recovers that panic into its error return, and error-aware direct callers
+// should use Labels instead.
+func (o *HTTPOracle) Label(x []float64) int {
+	return o.LabelBatch(tensor.FromSlice(1, len(x), x))[0]
+}
+
+// LabelBatch implements BatchOracle. Panics with *OracleError on transport
+// failure; see Label.
+func (o *HTTPOracle) LabelBatch(x *tensor.Matrix) []int {
+	labels, err := o.Labels(x)
+	if err != nil {
+		panic(&OracleError{Err: err})
+	}
+	return labels
+}
+
+// Queries implements Oracle: rows successfully labelled so far.
+func (o *HTTPOracle) Queries() int64 { return o.queries.Load() }

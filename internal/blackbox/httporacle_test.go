@@ -1,0 +1,76 @@
+package blackbox
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+// TestTrainSubstituteReturnsOracleTransportError: a remote oracle dying
+// mid-loop must surface as TrainSubstitute's error return, not a panic that
+// kills the attacker process.
+func TestTrainSubstituteReturnsOracleTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error": "gone fishing"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	oracle := NewHTTPOracle(ts.URL)
+	seed := tensor.New(4, 6)
+	_, err := TrainSubstitute(oracle, seed, SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     0.1,
+		Rounds:         2,
+		EpochsPerRound: 1,
+	})
+	if err == nil {
+		t.Fatal("TrainSubstitute succeeded against a dead oracle")
+	}
+	if !strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("error does not identify the oracle: %v", err)
+	}
+	var oe *OracleError
+	if errors.As(err, &oe) {
+		// Fine either way: the sentinel may be wrapped or unwrapped into
+		// the message; what matters is no panic escaped.
+		_ = oe
+	}
+}
+
+// TestHTTPOracleLabelsErrorPaths covers the error-returning core directly.
+func TestHTTPOracleLabelsErrorPaths(t *testing.T) {
+	t.Run("connection refused", func(t *testing.T) {
+		o := NewHTTPOracle("http://127.0.0.1:1")
+		if _, err := o.Labels(tensor.New(1, 3)); err == nil {
+			t.Fatal("Labels against a closed port succeeded")
+		}
+		if o.Queries() != 0 {
+			t.Fatalf("failed queries were counted: %d", o.Queries())
+		}
+	})
+	t.Run("undecodable response", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("not json"))
+		}))
+		defer ts.Close()
+		o := NewHTTPOracle(ts.URL)
+		if _, err := o.Labels(tensor.New(1, 3)); err == nil {
+			t.Fatal("Labels with garbage response succeeded")
+		}
+	})
+	t.Run("wrong label count", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"model_version": 1, "labels": [0]}`))
+		}))
+		defer ts.Close()
+		o := NewHTTPOracle(ts.URL)
+		if _, err := o.Labels(tensor.New(3, 2)); err == nil {
+			t.Fatal("Labels with short label array succeeded")
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"malevade/internal/attack"
+	"malevade/internal/blackbox"
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/evaluation"
+)
+
+// TestE2EBlackBoxOverHTTP runs the paper's black-box pipeline end to end
+// against a live HTTP endpoint: train a small target detector, deploy it
+// behind the daemon, train a substitute through blackbox.HTTPOracle over the
+// wire, and check the whole run — oracle labels, query budget, substitute
+// weights, transfer rate — is bit-for-bit identical to the same pipeline
+// driven by the in-process DetectorOracle. The daemon must be a transparent
+// network boundary, not a new numeric path.
+func TestE2EBlackBoxOverHTTP(t *testing.T) {
+	corpus, err := dataset.Generate(dataset.TableIConfig(1).Scaled(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := detector.Train(corpus.Train, detector.TrainConfig{
+		Arch:       detector.ArchTarget,
+		WidthScale: 0.1,
+		Epochs:     12,
+		BatchSize:  64,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	modelPath := filepath.Join(t.TempDir(), "target.gob")
+	if err := target.Net.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Options{ModelPath: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	seed := blackbox.SeedSet(corpus.Val, 10, 1)
+	cfg := blackbox.SubstituteConfig{
+		Arch:           detector.ArchTarget,
+		WidthScale:     0.1,
+		Rounds:         3,
+		EpochsPerRound: 6,
+		Seed:           9,
+	}
+
+	// The HTTP oracle chunks requests; pick a chunk smaller than the seed
+	// set so the wire path really exercises multi-request batches.
+	remote := blackbox.NewHTTPOracle(ts.URL)
+	remote.MaxBatch = 7
+	local := blackbox.NewDetectorOracle(target)
+
+	subRemote, err := blackbox.TrainSubstitute(remote, seed, cfg)
+	if err != nil {
+		t.Fatalf("substitute training over HTTP: %v", err)
+	}
+	subLocal, err := blackbox.TrainSubstitute(local, seed.Clone(), cfg)
+	if err != nil {
+		t.Fatalf("substitute training in-process: %v", err)
+	}
+
+	// Identical query budgets: the wire oracle must count one query per
+	// row, exactly like the in-process reference.
+	if subRemote.QueriesUsed != subLocal.QueriesUsed {
+		t.Errorf("queries: HTTP %d, in-process %d", subRemote.QueriesUsed, subLocal.QueriesUsed)
+	}
+	if subRemote.TrainingSetSize != subLocal.TrainingSetSize {
+		t.Errorf("training set: HTTP %d, in-process %d", subRemote.TrainingSetSize, subLocal.TrainingSetSize)
+	}
+	// Identical convergence traces: any label mismatch anywhere in the
+	// loop would perturb these.
+	if len(subRemote.RoundAgreement) != len(subLocal.RoundAgreement) {
+		t.Fatalf("rounds: HTTP %d, in-process %d", len(subRemote.RoundAgreement), len(subLocal.RoundAgreement))
+	}
+	for i := range subRemote.RoundAgreement {
+		if subRemote.RoundAgreement[i] != subLocal.RoundAgreement[i] {
+			t.Errorf("round %d agreement: HTTP %v, in-process %v",
+				i, subRemote.RoundAgreement[i], subLocal.RoundAgreement[i])
+		}
+	}
+
+	// The substitutes themselves must be bit-identical: same oracle labels
+	// plus deterministic training means every weight matches.
+	mal := corpus.Test.FilterLabel(dataset.LabelMalware)
+	logitsRemote := subRemote.Model.Net.Logits(mal.X)
+	logitsLocal := subLocal.Model.Net.Logits(mal.X)
+	for i := range logitsRemote.Data {
+		if logitsRemote.Data[i] != logitsLocal.Data[i] {
+			t.Fatalf("substitute logits diverge at element %d: %v vs %v",
+				i, logitsRemote.Data[i], logitsLocal.Data[i])
+		}
+	}
+
+	// Headline metric: JSMA on each substitute, deployed against the real
+	// target — transfer rates must match bit-for-bit.
+	advRemote := attack.AdvMatrix((&attack.JSMA{Model: subRemote.Model.Net, Theta: 0.1, Gamma: 0.025}).Run(mal.X))
+	advLocal := attack.AdvMatrix((&attack.JSMA{Model: subLocal.Model.Net, Theta: 0.1, Gamma: 0.025}).Run(mal.X))
+	trRemote := evaluation.TransferRate(target, advRemote)
+	trLocal := evaluation.TransferRate(target, advLocal)
+	if trRemote != trLocal {
+		t.Fatalf("transfer rate: HTTP-driven %v, in-process %v", trRemote, trLocal)
+	}
+	t.Logf("transfer rate %.4f identical across HTTP and in-process oracles (%d queries)",
+		trRemote, subRemote.QueriesUsed)
+}

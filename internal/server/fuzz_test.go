@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzScoreRequest throws arbitrary bytes at the /v1/score and /v1/label
+// request decoders. The contract under attack-shaped input: every malformed
+// body — broken JSON, wrong shapes, ragged rows, NaN/Inf, oversized batches
+// or bodies — is answered with a 4xx JSON error; the server never panics and
+// never 5xxes, and a 200 always carries a well-formed response with one
+// result per input row.
+func FuzzScoreRequest(f *testing.F) {
+	f.Add([]byte(`{"rows": [[0.1, 0.2, 0.3]]}`))
+	f.Add([]byte(`{"rows": [[0.1, 0.2, 0.3], [1, 0, 1]]}`))
+	f.Add([]byte(`{"rows": []}`))
+	f.Add([]byte(`{"rows": [[1e999, 0, 0]]}`))
+	f.Add([]byte(`{"rows": [[0.1]]}`))
+	f.Add([]byte(`{"rows": [null]}`))
+	f.Add([]byte(`{"rows": "not an array"}`))
+	f.Add([]byte(`{"rowz": [[0.1, 0.2, 0.3]]}`))
+	f.Add([]byte(`{"rows": [[0.1, 0.2, 0.3]]} trailing`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"rows": [[0,0,0],[0,0,0],[0,0,0],[0,0,0],[0,0,0],[0,0,0],[0,0,0],[0,0,0],[0,0,0]]}`))
+
+	path, _ := saveTestNet(f, f.TempDir(), "fuzz.gob", []int{3, 8, 2}, 7)
+	s, err := New(Options{ModelPath: path, MaxRows: 8, MaxBodyBytes: 1 << 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, endpoint := range []string{"/v1/score", "/v1/label"} {
+			req := httptest.NewRequest(http.MethodPost, endpoint, strings.NewReader(string(body)))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			switch {
+			case w.Code == http.StatusOK:
+				// A 200 must be a complete, decodable verdict.
+				var resp ScoreResponse
+				if endpoint == "/v1/label" {
+					var lr LabelResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &lr); err != nil {
+						t.Fatalf("%s: 200 with undecodable body: %v", endpoint, err)
+					}
+					if len(lr.Labels) == 0 || lr.ModelVersion == 0 {
+						t.Fatalf("%s: 200 with empty verdict: %s", endpoint, w.Body)
+					}
+					continue
+				}
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Fatalf("%s: 200 with undecodable body: %v", endpoint, err)
+				}
+				if len(resp.Results) == 0 || resp.ModelVersion == 0 {
+					t.Fatalf("%s: 200 with empty verdict: %s", endpoint, w.Body)
+				}
+			case w.Code >= 400 && w.Code < 500:
+				// Rejections must still be JSON with an error message.
+				var e errorResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+					t.Fatalf("%s: %d without JSON error body: %s", endpoint, w.Code, w.Body)
+				}
+			default:
+				t.Fatalf("%s: status %d on fuzzed input (want 200 or 4xx): %s", endpoint, w.Code, w.Body)
+			}
+		}
+	})
+}

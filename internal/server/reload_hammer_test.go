@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// TestReloadHammerScoreConsistency is the hot-reload acceptance test: real
+// HTTP traffic from many concurrent clients while the model is repeatedly
+// hot-swapped between two versions. Every response must (a) arrive — zero
+// dropped requests — and (b) be computed wholly by one model version: its
+// advertised model_version's expected output must match every row
+// bit-for-bit. Run under -race this also proves the swap/drain path is
+// data-race free.
+func TestReloadHammerScoreConsistency(t *testing.T) {
+	dir := t.TempDir()
+	dims := []int{8, 16, 2}
+	pathA, netA := saveTestNet(t, dir, "a.gob", dims, 1)
+	pathB, netB := saveTestNet(t, dir, "b.gob", dims, 2)
+
+	const rows = 5
+	r := rng.New(42)
+	x := tensor.New(rows, dims[0])
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	batch := make([][]float64, rows)
+	for i := range batch {
+		batch[i] = x.Row(i)
+	}
+	body, err := json.Marshal(ScoreRequest{Rows: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantA := expectedResults(netA, x, 1)
+	wantB := expectedResults(netB, x, 1)
+	for i := range wantA {
+		if wantA[i] == wantB[i] {
+			t.Fatalf("row %d: models A and B agree exactly; hammer can't detect torn reads", i)
+		}
+	}
+	// Versions alternate deterministically: v1 = A, each reload flips, so
+	// odd versions serve A and even versions serve B.
+	wantFor := func(version int64) []ScoreResult {
+		if version%2 == 1 {
+			return wantA
+		}
+		return wantB
+	}
+
+	s, err := New(Options{ModelPath: pathA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const clients = 8
+	var (
+		responses atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("request dropped: %v", err)
+					return
+				}
+				var sr ScoreResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d during reload hammer", resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					t.Errorf("decode: %v", decErr)
+					return
+				}
+				want := wantFor(sr.ModelVersion)
+				if len(sr.Results) != rows {
+					t.Errorf("got %d results, want %d", len(sr.Results), rows)
+					return
+				}
+				for i, got := range sr.Results {
+					if got != want[i] {
+						t.Errorf("version %d row %d: got %+v, want %+v — response mixes model versions",
+							sr.ModelVersion, i, got, want[i])
+						return
+					}
+				}
+				responses.Add(1)
+			}
+		}()
+	}
+
+	// Hammer the swap path: alternate B, A, B, ... while traffic flows,
+	// until enough responses have interleaved with the swaps (bounded by a
+	// reload cap so a wedged client can't hang the test).
+	const minResponses = 150
+	const maxReloads = 5000
+	paths := [2]string{pathB, pathA}
+	reloads := 0
+	for ; reloads < maxReloads && (responses.Load() < minResponses || reloads < 30); reloads++ {
+		version, err := s.Reload(paths[reloads%2])
+		if err != nil {
+			t.Fatalf("reload %d: %v", reloads, err)
+		}
+		if version != int64(reloads+2) {
+			t.Fatalf("reload %d: version %d, want %d", reloads, version, reloads+2)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if n := responses.Load(); n == 0 {
+		t.Fatal("no responses completed during the hammer")
+	} else {
+		t.Logf("%d consistent responses across %d hot-reloads", n, reloads)
+	}
+}

@@ -1,0 +1,505 @@
+// Package server exposes the concurrent batched scoring engine as a JSON
+// HTTP daemon — the paper's deployed-detector setting (conf_dsn_HuangVFIKW19
+// §III), where adversaries probe a production malware classifier as a
+// black-box oracle over the network.
+//
+// Endpoints:
+//
+//	POST /v1/score   batch feature vectors → per-row malware probability
+//	                 and predicted class
+//	POST /v1/label   oracle-style hard labels (the black-box attack surface)
+//	POST /v1/reload  hot-reload the model from disk
+//	GET  /healthz    liveness + current model version
+//	GET  /v1/stats   batch/row/request counters
+//
+// The model behind the endpoints hot-reloads atomically: a reload (SIGHUP in
+// the CLI, or POST /v1/reload) loads the new network from disk, swaps it in
+// behind an atomic.Pointer, then drains and closes the old scoring engine.
+// Every request resolves the model exactly once, so a response is always
+// computed wholly by one model version — no in-flight request ever sees a
+// torn model.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malevade/internal/dataset"
+	"malevade/internal/nn"
+	"malevade/internal/serve"
+	"malevade/internal/tensor"
+)
+
+// Options configures a Server. ModelPath is required; everything else has
+// sensible defaults.
+type Options struct {
+	// ModelPath is the nn.SaveFile model the server loads at startup and
+	// on every reload that names no explicit path.
+	ModelPath string
+	// Temperature is the softmax temperature of the probability head
+	// (0 means 1).
+	Temperature float64
+	// Scorer tunes the underlying batched engine (workers, max merged
+	// batch, queue depth).
+	Scorer serve.Options
+	// MaxRows caps the rows accepted in one /v1/score or /v1/label
+	// request (default 4096). Larger batches are rejected with 400.
+	MaxRows int
+	// MaxBodyBytes caps the request body size (default 32 MiB). Larger
+	// bodies are rejected with 413.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Temperature <= 0 {
+		o.Temperature = 1
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = 4096
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// model is one immutable loaded model generation: the scoring engine plus
+// its identity. refs counts in-flight requests pinned to this generation so
+// a reload can drain it before closing the engine; once retired, the last
+// release signals drained instead of making the reloader poll.
+type model struct {
+	scorer   *serve.Scorer
+	version  int64
+	path     string
+	loadedAt time.Time
+
+	refs      atomic.Int64
+	retired   atomic.Bool
+	drained   chan struct{}
+	drainOnce sync.Once
+}
+
+func (m *model) signalDrained() {
+	m.drainOnce.Do(func() { close(m.drained) })
+}
+
+// Server is the HTTP scoring daemon. Create with New, serve with any
+// http.Server (it implements http.Handler), and Close when done.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	// cur is the live model generation. Handlers pin it with acquire/
+	// release; Reload swaps it and drains the old generation. nil after
+	// Close.
+	cur atomic.Pointer[model]
+
+	// reloadMu serializes Reload/Close so generations retire one at a
+	// time and version numbers are strictly increasing.
+	reloadMu sync.Mutex
+	version  atomic.Int64
+
+	requests atomic.Int64 // scoring requests served (score + label)
+	rejected atomic.Int64 // scoring requests rejected with 4xx
+	reloads  atomic.Int64 // successful hot-reloads
+
+	// retiredBatches/retiredRows accumulate the engine counters of closed
+	// generations so /v1/stats is cumulative across reloads.
+	retiredBatches atomic.Int64
+	retiredRows    atomic.Int64
+}
+
+// New loads the model at opts.ModelPath and returns a ready-to-serve daemon.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.ModelPath == "" {
+		return nil, fmt.Errorf("server: Options.ModelPath is required")
+	}
+	s := &Server{opts: opts}
+	m, err := s.load(opts.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(m)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/score", s.handleScore)
+	s.mux.HandleFunc("/v1/label", s.handleLabel)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// load builds the next model generation from a saved network file.
+func (s *Server) load(path string) (*model, error) {
+	net, err := nn.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: load model: %w", err)
+	}
+	// The API contract is the paper's two-class head (clean/malware); a
+	// model with any other logits width must fail here, at load time,
+	// rather than panic inside every scoring handler.
+	if net.OutDim() != 2 {
+		return nil, fmt.Errorf("server: model %s has %d output classes, want 2 (clean/malware)",
+			path, net.OutDim())
+	}
+	return &model{
+		scorer:   serve.New(net, s.opts.Temperature, s.opts.Scorer),
+		version:  s.version.Add(1),
+		path:     path,
+		loadedAt: time.Now(),
+		drained:  make(chan struct{}),
+	}, nil
+}
+
+// acquire pins the current model generation for the duration of one
+// request. The retry loop closes the race with a concurrent swap: a ref
+// taken on an already-retired generation is dropped and the load retried,
+// so a successful acquire guarantees the generation stayed current at the
+// moment its refcount became visible — the drain in Reload can therefore
+// never close an engine a request is still using. Returns nil after Close.
+func (s *Server) acquire() *model {
+	for {
+		m := s.cur.Load()
+		if m == nil {
+			return nil
+		}
+		m.refs.Add(1)
+		if s.cur.Load() == m {
+			return m
+		}
+		// Lost the race with a swap: drop the ref through release so that
+		// if this was the retired generation's last reference, the drain
+		// is signalled — a bare decrement here would wedge retire forever.
+		s.release(m)
+	}
+}
+
+func (s *Server) release(m *model) {
+	if m.refs.Add(-1) == 0 && m.retired.Load() {
+		m.signalDrained()
+	}
+}
+
+// retire drains a swapped-out generation and folds its engine counters into
+// the cumulative stats. The drain blocks on a channel the last release
+// closes — no polling. Any ref taken after the retired count was observed
+// at zero belongs to an acquire that will fail its recheck without touching
+// the engine, so closing it then is safe.
+func (s *Server) retire(m *model) {
+	m.retired.Store(true)
+	if m.refs.Load() == 0 {
+		m.signalDrained()
+	}
+	<-m.drained
+	b, r := m.scorer.Stats()
+	s.retiredBatches.Add(b)
+	s.retiredRows.Add(r)
+	m.scorer.Close()
+}
+
+// Reload hot-swaps the model. An empty path reloads from the configured
+// ModelPath; a non-empty path becomes the new configured path on success.
+// In-flight requests finish on the generation they started on.
+func (s *Server) Reload(path string) (version int64, err error) {
+	m, err := s.reload(path)
+	if err != nil {
+		return 0, err
+	}
+	return m.version, nil
+}
+
+// reload is Reload returning the swapped-in generation, so callers can
+// report its version and resolved path as a consistent pair.
+func (s *Server) reload(path string) (*model, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.cur.Load()
+	if old == nil {
+		return nil, fmt.Errorf("server: reload after Close")
+	}
+	if path == "" {
+		path = old.path
+	}
+	m, err := s.load(path)
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(m)
+	s.reloads.Add(1)
+	s.retire(old)
+	return m, nil
+}
+
+// Close drains in-flight requests and releases the scoring engine.
+// Subsequent requests are answered 503. Idempotent.
+func (s *Server) Close() {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.cur.Swap(nil)
+	if old != nil {
+		s.retire(old)
+	}
+}
+
+// ModelVersion reports the current model generation (1 at startup,
+// incremented by each successful reload).
+func (s *Server) ModelVersion() int64 {
+	if m := s.cur.Load(); m != nil {
+		return m.version
+	}
+	return 0
+}
+
+// Wire schemas.
+
+// ScoreRequest is the body of /v1/score and /v1/label: a batch of feature
+// vectors, each exactly InDim wide.
+type ScoreRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// ScoreResult is one row's verdict.
+type ScoreResult struct {
+	// Prob is P(malware|x) at the server's temperature.
+	Prob float64 `json:"prob"`
+	// Class is the argmax class (0 clean, 1 malware).
+	Class int `json:"class"`
+}
+
+// ScoreResponse answers /v1/score. ModelVersion identifies the exact model
+// generation that computed every row of Results.
+type ScoreResponse struct {
+	ModelVersion int64         `json:"model_version"`
+	Results      []ScoreResult `json:"results"`
+}
+
+// LabelResponse answers /v1/label with oracle-style hard labels.
+type LabelResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	Labels       []int `json:"labels"`
+}
+
+// ReloadRequest optionally names a new model path for /v1/reload; an empty
+// body or empty path reloads the configured path.
+type ReloadRequest struct {
+	Path string `json:"path"`
+}
+
+// ReloadResponse reports the swapped-in generation.
+type ReloadResponse struct {
+	ModelVersion int64  `json:"model_version"`
+	ModelPath    string `json:"model_path"`
+}
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status       string `json:"status"`
+	ModelVersion int64  `json:"model_version"`
+	ModelPath    string `json:"model_path"`
+	LoadedAt     string `json:"loaded_at"`
+	InDim        int    `json:"in_dim"`
+}
+
+// StatsResponse answers /v1/stats with counters cumulative across reloads.
+type StatsResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	// Requests/Rejected count scoring calls (score + label) served and
+	// refused with a 4xx.
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+	Reloads  int64 `json:"reloads"`
+	// Batches/Rows are the engine's merged-batch counters; Rows/Batches
+	// is the mean coalescing factor.
+	Batches int64 `json:"batches"`
+	Rows    int64 `json:"rows"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, format string, args ...any) {
+	s.rejected.Add(1)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeRows parses and validates a scoring request body into a matrix.
+// Every failure mode — malformed JSON, oversized body or batch, ragged or
+// wrong-width rows, non-finite values — is a client error, reported with
+// the returned status; the decoder never panics on hostile input.
+func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, inDim int) (*tensor.Matrix, int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req ScoreRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.opts.MaxBodyBytes)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body")
+	}
+	if len(req.Rows) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("rows must be a non-empty array")
+	}
+	if len(req.Rows) > s.opts.MaxRows {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("batch of %d rows exceeds limit %d", len(req.Rows), s.opts.MaxRows)
+	}
+	x := tensor.New(len(req.Rows), inDim)
+	for i, row := range req.Rows {
+		if len(row) != inDim {
+			return nil, http.StatusBadRequest,
+				fmt.Errorf("row %d has %d features, want %d", i, len(row), inDim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, http.StatusBadRequest,
+					fmt.Errorf("row %d feature %d is not finite", i, j)
+			}
+		}
+		copy(x.Row(i), row)
+	}
+	return x, 0, nil
+}
+
+// score runs the shared request path of /v1/score and /v1/label: pin one
+// model generation, decode against its input width, run one batched forward
+// pass, and hand the logits (computed wholly by that generation) to render.
+func (s *Server) score(w http.ResponseWriter, r *http.Request,
+	render func(m *model, logits *tensor.Matrix)) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.reject(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	m := s.acquire()
+	if m == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shut down"})
+		return
+	}
+	defer s.release(m)
+	x, status, err := s.decodeRows(w, r, m.scorer.InDim())
+	if err != nil {
+		s.reject(w, status, "%v", err)
+		return
+	}
+	s.requests.Add(1)
+	render(m, m.scorer.Logits(x))
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	s.score(w, r, func(m *model, logits *tensor.Matrix) {
+		resp := ScoreResponse{
+			ModelVersion: m.version,
+			Results:      make([]ScoreResult, logits.Rows),
+		}
+		probs := make([]float64, logits.Cols)
+		for i := range resp.Results {
+			nn.SoftmaxRow(logits.Row(i), probs, s.opts.Temperature)
+			resp.Results[i] = ScoreResult{
+				Prob:  probs[dataset.LabelMalware],
+				Class: logits.RowArgmax(i),
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	s.score(w, r, func(m *model, logits *tensor.Matrix) {
+		resp := LabelResponse{
+			ModelVersion: m.version,
+			Labels:       make([]int, logits.Rows),
+		}
+		for i := range resp.Labels {
+			resp.Labels[i] = logits.RowArgmax(i)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	// An entirely empty body means "reload the configured path"; anything
+	// present must be valid JSON.
+	var req ReloadRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		return
+	}
+	m, err := s.reload(req.Path)
+	if err != nil {
+		// A failure on a client-supplied path is the client's error (the
+		// current model keeps serving either way); only a failure of the
+		// server's own configured path is a server fault worth a 5xx.
+		status := http.StatusInternalServerError
+		if req.Path != "" {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{ModelVersion: m.version, ModelPath: m.path})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.cur.Load()
+	if m == nil {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "shutdown"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:       "ok",
+		ModelVersion: m.version,
+		ModelPath:    m.path,
+		LoadedAt:     m.loadedAt.UTC().Format(time.RFC3339),
+		InDim:        m.scorer.InDim(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Requests: s.requests.Load(),
+		Rejected: s.rejected.Load(),
+		Reloads:  s.reloads.Load(),
+		Batches:  s.retiredBatches.Load(),
+		Rows:     s.retiredRows.Load(),
+	}
+	if m := s.acquire(); m != nil {
+		b, rows := m.scorer.Stats()
+		resp.ModelVersion = m.version
+		resp.Batches += b
+		resp.Rows += rows
+		s.release(m)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"malevade/internal/dataset"
+	"malevade/internal/nn"
+	"malevade/internal/tensor"
+)
+
+// saveTestNet builds a small deterministic MLP and saves it under dir.
+func saveTestNet(t testing.TB, dir, name string, dims []int, seed uint64) (string, *nn.Network) {
+	t.Helper()
+	net, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, net
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *nn.Network) {
+	t.Helper()
+	if opts.ModelPath == "" {
+		path, net := saveTestNet(t, t.TempDir(), "model.gob", []int{3, 8, 2}, 7)
+		opts.ModelPath = path
+		s, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s, net
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, nil
+}
+
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func scoreBody(rows [][]float64) string {
+	b, err := json.Marshal(ScoreRequest{Rows: rows})
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+// expectedResults reproduces the server's scoring math directly on the
+// network: logits → softmax at temperature → P(malware), argmax class.
+func expectedResults(net *nn.Network, x *tensor.Matrix, temp float64) []ScoreResult {
+	logits := net.Logits(x)
+	out := make([]ScoreResult, logits.Rows)
+	probs := make([]float64, logits.Cols)
+	for i := range out {
+		nn.SoftmaxRow(logits.Row(i), probs, temp)
+		out[i] = ScoreResult{Prob: probs[dataset.LabelMalware], Class: logits.RowArgmax(i)}
+	}
+	return out
+}
+
+func TestScoreMatchesDirectInference(t *testing.T) {
+	s, net := newTestServer(t, Options{})
+	x := tensor.FromRows([][]float64{
+		{0.1, 0.5, 0.9},
+		{0, 0, 0},
+		{1, 1, 1},
+	})
+	w := postJSON(t, s, "/v1/score", scoreBody([][]float64{x.Row(0), x.Row(1), x.Row(2)}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp ScoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != 1 {
+		t.Fatalf("model_version = %d, want 1", resp.ModelVersion)
+	}
+	want := expectedResults(net, x, 1)
+	if len(resp.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(want))
+	}
+	for i, r := range resp.Results {
+		if r != want[i] {
+			t.Errorf("row %d: got %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestLabelMatchesPredict(t *testing.T) {
+	s, net := newTestServer(t, Options{})
+	x := tensor.FromRows([][]float64{{0.2, 0.8, 0.4}, {0.9, 0.1, 0.3}})
+	w := postJSON(t, s, "/v1/label", scoreBody([][]float64{x.Row(0), x.Row(1)}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp LabelResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := net.PredictClass(x)
+	for i, l := range resp.Labels {
+		if l != want[i] {
+			t.Errorf("label %d: got %d, want %d", i, l, want[i])
+		}
+	}
+}
+
+func TestScoreRejectsBadRequests(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxRows: 4, MaxBodyBytes: 1 << 16})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"malformed json", `{"rows": [[0.1,`, http.StatusBadRequest},
+		{"not an object", `42`, http.StatusBadRequest},
+		{"empty rows", `{"rows": []}`, http.StatusBadRequest},
+		{"missing rows", `{}`, http.StatusBadRequest},
+		{"unknown field", `{"rowz": [[1,2,3]]}`, http.StatusBadRequest},
+		{"ragged row", `{"rows": [[0.1, 0.2, 0.3], [0.1]]}`, http.StatusBadRequest},
+		{"wrong width", `{"rows": [[0.1, 0.2]]}`, http.StatusBadRequest},
+		{"huge number overflows float64", `{"rows": [[1e999, 0, 0]]}`, http.StatusBadRequest},
+		{"string feature", `{"rows": [["a", 0, 0]]}`, http.StatusBadRequest},
+		{"null row", `{"rows": [null]}`, http.StatusBadRequest},
+		{"trailing data", `{"rows": [[0.1, 0.2, 0.3]]} extra`, http.StatusBadRequest},
+		{"too many rows", scoreBody([][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}}), http.StatusBadRequest},
+		{"oversized body", `{"rows": [[` + strings.Repeat("0.123456789,", 1<<14) + `0]]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, path := range []string{"/v1/score", "/v1/label"} {
+				w := postJSON(t, s, path, tc.body)
+				if w.Code != tc.status {
+					t.Errorf("%s: status %d, want %d (body %s)", path, w.Code, tc.status, w.Body)
+				}
+				var e errorResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+					t.Errorf("%s: error body not JSON with error field: %s", path, w.Body)
+				}
+			}
+		})
+	}
+}
+
+func TestScoreRequiresPost(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	for _, path := range []string{"/v1/score", "/v1/label", "/v1/reload"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, w.Code)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.ModelVersion != 1 || h.InDim != 3 {
+		t.Fatalf("unexpected health: %+v", h)
+	}
+}
+
+func TestReloadSwapsModelAndKeepsStats(t *testing.T) {
+	dir := t.TempDir()
+	pathA, netA := saveTestNet(t, dir, "a.gob", []int{3, 8, 2}, 7)
+	pathB, netB := saveTestNet(t, dir, "b.gob", []int{3, 8, 2}, 1234)
+	s, _ := newTestServer(t, Options{ModelPath: pathA})
+
+	x := tensor.FromRows([][]float64{{0.3, 0.6, 0.9}})
+	body := scoreBody([][]float64{x.Row(0)})
+
+	w := postJSON(t, s, "/v1/score", body)
+	var before ScoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &before); err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedResults(netA, x, 1); before.Results[0] != want[0] {
+		t.Fatalf("pre-reload result %+v, want %+v", before.Results[0], want[0])
+	}
+
+	// Reload to a different model via the endpoint, with an explicit path.
+	w = postJSON(t, s, "/v1/reload", fmt.Sprintf(`{"path": %q}`, pathB))
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", w.Code, w.Body)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ModelVersion != 2 || rr.ModelPath != pathB {
+		t.Fatalf("reload response %+v", rr)
+	}
+
+	w = postJSON(t, s, "/v1/score", body)
+	var after ScoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.ModelVersion != 2 {
+		t.Fatalf("post-reload model_version %d, want 2", after.ModelVersion)
+	}
+	if want := expectedResults(netB, x, 1); after.Results[0] != want[0] {
+		t.Fatalf("post-reload result %+v, want %+v", after.Results[0], want[0])
+	}
+	if before.Results[0] == after.Results[0] {
+		t.Fatal("models A and B score identically; test can't distinguish versions")
+	}
+
+	// Stats are cumulative across the reload: both scoring requests and
+	// both engines' row counters are visible.
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 2 || stats.Rows != 2 || stats.Reloads != 1 || stats.ModelVersion != 2 {
+		t.Fatalf("stats %+v, want 2 requests / 2 rows / 1 reload / version 2", stats)
+	}
+}
+
+func TestReloadBadPathKeepsServing(t *testing.T) {
+	s, net := newTestServer(t, Options{})
+	// A client-supplied bad path is the client's error: 422, not 5xx.
+	w := postJSON(t, s, "/v1/reload", `{"path": "/nonexistent/model.gob"}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("reload status %d, want 422", w.Code)
+	}
+	// A wrong-shaped model (non-2-class head) is rejected at load time
+	// rather than panicking per request later.
+	badModel, _ := saveTestNet(t, t.TempDir(), "one-class.gob", []int{3, 8, 1}, 3)
+	w = postJSON(t, s, "/v1/reload", fmt.Sprintf(`{"path": %q}`, badModel))
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("reload of 1-class model: status %d, want 422 (%s)", w.Code, w.Body)
+	}
+	x := tensor.FromRows([][]float64{{0.1, 0.2, 0.3}})
+	w = postJSON(t, s, "/v1/score", scoreBody([][]float64{x.Row(0)}))
+	if w.Code != http.StatusOK {
+		t.Fatalf("score after failed reload: status %d", w.Code)
+	}
+	var resp ScoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != 1 {
+		t.Fatalf("version %d after failed reload, want 1", resp.ModelVersion)
+	}
+	if want := expectedResults(net, x, 1); resp.Results[0] != want[0] {
+		t.Fatalf("result %+v, want %+v", resp.Results[0], want[0])
+	}
+}
+
+func TestReloadEmptyBodyReusesConfiguredPath(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	w := postJSON(t, s, "/v1/reload", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", w.Code, w.Body)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ModelVersion != 2 {
+		t.Fatalf("version %d, want 2", rr.ModelVersion)
+	}
+}
+
+func TestCloseAnswers503(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	s.Close()
+	s.Close() // idempotent
+	w := postJSON(t, s, "/v1/score", `{"rows": [[0.1, 0.2, 0.3]]}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("score after Close: status %d, want 503", w.Code)
+	}
+	if v := s.ModelVersion(); v != 0 {
+		t.Fatalf("ModelVersion after Close = %d, want 0", v)
+	}
+	if _, err := s.Reload(""); err == nil {
+		t.Fatal("Reload after Close succeeded")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without ModelPath succeeded")
+	}
+	if _, err := New(Options{ModelPath: filepath.Join(t.TempDir(), "missing.gob")}); err == nil {
+		t.Fatal("New with missing model file succeeded")
+	}
+	// A corrupt model file must error, not panic.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gob")
+	if err := os.WriteFile(bad, []byte("not a gob model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{ModelPath: bad}); err == nil {
+		t.Fatal("New with corrupt model file succeeded")
+	}
+	// Models without the two-class head are refused at startup.
+	oneClass, _ := saveTestNet(t, dir, "one-class.gob", []int{3, 8, 1}, 3)
+	if _, err := New(Options{ModelPath: oneClass}); err == nil {
+		t.Fatal("New accepted a 1-class model")
+	}
+}
+
+func TestTemperatureAffectsProbNotClass(t *testing.T) {
+	dir := t.TempDir()
+	path, net := saveTestNet(t, dir, "m.gob", []int{3, 8, 2}, 7)
+	hot, err := New(Options{ModelPath: path, Temperature: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hot.Close()
+	x := tensor.FromRows([][]float64{{0.9, 0.1, 0.5}})
+	w := postJSON(t, hot, "/v1/score", scoreBody([][]float64{x.Row(0)}))
+	var resp ScoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedResults(net, x, 4); resp.Results[0] != want[0] {
+		t.Fatalf("T=4 result %+v, want %+v", resp.Results[0], want[0])
+	}
+}
