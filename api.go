@@ -28,6 +28,7 @@ import (
 
 	"malevade/internal/attack"
 	"malevade/internal/blackbox"
+	"malevade/internal/campaign"
 	"malevade/internal/dataset"
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
@@ -89,6 +90,33 @@ type (
 	SubstituteConfig = blackbox.SubstituteConfig
 	// SubstituteResult is the outcome of substitute training.
 	SubstituteResult = blackbox.SubstituteResult
+	// AttackConfig is the declarative, serializable attack description
+	// (kind + strength parameters) campaigns, the CLI and drivers share;
+	// Build instantiates it against a crafting model.
+	AttackConfig = attack.Config
+	// CampaignSpec describes one asynchronous evasion campaign: attack,
+	// crafting model, population and target.
+	CampaignSpec = campaign.Spec
+	// CampaignSnapshot is a point-in-time view of a campaign: status,
+	// progress, rates and incremental per-sample results.
+	CampaignSnapshot = campaign.Snapshot
+	// CampaignStatus is a campaign's lifecycle state (queued, running,
+	// done, failed, cancelled).
+	CampaignStatus = campaign.Status
+	// CampaignResult is one attacked sample's outcome inside a campaign.
+	CampaignResult = campaign.SampleResult
+	// CampaignEngine is the asynchronous campaign orchestrator: a bounded
+	// worker pool running queued, cancellable evasion campaigns. The HTTP
+	// daemon embeds one behind /v1/campaigns; standalone engines come
+	// from NewCampaignEngine.
+	CampaignEngine = campaign.Engine
+	// CampaignOptions tunes a CampaignEngine (workers, queue depth,
+	// sample caps, targets); the zero value picks defaults.
+	CampaignOptions = campaign.Options
+	// CampaignTarget is the label-only view of the detector a campaign
+	// evades; one LabelBatch call is always answered wholly by one model
+	// generation.
+	CampaignTarget = campaign.Target
 )
 
 // Class labels, matching the paper's convention.
@@ -190,6 +218,24 @@ func TrainSubstituteViaOracle(oracle Oracle, seed *Matrix, cfg SubstituteConfig)
 // the "attacker data" box of the paper's Figure 2 framework.
 func SeedSet(d *Dataset, perClass int, seed uint64) *Matrix {
 	return blackbox.SeedSet(d, perClass, seed)
+}
+
+// NewCampaignEngine starts a standalone asynchronous campaign orchestrator
+// — the same engine the HTTP daemon exposes as /v1/campaigns, for embedders
+// that drive campaigns in-process. Close it to cancel outstanding campaigns
+// and release the workers.
+func NewCampaignEngine(opts CampaignOptions) *CampaignEngine { return campaign.NewEngine(opts) }
+
+// NewDetectorCampaignTarget wraps an in-process detector as a campaign
+// target with a fixed model generation.
+func NewDetectorCampaignTarget(d Detector) CampaignTarget {
+	return &campaign.DetectorTarget{Det: d}
+}
+
+// NewRemoteCampaignTarget points a campaign target at a remote scoring
+// daemon's /v1/label endpoint.
+func NewRemoteCampaignTarget(baseURL string) CampaignTarget {
+	return campaign.NewRemoteTarget(baseURL)
 }
 
 // NewJSMA builds the paper's attack: add-only JSMA with per-step magnitude

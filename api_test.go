@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"malevade"
 )
@@ -110,5 +111,84 @@ func TestProfilesExposed(t *testing.T) {
 	}
 	if malevade.ProfilePaper.ScaleDivisor != 1 {
 		t.Fatal("paper profile must be full scale")
+	}
+}
+
+// TestCampaignFacade drives the campaign orchestrator purely through the
+// public surface: a standalone engine over an in-process target, a spec
+// with explicit rows, incremental polling, and clean shutdown.
+func TestCampaignFacade(t *testing.T) {
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(4).Scaled(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		Arch:       malevade.ArchTarget,
+		WidthScale: 0.08,
+		Epochs:     6,
+		BatchSize:  64,
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	craftPath := dir + "/craft.gob"
+	if err := target.Net.SaveFile(craftPath); err != nil {
+		t.Fatal(err)
+	}
+
+	engine := malevade.NewCampaignEngine(malevade.CampaignOptions{
+		Workers:     1,
+		LocalTarget: malevade.NewDetectorCampaignTarget(target),
+	})
+	defer engine.Close()
+
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	rows := make([][]float64, 0, 24)
+	for i := 0; i < 24 && i < mal.Len(); i++ {
+		rows = append(rows, mal.X.Row(i))
+	}
+	snap, err := engine.Submit(malevade.CampaignSpec{
+		Name:           "facade-smoke",
+		Attack:         malevade.AttackConfig{Kind: "jsma", Theta: 0.1, Gamma: 0.03},
+		CraftModelPath: craftPath,
+		Rows:           rows,
+		BatchSize:      10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var final malevade.CampaignSnapshot
+	for {
+		var ok bool
+		final, ok = engine.Get(snap.ID, 0)
+		if !ok {
+			t.Fatalf("campaign %s disappeared", snap.ID)
+		}
+		if final.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never finished (status %s)", snap.ID, final.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.Status != malevade.CampaignStatus("done") {
+		t.Fatalf("status %s (%s), want done", final.Status, final.Error)
+	}
+	if final.DoneSamples != len(rows) || len(final.Results) != len(rows) {
+		t.Fatalf("judged %d samples with %d results, want %d", final.DoneSamples, len(final.Results), len(rows))
+	}
+	// White-box campaign: craft and target are the same model, so the
+	// crafting-model verdict and target verdict must agree per sample.
+	for i, r := range final.Results {
+		if r.CraftEvaded != r.Evaded {
+			t.Errorf("sample %d: craft evaded %v, target evaded %v", i, r.CraftEvaded, r.Evaded)
+		}
+	}
+	if list := engine.List(); len(list) != 1 || list[0].ID != snap.ID {
+		t.Errorf("List returned %d campaigns", len(list))
 	}
 }

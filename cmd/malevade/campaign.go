@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/campaign"
+	"malevade/internal/dataset"
+	"malevade/internal/server"
+)
+
+// cmdCampaign drives the daemon's asynchronous campaign API from the
+// command line: submit an evasion campaign, watch its incremental results,
+// list campaigns, cancel one. The crafting-model path travels server-side
+// semantics (the daemon loads it from its own disk), mirroring /v1/reload.
+func cmdCampaign(args []string) error {
+	if len(args) == 0 {
+		campaignUsage()
+		return fmt.Errorf("missing campaign subcommand")
+	}
+	switch args[0] {
+	case "submit":
+		return cmdCampaignSubmit(args[1:])
+	case "status":
+		return cmdCampaignStatus(args[1:])
+	case "list":
+		return cmdCampaignList(args[1:])
+	case "cancel":
+		return cmdCampaignCancel(args[1:])
+	case "help", "-h", "--help":
+		campaignUsage()
+		return nil
+	default:
+		campaignUsage()
+		return fmt.Errorf("unknown campaign subcommand %q", args[0])
+	}
+}
+
+func campaignUsage() {
+	fmt.Fprintln(os.Stderr, `usage: malevade campaign <subcommand> [flags]
+
+subcommands:
+  submit    submit an evasion campaign to a running daemon
+  status    poll one campaign (incremental per-sample results)
+  list      list campaigns on the daemon
+  cancel    cancel a queued or running campaign
+
+run 'malevade campaign <subcommand> -h' for flags`)
+}
+
+func cmdCampaignSubmit(args []string) error {
+	fs := flag.NewFlagSet("campaign submit", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "human-readable campaign label")
+	kind := fs.String("attack", "jsma", "attack kind: jsma|pgd|fgsm|random")
+	theta := fs.Float64("theta", 0.1, "per-step perturbation magnitude (jsma/fgsm/random)")
+	gamma := fs.Float64("gamma", 0.025, "max fraction of perturbed features (jsma/random)")
+	epsilon := fs.Float64("epsilon", 0.1, "PGD L-inf radius")
+	steps := fs.Int("steps", 10, "PGD iterations")
+	seed := fs.Uint64("seed", 97, "random-add selection seed")
+	craft := fs.String("craft", "", "crafting model path on the daemon's disk (default: the served model)")
+	targetURL := fs.String("target-url", "", "remote /v1/label daemon to evade (default: the daemon itself)")
+	profile := fs.String("profile", "small", "population profile: small|medium|paper (ignored with -data)")
+	dataPath := fs.String("data", "", "local dataset (.gob) whose malware rows to attack instead of a profile")
+	maxSamples := fs.Int("max-samples", 0, "population cap (0 = server default)")
+	batch := fs.Int("batch", 0, "samples per generation-pinned batch (0 = server default)")
+	watch := fs.Bool("watch", true, "poll until the campaign finishes")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := campaign.Spec{
+		Name: *name,
+		Attack: attack.Config{
+			Kind: *kind, Theta: *theta, Gamma: *gamma,
+			Epsilon: *epsilon, Steps: *steps, Seed: *seed,
+		},
+		CraftModelPath: *craft,
+		TargetURL:      *targetURL,
+		Profile:        *profile,
+		MaxSamples:     *maxSamples,
+		BatchSize:      *batch,
+	}
+	if *dataPath != "" {
+		ds, err := dataset.LoadFile(*dataPath)
+		if err != nil {
+			return err
+		}
+		mal := ds.FilterLabel(dataset.LabelMalware)
+		spec.Profile = ""
+		spec.Rows = make([][]float64, mal.Len())
+		for i := range spec.Rows {
+			spec.Rows[i] = mal.X.Row(i)
+		}
+	}
+	var snap campaign.Snapshot
+	if err := campaignCall(http.MethodPost, *serverURL+"/v1/campaigns", spec, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s %s (%s)\n", snap.ID, snap.Status, snap.Spec.Attack.String())
+	if !*watch {
+		return nil
+	}
+	return watchCampaign(*serverURL, snap.ID, *interval)
+}
+
+func cmdCampaignStatus(args []string) error {
+	fs := flag.NewFlagSet("campaign status", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	id := fs.String("id", "", "campaign id (required)")
+	watch := fs.Bool("watch", false, "poll until the campaign finishes")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("campaign status: -id is required")
+	}
+	if *watch {
+		return watchCampaign(*serverURL, *id, *interval)
+	}
+	var snap campaign.Snapshot
+	if err := campaignCall(http.MethodGet, *serverURL+"/v1/campaigns/"+*id, nil, &snap); err != nil {
+		return err
+	}
+	printCampaign(snap)
+	return nil
+}
+
+func cmdCampaignList(args []string) error {
+	fs := flag.NewFlagSet("campaign list", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var list server.CampaignList
+	if err := campaignCall(http.MethodGet, *serverURL+"/v1/campaigns", nil, &list); err != nil {
+		return err
+	}
+	if len(list.Campaigns) == 0 {
+		fmt.Println("no campaigns")
+		return nil
+	}
+	for _, snap := range list.Campaigns {
+		fmt.Printf("%-8s %-9s %-28s %4d/%-4d evasion=%.3f\n",
+			snap.ID, snap.Status, snap.Spec.Attack.String(),
+			snap.DoneSamples, snap.TotalSamples, snap.EvasionRate)
+	}
+	return nil
+}
+
+func cmdCampaignCancel(args []string) error {
+	fs := flag.NewFlagSet("campaign cancel", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	id := fs.String("id", "", "campaign id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("campaign cancel: -id is required")
+	}
+	var snap campaign.Snapshot
+	if err := campaignCall(http.MethodDelete, *serverURL+"/v1/campaigns/"+*id, nil, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s %s\n", snap.ID, snap.Status)
+	return nil
+}
+
+// watchCampaign polls one campaign until it reaches a terminal state,
+// printing a progress line whenever the judged-sample count moves. Polls
+// pass ?offset=<seen> so the daemon only serializes results the watcher
+// has not seen yet.
+func watchCampaign(serverURL, id string, interval time.Duration) error {
+	lastDone := -1
+	for {
+		var snap campaign.Snapshot
+		url := fmt.Sprintf("%s/v1/campaigns/%s?offset=%d", serverURL, id, max(lastDone, 0))
+		if err := campaignCall(http.MethodGet, url, nil, &snap); err != nil {
+			return err
+		}
+		if snap.DoneSamples != lastDone || snap.Status.Terminal() {
+			lastDone = snap.DoneSamples
+			fmt.Printf("%s %-9s %4d/%-4d batches=%d generations=%v evasion=%.3f\n",
+				snap.ID, snap.Status, snap.DoneSamples, snap.TotalSamples,
+				snap.Batches, snap.Generations, snap.EvasionRate)
+		}
+		if snap.Status.Terminal() {
+			printCampaign(snap)
+			if snap.Status == campaign.StatusFailed {
+				return fmt.Errorf("campaign %s failed: %s", snap.ID, snap.Error)
+			}
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func printCampaign(snap campaign.Snapshot) {
+	fmt.Printf("campaign:            %s (%s)\n", snap.ID, snap.Spec.Attack.String())
+	if snap.Spec.Name != "" {
+		fmt.Printf("name:                %s\n", snap.Spec.Name)
+	}
+	fmt.Printf("status:              %s\n", snap.Status)
+	if snap.Error != "" {
+		fmt.Printf("error:               %s\n", snap.Error)
+	}
+	fmt.Printf("samples:             %d/%d (batches %d, retries %d)\n",
+		snap.DoneSamples, snap.TotalSamples, snap.Batches, snap.Retries)
+	fmt.Printf("model generations:   %v\n", snap.Generations)
+	fmt.Printf("baseline detection:  %.4f\n", snap.BaselineDetectionRate)
+	fmt.Printf("evasion rate:        %.4f\n", snap.EvasionRate)
+}
+
+// campaignCall does one JSON round-trip against the campaigns API,
+// decoding either the success payload into out or the daemon's error body
+// into a returned error.
+func campaignCall(method, url string, payload, out any) error {
+	var body io.Reader
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("campaign: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("campaign: %s %s: %w", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("campaign: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var remote struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &remote) == nil && remote.Error != "" {
+			return fmt.Errorf("campaign: daemon refused (%s): %s", resp.Status, remote.Error)
+		}
+		return fmt.Errorf("campaign: daemon refused: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("campaign: decode response: %w", err)
+	}
+	return nil
+}

@@ -123,7 +123,9 @@ func cmdAttack(args []string) error {
 	dataPath := fs.String("data", "data/test.gob", "dataset with malware to attack")
 	theta := fs.Float64("theta", 0.1, "perturbation magnitude per step")
 	gamma := fs.Float64("gamma", 0.025, "max fraction of perturbed features")
-	kind := fs.String("kind", "jsma", "attack: jsma|random|fgsm")
+	epsilon := fs.Float64("epsilon", 0.1, "PGD L-inf radius")
+	steps := fs.Int("steps", 10, "PGD iterations")
+	kind := fs.String("kind", "jsma", "attack: jsma|pgd|fgsm|random")
 	cap := fs.Int("cap", 2000, "max malware samples to attack (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,16 +155,16 @@ func cmdAttack(args []string) error {
 		}
 		mal = mal.Subset(idx)
 	}
-	var atk attack.Attack
-	switch *kind {
-	case "jsma":
-		atk = &attack.JSMA{Model: craft.Net, Theta: *theta, Gamma: *gamma}
-	case "random":
-		atk = &attack.RandomAdd{Model: craft.Net, Theta: *theta, Gamma: *gamma, Seed: 97}
-	case "fgsm":
-		atk = &attack.FGSM{Model: craft.Net, Theta: *theta}
-	default:
-		return fmt.Errorf("unknown attack %q (jsma|random|fgsm)", *kind)
+	atk, err := attack.Config{
+		Kind:    *kind,
+		Theta:   *theta,
+		Gamma:   *gamma,
+		Epsilon: *epsilon,
+		Steps:   *steps,
+		Seed:    97,
+	}.Build(craft.Net, nil)
+	if err != nil {
+		return err
 	}
 	baseline := detector.DetectionRate(target, mal.X)
 	results := atk.Run(mal.X)

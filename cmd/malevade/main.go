@@ -7,6 +7,7 @@
 //	malevade attack  -model target.gob -data data/test.gob -theta 0.1 -gamma 0.025
 //	malevade score   -model target.gob -data data/test.gob -clients 8
 //	malevade serve   -model target.gob -addr 127.0.0.1:8446
+//	malevade campaign submit -attack jsma -theta 0.1 -gamma 0.025 -watch
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
 //
@@ -46,6 +47,8 @@ func run(args []string) error {
 		return cmdScore(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "campaign":
+		return cmdCampaign(args[1:])
 	case "vocab":
 		return cmdVocab(args[1:])
 	case "explain":
@@ -69,6 +72,7 @@ commands:
   attack    run the JSMA attack against a saved model
   score     score a dataset through the concurrent batched engine
   serve     run the HTTP scoring daemon (hot-reload via SIGHUP or /v1/reload)
+  campaign  submit/watch/list/cancel evasion campaigns on a daemon
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features
 

@@ -42,6 +42,7 @@ type ErrMalformedLine struct {
 	Why  string
 }
 
+// Error implements error with the line number, reason and offending text.
 func (e *ErrMalformedLine) Error() string {
 	return fmt.Sprintf("apilog: line %d malformed (%s): %q", e.Line, e.Why, e.Text)
 }

@@ -48,8 +48,10 @@ type BatchOracle interface {
 // interface as a panic and be recovered into TrainSubstitute's error return.
 type OracleError struct{ Err error }
 
+// Error implements error.
 func (e *OracleError) Error() string { return e.Err.Error() }
 
+// Unwrap exposes the transport error for errors.Is/As.
 func (e *OracleError) Unwrap() error { return e.Err }
 
 // LabelAll labels every row of x, taking the batched fast path when the

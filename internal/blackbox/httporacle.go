@@ -3,6 +3,7 @@ package blackbox
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -56,36 +57,79 @@ type remoteError struct {
 }
 
 // Labels fetches the target's hard labels for every row of x, splitting the
-// batch into MaxBatch-row requests. This is the error-returning core; the
-// Oracle methods wrap it.
+// batch into MaxBatch-row requests. It does not care which model generation
+// answers (a hot-reload mid-batch is fine — substitute training only needs
+// labels); callers that need single-generation batches use LabelsVersion.
+// This is the error-returning core; the Oracle methods wrap it.
 func (o *HTTPOracle) Labels(x *tensor.Matrix) ([]int, error) {
+	labels, _, err := o.labelsOnce(x, false)
+	return labels, err
+}
+
+// ErrMixedGenerations reports that a hot-reload on the remote daemon landed
+// between the chunked requests of one batch, so its labels were not all
+// computed by a single model generation.
+var ErrMixedGenerations = errors.New("blackbox: batch spans model generations")
+
+// LabelsVersion labels every row of x and reports the single remote model
+// generation that computed every label. The per-request guarantee comes from
+// the daemon (a response is always wholly one generation); when a batch
+// splits into several requests and a hot-reload lands between them,
+// LabelsVersion retries the whole batch a few times before giving up with
+// ErrMixedGenerations. The campaign engine rests its generation-pinning
+// invariant on this call.
+func (o *HTTPOracle) LabelsVersion(x *tensor.Matrix) ([]int, int64, error) {
+	const retries = 8
+	var err error
+	for attempt := 0; attempt < retries; attempt++ {
+		var labels []int
+		var version int64
+		labels, version, err = o.labelsOnce(x, true)
+		if err == nil || !errors.Is(err, ErrMixedGenerations) {
+			return labels, version, err
+		}
+	}
+	return nil, 0, err
+}
+
+// labelsOnce runs one chunked pass over x. With pinned set, chunks must all
+// report one model generation — disagreement (a reload mid-batch) is
+// ErrMixedGenerations; without it, the reported version is the last chunk's
+// and generation changes are ignored.
+func (o *HTTPOracle) labelsOnce(x *tensor.Matrix, pinned bool) ([]int, int64, error) {
 	chunk := o.MaxBatch
 	if chunk <= 0 {
 		chunk = 1024
 	}
 	out := make([]int, 0, x.Rows)
+	var version int64
 	for start := 0; start < x.Rows; start += chunk {
 		end := start + chunk
 		if end > x.Rows {
 			end = x.Rows
 		}
-		labels, err := o.labelChunk(x, start, end)
+		labels, v, err := o.labelChunk(x, start, end)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
+		}
+		if start == 0 || !pinned {
+			version = v
+		} else if v != version {
+			return nil, 0, fmt.Errorf("%w: saw %d then %d", ErrMixedGenerations, version, v)
 		}
 		out = append(out, labels...)
 	}
-	return out, nil
+	return out, version, nil
 }
 
-func (o *HTTPOracle) labelChunk(x *tensor.Matrix, start, end int) ([]int, error) {
+func (o *HTTPOracle) labelChunk(x *tensor.Matrix, start, end int) ([]int, int64, error) {
 	req := labelRequest{Rows: make([][]float64, 0, end-start)}
 	for i := start; i < end; i++ {
 		req.Rows = append(req.Rows, x.Row(i))
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("blackbox: encode label request: %w", err)
+		return nil, 0, fmt.Errorf("blackbox: encode label request: %w", err)
 	}
 	client := o.Client
 	if client == nil {
@@ -93,29 +137,29 @@ func (o *HTTPOracle) labelChunk(x *tensor.Matrix, start, end int) ([]int, error)
 	}
 	resp, err := client.Post(o.BaseURL+"/v1/label", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("blackbox: query oracle: %w", err)
+		return nil, 0, fmt.Errorf("blackbox: query oracle: %w", err)
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return nil, fmt.Errorf("blackbox: read oracle response: %w", err)
+		return nil, 0, fmt.Errorf("blackbox: read oracle response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var remote remoteError
 		if json.Unmarshal(payload, &remote) == nil && remote.Error != "" {
-			return nil, fmt.Errorf("blackbox: oracle refused (%s): %s", resp.Status, remote.Error)
+			return nil, 0, fmt.Errorf("blackbox: oracle refused (%s): %s", resp.Status, remote.Error)
 		}
-		return nil, fmt.Errorf("blackbox: oracle refused: %s", resp.Status)
+		return nil, 0, fmt.Errorf("blackbox: oracle refused: %s", resp.Status)
 	}
 	var lr labelResponse
 	if err := json.Unmarshal(payload, &lr); err != nil {
-		return nil, fmt.Errorf("blackbox: decode oracle response: %w", err)
+		return nil, 0, fmt.Errorf("blackbox: decode oracle response: %w", err)
 	}
 	if len(lr.Labels) != end-start {
-		return nil, fmt.Errorf("blackbox: oracle returned %d labels for %d rows", len(lr.Labels), end-start)
+		return nil, 0, fmt.Errorf("blackbox: oracle returned %d labels for %d rows", len(lr.Labels), end-start)
 	}
 	o.queries.Add(int64(end - start))
-	return lr.Labels, nil
+	return lr.Labels, lr.ModelVersion, nil
 }
 
 // Label implements Oracle for one sample. The Oracle interface has no error

@@ -1,10 +1,12 @@
 package blackbox
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"malevade/internal/detector"
@@ -73,4 +75,117 @@ func TestHTTPOracleLabelsErrorPaths(t *testing.T) {
 			t.Fatal("Labels with short label array succeeded")
 		}
 	})
+}
+
+// TestLabelsVersionPinning covers the generation-reporting batch call the
+// campaign engine builds its pinning invariant on: a stable daemon reports
+// one version across chunks; a daemon that reloads between the chunks of
+// one batch forces a whole-batch retry; a daemon that flips versions on
+// every request exhausts the retries with ErrMixedGenerations.
+func TestLabelsVersionPinning(t *testing.T) {
+	respond := func(w http.ResponseWriter, r *http.Request, version int64) {
+		var req struct {
+			Rows [][]float64 `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		labels := make([]int, len(req.Rows))
+		resp := struct {
+			ModelVersion int64 `json:"model_version"`
+			Labels       []int `json:"labels"`
+		}{version, labels}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Errorf("encode: %v", err)
+		}
+	}
+
+	t.Run("stable daemon pins one version", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			respond(w, r, 7)
+		}))
+		defer ts.Close()
+		o := NewHTTPOracle(ts.URL)
+		o.MaxBatch = 2 // force chunking: 5 rows → 3 requests
+		labels, version, err := o.LabelsVersion(tensor.New(5, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels) != 5 || version != 7 {
+			t.Fatalf("got %d labels at version %d, want 5 at 7", len(labels), version)
+		}
+	})
+
+	t.Run("one reload mid-batch retries to success", func(t *testing.T) {
+		var requests atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Request 0 answers version 1, every later request version 2:
+			// the first pass sees mixed generations, the retry is stable.
+			if requests.Add(1) == 1 {
+				respond(w, r, 1)
+				return
+			}
+			respond(w, r, 2)
+		}))
+		defer ts.Close()
+		o := NewHTTPOracle(ts.URL)
+		o.MaxBatch = 2
+		labels, version, err := o.LabelsVersion(tensor.New(4, 3))
+		if err != nil {
+			t.Fatalf("retry should have recovered: %v", err)
+		}
+		if len(labels) != 4 || version != 2 {
+			t.Fatalf("got %d labels at version %d, want 4 at 2", len(labels), version)
+		}
+	})
+
+	t.Run("permanent flapping exhausts retries", func(t *testing.T) {
+		var requests atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			respond(w, r, requests.Add(1)) // a new version every request
+		}))
+		defer ts.Close()
+		o := NewHTTPOracle(ts.URL)
+		o.MaxBatch = 1
+		_, _, err := o.LabelsVersion(tensor.New(3, 2))
+		if !errors.Is(err, ErrMixedGenerations) {
+			t.Fatalf("err %v, want ErrMixedGenerations", err)
+		}
+	})
+}
+
+// TestLabelsToleratesGenerationChanges: plain Labels (the
+// substitute-training path) must not care that a hot-reload landed between
+// the chunks of one batch — only LabelsVersion enforces single-generation
+// batches.
+func TestLabelsToleratesGenerationChanges(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Rows [][]float64 `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		resp := struct {
+			ModelVersion int64 `json:"model_version"`
+			Labels       []int `json:"labels"`
+		}{requests.Add(1), make([]int, len(req.Rows))} // new version every request
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Errorf("encode: %v", err)
+		}
+	}))
+	defer ts.Close()
+	o := NewHTTPOracle(ts.URL)
+	o.MaxBatch = 2
+	labels, err := o.Labels(tensor.New(5, 3))
+	if err != nil {
+		t.Fatalf("Labels failed across generation changes: %v", err)
+	}
+	if len(labels) != 5 {
+		t.Fatalf("got %d labels, want 5", len(labels))
+	}
+	if o.Queries() != 5 {
+		t.Fatalf("counted %d queries, want 5", o.Queries())
+	}
 }

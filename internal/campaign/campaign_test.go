@@ -1,0 +1,430 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/detector"
+	"malevade/internal/nn"
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// testNet builds a small deterministic network and saves it to dir.
+func testNet(t testing.TB, dir string, dims []int, seed uint64) (string, *nn.Network) {
+	t.Helper()
+	net, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("net-%d.gob", seed))
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, net
+}
+
+// testRows synthesizes n deterministic feature rows in [0,1].
+func testRows(n, width int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, width)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64()
+		}
+	}
+	return rows
+}
+
+func rowsMatrix(rows [][]float64) *tensor.Matrix {
+	x := tensor.New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		copy(x.Row(i), row)
+	}
+	return x
+}
+
+// waitTerminal polls until the campaign reaches a terminal state.
+func waitTerminal(t testing.TB, e *Engine, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := e.Get(id, 0)
+		if !ok {
+			t.Fatalf("campaign %s disappeared", id)
+		}
+		if snap.Status.Terminal() {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never finished", id)
+	return Snapshot{}
+}
+
+// TestCampaignMatchesDirectAttack is the engine's determinism anchor: a
+// campaign over explicit rows must produce, per sample, exactly the outcome
+// of running the same attack over the whole population in one call and
+// judging it against the same target — batching must be invisible.
+func TestCampaignMatchesDirectAttack(t *testing.T) {
+	dir := t.TempDir()
+	dims := []int{12, 16, 2}
+	craftPath, craftNet := testNet(t, dir, dims, 3)
+	_, targetNet := testNet(t, dir, dims, 7)
+	target := detector.NewDNN(targetNet)
+
+	rows := testRows(53, dims[0], 11)
+	x := rowsMatrix(rows)
+
+	cfg := attack.Config{Kind: attack.KindJSMA, Theta: 0.2, Gamma: 0.25}
+	e := NewEngine(Options{
+		Workers:     2,
+		LocalTarget: &DetectorTarget{Det: target},
+	})
+	defer e.Close()
+
+	snap, err := e.Submit(Spec{
+		Attack:         cfg,
+		CraftModelPath: craftPath,
+		Rows:           rows,
+		BatchSize:      7, // deliberately not a divisor of 53
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, snap.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("status %s (%s), want done", final.Status, final.Error)
+	}
+	if final.TotalSamples != 53 || final.DoneSamples != 53 {
+		t.Fatalf("samples %d/%d, want 53/53", final.DoneSamples, final.TotalSamples)
+	}
+	wantBatches := (53 + 6) / 7
+	if final.Batches != wantBatches {
+		t.Errorf("batches %d, want %d", final.Batches, wantBatches)
+	}
+	if len(final.Generations) != 1 || final.Generations[0] != 1 {
+		t.Errorf("generations %v, want [1]", final.Generations)
+	}
+
+	// Reference: one whole-population run of the identical attack.
+	atk, err := cfg.Build(craftNet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := atk.Run(x)
+	adv := attack.AdvMatrix(results)
+	baseLabels := target.Predict(x)
+	advLabels := target.Predict(adv)
+
+	evaded, detected := 0, 0
+	for i, sr := range final.Results {
+		if sr.Index != i {
+			t.Fatalf("result %d has index %d", i, sr.Index)
+		}
+		if want := baseLabels[i] == 1; sr.BaselineDetected != want {
+			t.Errorf("sample %d baseline detected %v, want %v", i, sr.BaselineDetected, want)
+		}
+		if want := advLabels[i] == 0; sr.Evaded != want {
+			t.Errorf("sample %d evaded %v, want %v", i, sr.Evaded, want)
+		}
+		if sr.CraftEvaded != results[i].Evaded {
+			t.Errorf("sample %d craft evaded %v, want %v", i, sr.CraftEvaded, results[i].Evaded)
+		}
+		if sr.L2 != results[i].L2 {
+			t.Errorf("sample %d L2 %v, want %v", i, sr.L2, results[i].L2)
+		}
+		if sr.ModifiedFeatures != len(results[i].ModifiedFeatures) {
+			t.Errorf("sample %d modified %d, want %d", i, sr.ModifiedFeatures, len(results[i].ModifiedFeatures))
+		}
+		if sr.Evaded {
+			evaded++
+		}
+		if sr.BaselineDetected {
+			detected++
+		}
+	}
+	if want := float64(evaded) / 53; final.EvasionRate != want {
+		t.Errorf("evasion rate %v, want %v", final.EvasionRate, want)
+	}
+	if want := float64(detected) / 53; final.BaselineDetectionRate != want {
+		t.Errorf("baseline detection rate %v, want %v", final.BaselineDetectionRate, want)
+	}
+}
+
+// TestCampaignResultsOffset checks the incremental-poll window.
+func TestCampaignResultsOffset(t *testing.T) {
+	dir := t.TempDir()
+	dims := []int{6, 8, 2}
+	craftPath, _ := testNet(t, dir, dims, 1)
+	_, targetNet := testNet(t, dir, dims, 2)
+
+	e := NewEngine(Options{LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)}})
+	defer e.Close()
+	snap, err := e.Submit(Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		CraftModelPath: craftPath,
+		Rows:           testRows(20, dims[0], 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, e, snap.ID)
+	full, _ := e.Get(snap.ID, 0)
+	if len(full.Results) != 20 || full.ResultsOffset != 0 {
+		t.Fatalf("full window: %d results at offset %d", len(full.Results), full.ResultsOffset)
+	}
+	tail, _ := e.Get(snap.ID, 15)
+	if len(tail.Results) != 5 || tail.ResultsOffset != 15 {
+		t.Fatalf("tail window: %d results at offset %d", len(tail.Results), tail.ResultsOffset)
+	}
+	if tail.Results[0] != full.Results[15] {
+		t.Errorf("windowed result mismatch: %+v vs %+v", tail.Results[0], full.Results[15])
+	}
+	past, _ := e.Get(snap.ID, 999)
+	if len(past.Results) != 0 || past.ResultsOffset != 20 {
+		t.Errorf("past-end window: %d results at offset %d", len(past.Results), past.ResultsOffset)
+	}
+}
+
+// TestSubmitValidation: doomed specs must be rejected synchronously.
+func TestSubmitValidation(t *testing.T) {
+	e := NewEngine(Options{MaxSamples: 8})
+	defer e.Close()
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown attack kind", Spec{Attack: attack.Config{Kind: "ddos"}}},
+		{"negative theta", Spec{Attack: attack.Config{Kind: attack.KindJSMA, Theta: -1}}},
+		{"unknown profile", Spec{Attack: attack.Config{Kind: attack.KindJSMA}, Profile: "galactic"}},
+		{"ragged rows", Spec{Attack: attack.Config{Kind: attack.KindJSMA}, Rows: [][]float64{{1, 2}, {3}}}},
+		{"non-finite feature", Spec{Attack: attack.Config{Kind: attack.KindJSMA},
+			Rows: [][]float64{{1, inf()}}}},
+		{"too many rows", Spec{Attack: attack.Config{Kind: attack.KindJSMA}, Rows: testRows(9, 3, 1)}},
+		{"negative batch", Spec{Attack: attack.Config{Kind: attack.KindJSMA}, BatchSize: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := e.Submit(tc.spec); err == nil {
+			t.Errorf("%s: Submit accepted an invalid spec", tc.name)
+		}
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// TestCampaignFailsCleanly: a spec that validates but cannot run (missing
+// crafting model file) must fail the job, not wedge or crash the worker.
+func TestCampaignFailsCleanly(t *testing.T) {
+	dims := []int{4, 2}
+	_, targetNet := testNet(t, t.TempDir(), dims, 2)
+	e := NewEngine(Options{LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)}})
+	defer e.Close()
+	snap, err := e.Submit(Spec{
+		Attack:         attack.Config{Kind: attack.KindJSMA, Theta: 0.1, Gamma: 0.1},
+		CraftModelPath: filepath.Join(t.TempDir(), "missing.gob"),
+		Rows:           testRows(3, 4, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, snap.ID)
+	if final.Status != StatusFailed || final.Error == "" {
+		t.Fatalf("status %s (%q), want failed with a reason", final.Status, final.Error)
+	}
+	// The worker must survive the failure: the next campaign still runs.
+	craftPath, _ := testNet(t, t.TempDir(), dims, 9)
+	snap2, err := e.Submit(Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		CraftModelPath: craftPath,
+		Rows:           testRows(3, 4, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, e, snap2.ID); final.Status != StatusDone {
+		t.Fatalf("follow-up campaign: status %s (%s), want done", final.Status, final.Error)
+	}
+}
+
+// TestEngineLifecycle covers unknown ids, list ordering and post-Close
+// behaviour.
+func TestEngineLifecycle(t *testing.T) {
+	dims := []int{4, 2}
+	dir := t.TempDir()
+	craftPath, _ := testNet(t, dir, dims, 1)
+	_, targetNet := testNet(t, dir, dims, 2)
+	e := NewEngine(Options{LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)}})
+
+	if _, ok := e.Get("c999999", 0); ok {
+		t.Error("Get returned a snapshot for an unknown id")
+	}
+	if _, ok := e.Cancel("c999999"); ok {
+		t.Error("Cancel acknowledged an unknown id")
+	}
+
+	spec := Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		CraftModelPath: craftPath,
+		Rows:           testRows(2, 4, 3),
+	}
+	first, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := e.List()
+	if len(list) != 2 || list[0].ID != first.ID || list[1].ID != second.ID {
+		t.Fatalf("list %v, want [%s %s] in submission order", ids(list), first.ID, second.ID)
+	}
+	waitTerminal(t, e, first.ID)
+	waitTerminal(t, e, second.ID)
+
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.Submit(spec); err != ErrClosed {
+		t.Errorf("Submit after Close: err %v, want ErrClosed", err)
+	}
+	// Snapshots stay readable after Close.
+	if snap, ok := e.Get(first.ID, 0); !ok || !snap.Status.Terminal() {
+		t.Errorf("Get after Close: ok=%v status=%v", ok, snap.Status)
+	}
+}
+
+func ids(snaps []Snapshot) []string {
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// TestRandomAttackPerBatchSeeding: KindRandom campaigns re-seed per batch,
+// so two runs with the same spec agree with each other (determinism) and
+// each batch matches a direct RandomAdd run seeded with Seed+firstIndex.
+func TestRandomAttackPerBatchSeeding(t *testing.T) {
+	dir := t.TempDir()
+	dims := []int{10, 8, 2}
+	craftPath, craftNet := testNet(t, dir, dims, 3)
+	_, targetNet := testNet(t, dir, dims, 4)
+	target := detector.NewDNN(targetNet)
+
+	rows := testRows(12, dims[0], 21)
+	spec := Spec{
+		Attack:         attack.Config{Kind: attack.KindRandom, Theta: 0.3, Gamma: 0.3, Seed: 5},
+		CraftModelPath: craftPath,
+		Rows:           rows,
+		BatchSize:      4,
+	}
+	run := func() Snapshot {
+		e := NewEngine(Options{LocalTarget: &DetectorTarget{Det: target}})
+		defer e.Close()
+		snap, err := e.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitTerminal(t, e, snap.ID)
+		if final.Status != StatusDone {
+			t.Fatalf("status %s (%s)", final.Status, final.Error)
+		}
+		return final
+	}
+	a, b := run(), run()
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("run disagreement at sample %d: %+v vs %+v", i, a.Results[i], b.Results[i])
+		}
+	}
+	// Batch 1 (rows 4..7) must match a direct run seeded Seed+4.
+	x := rowsMatrix(rows[4:8])
+	direct := (&attack.RandomAdd{Model: craftNet, Theta: 0.3, Gamma: 0.3, Seed: 5 + 4}).Run(x)
+	advLabels := target.Predict(attack.AdvMatrix(direct))
+	for i := 0; i < 4; i++ {
+		got := a.Results[4+i]
+		if got.Evaded != (advLabels[i] == 0) || got.L2 != direct[i].L2 {
+			t.Errorf("batch sample %d: campaign %+v disagrees with direct per-batch run", i, got)
+		}
+	}
+}
+
+// TestProfilePopulation: a profile-parameterized campaign attacks exactly
+// the rows experiments.MalwarePopulation generates.
+func TestProfilePopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile corpus generation in -short mode")
+	}
+	dir := t.TempDir()
+	craftPath, _ := testNet(t, dir, []int{491, 6, 2}, 3)
+	_, targetNet := testNet(t, dir, []int{491, 6, 2}, 4)
+
+	e := NewEngine(Options{LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)}})
+	defer e.Close()
+	snap, err := e.Submit(Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.05},
+		CraftModelPath: craftPath,
+		Profile:        "small",
+		MaxSamples:     40,
+		BatchSize:      16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, snap.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("status %s (%s)", final.Status, final.Error)
+	}
+	if final.TotalSamples != 40 {
+		t.Fatalf("population %d, want the 40-sample cap", final.TotalSamples)
+	}
+}
+
+// TestHistoryEviction: a long-lived engine keeps only MaxHistory
+// campaigns, evicting the oldest terminal ones so memory stays bounded,
+// and never evicting live jobs.
+func TestHistoryEviction(t *testing.T) {
+	dims := []int{4, 2}
+	dir := t.TempDir()
+	craftPath, _ := testNet(t, dir, dims, 1)
+	_, targetNet := testNet(t, dir, dims, 2)
+	e := NewEngine(Options{
+		MaxHistory:  3,
+		LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)},
+	})
+	defer e.Close()
+	spec := Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		CraftModelPath: craftPath,
+		Rows:           testRows(2, dims[0], 3),
+	}
+	var all []string
+	for i := 0; i < 6; i++ {
+		snap, err := e.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, e, snap.ID) // serialize so every prior job is terminal
+		all = append(all, snap.ID)
+	}
+	list := e.List()
+	if len(list) != 3 {
+		t.Fatalf("retained %d campaigns, want MaxHistory=3", len(list))
+	}
+	for _, id := range all[:3] {
+		if _, ok := e.Get(id, 0); ok {
+			t.Errorf("evicted campaign %s still answers", id)
+		}
+	}
+	for _, id := range all[3:] {
+		if _, ok := e.Get(id, 0); !ok {
+			t.Errorf("retained campaign %s does not answer", id)
+		}
+	}
+}

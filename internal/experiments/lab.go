@@ -320,16 +320,38 @@ func (l *Lab) TestMalware() (*dataset.Dataset, error) {
 	if l.testMalware != nil {
 		return l.testMalware, nil
 	}
-	mal := c.Test.FilterLabel(dataset.LabelMalware)
-	if l.Profile.AttackCap > 0 && mal.Len() > l.Profile.AttackCap {
-		idx := make([]int, l.Profile.AttackCap)
+	l.testMalware = capMalware(c.Test, l.Profile.AttackCap)
+	return l.testMalware, nil
+}
+
+// capMalware extracts a test split's malware, keeping the first cap rows
+// (0 = all) — the one definition of "the attacked population" that
+// Lab.TestMalware and MalwarePopulation must share so remote campaigns and
+// in-process experiments attack identical rows.
+func capMalware(test *dataset.Dataset, cap int) *dataset.Dataset {
+	mal := test.FilterLabel(dataset.LabelMalware)
+	if cap > 0 && mal.Len() > cap {
+		idx := make([]int, cap)
 		for i := range idx {
 			idx[i] = i
 		}
 		mal = mal.Subset(idx)
 	}
-	l.testMalware = mal
-	return mal, nil
+	return mal
+}
+
+// MalwarePopulation regenerates a profile's attacked population —
+// bit-identical to what Lab.TestMalware would hand the sweep drivers —
+// without training any model: the deterministic Table I corpus at the
+// profile's scale, filtered to test malware and capped at AttackCap. The
+// campaign engine uses it so a campaign parameterized only by a profile name
+// attacks exactly the rows the in-process Lab attacks.
+func MalwarePopulation(p Profile) (*dataset.Dataset, error) {
+	c, err := dataset.Generate(dataset.TableIConfig(p.Seed).Scaled(p.ScaleDivisor))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate corpus: %w", err)
+	}
+	return capMalware(c.Test, p.AttackCap), nil
 }
 
 // GreyAdvExamples returns (cached) grey-box adversarial examples at the

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"malevade/internal/campaign"
+	"malevade/internal/nn"
+	"malevade/internal/tensor"
+)
+
+// The campaigns API exposes the asynchronous attack-campaign orchestrator
+// (internal/campaign) over the daemon:
+//
+//	POST   /v1/campaigns       submit a campaign spec        → 202 + snapshot
+//	GET    /v1/campaigns       list campaign summaries       → 200
+//	GET    /v1/campaigns/{id}  status + incremental results  → 200 (?offset=N)
+//	DELETE /v1/campaigns/{id}  cancel via context            → 202 + snapshot
+//
+// Campaigns run on the engine's worker pool and survive hot-reloads: every
+// batch is judged through serverTarget, which pins one model generation for
+// the batch's single evaluation exactly like a scoring request pins its
+// generation — a reload mid-campaign splits between batches, never inside
+// one.
+
+// serverTarget adapts the server's generation-pinned scoring path into a
+// campaign.Target: one LabelBatch call acquires the live generation, judges
+// every row through its engine, and reports that generation's version.
+type serverTarget struct{ s *Server }
+
+var _ campaign.Target = serverTarget{}
+
+// LabelBatch implements campaign.Target.
+func (t serverTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
+	m := t.s.acquire()
+	if m == nil {
+		return nil, 0, errors.New("server: shut down")
+	}
+	defer t.s.release(m)
+	if x.Cols != m.scorer.InDim() {
+		return nil, 0, fmt.Errorf("server: campaign batch has %d features, model expects %d",
+			x.Cols, m.scorer.InDim())
+	}
+	logits := m.scorer.Logits(x)
+	labels := make([]int, logits.Rows)
+	for i := range labels {
+		labels[i] = logits.RowArgmax(i)
+	}
+	return labels, m.version, nil
+}
+
+// craftModel loads a fresh copy of the currently-served model file — the
+// default crafting model for white-box campaigns against this daemon. Each
+// campaign job gets its own network because gradient crafting mutates
+// per-network activation caches.
+func (s *Server) craftModel() (*nn.Network, error) {
+	m := s.cur.Load()
+	if m == nil {
+		return nil, errors.New("server: shut down")
+	}
+	return nn.LoadFile(m.path)
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var spec campaign.Spec
+	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxBodyBytes)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		return
+	}
+	if dec.More() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trailing data after JSON body"})
+		return
+	}
+	snap, err := s.campaigns.Submit(spec)
+	if err != nil {
+		// Spec problems are the client's (422); backpressure is 429; a
+		// closed engine means the daemon is going away (503).
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, campaign.ErrQueueFull):
+			status = http.StatusTooManyRequests
+		case errors.Is(err, campaign.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// CampaignList answers GET /v1/campaigns.
+type CampaignList struct {
+	Campaigns []campaign.Snapshot `json:"campaigns"`
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, CampaignList{Campaigns: s.campaigns.List()})
+}
+
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	offset := 0
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("offset must be a non-negative integer, got %q", raw)})
+			return
+		}
+		offset = n
+	}
+	snap, ok := s.campaigns.Get(r.PathValue("id"), offset)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("unknown campaign %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.campaigns.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("unknown campaign %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}

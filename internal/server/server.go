@@ -12,6 +12,15 @@
 //	GET  /healthz    liveness + current model version
 //	GET  /v1/stats   batch/row/request counters
 //
+// plus the asynchronous attack-campaign API (see campaigns.go):
+//
+//	POST   /v1/campaigns       submit an evasion campaign
+//	GET    /v1/campaigns       list campaigns
+//	GET    /v1/campaigns/{id}  status + incremental per-sample results
+//	DELETE /v1/campaigns/{id}  cancel
+//
+// docs/http-api.md is the full wire reference.
+//
 // The model behind the endpoints hot-reloads atomically: a reload (SIGHUP in
 // the CLI, or POST /v1/reload) loads the new network from disk, swaps it in
 // behind an atomic.Pointer, then drains and closes the old scoring engine.
@@ -31,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"malevade/internal/campaign"
 	"malevade/internal/dataset"
 	"malevade/internal/nn"
 	"malevade/internal/serve"
@@ -55,6 +65,12 @@ type Options struct {
 	// MaxBodyBytes caps the request body size (default 32 MiB). Larger
 	// bodies are rejected with 413.
 	MaxBodyBytes int64
+	// Campaigns tunes the attack-campaign orchestrator behind
+	// /v1/campaigns (workers, queue depth, sample caps). LocalTarget and
+	// CraftModel are filled by the server when unset: campaigns then
+	// target the live generation-pinned model and craft on a private
+	// copy of the served model file.
+	Campaigns campaign.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +122,11 @@ type Server struct {
 	reloadMu sync.Mutex
 	version  atomic.Int64
 
+	// campaigns is the asynchronous attack-campaign orchestrator behind
+	// /v1/campaigns; its local target pins one model generation per
+	// campaign batch.
+	campaigns *campaign.Engine
+
 	requests atomic.Int64 // scoring requests served (score + label)
 	rejected atomic.Int64 // scoring requests rejected with 4xx
 	reloads  atomic.Int64 // successful hot-reloads
@@ -128,12 +149,24 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.cur.Store(m)
+	campaignOpts := opts.Campaigns
+	if campaignOpts.LocalTarget == nil {
+		campaignOpts.LocalTarget = serverTarget{s}
+	}
+	if campaignOpts.CraftModel == nil {
+		campaignOpts.CraftModel = s.craftModel
+	}
+	s.campaigns = campaign.NewEngine(campaignOpts)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/score", s.handleScore)
 	s.mux.HandleFunc("/v1/label", s.handleLabel)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	return s, nil
 }
 
@@ -241,9 +274,13 @@ func (s *Server) reload(path string) (*model, error) {
 	return m, nil
 }
 
-// Close drains in-flight requests and releases the scoring engine.
-// Subsequent requests are answered 503. Idempotent.
+// Close cancels running campaigns, drains in-flight requests and releases
+// the scoring engine. Subsequent requests are answered 503. Idempotent.
 func (s *Server) Close() {
+	// Campaigns first: their batches hold generation refs through
+	// serverTarget, so cancelling and draining them lets the final retire
+	// below complete without waiting on long-running jobs.
+	s.campaigns.Close()
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	old := s.cur.Swap(nil)
@@ -323,6 +360,8 @@ type StatsResponse struct {
 	// is the mean coalescing factor.
 	Batches int64 `json:"batches"`
 	Rows    int64 `json:"rows"`
+	// Campaigns counts campaign submissions accepted by /v1/campaigns.
+	Campaigns int64 `json:"campaigns"`
 }
 
 type errorResponse struct {
@@ -488,11 +527,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		Requests: s.requests.Load(),
-		Rejected: s.rejected.Load(),
-		Reloads:  s.reloads.Load(),
-		Batches:  s.retiredBatches.Load(),
-		Rows:     s.retiredRows.Load(),
+		Requests:  s.requests.Load(),
+		Rejected:  s.rejected.Load(),
+		Reloads:   s.reloads.Load(),
+		Batches:   s.retiredBatches.Load(),
+		Rows:      s.retiredRows.Load(),
+		Campaigns: s.campaigns.Submitted(),
 	}
 	if m := s.acquire(); m != nil {
 		b, rows := m.scorer.Stats()

@@ -1,0 +1,220 @@
+// Command doclint enforces the repository's documentation floor: every
+// package carries a package comment, and every exported top-level symbol of
+// every library package carries a doc comment, so `go doc` output is useful
+// everywhere. CI runs it as the docs-lint gate:
+//
+//	go run ./tools/doclint ./...
+//
+// Rules:
+//   - every non-test package (including main packages) must have a package
+//     comment on at least one file;
+//   - in library (non-main) packages, every exported func, type, method,
+//     and exported const/var group must have a doc comment (a comment on
+//     the enclosing declaration group counts).
+//
+// Violations are printed one per line as file:line: message; the exit code
+// is 1 when any exist. The tool is stdlib-only (go/ast + go/parser), so the
+// gate needs no external linter.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	var dirs []string
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		if root == "" || root == "." {
+			root = "."
+		}
+		found, err := packageDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, found...)
+	}
+	sort.Strings(dirs)
+
+	var violations []string
+	for _, dir := range dirs {
+		v, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d documentation violations\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// packageDirs walks root for directories containing non-test .go files.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	return dirs, nil
+}
+
+// lintDir checks one package directory.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var out []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		var firstFile string
+		var files []string
+		for path := range pkg.Files {
+			files = append(files, path)
+		}
+		sort.Strings(files)
+		for _, path := range files {
+			f := pkg.Files[path]
+			if firstFile == "" {
+				firstFile = path
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s:1: package %s has no package comment", firstFile, name))
+		}
+		if name == "main" {
+			continue // exported symbols of main packages are not API
+		}
+		for _, path := range files {
+			out = append(out, lintFile(fset, pkg.Files[path])...)
+		}
+	}
+	return out, nil
+}
+
+// lintFile reports undocumented exported top-level declarations.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || hasDoc(d.Doc) {
+				continue
+			}
+			if d.Recv != nil {
+				if recvName, exported := receiverType(d.Recv); !exported {
+					continue
+				} else {
+					report(d.Pos(), "exported method %s.%s has no doc comment", recvName, d.Name.Name)
+					continue
+				}
+			}
+			report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+		case *ast.GenDecl:
+			groupDoc := hasDoc(d.Doc)
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && !groupDoc && !hasDoc(sp.Doc) {
+						report(sp.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if !groupDoc && !hasDoc(sp.Doc) && !hasDoc(sp.Comment) {
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								report(sp.Pos(), "exported %s %s has no doc comment", kindOf(d.Tok), n.Name)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasDoc(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// receiverType resolves a method receiver's type name and whether it is
+// exported (methods on unexported types are not API).
+func receiverType(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name, x.IsExported()
+		default:
+			return "", false
+		}
+	}
+}
