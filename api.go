@@ -24,18 +24,22 @@
 package malevade
 
 import (
+	"context"
 	"io"
 
 	"malevade/internal/attack"
 	"malevade/internal/blackbox"
 	"malevade/internal/campaign"
+	"malevade/internal/client"
 	"malevade/internal/dataset"
+	"malevade/internal/defense"
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
 	"malevade/internal/experiments"
 	"malevade/internal/serve"
 	"malevade/internal/server"
 	"malevade/internal/tensor"
+	"malevade/internal/wire"
 )
 
 // Re-exported core types. These are aliases, so values flow freely between
@@ -115,8 +119,44 @@ type (
 	CampaignOptions = campaign.Options
 	// CampaignTarget is the label-only view of the detector a campaign
 	// evades; one LabelBatch call is always answered wholly by one model
-	// generation.
+	// generation, and the call honors its context.
 	CampaignTarget = campaign.Target
+	// Client is the typed SDK for a remote scoring daemon: every
+	// endpoint — scoring, labels, health, stats, hot-reload and the
+	// campaign API — behind one type with shared connection pooling, a
+	// context.Context on every call, bounded jittered retries for
+	// idempotent calls, and typed wire errors. Everything in this module
+	// that crosses the daemon's network boundary is a veneer over it.
+	Client = client.Client
+	// Verdict is one row's /v1/score outcome from Client.Score.
+	Verdict = client.Verdict
+	// ClientHealth is a daemon's /healthz report from Client.Health.
+	ClientHealth = client.Health
+	// ClientStats is a daemon's /v1/stats counters from Client.Stats.
+	ClientStats = client.Stats
+	// ReloadResult reports the model generation Client.Reload swapped in.
+	ReloadResult = client.ReloadResult
+	// WaitOptions tunes Client.WaitCampaign (poll interval, incremental
+	// snapshot callback).
+	WaitOptions = client.WaitOptions
+	// WireError is the typed form of a refused daemon call: HTTP status,
+	// machine-readable taxonomy code and message, round-tripping the
+	// server's JSON error envelope. It matches the Err* sentinels
+	// through errors.Is; docs/ERRORS.md tabulates the taxonomy.
+	WireError = wire.Error
+	// DefenseSpec is the declarative, serializable defense description
+	// (kind + parameters) the facade, the daemon and drivers share — the
+	// defense-side mirror of AttackConfig. Validate checks it without a
+	// model; chains are built with ApplyDefenses.
+	DefenseSpec = defense.Spec
+	// DefenseChain is an ordered defense pipeline: model-producing
+	// defenses (advtrain, distill, pca) replace the current model,
+	// wrapping defenses (squeeze) wrap it.
+	DefenseChain = defense.Chain
+	// DefenseEnv supplies the materials a defense build consumes: the
+	// undefended base model, the training split and clean calibration
+	// rows. ApplyDefenses assembles one from a Corpus.
+	DefenseEnv = defense.Env
 )
 
 // Class labels, matching the paper's convention.
@@ -137,6 +177,62 @@ var (
 	// ProfilePaper uses the paper's full sizes (hours on one core).
 	ProfilePaper = experiments.PaperScale
 )
+
+// The wire-error taxonomy: every error-bearing HTTP status of the daemon
+// API maps to exactly one machine-readable code and one of these
+// sentinels, and a WireError matches its sentinel through errors.Is —
+// callers branch on semantics, never on message strings. See
+// docs/ERRORS.md for the full table.
+var (
+	// ErrBadRequest: 400 — malformed JSON, ragged/non-finite rows,
+	// oversized batches.
+	ErrBadRequest = wire.ErrBadRequest
+	// ErrNotFound: 404 — unknown campaign id.
+	ErrNotFound = wire.ErrNotFound
+	// ErrMethodNotAllowed: 405 — wrong HTTP method.
+	ErrMethodNotAllowed = wire.ErrMethodNotAllowed
+	// ErrTooLarge: 413 — request body (model, population) over the
+	// daemon's byte cap.
+	ErrTooLarge = wire.ErrTooLarge
+	// ErrInvalidSpec: 422 — semantically invalid submission (unknown
+	// attack kind, unloadable reload path, bad campaign spec).
+	ErrInvalidSpec = wire.ErrInvalidSpec
+	// ErrQueueFull: 429 — campaign backpressure; retry later.
+	ErrQueueFull = wire.ErrQueueFull
+	// ErrInternal: 500 — server-side fault.
+	ErrInternal = wire.ErrInternal
+	// ErrUnavailable: 503 — daemon shut down or shutting down.
+	ErrUnavailable = wire.ErrUnavailable
+	// ErrMixedGenerations: client-side — a version-pinned batch spanned
+	// a hot-reload even after retries.
+	ErrMixedGenerations = wire.ErrMixedGenerations
+	// ErrProtocol: client-side — a response violated the documented wire
+	// contract.
+	ErrProtocol = wire.ErrProtocol
+)
+
+// NewClient returns the typed SDK for the scoring daemon at baseURL,
+// using a shared pooled transport. Adjust the Client's fields (MaxBatch,
+// Retries, HTTPClient) before first use; all methods take a
+// context.Context and are safe for concurrent use.
+func NewClient(baseURL string) *Client { return client.New(baseURL) }
+
+// ApplyDefenses hardens a detector with a declarative defense chain — the
+// defense-side mirror of building an attack from AttackConfig. The corpus
+// supplies training data for model-producing defenses (advtrain, distill,
+// pca) and clean calibration rows for threshold calibration; it may be
+// nil for chains that need neither (squeezing with an explicit
+// threshold). The result is a Detector servable through NewScorer's
+// batched engine when it is a plain DNN, or directly; the HTTP daemon
+// applies data-free chains itself via ServerOptions.Defenses.
+func ApplyDefenses(base *DNN, corpus *Corpus, chain DefenseChain) (Detector, error) {
+	env := defense.Env{Base: base}
+	if corpus != nil {
+		env.Train = corpus.Train
+		env.Clean = corpus.Val.FilterLabel(dataset.LabelClean).X
+	}
+	return chain.Build(env)
+}
 
 // DetectorConfig parameterizes detector training (architecture, width
 // scale, epochs, batch size, learning rate, seed).
@@ -210,8 +306,10 @@ func NewDetectorOracle(target Detector) Oracle { return blackbox.NewDetectorOrac
 // loop against any label oracle — in-process or HTTP — using Jacobian-based
 // dataset augmentation from the attacker's seed set. (TrainSubstitute, by
 // contrast, trains the Table IV architecture directly on labelled data.)
-func TrainSubstituteViaOracle(oracle Oracle, seed *Matrix, cfg SubstituteConfig) (*SubstituteResult, error) {
-	return blackbox.TrainSubstitute(oracle, seed, cfg)
+// Cancelling ctx aborts the loop promptly, including a wire query already
+// in flight against a remote oracle.
+func TrainSubstituteViaOracle(ctx context.Context, oracle Oracle, seed *Matrix, cfg SubstituteConfig) (*SubstituteResult, error) {
+	return blackbox.TrainSubstitute(ctx, oracle, seed, cfg)
 }
 
 // SeedSet draws the attacker's small per-class sample set from a dataset —
@@ -223,8 +321,16 @@ func SeedSet(d *Dataset, perClass int, seed uint64) *Matrix {
 // NewCampaignEngine starts a standalone asynchronous campaign orchestrator
 // — the same engine the HTTP daemon exposes as /v1/campaigns, for embedders
 // that drive campaigns in-process. Close it to cancel outstanding campaigns
-// and release the workers.
-func NewCampaignEngine(opts CampaignOptions) *CampaignEngine { return campaign.NewEngine(opts) }
+// and release the workers. Specs naming a TargetURL are judged through the
+// client SDK unless opts wires its own RemoteTarget factory.
+func NewCampaignEngine(opts CampaignOptions) *CampaignEngine {
+	if opts.RemoteTarget == nil {
+		opts.RemoteTarget = func(baseURL string) (CampaignTarget, error) {
+			return client.NewRemoteTarget(baseURL), nil
+		}
+	}
+	return campaign.NewEngine(opts)
+}
 
 // NewDetectorCampaignTarget wraps an in-process detector as a campaign
 // target with a fixed model generation.
@@ -233,9 +339,9 @@ func NewDetectorCampaignTarget(d Detector) CampaignTarget {
 }
 
 // NewRemoteCampaignTarget points a campaign target at a remote scoring
-// daemon's /v1/label endpoint.
+// daemon's /v1/label endpoint through the client SDK.
 func NewRemoteCampaignTarget(baseURL string) CampaignTarget {
-	return campaign.NewRemoteTarget(baseURL)
+	return client.NewRemoteTarget(baseURL)
 }
 
 // NewJSMA builds the paper's attack: add-only JSMA with per-step magnitude

@@ -11,6 +11,7 @@ package malevade_test
 // generation or base-model training.
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"sync"
@@ -440,7 +441,7 @@ func BenchmarkAblationJacobianAug(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for li, lambda := range lambdas {
 			oracle := blackbox.NewDetectorOracle(target)
-			res, err := blackbox.TrainSubstitute(oracle, blackbox.SeedSet(ac.Val, 8, 1),
+			res, err := blackbox.TrainSubstitute(context.Background(), oracle, blackbox.SeedSet(ac.Val, 8, 1),
 				blackbox.SubstituteConfig{
 					Arch:           detector.ArchTarget,
 					WidthScale:     0.05,

@@ -1,25 +1,26 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"malevade/internal/attack"
 	"malevade/internal/campaign"
+	"malevade/internal/client"
 	"malevade/internal/dataset"
-	"malevade/internal/server"
 )
 
 // cmdCampaign drives the daemon's asynchronous campaign API from the
-// command line: submit an evasion campaign, watch its incremental results,
-// list campaigns, cancel one. The crafting-model path travels server-side
-// semantics (the daemon loads it from its own disk), mirroring /v1/reload.
+// command line through the typed client SDK: submit an evasion campaign,
+// watch its incremental results, list campaigns, cancel one. The
+// crafting-model path travels server-side semantics (the daemon loads it
+// from its own disk), mirroring /v1/reload. Ctrl-C while watching cancels
+// the watch (not the campaign).
 func cmdCampaign(args []string) error {
 	if len(args) == 0 {
 		campaignUsage()
@@ -53,6 +54,12 @@ subcommands:
   cancel    cancel a queued or running campaign
 
 run 'malevade campaign <subcommand> -h' for flags`)
+}
+
+// cliContext returns a context cancelled by Ctrl-C/SIGTERM, so an
+// interrupted watch returns promptly instead of sleeping out its poll.
+func cliContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 func cmdCampaignSubmit(args []string) error {
@@ -94,21 +101,32 @@ func cmdCampaignSubmit(args []string) error {
 			return err
 		}
 		mal := ds.FilterLabel(dataset.LabelMalware)
+		// Apply -max-samples before shipping: the daemon validates the
+		// submitted row count against its own cap, so sending rows the
+		// user already capped away would both bloat the payload and risk
+		// a spurious 422 on large datasets.
+		n := mal.Len()
+		if *maxSamples > 0 && n > *maxSamples {
+			n = *maxSamples
+		}
 		spec.Profile = ""
-		spec.Rows = make([][]float64, mal.Len())
+		spec.Rows = make([][]float64, n)
 		for i := range spec.Rows {
 			spec.Rows[i] = mal.X.Row(i)
 		}
 	}
-	var snap campaign.Snapshot
-	if err := campaignCall(http.MethodPost, *serverURL+"/v1/campaigns", spec, &snap); err != nil {
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
+	snap, err := c.SubmitCampaign(ctx, spec)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("campaign %s %s (%s)\n", snap.ID, snap.Status, snap.Spec.Attack.String())
 	if !*watch {
 		return nil
 	}
-	return watchCampaign(*serverURL, snap.ID, *interval)
+	return watchCampaign(ctx, c, snap.ID, *interval)
 }
 
 func cmdCampaignStatus(args []string) error {
@@ -123,11 +141,14 @@ func cmdCampaignStatus(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("campaign status: -id is required")
 	}
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
 	if *watch {
-		return watchCampaign(*serverURL, *id, *interval)
+		return watchCampaign(ctx, c, *id, *interval)
 	}
-	var snap campaign.Snapshot
-	if err := campaignCall(http.MethodGet, *serverURL+"/v1/campaigns/"+*id, nil, &snap); err != nil {
+	snap, err := c.CampaignSnapshot(ctx, *id, 0)
+	if err != nil {
 		return err
 	}
 	printCampaign(snap)
@@ -140,15 +161,17 @@ func cmdCampaignList(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var list server.CampaignList
-	if err := campaignCall(http.MethodGet, *serverURL+"/v1/campaigns", nil, &list); err != nil {
+	ctx, stop := cliContext()
+	defer stop()
+	list, err := client.New(*serverURL).Campaigns(ctx)
+	if err != nil {
 		return err
 	}
-	if len(list.Campaigns) == 0 {
+	if len(list) == 0 {
 		fmt.Println("no campaigns")
 		return nil
 	}
-	for _, snap := range list.Campaigns {
+	for _, snap := range list {
 		fmt.Printf("%-8s %-9s %-28s %4d/%-4d evasion=%.3f\n",
 			snap.ID, snap.Status, snap.Spec.Attack.String(),
 			snap.DoneSamples, snap.TotalSamples, snap.EvasionRate)
@@ -166,41 +189,42 @@ func cmdCampaignCancel(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("campaign cancel: -id is required")
 	}
-	var snap campaign.Snapshot
-	if err := campaignCall(http.MethodDelete, *serverURL+"/v1/campaigns/"+*id, nil, &snap); err != nil {
+	ctx, stop := cliContext()
+	defer stop()
+	snap, err := client.New(*serverURL).CancelCampaign(ctx, *id)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("campaign %s %s\n", snap.ID, snap.Status)
 	return nil
 }
 
-// watchCampaign polls one campaign until it reaches a terminal state,
-// printing a progress line whenever the judged-sample count moves. Polls
-// pass ?offset=<seen> so the daemon only serializes results the watcher
-// has not seen yet.
-func watchCampaign(serverURL, id string, interval time.Duration) error {
+// watchCampaign streams one campaign to the terminal until it reaches a
+// terminal state, printing a progress line whenever the judged-sample
+// count moves. The SDK's WaitCampaign handles incremental offsets; the
+// callback only renders.
+func watchCampaign(ctx context.Context, c *client.Client, id string, interval time.Duration) error {
 	lastDone := -1
-	for {
-		var snap campaign.Snapshot
-		url := fmt.Sprintf("%s/v1/campaigns/%s?offset=%d", serverURL, id, max(lastDone, 0))
-		if err := campaignCall(http.MethodGet, url, nil, &snap); err != nil {
-			return err
-		}
-		if snap.DoneSamples != lastDone || snap.Status.Terminal() {
+	final, err := c.WaitCampaign(ctx, id, client.WaitOptions{
+		Interval: interval,
+		OnSnapshot: func(snap campaign.Snapshot) {
+			if snap.DoneSamples == lastDone && !snap.Status.Terminal() {
+				return
+			}
 			lastDone = snap.DoneSamples
 			fmt.Printf("%s %-9s %4d/%-4d batches=%d generations=%v evasion=%.3f\n",
 				snap.ID, snap.Status, snap.DoneSamples, snap.TotalSamples,
 				snap.Batches, snap.Generations, snap.EvasionRate)
-		}
-		if snap.Status.Terminal() {
-			printCampaign(snap)
-			if snap.Status == campaign.StatusFailed {
-				return fmt.Errorf("campaign %s failed: %s", snap.ID, snap.Error)
-			}
-			return nil
-		}
-		time.Sleep(interval)
+		},
+	})
+	if err != nil {
+		return err
 	}
+	printCampaign(final)
+	if final.Status == campaign.StatusFailed {
+		return fmt.Errorf("campaign %s failed: %s", final.ID, final.Error)
+	}
+	return nil
 }
 
 func printCampaign(snap campaign.Snapshot) {
@@ -217,50 +241,4 @@ func printCampaign(snap campaign.Snapshot) {
 	fmt.Printf("model generations:   %v\n", snap.Generations)
 	fmt.Printf("baseline detection:  %.4f\n", snap.BaselineDetectionRate)
 	fmt.Printf("evasion rate:        %.4f\n", snap.EvasionRate)
-}
-
-// campaignCall does one JSON round-trip against the campaigns API,
-// decoding either the success payload into out or the daemon's error body
-// into a returned error.
-func campaignCall(method, url string, payload, out any) error {
-	var body io.Reader
-	if payload != nil {
-		raw, err := json.Marshal(payload)
-		if err != nil {
-			return fmt.Errorf("campaign: encode request: %w", err)
-		}
-		body = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequest(method, url, body)
-	if err != nil {
-		return err
-	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("campaign: %s %s: %w", method, url, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return fmt.Errorf("campaign: read response: %w", err)
-	}
-	if resp.StatusCode >= 400 {
-		var remote struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &remote) == nil && remote.Error != "" {
-			return fmt.Errorf("campaign: daemon refused (%s): %s", resp.Status, remote.Error)
-		}
-		return fmt.Errorf("campaign: daemon refused: %s", resp.Status)
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("campaign: decode response: %w", err)
-	}
-	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"malevade/internal/defense"
 	"malevade/internal/serve"
 	"malevade/internal/server"
 )
@@ -29,8 +31,16 @@ func cmdServe(args []string) error {
 	maxRows := fs.Int("max-rows", 4096, "max rows per scoring request")
 	maxBytes := fs.Int64("max-bytes", 32<<20, "max request body bytes")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	defensesJSON := fs.String("defenses", "",
+		`servable defense chain as JSON, e.g. '[{"kind":"squeeze","bits":3,"threshold":0.2}]' (data-consuming defenses are built offline; see docs/ERRORS.md and ApplyDefenses)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var defenses defense.Chain
+	if *defensesJSON != "" {
+		if err := json.Unmarshal([]byte(*defensesJSON), &defenses); err != nil {
+			return fmt.Errorf("serve: -defenses: %w", err)
+		}
 	}
 	srv, err := server.New(server.Options{
 		ModelPath:    *modelPath,
@@ -38,6 +48,7 @@ func cmdServe(args []string) error {
 		Scorer:       serve.Options{Workers: *workers, MaxBatch: *batch},
 		MaxRows:      *maxRows,
 		MaxBodyBytes: *maxBytes,
+		Defenses:     defenses,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,121 @@
+package malevade_test
+
+// Godoc Example functions for the context-first public API. They have no
+// Output comment, so `go test` compiles them without executing them —
+// keeping the documentation honest (it must build against the real
+// facade) without requiring a live daemon in CI.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"malevade"
+)
+
+// ExampleNewClient drives every daemon endpoint through the one typed
+// SDK: health, scoring, typed error handling and hot-reload.
+func ExampleNewClient() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	c := malevade.NewClient("http://127.0.0.1:8446")
+	health, err := c.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model version:", health.ModelVersion, "defenses:", health.Defenses)
+
+	batch := malevade.Matrix{Rows: 1, Cols: malevade.NumFeatures,
+		Data: make([]float64, malevade.NumFeatures)}
+	verdicts, version, err := c.Score(ctx, &batch)
+	switch {
+	case errors.Is(err, malevade.ErrQueueFull):
+		// Backpressure is a typed condition, not a string to parse.
+		log.Fatal("daemon is saturated; retry later")
+	case err != nil:
+		log.Fatal(err)
+	}
+	fmt.Printf("P(malware)=%.4f class=%d (model v%d)\n",
+		verdicts[0].Prob, verdicts[0].Class, version)
+
+	if _, err := c.Reload(ctx, ""); errors.Is(err, malevade.ErrInvalidSpec) {
+		log.Fatal("the daemon could not load the requested model")
+	}
+}
+
+// ExampleApplyDefenses hardens a detector with a declarative chain —
+// adversarial training then feature squeezing — and shows the servable
+// split: the hardened model is saved and served like any other.
+func ExampleApplyDefenses() {
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(150))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		WidthScale: 0.1, Epochs: 15, BatchSize: 64, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hardened, err := malevade.ApplyDefenses(base, corpus, malevade.DefenseChain{
+		{Kind: "advtrain", Epochs: 15, WidthScale: 0.1, BatchSize: 64, Seed: 13},
+		{Kind: "squeeze", Bits: 3, TargetFPR: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	adv := malevade.AdvExamples(malevade.NewJSMA(base, 0.1, 0.02).Run(mal.X))
+	fmt.Printf("advEx detection: bare %.3f, hardened %.3f\n",
+		malevade.DetectionRate(base, adv), malevade.DetectionRate(hardened, adv))
+
+	// A data-free chain can instead be served live by the daemon:
+	//   malevade.NewServer(malevade.ServerOptions{
+	//       ModelPath: "model.gob",
+	//       Defenses:  malevade.DefenseChain{{Kind: "squeeze", Bits: 3, Threshold: 0.2}},
+	//   })
+}
+
+// ExampleClient_WaitCampaign submits an evasion campaign and streams its
+// incremental per-sample results until the terminal snapshot, with a
+// deadline that abandons the wait (not the campaign) if the daemon
+// stalls.
+func ExampleClient_WaitCampaign() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	c := malevade.NewClient("http://127.0.0.1:8446")
+	snap, err := c.SubmitCampaign(ctx, malevade.CampaignSpec{
+		Name:    "nightly-greybox",
+		Attack:  malevade.AttackConfig{Kind: "jsma", Theta: 0.1, Gamma: 0.025},
+		Profile: "small",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	final, err := c.WaitCampaign(ctx, snap.ID, malevade.WaitOptions{
+		Interval: time.Second,
+		OnSnapshot: func(cur malevade.CampaignSnapshot) {
+			fmt.Printf("%s: %d/%d judged\n", cur.Status, cur.DoneSamples, cur.TotalSamples)
+		},
+	})
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The campaign keeps running server-side; cancel it explicitly
+		// if the results no longer matter.
+		if _, err := c.CancelCampaign(context.Background(), snap.ID); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evasion rate %.4f across generations %v\n",
+		final.EvasionRate, final.Generations)
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -44,7 +45,7 @@ func run() error {
 	// Step 2: substitute training from a small attacker-owned seed set,
 	// expanded along the substitute's Jacobian each round.
 	seed := blackbox.SeedSet(attackerData.Val, 30, 1)
-	sub, err := blackbox.TrainSubstitute(oracle, seed, blackbox.SubstituteConfig{
+	sub, err := blackbox.TrainSubstitute(context.Background(), oracle, seed, blackbox.SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     lab.Profile.TargetWidthScale,
 		Rounds:         4,

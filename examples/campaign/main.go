@@ -1,21 +1,18 @@
 // Campaign plays a red team driving the daemon's asynchronous
-// attack-campaign orchestrator end to end: train and deploy a detector,
-// submit a white-box JSMA evasion campaign over HTTP, hot-reload the model
-// while the campaign runs, and poll incremental per-sample results until it
-// finishes — demonstrating that every batch is judged by exactly one model
-// generation even across the reload.
+// attack-campaign orchestrator end to end through the typed client SDK:
+// train and deploy a detector, submit a white-box JSMA evasion campaign
+// over HTTP, hot-reload the model while the campaign runs, and stream
+// incremental per-sample results until it finishes — demonstrating that
+// every batch is judged by exactly one model generation even across the
+// reload.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"time"
 
 	"malevade"
 )
@@ -28,6 +25,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// Operator side: a small detector behind the HTTP daemon.
 	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(150))
 	if err != nil {
@@ -59,17 +58,17 @@ func run() error {
 	defer ts.Close()
 	fmt.Printf("daemon up at %s (model version %d)\n", ts.URL, srv.ModelVersion())
 
-	// Red-team side: submit a white-box JSMA campaign over the paper's
-	// attacked population (the "small" profile's test malware). With no
-	// craft_model_path the daemon crafts on its own served model.
-	spec := malevade.CampaignSpec{
+	// Red-team side: one client covers submission, polling and the
+	// mid-campaign reload. With no craft_model_path the daemon crafts on
+	// its own served model.
+	c := malevade.NewClient(ts.URL)
+	snap, err := c.SubmitCampaign(ctx, malevade.CampaignSpec{
 		Name:      "whitebox-jsma",
 		Attack:    malevade.AttackConfig{Kind: "jsma", Theta: 0.1, Gamma: 0.025},
 		Profile:   "small",
 		BatchSize: 16,
-	}
-	var snap malevade.CampaignSnapshot
-	if err := call(http.MethodPost, ts.URL+"/v1/campaigns", spec, &snap); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	fmt.Printf("submitted campaign %s: %s over profile %q\n",
@@ -79,71 +78,31 @@ func run() error {
 	// finish on the generation they pinned; later batches pin the new one
 	// — the per-sample results below record which generation judged each.
 	reloaded := false
-	offset := 0
-	for {
-		var cur malevade.CampaignSnapshot
-		url := fmt.Sprintf("%s/v1/campaigns/%s?offset=%d", ts.URL, snap.ID, offset)
-		if err := call(http.MethodGet, url, nil, &cur); err != nil {
-			return err
-		}
-		for _, r := range cur.Results {
-			if r.Index%48 == 0 {
-				fmt.Printf("  sample %3d: generation %d evaded=%v (%d features modified)\n",
-					r.Index, r.Generation, r.Evaded, r.ModifiedFeatures)
+	final, err := c.WaitCampaign(ctx, snap.ID, malevade.WaitOptions{
+		OnSnapshot: func(cur malevade.CampaignSnapshot) {
+			for _, r := range cur.Results {
+				if r.Index%48 == 0 {
+					fmt.Printf("  sample %3d: generation %d evaded=%v (%d features modified)\n",
+						r.Index, r.Generation, r.Evaded, r.ModifiedFeatures)
+				}
 			}
-		}
-		offset += len(cur.Results)
-		if !reloaded && cur.DoneSamples > 0 {
-			if err := call(http.MethodPost, ts.URL+"/v1/reload", struct{}{}, nil); err != nil {
-				return err
+			if !reloaded && cur.DoneSamples > 0 {
+				if _, err := c.Reload(ctx, ""); err != nil {
+					fmt.Fprintln(os.Stderr, "reload:", err)
+					return
+				}
+				fmt.Printf("hot-reloaded the model mid-campaign (now version %d)\n", srv.ModelVersion())
+				reloaded = true
 			}
-			fmt.Printf("hot-reloaded the model mid-campaign (now version %d)\n", srv.ModelVersion())
-			reloaded = true
-		}
-		if cur.Status.Terminal() {
-			fmt.Printf("campaign %s: %s\n", cur.ID, cur.Status)
-			fmt.Printf("  samples:            %d (%d batches)\n", cur.DoneSamples, cur.Batches)
-			fmt.Printf("  model generations:  %v (every batch pinned exactly one)\n", cur.Generations)
-			fmt.Printf("  baseline detection: %.4f\n", cur.BaselineDetectionRate)
-			fmt.Printf("  evasion rate:       %.4f\n", cur.EvasionRate)
-			return nil
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
-
-// call does one JSON round-trip against the daemon, speaking only the
-// documented wire contract (docs/http-api.md).
-func call(method, url string, payload, out any) error {
-	var body io.Reader
-	if payload != nil {
-		raw, err := json.Marshal(payload)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequest(method, url, body)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, raw)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, out)
+	fmt.Printf("campaign %s: %s\n", final.ID, final.Status)
+	fmt.Printf("  samples:            %d (%d batches)\n", final.DoneSamples, final.Batches)
+	fmt.Printf("  model generations:  %v (every batch pinned exactly one)\n", final.Generations)
+	fmt.Printf("  baseline detection: %.4f\n", final.BaselineDetectionRate)
+	fmt.Printf("  evasion rate:       %.4f\n", final.EvasionRate)
+	return nil
 }

@@ -1,15 +1,14 @@
 // Serve-http runs the full deployed-detector loop in one process: train a
 // small target model, save it to disk, stand up the HTTP scoring daemon over
-// it, then play both operator and adversary against the live endpoint —
-// score a batch, hot-reload a retrained model, and drive the paper's
-// black-box substitute-training loop through the wire oracle.
+// it, then play both operator and adversary against the live endpoint
+// through the typed client SDK — score a batch, hot-reload a retrained
+// model, and drive the paper's black-box substitute-training loop through
+// the wire oracle.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -26,6 +25,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// Operator side: train a small detector and deploy it behind HTTP.
 	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(150))
 	if err != nil {
@@ -58,36 +59,22 @@ func run() error {
 	defer ts.Close()
 	fmt.Printf("daemon up at %s (model version %d)\n", ts.URL, srv.ModelVersion())
 
-	// Client side: score the first test rows over HTTP.
-	rows := make([][]float64, 4)
-	for i := range rows {
-		rows[i] = corpus.Test.X.Row(i)
-	}
-	reqBody, _ := json.Marshal(struct {
-		Rows [][]float64 `json:"rows"`
-	}{Rows: rows})
-	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(reqBody))
+	// Client side: one SDK covers every endpoint — score the first test
+	// rows over HTTP.
+	c := malevade.NewClient(ts.URL)
+	batch := malevade.Matrix{Rows: 4, Cols: corpus.Test.X.Cols,
+		Data: corpus.Test.X.Data[:4*corpus.Test.X.Cols]}
+	verdicts, version, err := c.Score(ctx, &batch)
 	if err != nil {
 		return err
 	}
-	var scored struct {
-		ModelVersion int64 `json:"model_version"`
-		Results      []struct {
-			Prob  float64 `json:"prob"`
-			Class int     `json:"class"`
-		} `json:"results"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&scored)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	for i, r := range scored.Results {
-		fmt.Printf("row %d (label %d): P(malware)=%.4f class=%d\n",
-			i, corpus.Test.Y[i], r.Prob, r.Class)
+	for i, v := range verdicts {
+		fmt.Printf("row %d (label %d): P(malware)=%.4f class=%d [model v%d]\n",
+			i, corpus.Test.Y[i], v.Prob, v.Class, version)
 	}
 
-	// Operator side again: retrain and hot-reload without dropping traffic.
+	// Operator side again: retrain and hot-reload without dropping
+	// traffic, through the same client.
 	retrained, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
 		WidthScale: 0.1, Epochs: 20, BatchSize: 64, Seed: 6,
 	})
@@ -97,17 +84,18 @@ func run() error {
 	if err := retrained.Net.SaveFile(modelPath); err != nil {
 		return err
 	}
-	version, err := srv.Reload("")
+	reloaded, err := c.Reload(ctx, "")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("hot-reloaded retrained model: version %d\n", version)
+	fmt.Printf("hot-reloaded retrained model: version %d\n", reloaded.ModelVersion)
 
 	// Adversary side: the daemon is a black-box label oracle; run the
-	// paper's substitute-training loop against it over the wire.
+	// paper's substitute-training loop against it over the wire. The
+	// oracle is a veneer over the same client SDK.
 	oracle := malevade.NewHTTPOracle(ts.URL)
 	seed := malevade.SeedSet(corpus.Val, 20, 1)
-	sub, err := malevade.TrainSubstituteViaOracle(oracle, seed, malevade.SubstituteConfig{
+	sub, err := malevade.TrainSubstituteViaOracle(ctx, oracle, seed, malevade.SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     0.1,
 		Rounds:         3,

@@ -12,6 +12,7 @@
 package blackbox
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -54,6 +55,17 @@ func (e *OracleError) Error() string { return e.Err.Error() }
 // Unwrap exposes the transport error for errors.Is/As.
 func (e *OracleError) Unwrap() error { return e.Err }
 
+// ContextBatchOracle is the optional error-and-context-aware batch
+// interface remote oracles implement (HTTPOracle does): a cancelled ctx
+// aborts an in-flight wire call promptly with ctx.Err() instead of
+// waiting the network out.
+type ContextBatchOracle interface {
+	Oracle
+	// Labels returns the target's class decision for every row of x,
+	// counting one query per row, honoring ctx.
+	Labels(ctx context.Context, x *tensor.Matrix) ([]int, error)
+}
+
 // LabelAll labels every row of x, taking the batched fast path when the
 // oracle supports it.
 func LabelAll(o Oracle, x *tensor.Matrix) []int {
@@ -65,6 +77,20 @@ func LabelAll(o Oracle, x *tensor.Matrix) []int {
 		out[i] = o.Label(x.Row(i))
 	}
 	return out
+}
+
+// LabelAllContext labels every row of x honoring ctx. Context-aware
+// oracles (the remote ones, where cancellation matters) get ctx plumbed
+// into the wire call; in-process oracles keep their allocation-free path
+// with only a cheap ctx poll before the batch.
+func LabelAllContext(ctx context.Context, o Oracle, x *tensor.Matrix) ([]int, error) {
+	if co, ok := o.(ContextBatchOracle); ok {
+		return co.Labels(ctx, x)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return LabelAll(o, x), nil
 }
 
 // DetectorOracle adapts any Detector into a query-counting BatchOracle.
@@ -169,7 +195,11 @@ type SubstituteResult struct {
 // Oracle failures mid-loop (an *OracleError panic from a remote oracle like
 // HTTPOracle) are returned as errors, so a network blip against a live
 // target aborts the run cleanly instead of crashing the process.
-func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (res *SubstituteResult, err error) {
+//
+// Cancelling ctx aborts the loop promptly — an in-flight wire query
+// returns with ctx.Err(), and the loop re-checks ctx between training
+// rounds and augmentation blocks.
+func TrainSubstitute(ctx context.Context, oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (res *SubstituteResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			oe, ok := r.(*OracleError)
@@ -194,10 +224,16 @@ func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (
 	}
 
 	x := seed.Clone()
-	labels := LabelAll(oracle, x)
+	labels, err := LabelAllContext(ctx, oracle, x)
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: oracle failed: %w", err)
+	}
 	res = &SubstituteResult{}
 
 	for round := 0; round < cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := nn.Train(net, x, nn.OneHot(labels, 2), nn.TrainConfig{
 			Epochs:    cfg.EpochsPerRound,
 			BatchSize: cfg.BatchSize,
@@ -249,7 +285,11 @@ func TrainSubstitute(oracle Oracle, seed *tensor.Matrix, cfg SubstituteConfig) (
 			}
 		}
 		fresh := tensor.FromSlice(x.Rows, inDim, augmented.Data[len(x.Data):])
-		labels = append(labels, LabelAll(oracle, fresh)...)
+		freshLabels, err := LabelAllContext(ctx, oracle, fresh)
+		if err != nil {
+			return nil, fmt.Errorf("blackbox: oracle failed: %w", err)
+		}
+		labels = append(labels, freshLabels...)
 		x = augmented
 	}
 	res.Model = detector.NewDNN(net)

@@ -2,6 +2,7 @@ package blackbox
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestSeedSet(t *testing.T) {
 
 func TestTrainSubstituteValidation(t *testing.T) {
 	o := NewDetectorOracle(bbTarget)
-	if _, err := TrainSubstitute(o, tensor.New(0, 491), SubstituteConfig{}); err == nil {
+	if _, err := TrainSubstitute(context.Background(), o, tensor.New(0, 491), SubstituteConfig{}); err == nil {
 		t.Fatal("expected empty-seed error")
 	}
 }
@@ -84,7 +85,7 @@ func TestTrainSubstituteLoop(t *testing.T) {
 	o := NewDetectorOracle(bbTarget)
 	seed := SeedSet(bbCorpus.Val, 15, 1)
 	var log bytes.Buffer
-	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+	res, err := TrainSubstitute(context.Background(), o, seed, SubstituteConfig{
 		Arch:           detector.ArchTarget, // small substitute for speed
 		WidthScale:     0.05,
 		Rounds:         3,
@@ -118,7 +119,7 @@ func TestTrainSubstituteLoop(t *testing.T) {
 func TestTrainSubstituteRespectsQueryBudget(t *testing.T) {
 	o := NewDetectorOracle(bbTarget)
 	seed := SeedSet(bbCorpus.Val, 15, 1)
-	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+	res, err := TrainSubstitute(context.Background(), o, seed, SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     0.05,
 		Rounds:         6,
@@ -137,7 +138,7 @@ func TestTrainSubstituteRespectsQueryBudget(t *testing.T) {
 func TestSubstituteAgreesWithTarget(t *testing.T) {
 	o := NewDetectorOracle(bbTarget)
 	seed := SeedSet(bbCorpus.Test, 40, 1)
-	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+	res, err := TrainSubstitute(context.Background(), o, seed, SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     0.08,
 		Rounds:         4,
@@ -158,7 +159,7 @@ func TestSubstituteAgreesWithTarget(t *testing.T) {
 func TestBlackBoxEndToEnd(t *testing.T) {
 	o := NewDetectorOracle(bbTarget)
 	seed := SeedSet(bbCorpus.Test, 40, 1)
-	res, err := TrainSubstitute(o, seed, SubstituteConfig{
+	res, err := TrainSubstitute(context.Background(), o, seed, SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     0.08,
 		Rounds:         4,

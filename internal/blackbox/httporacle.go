@@ -1,184 +1,85 @@
 package blackbox
 
 import (
-	"bytes"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
-	"net/http"
-	"sync/atomic"
+	"context"
 
+	"malevade/internal/client"
 	"malevade/internal/tensor"
+	"malevade/internal/wire"
 )
 
 // HTTPOracle queries a remote malevade scoring daemon's POST /v1/label
-// endpoint for hard labels — the paper's real-world black-box setting, where
-// the attacker's only access to the deployed detector is a verdict API over
-// the network. It implements BatchOracle, so TrainSubstitute and LabelAll
-// use it unchanged in place of an in-process DetectorOracle.
+// endpoint for hard labels — the paper's real-world black-box setting,
+// where the attacker's only access to the deployed detector is a verdict
+// API over the network. It is a thin veneer over the typed client SDK
+// (internal/client): chunking, pooling, retries and the wire-error
+// taxonomy all live there; the oracle adds only query accounting and the
+// errorless Oracle interface the substitute-training loop consumes.
 //
-// Large batches are split into MaxBatch-row requests. Query counting matches
-// DetectorOracle exactly (one query per row), so wire-driven and in-process
-// substitute training consume identical budgets.
+// Query counting matches DetectorOracle (one query per row of a served
+// request), so wire-driven and in-process substitute training consume
+// identical budgets on clean runs; version-pinned batches that a
+// hot-reload forced to retry count every served pass, because the remote
+// daemon really answered them.
 type HTTPOracle struct {
-	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8446".
-	BaseURL string
-	// Client is the HTTP client (default http.DefaultClient).
-	Client *http.Client
-	// MaxBatch caps the rows sent in one request (default 1024); keep it
-	// at or below the server's -max-rows limit.
-	MaxBatch int
-
-	queries atomic.Int64
+	// Client is the wire SDK; adjust its MaxBatch, Retries or HTTPClient
+	// before first use. Its MaxBatch must stay at or below the daemon's
+	// -max-rows limit. The oracle's query budget is the client's
+	// RowsServed counter, so keep the client private to this oracle.
+	Client *client.Client
 }
 
 var _ BatchOracle = (*HTTPOracle)(nil)
 
+// ErrMixedGenerations reports that a hot-reload on the remote daemon
+// landed between the chunked requests of one version-pinned batch, so its
+// labels were not all computed by a single model generation. Alias of
+// wire.ErrMixedGenerations, the taxonomy's canonical sentinel.
+var ErrMixedGenerations = wire.ErrMixedGenerations
+
 // NewHTTPOracle points an oracle at a scoring daemon.
 func NewHTTPOracle(baseURL string) *HTTPOracle {
-	return &HTTPOracle{BaseURL: baseURL}
+	return &HTTPOracle{Client: client.New(baseURL)}
 }
 
-// labelRequest/labelResponse mirror the server's wire schema. They are
-// declared locally so the attacker side shares no code with the service it
-// probes — the client speaks only the documented JSON contract.
-type labelRequest struct {
-	Rows [][]float64 `json:"rows"`
+// Labels fetches the target's hard labels for every row of x. It does not
+// care which model generation answers (a hot-reload mid-batch is fine —
+// substitute training only needs labels); callers that need
+// single-generation batches use LabelsVersion. Cancelling ctx abandons
+// the in-flight wire call promptly with ctx.Err(). This is the
+// error-returning core; the Oracle methods wrap it.
+func (o *HTTPOracle) Labels(ctx context.Context, x *tensor.Matrix) ([]int, error) {
+	return o.Client.Label(ctx, x)
 }
-
-type labelResponse struct {
-	ModelVersion int64 `json:"model_version"`
-	Labels       []int `json:"labels"`
-}
-
-type remoteError struct {
-	Error string `json:"error"`
-}
-
-// Labels fetches the target's hard labels for every row of x, splitting the
-// batch into MaxBatch-row requests. It does not care which model generation
-// answers (a hot-reload mid-batch is fine — substitute training only needs
-// labels); callers that need single-generation batches use LabelsVersion.
-// This is the error-returning core; the Oracle methods wrap it.
-func (o *HTTPOracle) Labels(x *tensor.Matrix) ([]int, error) {
-	labels, _, err := o.labelsOnce(x, false)
-	return labels, err
-}
-
-// ErrMixedGenerations reports that a hot-reload on the remote daemon landed
-// between the chunked requests of one batch, so its labels were not all
-// computed by a single model generation.
-var ErrMixedGenerations = errors.New("blackbox: batch spans model generations")
 
 // LabelsVersion labels every row of x and reports the single remote model
-// generation that computed every label. The per-request guarantee comes from
-// the daemon (a response is always wholly one generation); when a batch
-// splits into several requests and a hot-reload lands between them,
-// LabelsVersion retries the whole batch a few times before giving up with
-// ErrMixedGenerations. The campaign engine rests its generation-pinning
-// invariant on this call.
-func (o *HTTPOracle) LabelsVersion(x *tensor.Matrix) ([]int, int64, error) {
-	const retries = 8
-	var err error
-	for attempt := 0; attempt < retries; attempt++ {
-		var labels []int
-		var version int64
-		labels, version, err = o.labelsOnce(x, true)
-		if err == nil || !errors.Is(err, ErrMixedGenerations) {
-			return labels, version, err
-		}
-	}
-	return nil, 0, err
+// generation that computed every label, retrying whole batches a
+// hot-reload happened to split before giving up with ErrMixedGenerations
+// (see client.Client.LabelVersion). The campaign engine rests its
+// generation-pinning invariant on this call.
+func (o *HTTPOracle) LabelsVersion(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	return o.Client.LabelVersion(ctx, x)
 }
 
-// labelsOnce runs one chunked pass over x. With pinned set, chunks must all
-// report one model generation — disagreement (a reload mid-batch) is
-// ErrMixedGenerations; without it, the reported version is the last chunk's
-// and generation changes are ignored.
-func (o *HTTPOracle) labelsOnce(x *tensor.Matrix, pinned bool) ([]int, int64, error) {
-	chunk := o.MaxBatch
-	if chunk <= 0 {
-		chunk = 1024
-	}
-	out := make([]int, 0, x.Rows)
-	var version int64
-	for start := 0; start < x.Rows; start += chunk {
-		end := start + chunk
-		if end > x.Rows {
-			end = x.Rows
-		}
-		labels, v, err := o.labelChunk(x, start, end)
-		if err != nil {
-			return nil, 0, err
-		}
-		if start == 0 || !pinned {
-			version = v
-		} else if v != version {
-			return nil, 0, fmt.Errorf("%w: saw %d then %d", ErrMixedGenerations, version, v)
-		}
-		out = append(out, labels...)
-	}
-	return out, version, nil
-}
-
-func (o *HTTPOracle) labelChunk(x *tensor.Matrix, start, end int) ([]int, int64, error) {
-	req := labelRequest{Rows: make([][]float64, 0, end-start)}
-	for i := start; i < end; i++ {
-		req.Rows = append(req.Rows, x.Row(i))
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, 0, fmt.Errorf("blackbox: encode label request: %w", err)
-	}
-	client := o.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Post(o.BaseURL+"/v1/label", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, 0, fmt.Errorf("blackbox: query oracle: %w", err)
-	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return nil, 0, fmt.Errorf("blackbox: read oracle response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		var remote remoteError
-		if json.Unmarshal(payload, &remote) == nil && remote.Error != "" {
-			return nil, 0, fmt.Errorf("blackbox: oracle refused (%s): %s", resp.Status, remote.Error)
-		}
-		return nil, 0, fmt.Errorf("blackbox: oracle refused: %s", resp.Status)
-	}
-	var lr labelResponse
-	if err := json.Unmarshal(payload, &lr); err != nil {
-		return nil, 0, fmt.Errorf("blackbox: decode oracle response: %w", err)
-	}
-	if len(lr.Labels) != end-start {
-		return nil, 0, fmt.Errorf("blackbox: oracle returned %d labels for %d rows", len(lr.Labels), end-start)
-	}
-	o.queries.Add(int64(end - start))
-	return lr.Labels, lr.ModelVersion, nil
-}
-
-// Label implements Oracle for one sample. The Oracle interface has no error
-// path, so transport failures panic with an *OracleError; TrainSubstitute
-// recovers that panic into its error return, and error-aware direct callers
-// should use Labels instead.
+// Label implements Oracle for one sample. The Oracle interface has no
+// error path, so transport failures panic with an *OracleError;
+// TrainSubstitute recovers that panic into its error return, and
+// error-aware direct callers should use Labels instead.
 func (o *HTTPOracle) Label(x []float64) int {
 	return o.LabelBatch(tensor.FromSlice(1, len(x), x))[0]
 }
 
-// LabelBatch implements BatchOracle. Panics with *OracleError on transport
-// failure; see Label.
+// LabelBatch implements BatchOracle. Panics with *OracleError on
+// transport failure; see Label.
 func (o *HTTPOracle) LabelBatch(x *tensor.Matrix) []int {
-	labels, err := o.Labels(x)
+	labels, err := o.Labels(context.Background(), x)
 	if err != nil {
 		panic(&OracleError{Err: err})
 	}
 	return labels
 }
 
-// Queries implements Oracle: rows successfully labelled so far.
-func (o *HTTPOracle) Queries() int64 { return o.queries.Load() }
+// Queries implements Oracle: rows the remote daemon has successfully
+// answered for this oracle's client, counting every served pass of a
+// retried version-pinned batch.
+func (o *HTTPOracle) Queries() int64 { return o.Client.RowsServed() }

@@ -1,13 +1,16 @@
 package blackbox
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"malevade/internal/detector"
 	"malevade/internal/tensor"
@@ -24,7 +27,7 @@ func TestTrainSubstituteReturnsOracleTransportError(t *testing.T) {
 
 	oracle := NewHTTPOracle(ts.URL)
 	seed := tensor.New(4, 6)
-	_, err := TrainSubstitute(oracle, seed, SubstituteConfig{
+	_, err := TrainSubstitute(context.Background(), oracle, seed, SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     0.1,
 		Rounds:         2,
@@ -48,7 +51,7 @@ func TestTrainSubstituteReturnsOracleTransportError(t *testing.T) {
 func TestHTTPOracleLabelsErrorPaths(t *testing.T) {
 	t.Run("connection refused", func(t *testing.T) {
 		o := NewHTTPOracle("http://127.0.0.1:1")
-		if _, err := o.Labels(tensor.New(1, 3)); err == nil {
+		if _, err := o.Labels(context.Background(), tensor.New(1, 3)); err == nil {
 			t.Fatal("Labels against a closed port succeeded")
 		}
 		if o.Queries() != 0 {
@@ -61,7 +64,7 @@ func TestHTTPOracleLabelsErrorPaths(t *testing.T) {
 		}))
 		defer ts.Close()
 		o := NewHTTPOracle(ts.URL)
-		if _, err := o.Labels(tensor.New(1, 3)); err == nil {
+		if _, err := o.Labels(context.Background(), tensor.New(1, 3)); err == nil {
 			t.Fatal("Labels with garbage response succeeded")
 		}
 	})
@@ -71,7 +74,7 @@ func TestHTTPOracleLabelsErrorPaths(t *testing.T) {
 		}))
 		defer ts.Close()
 		o := NewHTTPOracle(ts.URL)
-		if _, err := o.Labels(tensor.New(3, 2)); err == nil {
+		if _, err := o.Labels(context.Background(), tensor.New(3, 2)); err == nil {
 			t.Fatal("Labels with short label array succeeded")
 		}
 	})
@@ -106,8 +109,8 @@ func TestLabelsVersionPinning(t *testing.T) {
 		}))
 		defer ts.Close()
 		o := NewHTTPOracle(ts.URL)
-		o.MaxBatch = 2 // force chunking: 5 rows → 3 requests
-		labels, version, err := o.LabelsVersion(tensor.New(5, 3))
+		o.Client.MaxBatch = 2 // force chunking: 5 rows → 3 requests
+		labels, version, err := o.LabelsVersion(context.Background(), tensor.New(5, 3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,8 +132,8 @@ func TestLabelsVersionPinning(t *testing.T) {
 		}))
 		defer ts.Close()
 		o := NewHTTPOracle(ts.URL)
-		o.MaxBatch = 2
-		labels, version, err := o.LabelsVersion(tensor.New(4, 3))
+		o.Client.MaxBatch = 2
+		labels, version, err := o.LabelsVersion(context.Background(), tensor.New(4, 3))
 		if err != nil {
 			t.Fatalf("retry should have recovered: %v", err)
 		}
@@ -146,8 +149,8 @@ func TestLabelsVersionPinning(t *testing.T) {
 		}))
 		defer ts.Close()
 		o := NewHTTPOracle(ts.URL)
-		o.MaxBatch = 1
-		_, _, err := o.LabelsVersion(tensor.New(3, 2))
+		o.Client.MaxBatch = 1
+		_, _, err := o.LabelsVersion(context.Background(), tensor.New(3, 2))
 		if !errors.Is(err, ErrMixedGenerations) {
 			t.Fatalf("err %v, want ErrMixedGenerations", err)
 		}
@@ -177,8 +180,8 @@ func TestLabelsToleratesGenerationChanges(t *testing.T) {
 	}))
 	defer ts.Close()
 	o := NewHTTPOracle(ts.URL)
-	o.MaxBatch = 2
-	labels, err := o.Labels(tensor.New(5, 3))
+	o.Client.MaxBatch = 2
+	labels, err := o.Labels(context.Background(), tensor.New(5, 3))
 	if err != nil {
 		t.Fatalf("Labels failed across generation changes: %v", err)
 	}
@@ -188,4 +191,118 @@ func TestLabelsToleratesGenerationChanges(t *testing.T) {
 	if o.Queries() != 5 {
 		t.Fatalf("counted %d queries, want 5", o.Queries())
 	}
+}
+
+// TestLabelsCancellationMidBatch is the oracle half of the cancellation
+// contract: cancelling a context while a chunked Labels batch is mid
+// flight (the daemon sitting on a chunk's response) must return promptly
+// with context.Canceled — through TrainSubstitute too — and leak no
+// goroutines.
+func TestLabelsCancellationMidBatch(t *testing.T) {
+	baseline := stableGoroutines(t)
+	var served atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Rows [][]float64 `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		// First chunk answers immediately; the second blocks until the
+		// test releases it (or the client disconnects) — so the cancel
+		// always lands mid-batch, after real progress.
+		if served.Add(1) > 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		resp := struct {
+			ModelVersion int64 `json:"model_version"`
+			Labels       []int `json:"labels"`
+		}{1, make([]int, len(req.Rows))}
+		if err := json.NewEncoder(w).Encode(resp); err != nil && r.Context().Err() == nil {
+			t.Errorf("encode: %v", err)
+		}
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	o := NewHTTPOracle(ts.URL)
+	o.Client.MaxBatch = 2
+	o.Client.Retries = -1 // no retry budget: cancellation must not wait out backoffs
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := o.Labels(ctx, tensor.New(6, 3))
+		done <- err
+	}()
+	waitForServed := time.Now().Add(5 * time.Second)
+	for served.Load() < 2 && time.Now().Before(waitForServed) {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Labels returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("cancellation took %v, want prompt return", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Labels did not return after cancel")
+	}
+	// Only the chunk the daemon actually served before the cancel counts
+	// toward the query budget; the aborted remainder adds nothing.
+	if o.Queries() != 2 {
+		t.Fatalf("aborted batch counted %d queries, want the 2 served rows", o.Queries())
+	}
+
+	// The same cancellation surfaces through TrainSubstitute's loop.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := TrainSubstitute(ctx2, o, tensor.New(4, 3), SubstituteConfig{
+		Arch: detector.ArchTarget, WidthScale: 0.1, Rounds: 2, EpochsPerRound: 1,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainSubstitute with cancelled ctx returned %v, want context.Canceled", err)
+	}
+
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// stableGoroutines and assertNoGoroutineLeak mirror the campaign
+// package's leak helpers for this package's -race leak checks.
+func stableGoroutines(t testing.TB) int {
+	t.Helper()
+	var n int
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		time.Sleep(2 * time.Millisecond)
+		if runtime.NumGoroutine() == n {
+			return n
+		}
+	}
+	return n
+}
+
+func assertNoGoroutineLeak(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last int
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		last = runtime.NumGoroutine()
+		if last <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	t.Fatalf("goroutine leak: %d live, baseline %d\n%s", last, baseline, buf[:runtime.Stack(buf, true)])
 }

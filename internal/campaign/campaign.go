@@ -8,10 +8,17 @@
 // which crafting model to load, which population to perturb (explicit rows
 // or an experiments profile), and which target judges evasion — the host's
 // own in-process model or a remote daemon's /v1/label endpoint reached
-// through blackbox.HTTPOracle. Submitted specs become jobs on a bounded
+// through the client SDK's CampaignTarget (hosts inject the factory via
+// Options.RemoteTarget; the engine itself never speaks HTTP). Submitted
+// specs become jobs on a bounded
 // worker pool; each job crafts and evaluates its population batch by batch,
 // publishing incremental per-sample results that pollers read while the
 // campaign runs, and cancelling promptly via context when asked.
+//
+// The wire types (Spec, Snapshot, Status, SampleResult) live in the leaf
+// package internal/campaign/spec so the client SDK shares them without
+// depending on the engine; the aliases below keep this package the one
+// import engine hosts need.
 //
 // # Generation pinning
 //
@@ -26,167 +33,28 @@
 package campaign
 
 import (
-	"fmt"
-	"math"
-	"time"
-
-	"malevade/internal/attack"
-	"malevade/internal/experiments"
+	"malevade/internal/campaign/spec"
 )
 
-// Spec describes one campaign. The zero value is invalid: Attack.Kind is
-// required, and the population comes either from Rows or from Profile
-// (Profile defaults to "small" when both are empty).
-type Spec struct {
-	// Name is an optional human-readable label echoed in snapshots.
-	Name string `json:"name,omitempty"`
-	// Attack selects and parameterizes the evasion attack. For
-	// KindRandom the engine re-seeds each batch with Seed+firstRowIndex,
-	// so results are deterministic but depend on BatchSize; every other
-	// kind is batch-invariant (see attack.Config.BatchInvariant).
-	Attack attack.Config `json:"attack"`
-	// CraftModelPath names the saved crafting model (nn.SaveFile format)
-	// to load on the campaign host — the substitute in grey/black-box
-	// campaigns. Empty means the host's own current model (white-box).
-	CraftModelPath string `json:"craft_model_path,omitempty"`
-	// TargetURL points evasion evaluation at a remote scoring daemon's
-	// /v1/label endpoint. Empty targets the host's in-process model.
-	TargetURL string `json:"target_url,omitempty"`
-	// Profile names an experiments profile (small|medium|paper) whose
-	// attacked population — bit-identical to the in-process Lab's — the
-	// campaign perturbs. Ignored when Rows is set.
-	Profile string `json:"profile,omitempty"`
-	// Rows is an explicit population of feature vectors to perturb,
-	// each exactly the crafting model's input width.
-	Rows [][]float64 `json:"rows,omitempty"`
-	// MaxSamples caps the population (0 = the engine's cap).
-	MaxSamples int `json:"max_samples,omitempty"`
-	// BatchSize is the number of samples crafted and judged per pinned
-	// batch (0 = the engine default).
-	BatchSize int `json:"batch_size,omitempty"`
-}
+// Aliases for the wire types in internal/campaign/spec; values flow
+// freely between the engine, the client SDK and the facade.
+type (
+	// Spec describes one campaign; see spec.Spec.
+	Spec = spec.Spec
+	// Status is a campaign's lifecycle state; see spec.Status.
+	Status = spec.Status
+	// SampleResult is one attacked sample's outcome; see
+	// spec.SampleResult.
+	SampleResult = spec.SampleResult
+	// Snapshot is a point-in-time view of a campaign; see spec.Snapshot.
+	Snapshot = spec.Snapshot
+)
 
-// validate rejects semantically invalid specs at submit time, so an
-// asynchronous job never starts doomed. maxSamples is the engine's cap.
-func (s Spec) validate(maxSamples int) error {
-	if err := s.Attack.Validate(); err != nil {
-		return err
-	}
-	if s.BatchSize < 0 {
-		return fmt.Errorf("campaign: batch_size must be non-negative, got %d", s.BatchSize)
-	}
-	if s.MaxSamples < 0 {
-		return fmt.Errorf("campaign: max_samples must be non-negative, got %d", s.MaxSamples)
-	}
-	if len(s.Rows) > 0 {
-		if len(s.Rows) > maxSamples {
-			return fmt.Errorf("campaign: %d rows exceed the per-campaign cap %d", len(s.Rows), maxSamples)
-		}
-		width := len(s.Rows[0])
-		if width == 0 {
-			return fmt.Errorf("campaign: rows must not be empty")
-		}
-		for i, row := range s.Rows {
-			if len(row) != width {
-				return fmt.Errorf("campaign: row %d has %d features, row 0 has %d", i, len(row), width)
-			}
-			for j, v := range row {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					return fmt.Errorf("campaign: row %d feature %d is not finite", i, j)
-				}
-			}
-		}
-		return nil
-	}
-	if _, err := experiments.ProfileByName(s.Profile); err != nil {
-		return err
-	}
-	return nil
-}
-
-// Status is a campaign's lifecycle state.
-type Status string
-
-// The campaign lifecycle: Queued → Running → one of the three terminal
-// states (Done, Failed, Cancelled). Cancelling a queued campaign skips
-// Running entirely.
+// The campaign lifecycle states, re-exported from spec.
 const (
-	StatusQueued    Status = "queued"
-	StatusRunning   Status = "running"
-	StatusDone      Status = "done"
-	StatusFailed    Status = "failed"
-	StatusCancelled Status = "cancelled"
+	StatusQueued    = spec.StatusQueued
+	StatusRunning   = spec.StatusRunning
+	StatusDone      = spec.StatusDone
+	StatusFailed    = spec.StatusFailed
+	StatusCancelled = spec.StatusCancelled
 )
-
-// Terminal reports whether the status is final.
-func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
-}
-
-// SampleResult is one attacked sample's outcome — the incremental unit a
-// status poll streams back while the campaign runs.
-type SampleResult struct {
-	// Index is the sample's row index in the campaign population.
-	Index int `json:"index"`
-	// Generation is the target model generation that judged this
-	// sample's batch (both its baseline and its adversarial verdict).
-	Generation int64 `json:"generation"`
-	// BaselineDetected reports whether the target flagged the
-	// unperturbed sample as malware.
-	BaselineDetected bool `json:"baseline_detected"`
-	// Evaded reports whether the target classified the adversarial
-	// sample as clean — the campaign's headline per-sample outcome.
-	Evaded bool `json:"evaded"`
-	// CraftEvaded is the crafting model's own verdict on the
-	// adversarial sample (the white-box evasion signal).
-	CraftEvaded bool `json:"craft_evaded"`
-	// L2 is the perturbation norm ‖adv − orig‖₂.
-	L2 float64 `json:"l2"`
-	// ModifiedFeatures counts the distinct perturbed features.
-	ModifiedFeatures int `json:"modified_features"`
-}
-
-// Snapshot is a point-in-time view of a campaign: identity, progress
-// counters, running rates and (optionally) a window of per-sample results.
-// Snapshots are value copies; readers never share memory with the job.
-type Snapshot struct {
-	// ID is the engine-assigned campaign id.
-	ID string `json:"id"`
-	// Spec echoes the submitted spec (with Rows elided from list views).
-	Spec Spec `json:"spec"`
-	// Status is the lifecycle state at snapshot time.
-	Status Status `json:"status"`
-	// Error holds the failure (or cancellation) reason for terminal
-	// non-Done statuses.
-	Error string `json:"error,omitempty"`
-	// SubmittedAt / StartedAt / FinishedAt bound the job's lifecycle;
-	// zero times are omitted from the wire form.
-	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at,omitzero"`
-	FinishedAt  time.Time `json:"finished_at,omitzero"`
-	// TotalSamples is the population size (0 until the job resolved its
-	// population); DoneSamples counts judged samples so far.
-	TotalSamples int `json:"total_samples"`
-	DoneSamples  int `json:"done_samples"`
-	// Batches counts pinned batches judged; Retries counts target
-	// evaluations that had to be retried (remote blips, mid-batch
-	// reloads).
-	Batches int `json:"batches"`
-	Retries int `json:"retries"`
-	// Generations lists the distinct target model generations that
-	// judged batches, in first-seen order — length 1 means the whole
-	// campaign ran against a single model version.
-	Generations []int64 `json:"generations,omitempty"`
-	// BaselineDetectionRate is the target's detection rate on the
-	// unperturbed population judged so far.
-	BaselineDetectionRate float64 `json:"baseline_detection_rate"`
-	// EvasionRate is the fraction of judged samples whose adversarial
-	// form the target classifies clean — 1 − detection-under-attack,
-	// the paper's transfer/evasion headline metric.
-	EvasionRate float64 `json:"evasion_rate"`
-	// ResultsOffset is the population index of Results[0].
-	ResultsOffset int `json:"results_offset"`
-	// Results is the requested window of per-sample outcomes (empty in
-	// list views).
-	Results []SampleResult `json:"results,omitempty"`
-}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -12,14 +13,21 @@ import (
 
 // slowTarget is a Target whose every batch takes long enough that a cancel
 // request always lands mid-campaign. It counts judged batches so tests can
-// prove work actually stopped.
+// prove work actually stopped. The delay honors ctx, like a real remote
+// target whose wire call aborts on cancellation.
 type slowTarget struct {
 	delay   time.Duration
 	batches atomic.Int64
 }
 
-func (s *slowTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
-	time.Sleep(s.delay)
+func (s *slowTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-t.C:
+	}
 	s.batches.Add(1)
 	return make([]int, x.Rows), 1, nil
 }

@@ -41,6 +41,11 @@ type Options struct {
 	MaxHistory int
 	// LocalTarget serves specs with no TargetURL — the host's own model.
 	LocalTarget Target
+	// RemoteTarget builds the Target for specs that name a TargetURL.
+	// The engine itself has no wire client; hosts inject one (the facade
+	// and the HTTP daemon wire in the client SDK's CampaignTarget). A nil
+	// factory rejects TargetURL specs at execution time.
+	RemoteTarget func(baseURL string) (Target, error)
 	// CraftModel loads the default crafting model for specs with no
 	// CraftModelPath. Each call must return a network private to the
 	// caller (gradient crafting mutates per-network caches).
@@ -147,8 +152,16 @@ func (e *Engine) logf(format string, args ...any) {
 // Submit validates a spec, enqueues it and returns the queued snapshot.
 // The engine never blocks the caller: a full queue is ErrQueueFull.
 func (e *Engine) Submit(spec Spec) (Snapshot, error) {
-	if err := spec.validate(e.opts.MaxSamples); err != nil {
+	if err := spec.Validate(e.opts.MaxSamples); err != nil {
 		return Snapshot{}, err
+	}
+	if len(spec.Rows) == 0 {
+		// Profile-populated specs must name a real profile; resolving it
+		// here keeps the rejection synchronous (422 at the API layer)
+		// instead of failing inside the asynchronous job.
+		if _, err := experiments.ProfileByName(spec.Profile); err != nil {
+			return Snapshot{}, err
+		}
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -430,12 +443,17 @@ func (e *Engine) judge(j *job, target Target, x *tensor.Matrix) ([]int, int64, e
 		if err := j.ctx.Err(); err != nil {
 			return nil, 0, err
 		}
-		labels, gen, err := target.LabelBatch(x)
+		labels, gen, err := target.LabelBatch(j.ctx, x)
 		if err == nil {
 			if len(labels) != x.Rows {
 				return nil, 0, fmt.Errorf("campaign: target returned %d labels for %d rows", len(labels), x.Rows)
 			}
 			return labels, gen, nil
+		}
+		// A cancellation surfaced by the target is the job's own context
+		// ending, not a target blip worth a retry.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, 0, err
 		}
 		lastErr = err
 		j.mu.Lock()
@@ -513,7 +531,10 @@ func (e *Engine) population(spec Spec, inDim int) (*tensor.Matrix, error) {
 // target resolves the spec's evasion judge.
 func (e *Engine) target(spec Spec) (Target, error) {
 	if spec.TargetURL != "" {
-		return NewRemoteTarget(spec.TargetURL), nil
+		if e.opts.RemoteTarget == nil {
+			return nil, fmt.Errorf("campaign: spec names a target_url but the engine has no remote-target factory")
+		}
+		return e.opts.RemoteTarget(spec.TargetURL)
 	}
 	if e.opts.LocalTarget == nil {
 		return nil, fmt.Errorf("campaign: spec names no target_url and the engine has no local target")

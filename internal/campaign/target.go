@@ -1,9 +1,9 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 
-	"malevade/internal/blackbox"
 	"malevade/internal/detector"
 	"malevade/internal/tensor"
 )
@@ -14,16 +14,22 @@ import (
 // LabelBatch call must be computed by a single model generation, and the
 // call reports which. The engine judges a batch's originals and
 // adversarials in one call, so campaign batches can never mix generations.
+//
+// LabelBatch honors ctx: remote implementations abandon the wire call
+// promptly when ctx is cancelled, which is how a campaign cancellation
+// interrupts a batch already in flight rather than waiting it out.
 type Target interface {
 	// LabelBatch returns the target's class decision for every row of x
 	// together with the one model generation that computed all of them.
-	LabelBatch(x *tensor.Matrix) (labels []int, generation int64, err error)
+	LabelBatch(ctx context.Context, x *tensor.Matrix) (labels []int, generation int64, err error)
 }
 
 // DetectorTarget adapts any in-process detector into a Target with a fixed
 // generation — the standalone shape (CLI, examples, tests) where no
 // hot-reload exists. Servers hosting an engine provide their own Target
-// whose LabelBatch pins the live generation per call instead.
+// whose LabelBatch pins the live generation per call instead. The
+// in-process fast path stays allocation-free: ctx is only polled, never
+// wrapped or propagated into the detector.
 type DetectorTarget struct {
 	// Det judges samples; serve.Scorer and detector.DNN both qualify.
 	Det detector.Detector
@@ -34,7 +40,10 @@ type DetectorTarget struct {
 var _ Target = (*DetectorTarget)(nil)
 
 // LabelBatch implements Target over the wrapped detector.
-func (t *DetectorTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
+func (t *DetectorTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if t.Det == nil {
 		return nil, 0, fmt.Errorf("campaign: DetectorTarget has no detector")
 	}
@@ -46,31 +55,4 @@ func (t *DetectorTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
 		gen = 1
 	}
 	return t.Det.Predict(x), gen, nil
-}
-
-// RemoteTarget evaluates evasion against a remote scoring daemon's
-// /v1/label endpoint — the paper's real-world setting, where the campaign
-// host attacks a detector it reaches only over the network. The
-// single-generation guarantee comes from the daemon (a response is always
-// wholly one model version) via HTTPOracle.LabelsVersion, which retries
-// batches a hot-reload happened to split.
-type RemoteTarget struct {
-	// Oracle is the wire client; its MaxBatch must stay at or below the
-	// remote daemon's per-request row limit.
-	Oracle *blackbox.HTTPOracle
-}
-
-var _ Target = (*RemoteTarget)(nil)
-
-// NewRemoteTarget points a campaign target at a scoring daemon.
-func NewRemoteTarget(baseURL string) *RemoteTarget {
-	return &RemoteTarget{Oracle: blackbox.NewHTTPOracle(baseURL)}
-}
-
-// LabelBatch implements Target over the remote /v1/label endpoint.
-func (t *RemoteTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
-	if t.Oracle == nil {
-		return nil, 0, fmt.Errorf("campaign: RemoteTarget has no oracle")
-	}
-	return t.Oracle.LabelsVersion(x)
 }

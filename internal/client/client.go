@@ -1,0 +1,474 @@
+// Package client is the one typed SDK for the malevade HTTP daemon: every
+// endpoint of the API — scoring, oracle labels, health, stats, hot-reload
+// and the asynchronous campaign API — behind a single Client with shared
+// connection pooling, a context.Context on every call, bounded jittered
+// retries for idempotent calls, and the wire-error taxonomy
+// (internal/wire) decoded into typed errors.
+//
+// Everything in the repository that crosses the daemon's network boundary
+// — blackbox.HTTPOracle, the campaign engine's remote targets, the
+// `malevade campaign` CLI, the examples — is a thin veneer over this
+// package; no other package constructs HTTP requests against the API.
+//
+// The client speaks only the documented JSON contract (docs/http-api.md):
+// its request/response structs are declared locally rather than imported
+// from internal/server, so the attacker-side SDK shares no code with the
+// service it probes.
+//
+//	c := client.New("http://127.0.0.1:8446")
+//	labels, version, err := c.LabelVersion(ctx, batch)
+//	if errors.Is(err, wire.ErrQueueFull) { backOff() }
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"malevade/internal/tensor"
+	"malevade/internal/wire"
+)
+
+// defaultTransport is the shared pooled transport every Client without an
+// explicit HTTPClient uses, so many clients (oracles, campaign targets,
+// CLI calls) against the same daemon reuse one connection pool instead of
+// each growing their own.
+var defaultTransport = &http.Transport{
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 16,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+var defaultHTTPClient = &http.Client{Transport: defaultTransport}
+
+// Client is the typed SDK for one malevade scoring daemon. The zero value
+// is not usable; construct with New. Fields may be adjusted before first
+// use; all methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8446".
+	BaseURL string
+	// HTTPClient overrides the shared pooled client (nil = shared).
+	HTTPClient *http.Client
+	// MaxBatch caps the rows sent in one scoring/label request (default
+	// 1024); keep it at or below the daemon's -max-rows limit.
+	MaxBatch int
+	// Retries bounds how many times an idempotent call (GETs, scoring,
+	// labels) is retried after a transport error or 5xx before giving up.
+	// 0 means the default of 2; set negative to disable retries
+	// entirely. Mutating calls — submit, cancel, reload — are never
+	// retried.
+	Retries int
+	// RetryBackoff is the base delay between retries (default 50ms); the
+	// actual delay grows linearly per attempt with ±50% jitter so a fleet
+	// of clients does not retry in lockstep.
+	RetryBackoff time.Duration
+	// MaxResponseBytes caps how much of a response body is read (default
+	// 64 MiB — campaign snapshots with full result windows are large).
+	MaxResponseBytes int64
+
+	// rowsServed counts feature rows the daemon has successfully
+	// answered across Score/Label/LabelVersion, per served chunk — so
+	// retried generation-pinned passes count every pass, mirroring what
+	// the daemon actually computed. HTTPOracle's query budget reads this.
+	rowsServed atomic.Int64
+}
+
+// RowsServed reports how many feature rows this client's scoring and
+// label calls have had successfully answered, counting each served chunk
+// of each attempt (a version-pinned batch that retried across a
+// hot-reload counts every pass).
+func (c *Client) RowsServed() int64 { return c.rowsServed.Load() }
+
+// New returns a client for the daemon at baseURL using the shared pooled
+// transport and default limits.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
+}
+
+func (c *Client) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return 1024
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return 2
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (c *Client) maxResponseBytes() int64 {
+	if c.MaxResponseBytes > 0 {
+		return c.MaxResponseBytes
+	}
+	return 64 << 20
+}
+
+// Wire schemas, mirroring docs/http-api.md. The rows request body
+// {"rows": [[...]]} is built by encodeRows rather than a struct.
+
+// Verdict is one row's /v1/score outcome.
+type Verdict struct {
+	// Prob is P(malware|x) at the daemon's temperature.
+	Prob float64 `json:"prob"`
+	// Class is the argmax class (0 clean, 1 malware).
+	Class int `json:"class"`
+}
+
+type scoreResponse struct {
+	ModelVersion int64     `json:"model_version"`
+	Results      []Verdict `json:"results"`
+}
+
+type labelResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	Labels       []int `json:"labels"`
+}
+
+type reloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResult reports the model generation a /v1/reload swapped in.
+type ReloadResult struct {
+	// ModelVersion is the new generation.
+	ModelVersion int64 `json:"model_version"`
+	// ModelPath is the daemon-side path it was loaded from.
+	ModelPath string `json:"model_path"`
+}
+
+// Health is the /healthz response.
+type Health struct {
+	// Status is "ok" while serving, "shutdown" after Close.
+	Status string `json:"status"`
+	// ModelVersion is the live model generation.
+	ModelVersion int64 `json:"model_version"`
+	// ModelPath is the daemon-side path of the live model.
+	ModelPath string `json:"model_path"`
+	// LoadedAt is the RFC3339 load time of the live model.
+	LoadedAt string `json:"loaded_at"`
+	// InDim is the model's feature width.
+	InDim int `json:"in_dim"`
+	// Defenses names the daemon's live defense chain, outermost last
+	// (empty for an undefended daemon).
+	Defenses []string `json:"defenses,omitempty"`
+}
+
+// Stats is the /v1/stats response; counters are cumulative across reloads.
+type Stats struct {
+	// ModelVersion is the live model generation.
+	ModelVersion int64 `json:"model_version"`
+	// Requests/Rejected count scoring calls served and refused with 4xx.
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+	// Reloads counts successful hot-reloads.
+	Reloads int64 `json:"reloads"`
+	// Batches/Rows are the scoring engine's merged-batch counters.
+	Batches int64 `json:"batches"`
+	Rows    int64 `json:"rows"`
+	// Campaigns counts accepted campaign submissions.
+	Campaigns int64 `json:"campaigns"`
+}
+
+// do runs one JSON round-trip. Idempotent calls are retried (bounded, with
+// linear backoff and ±50% jitter) on transport errors and 5xx refusals;
+// 4xx refusals and mutating calls are never retried. A refused call
+// returns a *wire.Error decoded from the daemon's error envelope.
+func (c *Client) do(ctx context.Context, method, path string, payload, out any, idempotent bool) error {
+	var body []byte
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		body = raw
+	}
+	return c.doBytes(ctx, method, path, body, out, idempotent)
+}
+
+// doBytes is do with a pre-encoded body (the scoring hot path builds its
+// rows payload without reflection; see encodeRows).
+func (c *Client) doBytes(ctx context.Context, method, path string, body []byte, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent {
+		attempts += c.retries()
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Linear backoff with ±50% jitter, interruptible by ctx.
+			base := c.backoff() * time.Duration(attempt)
+			delay := base/2 + time.Duration(rand.Int64N(int64(base)+1))
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// retryable reports whether an attempt's failure may be transient: any
+// transport error, or a 5xx refusal. Context cancellation and 4xx
+// refusals are final.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		return we.Status >= 500
+	}
+	// Undecodable success bodies are protocol violations, not blips.
+	return !errors.Is(err, wire.ErrProtocol)
+}
+
+// once runs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Unwrap url.Error so ctx cancellation surfaces as ctx.Err().
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResponseBytes()))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("client: read %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var env wire.Envelope
+		_ = json.Unmarshal(raw, &env) // a non-envelope body leaves Msg empty
+		return wire.FromEnvelope(resp.StatusCode, env)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %v: %w", method, path, err, wire.ErrProtocol)
+	}
+	return nil
+}
+
+// chunks yields [start,end) row windows of at most MaxBatch rows.
+func (c *Client) chunks(rows int) [][2]int {
+	chunk := c.maxBatch()
+	out := make([][2]int, 0, (rows+chunk-1)/chunk)
+	for start := 0; start < rows; start += chunk {
+		end := start + chunk
+		if end > rows {
+			end = rows
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// encodeRows renders the {"rows": [[...]]} payload for rows [start,end)
+// with strconv instead of reflection — the shortest-round-trip float form
+// AppendFloat emits parses back to the identical bits, and the common 0/1
+// feature values are single bytes. At batch 256×491 this is ~5× faster
+// than json.Marshal and is half of what keeps the SDK's overhead over
+// in-process scoring inside its budget (BENCH_client.json).
+func encodeRows(x *tensor.Matrix, start, end int) []byte {
+	buf := make([]byte, 0, (end-start)*(2*x.Cols+2)+16)
+	buf = append(buf, `{"rows":[`...)
+	for i := start; i < end; i++ {
+		if i > start {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '[')
+		for j, v := range x.Row(i) {
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			switch v {
+			case 0:
+				buf = append(buf, '0')
+			case 1:
+				buf = append(buf, '1')
+			default:
+				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+			}
+		}
+		buf = append(buf, ']')
+	}
+	return append(buf, `]}`...)
+}
+
+// validateRows rejects non-finite feature values before any bytes go on
+// the wire — the daemon would refuse them anyway (400), and the fast
+// encoder would otherwise render them as invalid JSON.
+func validateRows(x *tensor.Matrix) error {
+	for i, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("client: row %d feature %d is not finite", i/x.Cols, i%x.Cols)
+		}
+	}
+	return nil
+}
+
+// Score scores every row of x through POST /v1/score, splitting large
+// batches into MaxBatch-row requests, and returns the per-row verdicts
+// plus the model generation that answered the final request.
+func (c *Client) Score(ctx context.Context, x *tensor.Matrix) ([]Verdict, int64, error) {
+	if err := validateRows(x); err != nil {
+		return nil, 0, err
+	}
+	out := make([]Verdict, 0, x.Rows)
+	var version int64
+	for _, w := range c.chunks(x.Rows) {
+		var resp scoreResponse
+		if err := c.doBytes(ctx, http.MethodPost, "/v1/score", encodeRows(x, w[0], w[1]), &resp, true); err != nil {
+			return nil, 0, err
+		}
+		if len(resp.Results) != w[1]-w[0] {
+			return nil, 0, fmt.Errorf("client: daemon returned %d verdicts for %d rows: %w",
+				len(resp.Results), w[1]-w[0], wire.ErrProtocol)
+		}
+		c.rowsServed.Add(int64(w[1] - w[0]))
+		out = append(out, resp.Results...)
+		version = resp.ModelVersion
+	}
+	return out, version, nil
+}
+
+// Label fetches hard labels for every row of x through POST /v1/label,
+// splitting large batches into MaxBatch-row requests. It does not care
+// which model generation answers (a hot-reload mid-batch is fine);
+// callers that need single-generation batches use LabelVersion.
+func (c *Client) Label(ctx context.Context, x *tensor.Matrix) ([]int, error) {
+	labels, _, err := c.labelsOnce(ctx, x, false)
+	return labels, err
+}
+
+// LabelVersion labels every row of x and reports the single model
+// generation that computed every label. The per-request guarantee comes
+// from the daemon (a response is always wholly one generation); when a
+// batch splits into several requests and a hot-reload lands between them,
+// LabelVersion retries the whole batch a few times before giving up with
+// wire.ErrMixedGenerations. The campaign engine rests its
+// generation-pinning invariant on this call.
+func (c *Client) LabelVersion(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	const pinRetries = 8
+	var err error
+	for attempt := 0; attempt < pinRetries; attempt++ {
+		var labels []int
+		var version int64
+		labels, version, err = c.labelsOnce(ctx, x, true)
+		if err == nil || !errors.Is(err, wire.ErrMixedGenerations) {
+			return labels, version, err
+		}
+	}
+	return nil, 0, err
+}
+
+// labelsOnce runs one chunked pass over x. With pinned set, chunks must
+// all report one model generation — disagreement (a reload mid-batch) is
+// wire.ErrMixedGenerations; without it, the reported version is the last
+// chunk's and generation changes are ignored.
+func (c *Client) labelsOnce(ctx context.Context, x *tensor.Matrix, pinned bool) ([]int, int64, error) {
+	if err := validateRows(x); err != nil {
+		return nil, 0, err
+	}
+	out := make([]int, 0, x.Rows)
+	var version int64
+	for i, w := range c.chunks(x.Rows) {
+		var resp labelResponse
+		if err := c.doBytes(ctx, http.MethodPost, "/v1/label", encodeRows(x, w[0], w[1]), &resp, true); err != nil {
+			return nil, 0, err
+		}
+		if len(resp.Labels) != w[1]-w[0] {
+			return nil, 0, fmt.Errorf("client: daemon returned %d labels for %d rows: %w",
+				len(resp.Labels), w[1]-w[0], wire.ErrProtocol)
+		}
+		c.rowsServed.Add(int64(w[1] - w[0]))
+		if i == 0 || !pinned {
+			version = resp.ModelVersion
+		} else if resp.ModelVersion != version {
+			return nil, 0, fmt.Errorf("saw generation %d then %d: %w",
+				version, resp.ModelVersion, wire.ErrMixedGenerations)
+		}
+		out = append(out, resp.Labels...)
+	}
+	return out, version, nil
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, true)
+	return h, err
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var s Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &s, true)
+	return s, err
+}
+
+// Reload hot-swaps the daemon's model via POST /v1/reload. An empty path
+// reloads the daemon's configured model path; a non-empty path names a
+// file on the daemon's disk. Reload is a mutating call and is never
+// retried; a refused reload is a *wire.Error (422 invalid_spec for a bad
+// client-supplied path, 500 internal when the daemon's own configured
+// model fails).
+func (c *Client) Reload(ctx context.Context, path string) (ReloadResult, error) {
+	var r ReloadResult
+	err := c.do(ctx, http.MethodPost, "/v1/reload", reloadRequest{Path: path}, &r, false)
+	return r, err
+}

@@ -1,0 +1,437 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malevade/internal/campaign/spec"
+	"malevade/internal/tensor"
+	"malevade/internal/wire"
+)
+
+// fastClient returns a client with minimal backoff so retry tests run in
+// milliseconds.
+func fastClient(url string) *Client {
+	c := New(url)
+	c.RetryBackoff = time.Millisecond
+	return c
+}
+
+// TestWireErrorRoundTrip: a daemon refusal must decode into a *wire.Error
+// carrying the status, code and message of the JSON envelope, matching
+// its sentinel through errors.Is.
+func TestWireErrorRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(wire.Envelope{Error: "unknown kind \"bogus\"", Code: wire.CodeInvalidSpec})
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).SubmitCampaign(context.Background(), spec.Spec{})
+	if err == nil {
+		t.Fatal("submit against a refusing daemon succeeded")
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) {
+		t.Fatalf("error is %T, want *wire.Error: %v", err, err)
+	}
+	if we.Status != http.StatusUnprocessableEntity || we.Code != wire.CodeInvalidSpec || we.Msg != "unknown kind \"bogus\"" {
+		t.Fatalf("round-trip lost fields: %+v", we)
+	}
+	if !errors.Is(err, wire.ErrInvalidSpec) {
+		t.Fatal("422 does not match ErrInvalidSpec")
+	}
+	if errors.Is(err, wire.ErrInternal) {
+		t.Fatal("422 must not match ErrInternal")
+	}
+}
+
+// TestEnvelopeWithoutCode: older daemons (or proxies) answering a bare
+// {"error": ...} envelope still produce the right typed error from the
+// status alone.
+func TestEnvelopeWithoutCode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error": "busy"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL).SubmitCampaign(context.Background(), spec.Spec{})
+	if !errors.Is(err, wire.ErrQueueFull) {
+		t.Fatalf("429 without code = %v, want ErrQueueFull match", err)
+	}
+}
+
+// TestIdempotentRetries: a 5xx blip on an idempotent call is retried to
+// success; a mutating call is not retried at all; a 4xx is never retried.
+func TestIdempotentRetries(t *testing.T) {
+	t.Run("label retries past a 503 blip", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) == 1 {
+				http.Error(w, `{"error":"warming up","code":"unavailable"}`, http.StatusServiceUnavailable)
+				return
+			}
+			json.NewEncoder(w).Encode(map[string]any{"model_version": 1, "labels": []int{0, 1}})
+		}))
+		defer ts.Close()
+		labels, err := fastClient(ts.URL).Label(context.Background(), tensor.New(2, 3))
+		if err != nil {
+			t.Fatalf("retry did not recover: %v", err)
+		}
+		if len(labels) != 2 || calls.Load() != 2 {
+			t.Fatalf("labels=%v calls=%d, want 2 labels after 2 calls", labels, calls.Load())
+		}
+	})
+	t.Run("submit is never retried", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, `{"error":"boom","code":"internal"}`, http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		_, err := fastClient(ts.URL).SubmitCampaign(context.Background(), spec.Spec{})
+		if !errors.Is(err, wire.ErrInternal) {
+			t.Fatalf("err %v, want ErrInternal", err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("mutating call hit the server %d times, want 1", calls.Load())
+		}
+	})
+	t.Run("4xx is never retried", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, `{"error":"bad rows","code":"bad_request"}`, http.StatusBadRequest)
+		}))
+		defer ts.Close()
+		_, err := fastClient(ts.URL).Label(context.Background(), tensor.New(1, 3))
+		if !errors.Is(err, wire.ErrBadRequest) {
+			t.Fatalf("err %v, want ErrBadRequest", err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("client refusal retried: %d calls", calls.Load())
+		}
+	})
+	t.Run("retry budget is bounded", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, `{"error":"down","code":"unavailable"}`, http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		c := fastClient(ts.URL)
+		c.Retries = 3
+		_, err := c.Label(context.Background(), tensor.New(1, 3))
+		if !errors.Is(err, wire.ErrUnavailable) {
+			t.Fatalf("err %v, want ErrUnavailable", err)
+		}
+		if calls.Load() != 4 {
+			t.Fatalf("%d calls, want 1 + 3 retries", calls.Load())
+		}
+	})
+}
+
+// TestScoreChunking: large batches split into MaxBatch-row requests and
+// reassemble in order; a short verdict array is a protocol violation, not
+// a silent truncation.
+func TestScoreChunking(t *testing.T) {
+	var rowsSeen atomic.Int64
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Rows [][]float64 `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		requests.Add(1)
+		verdicts := make([]map[string]any, len(req.Rows))
+		for i, row := range req.Rows {
+			rowsSeen.Add(1)
+			verdicts[i] = map[string]any{"prob": row[0], "class": 1}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"model_version": 3, "results": verdicts})
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxBatch = 4
+	x := tensor.New(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Row(i)[0] = float64(i)
+	}
+	verdicts, version, err := c.Score(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 10 || version != 3 || requests.Load() != 3 || rowsSeen.Load() != 10 {
+		t.Fatalf("verdicts=%d version=%d requests=%d rows=%d, want 10/3/3/10",
+			len(verdicts), version, requests.Load(), rowsSeen.Load())
+	}
+	for i, v := range verdicts {
+		if v.Prob != float64(i) {
+			t.Fatalf("verdict %d out of order: prob=%v", i, v.Prob)
+		}
+	}
+}
+
+// TestProtocolViolations: undecodable bodies and mismatched counts are
+// wire.ErrProtocol, and are not retried (they are contract bugs, not
+// blips).
+func TestProtocolViolations(t *testing.T) {
+	t.Run("garbage success body", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.Write([]byte("not json"))
+		}))
+		defer ts.Close()
+		_, err := fastClient(ts.URL).Stats(context.Background())
+		if !errors.Is(err, wire.ErrProtocol) {
+			t.Fatalf("err %v, want ErrProtocol", err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("protocol violation retried: %d calls", calls.Load())
+		}
+	})
+	t.Run("short label array", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]any{"model_version": 1, "labels": []int{0}})
+		}))
+		defer ts.Close()
+		_, err := fastClient(ts.URL).Label(context.Background(), tensor.New(3, 2))
+		if !errors.Is(err, wire.ErrProtocol) {
+			t.Fatalf("err %v, want ErrProtocol", err)
+		}
+	})
+}
+
+// TestLabelVersionPinning mirrors the old oracle-level pinning tests at
+// the SDK layer: stable daemons pin one version across chunks, a reload
+// mid-batch forces a whole-batch retry, permanent flapping exhausts the
+// retries with ErrMixedGenerations.
+func TestLabelVersionPinning(t *testing.T) {
+	respond := func(w http.ResponseWriter, r *http.Request, version int64) {
+		var req struct {
+			Rows [][]float64 `json:"rows"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"model_version": version, "labels": make([]int, len(req.Rows))})
+	}
+	t.Run("stable daemon pins one version", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { respond(w, r, 7) }))
+		defer ts.Close()
+		c := fastClient(ts.URL)
+		c.MaxBatch = 2
+		labels, version, err := c.LabelVersion(context.Background(), tensor.New(5, 3))
+		if err != nil || len(labels) != 5 || version != 7 {
+			t.Fatalf("labels=%d version=%d err=%v, want 5 at 7", len(labels), version, err)
+		}
+	})
+	t.Run("one reload mid-batch retries to success", func(t *testing.T) {
+		var requests atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if requests.Add(1) == 1 {
+				respond(w, r, 1)
+				return
+			}
+			respond(w, r, 2)
+		}))
+		defer ts.Close()
+		c := fastClient(ts.URL)
+		c.MaxBatch = 2
+		labels, version, err := c.LabelVersion(context.Background(), tensor.New(4, 3))
+		if err != nil || len(labels) != 4 || version != 2 {
+			t.Fatalf("labels=%d version=%d err=%v, want 4 at 2", len(labels), version, err)
+		}
+	})
+	t.Run("permanent flapping exhausts retries", func(t *testing.T) {
+		var requests atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			respond(w, r, requests.Add(1))
+		}))
+		defer ts.Close()
+		c := fastClient(ts.URL)
+		c.MaxBatch = 1
+		_, _, err := c.LabelVersion(context.Background(), tensor.New(3, 2))
+		if !errors.Is(err, wire.ErrMixedGenerations) {
+			t.Fatalf("err %v, want ErrMixedGenerations", err)
+		}
+	})
+}
+
+// TestWaitCampaignStreamsIncrementally: the wait loop accumulates result
+// windows via offsets and returns the terminal snapshot with the full
+// result set.
+func TestWaitCampaignStreamsIncrementally(t *testing.T) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		snap := spec.Snapshot{ID: "c000001", Status: spec.StatusRunning}
+		switch n {
+		case 1:
+			snap.Results = []spec.SampleResult{{Index: 0}, {Index: 1}}
+			snap.ResultsOffset = 0
+		case 2:
+			if got := r.URL.Query().Get("offset"); got != "2" {
+				t.Errorf("poll 2 offset %q, want 2", got)
+			}
+			snap.Results = []spec.SampleResult{{Index: 2}}
+			snap.ResultsOffset = 2
+		default:
+			if got := r.URL.Query().Get("offset"); got != "3" {
+				t.Errorf("poll 3 offset %q, want 3", got)
+			}
+			snap.Status = spec.StatusDone
+		}
+		json.NewEncoder(w).Encode(snap)
+	}))
+	defer ts.Close()
+
+	var seen int
+	final, err := fastClient(ts.URL).WaitCampaign(context.Background(), "c000001", WaitOptions{
+		Interval:   time.Millisecond,
+		OnSnapshot: func(s spec.Snapshot) { seen += len(s.Results) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != spec.StatusDone || len(final.Results) != 3 || seen != 3 {
+		t.Fatalf("final status=%s results=%d seen=%d, want done/3/3", final.Status, len(final.Results), seen)
+	}
+	for i, r := range final.Results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d — windows reassembled out of order", i, r.Index)
+		}
+	}
+}
+
+// TestWaitCampaignCancellation is the SDK half of the cancellation
+// satellite: an in-flight WaitCampaign against a never-finishing campaign
+// must return promptly with context.Canceled and leak no goroutines.
+func TestWaitCampaignCancellation(t *testing.T) {
+	baseline := stableGoroutines(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Forever running, never terminal.
+		json.NewEncoder(w).Encode(spec.Snapshot{ID: "c000001", Status: spec.StatusRunning})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fastClient(ts.URL).WaitCampaign(ctx, "c000001", WaitOptions{Interval: 50 * time.Millisecond})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it enter the poll loop
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("WaitCampaign returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("cancellation took %v, want prompt return", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCampaign did not return after cancel")
+	}
+	// Pooled idle connections (client transport + server conn
+	// goroutines) are deliberate, not leaks; drop them before counting.
+	ts.Close()
+	defaultTransport.CloseIdleConnections()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestLabelCancellationMidRequest: cancelling a Label call whose request
+// is in flight (the daemon is sitting on the response) returns promptly
+// with context.Canceled, without retry attempts and without goroutine
+// leaks.
+func TestLabelCancellationMidRequest(t *testing.T) {
+	baseline := stableGoroutines(t)
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	released := false
+	releaseOnce := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	defer releaseOnce()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fastClient(ts.URL).Label(ctx, tensor.New(4, 3))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Label returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > time.Second {
+			t.Fatalf("cancellation took %v, want prompt return", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Label did not return after cancel")
+	}
+	releaseOnce()
+	ts.Close()
+	defaultTransport.CloseIdleConnections()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// stableGoroutines samples the goroutine count after a settle pause, so
+// earlier tests' dying goroutines don't inflate the baseline.
+func stableGoroutines(t testing.TB) int {
+	t.Helper()
+	var n int
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		time.Sleep(2 * time.Millisecond)
+		if runtime.NumGoroutine() == n {
+			return n
+		}
+	}
+	return n
+}
+
+// assertNoGoroutineLeak verifies the goroutine count returns to the
+// baseline (with slack for runtime and transport-idle helpers).
+func assertNoGoroutineLeak(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last int
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		last = runtime.NumGoroutine()
+		if last <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	t.Fatalf("goroutine leak: %d live, baseline %d\n%s", last, baseline, buf[:runtime.Stack(buf, true)])
+}

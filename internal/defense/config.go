@@ -1,0 +1,383 @@
+package defense
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"malevade/internal/attack"
+	"malevade/internal/dataset"
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+// Defense kinds accepted by Spec.Kind, in the order the paper's Table VI
+// lists the defenses.
+const (
+	// KindAdvTraining is Table V/VI adversarial training: craft
+	// adversarial examples on the current model, fold them into the
+	// training set labelled malware, retrain.
+	KindAdvTraining = "advtrain"
+	// KindDistill is defensive distillation at temperature T.
+	KindDistill = "distill"
+	// KindSqueeze is feature squeezing: an input-transform wrapper with
+	// an L1 prediction-distance adversarial detector.
+	KindSqueeze = "squeeze"
+	// KindPCA is PCA dimensionality reduction to K components with a
+	// classifier retrained in the reduced space.
+	KindPCA = "pca"
+)
+
+// DefenseKinds lists the defense kinds Spec accepts, in report order.
+func DefenseKinds() []string {
+	return []string{KindAdvTraining, KindDistill, KindSqueeze, KindPCA}
+}
+
+// Spec is a declarative defense description: the serializable form the
+// facade, the HTTP daemon and drivers share, mirroring attack.Config on
+// the attack side (kind + parameters, Validate before Build). Fields
+// irrelevant to a kind are ignored.
+type Spec struct {
+	// Kind selects the defense: advtrain|distill|squeeze|pca.
+	Kind string `json:"kind"`
+	// Epochs/WidthScale/BatchSize/Seed carry retraining
+	// hyper-parameters for the model-producing kinds (advtrain, distill,
+	// pca). Epochs is required for those kinds.
+	Epochs     int     `json:"epochs,omitempty"`
+	WidthScale float64 `json:"width_scale,omitempty"`
+	BatchSize  int     `json:"batch_size,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	// Temperature is the distillation temperature (default 50).
+	Temperature float64 `json:"temperature,omitempty"`
+	// Attack parameterizes the crafting attack adversarial training
+	// hardens against (default: the paper's grey-box operating point,
+	// jsma θ=0.1 γ=0.02).
+	Attack *attack.Config `json:"attack,omitempty"`
+	// Bits is the squeezing bit depth (default 3).
+	Bits int `json:"bits,omitempty"`
+	// Threshold is the squeezing detector's explicit L1 prediction
+	// distance threshold. When 0, the threshold is calibrated from clean
+	// samples at TargetFPR — which requires calibration data and makes
+	// the spec non-servable.
+	Threshold float64 `json:"threshold,omitempty"`
+	// TargetFPR calibrates the squeezing threshold as the (1−TargetFPR)
+	// quantile of clean-sample distances (default 0.05; ignored when
+	// Threshold is set).
+	TargetFPR float64 `json:"target_fpr,omitempty"`
+	// K is the retained PCA component count (default 19, the paper's).
+	K int `json:"k,omitempty"`
+}
+
+// Validate checks the spec without any model or data: the kind must be
+// known, every numeric field finite and non-negative, and required
+// per-kind parameters present. Build repeats this check, but API
+// front-ends call Validate first so a bad spec is rejected at submit
+// time.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindAdvTraining, KindDistill, KindSqueeze, KindPCA:
+	default:
+		return fmt.Errorf("defense: unknown kind %q (advtrain|distill|squeeze|pca)", s.Kind)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"width_scale", s.WidthScale}, {"temperature", s.Temperature},
+		{"threshold", s.Threshold}, {"target_fpr", s.TargetFPR},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("defense: %s must be finite and non-negative, got %v", f.name, f.v)
+		}
+	}
+	if s.Epochs < 0 || s.BatchSize < 0 || s.Bits < 0 || s.K < 0 {
+		return fmt.Errorf("defense: epochs, batch_size, bits and k must be non-negative")
+	}
+	if s.TargetFPR >= 1 {
+		return fmt.Errorf("defense: target_fpr must be below 1, got %v", s.TargetFPR)
+	}
+	if s.Attack != nil {
+		if err := s.Attack.Validate(); err != nil {
+			return err
+		}
+	}
+	switch s.Kind {
+	case KindAdvTraining, KindDistill, KindPCA:
+		if s.Epochs == 0 {
+			return fmt.Errorf("defense: %s requires epochs", s.Kind)
+		}
+	case KindSqueeze:
+		if s.Bits > 16 {
+			return fmt.Errorf("defense: squeeze bits %d out of [1,16]", s.Bits)
+		}
+	}
+	return nil
+}
+
+// NeedsTraining reports whether building this spec consumes training or
+// calibration data (Env.Train / Env.Clean). Specs that need none — today,
+// squeezing with an explicit threshold — are servable: the HTTP daemon
+// can wrap them around every loaded model generation with nothing but the
+// model file.
+func (s Spec) NeedsTraining() bool {
+	switch s.Kind {
+	case KindSqueeze:
+		return s.Threshold == 0 // calibrated from clean samples
+	default:
+		return true
+	}
+}
+
+// String renders the spec for logs, health endpoints and reports.
+func (s Spec) String() string {
+	switch s.Kind {
+	case KindAdvTraining:
+		atk := s.craftAttack()
+		return fmt.Sprintf("advtrain(%s)", atk.String())
+	case KindDistill:
+		t := s.Temperature
+		if t == 0 {
+			t = 50
+		}
+		return fmt.Sprintf("distill(T=%.4g)", t)
+	case KindSqueeze:
+		if s.Threshold > 0 {
+			return fmt.Sprintf("squeeze(bits=%d,thr=%.4g)", s.bits(), s.Threshold)
+		}
+		return fmt.Sprintf("squeeze(bits=%d,fpr=%.4g)", s.bits(), s.targetFPR())
+	case KindPCA:
+		k := s.K
+		if k == 0 {
+			k = 19
+		}
+		return fmt.Sprintf("pca(k=%d)", k)
+	default:
+		return fmt.Sprintf("defense(%q)", s.Kind)
+	}
+}
+
+func (s Spec) bits() int {
+	if s.Bits == 0 {
+		return 3
+	}
+	return s.Bits
+}
+
+func (s Spec) targetFPR() float64 {
+	if s.TargetFPR == 0 {
+		return 0.05
+	}
+	return s.TargetFPR
+}
+
+func (s Spec) craftAttack() attack.Config {
+	if s.Attack != nil {
+		return *s.Attack
+	}
+	// The paper's Table VI evaluation point: grey-box JSMA at θ=0.1,
+	// γ=0.02.
+	return attack.Config{Kind: attack.KindJSMA, Theta: 0.1, Gamma: 0.02}
+}
+
+func (s Spec) trainConfig() detector.TrainConfig {
+	return detector.TrainConfig{
+		Arch:       detector.ArchTarget,
+		WidthScale: s.WidthScale,
+		Epochs:     s.Epochs,
+		BatchSize:  s.BatchSize,
+		Seed:       s.Seed,
+	}
+}
+
+// Env supplies the materials a chain build consumes: the undefended base
+// model and, for data-consuming defenses, the training split and clean
+// calibration rows.
+type Env struct {
+	// Base is the undefended detector the chain hardens.
+	Base *detector.DNN
+	// Train is the training split model-producing defenses retrain on.
+	Train *dataset.Dataset
+	// Clean holds clean feature rows for squeezing calibration
+	// (typically the validation split's clean half).
+	Clean *tensor.Matrix
+	// Log, when non-nil, receives training progress lines.
+	Log io.Writer
+}
+
+// Chain is an ordered defense pipeline: model-producing defenses
+// (advtrain, distill, pca) replace the current model, wrapping defenses
+// (squeeze) wrap it. Order matters — squeeze after advtrain hardens the
+// adversarially-trained model; the reverse is invalid because advtrain
+// needs gradient access to a plain DNN.
+type Chain []Spec
+
+// Validate checks every spec and the chain's ordering: once a spec
+// produces a non-DNN detector (pca's projected classifier, squeeze's
+// wrapper), no later spec may require gradient access to a plain DNN.
+func (c Chain) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("defense: empty chain")
+	}
+	dnn := true // the chain starts from a plain DNN base
+	for i, s := range c {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("defense: chain[%d]: %w", i, err)
+		}
+		switch s.Kind {
+		case KindAdvTraining, KindSqueeze:
+			if !dnn {
+				return fmt.Errorf("defense: chain[%d]: %s needs a plain DNN but an earlier defense wrapped it", i, s.Kind)
+			}
+		}
+		if s.Kind == KindPCA || s.Kind == KindSqueeze {
+			dnn = false
+		}
+	}
+	return nil
+}
+
+// ValidateServable additionally requires every spec to be buildable with
+// nothing but a loaded model — the constraint the HTTP daemon enforces on
+// ServerOptions.Defenses. Data-consuming defenses are built offline with
+// Build, saved via the model file, and served as an ordinary model.
+func (c Chain) ValidateServable() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for i, s := range c {
+		if s.NeedsTraining() {
+			return fmt.Errorf("defense: chain[%d]: %s needs training data; build it offline (ApplyDefenses) and serve the hardened model, or give squeeze an explicit threshold", i, s)
+		}
+	}
+	return nil
+}
+
+// Build constructs the hardened detector by applying the chain in order
+// to env.Base. Model-producing specs consume env.Train; calibrated
+// squeezing consumes env.Clean.
+func (c Chain) Build(env Env) (detector.Detector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if env.Base == nil {
+		return nil, fmt.Errorf("defense: Env.Base is required")
+	}
+	var cur detector.Detector = env.Base
+	dnn := env.Base
+	for i, s := range c {
+		next, nextDNN, err := s.build(env, cur, dnn)
+		if err != nil {
+			return nil, fmt.Errorf("defense: chain[%d] %s: %w", i, s, err)
+		}
+		cur, dnn = next, nextDNN
+	}
+	return cur, nil
+}
+
+// Wrap applies a servable chain around an already-built detector — the
+// HTTP daemon's per-generation path, where the base is the live scoring
+// engine's model and no training data exists.
+func (c Chain) Wrap(base *detector.DNN) (detector.Detector, error) {
+	if err := c.ValidateServable(); err != nil {
+		return nil, err
+	}
+	var cur detector.Detector = base
+	dnn := base
+	for i, s := range c {
+		next, nextDNN, err := s.build(Env{Base: base}, cur, dnn)
+		if err != nil {
+			return nil, fmt.Errorf("defense: chain[%d] %s: %w", i, s, err)
+		}
+		cur, dnn = next, nextDNN
+	}
+	return cur, nil
+}
+
+// build applies one spec. cur is the chain's current detector; dnn is its
+// plain-DNN form when one still exists (nil after a wrapping defense).
+func (s Spec) build(env Env, cur detector.Detector, dnn *detector.DNN) (detector.Detector, *detector.DNN, error) {
+	switch s.Kind {
+	case KindAdvTraining:
+		if env.Train == nil {
+			return nil, nil, fmt.Errorf("advtrain needs Env.Train")
+		}
+		if dnn == nil {
+			return nil, nil, fmt.Errorf("advtrain needs a plain DNN to craft on")
+		}
+		atk, err := s.craftAttack().Build(dnn.Net, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		mal := env.Train.FilterLabel(dataset.LabelMalware)
+		advX := attack.AdvMatrix(atk.Run(mal.X))
+		sets, err := BuildAdvTrainingSet(env.Train, advX)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := s.trainConfig()
+		cfg.Log = env.Log
+		hardened, err := AdversarialTraining(sets, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return hardened, hardened, nil
+	case KindDistill:
+		if env.Train == nil {
+			return nil, nil, fmt.Errorf("distill needs Env.Train")
+		}
+		student, err := Distill(env.Train, DistillConfig{
+			Temperature: s.Temperature,
+			WidthScale:  s.WidthScale,
+			Epochs:      s.Epochs,
+			BatchSize:   s.BatchSize,
+			Seed:        s.Seed,
+			Log:         env.Log,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return student, student, nil
+	case KindPCA:
+		if env.Train == nil {
+			return nil, nil, fmt.Errorf("pca needs Env.Train")
+		}
+		k := s.K
+		if k == 0 {
+			k = 19
+		}
+		cfg := s.trainConfig()
+		cfg.Log = env.Log
+		dr, err := NewDimReduction(env.Train, DimReductionConfig{K: k, Train: cfg})
+		if err != nil {
+			return nil, nil, err
+		}
+		return dr, nil, nil
+	case KindSqueeze:
+		if dnn == nil {
+			return nil, nil, fmt.Errorf("squeeze needs a plain DNN to compare predictions on")
+		}
+		sq := BitDepthSqueezer{Bits: s.bits()}
+		if s.Threshold > 0 {
+			return &FeatureSqueezing{Base: dnn, Squeezer: sq, Threshold: s.Threshold}, nil, nil
+		}
+		if env.Clean == nil {
+			return nil, nil, fmt.Errorf("calibrated squeeze needs Env.Clean (or set an explicit threshold)")
+		}
+		fs, err := NewFeatureSqueezing(dnn, sq, env.Clean, s.targetFPR())
+		if err != nil {
+			return nil, nil, err
+		}
+		return fs, nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown kind %q", s.Kind)
+}
+
+// Names renders the chain's spec strings in order, for health endpoints
+// and reports.
+func (c Chain) Names() []string {
+	out := make([]string, len(c))
+	for i, s := range c {
+		out[i] = s.String()
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"malevade/internal/attack"
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+)
+
+func TestDefenseSpecValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr string
+	}{
+		{"unknown kind", Spec{Kind: "firewall"}, "unknown kind"},
+		{"advtrain without epochs", Spec{Kind: KindAdvTraining}, "requires epochs"},
+		{"distill without epochs", Spec{Kind: KindDistill}, "requires epochs"},
+		{"pca without epochs", Spec{Kind: KindPCA}, "requires epochs"},
+		{"squeeze ok", Spec{Kind: KindSqueeze, Bits: 3, Threshold: 0.1}, ""},
+		{"squeeze bits too deep", Spec{Kind: KindSqueeze, Bits: 40}, "out of [1,16]"},
+		{"negative threshold", Spec{Kind: KindSqueeze, Threshold: -1}, "non-negative"},
+		{"fpr at 1", Spec{Kind: KindSqueeze, TargetFPR: 1}, "below 1"},
+		{"bad nested attack", Spec{Kind: KindAdvTraining, Epochs: 1,
+			Attack: &attack.Config{Kind: "nope"}}, "unknown kind"},
+		{"advtrain ok", Spec{Kind: KindAdvTraining, Epochs: 5}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestChainValidateOrdering(t *testing.T) {
+	// Squeeze after a model-producing defense is fine; gradient-needing
+	// defenses after a wrapping one are not.
+	ok := Chain{
+		{Kind: KindAdvTraining, Epochs: 2},
+		{Kind: KindSqueeze, Threshold: 0.1},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := Chain{
+		{Kind: KindSqueeze, Threshold: 0.1},
+		{Kind: KindAdvTraining, Epochs: 2},
+	}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "plain DNN") {
+		t.Fatalf("advtrain-after-squeeze accepted: %v", err)
+	}
+	afterPCA := Chain{
+		{Kind: KindPCA, Epochs: 2},
+		{Kind: KindSqueeze, Threshold: 0.1},
+	}
+	if err := afterPCA.Validate(); err == nil {
+		t.Fatal("squeeze-after-pca accepted (pca's detector is no longer a plain DNN)")
+	}
+	if err := (Chain{}).Validate(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestChainServability(t *testing.T) {
+	servable := Chain{{Kind: KindSqueeze, Bits: 3, Threshold: 0.2}}
+	if err := servable.ValidateServable(); err != nil {
+		t.Fatalf("explicit-threshold squeeze rejected as servable: %v", err)
+	}
+	for _, c := range []Chain{
+		{{Kind: KindSqueeze, Bits: 3}},       // calibrated → needs Clean
+		{{Kind: KindAdvTraining, Epochs: 2}}, // needs Train
+		{{Kind: KindDistill, Epochs: 2}},     // needs Train
+		{{Kind: KindPCA, Epochs: 2, K: 4}},   // needs Train
+	} {
+		if err := c.ValidateServable(); err == nil {
+			t.Fatalf("chain %v accepted as servable", c.Names())
+		}
+	}
+}
+
+// TestChainBuildMatchesHandBuilt: the declarative registry must construct
+// the same defenses the experiments layer builds by hand — identical
+// squeezing decisions for the calibrated path, identical flags for the
+// explicit-threshold path.
+func TestChainBuildMatchesHandBuilt(t *testing.T) {
+	clean := defTestClean.X
+	// Calibrated squeeze via the chain vs NewFeatureSqueezing directly.
+	chain := Chain{{Kind: KindSqueeze, Bits: 3, TargetFPR: 0.05}}
+	built, err := chain.Build(Env{Base: defBase, Clean: clean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewFeatureSqueezing(defBase, BitDepthSqueezer{Bits: 3}, clean, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := built.(*FeatureSqueezing)
+	if !ok {
+		t.Fatalf("chain built %T, want *FeatureSqueezing", built)
+	}
+	if fs.Threshold != ref.Threshold {
+		t.Fatalf("calibrated thresholds differ: chain %v, hand-built %v", fs.Threshold, ref.Threshold)
+	}
+	gotPred := built.Predict(defAdvX)
+	wantPred := ref.Predict(defAdvX)
+	for i := range wantPred {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("prediction %d differs: chain %d, hand-built %d", i, gotPred[i], wantPred[i])
+		}
+	}
+}
+
+// TestChainBuildAdvTrainThenSqueeze: a two-stage chain hardens the model
+// and wraps it; the squeezing wrapper must sit on the adversarially
+// trained model, not the original base.
+func TestChainBuildAdvTrainThenSqueeze(t *testing.T) {
+	chain := Chain{
+		{Kind: KindAdvTraining, Epochs: 10, WidthScale: 0.1, BatchSize: 64, Seed: 13,
+			Attack: &attack.Config{Kind: attack.KindJSMA, Theta: 0.1, Gamma: 0.02}},
+		{Kind: KindSqueeze, Bits: 3, Threshold: 0.3},
+	}
+	built, err := chain.Build(Env{Base: defBase, Train: defCorpus.Train})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := built.(*FeatureSqueezing)
+	if !ok {
+		t.Fatalf("chain built %T, want *FeatureSqueezing", built)
+	}
+	if fs.Base == defBase {
+		t.Fatal("squeeze wrapped the original base, not the adversarially trained model")
+	}
+	// The hardened detector must beat the base on the fixed advEx set
+	// (the Table VI property the chain exists to deliver).
+	before := detector.DetectionRate(defBase, defAdvX)
+	after := detector.DetectionRate(built, defAdvX)
+	if after <= before {
+		t.Fatalf("defense chain did not raise advEx detection: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestChainBuildMissingMaterials(t *testing.T) {
+	if _, err := (Chain{{Kind: KindAdvTraining, Epochs: 1}}).Build(Env{Base: defBase}); err == nil {
+		t.Fatal("advtrain without Env.Train accepted")
+	}
+	if _, err := (Chain{{Kind: KindSqueeze}}).Build(Env{Base: defBase}); err == nil {
+		t.Fatal("calibrated squeeze without Env.Clean accepted")
+	}
+	if _, err := (Chain{{Kind: KindSqueeze, Threshold: 0.1}}).Build(Env{}); err == nil {
+		t.Fatal("nil base accepted")
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	cases := map[string]string{
+		Spec{Kind: KindSqueeze, Bits: 3, Threshold: 0.2}.String(): "squeeze(bits=3,thr=0.2)",
+		Spec{Kind: KindSqueeze}.String():                          "squeeze(bits=3,fpr=0.05)",
+		Spec{Kind: KindDistill}.String():                          "distill(T=50)",
+		Spec{Kind: KindPCA}.String():                              "pca(k=19)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	names := Chain{{Kind: KindPCA}, {Kind: KindDistill}}.Names()
+	if len(names) != 2 || names[0] != "pca(k=19)" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+// TestSqueezeVerdictsMatchesSeparateCalls: the combined single-pass
+// Verdicts must be bit-identical to MalwareProb + Predict called
+// separately (the serving hot path relies on this equivalence).
+func TestSqueezeVerdictsMatchesSeparateCalls(t *testing.T) {
+	fs, err := NewFeatureSqueezing(defBase, BitDepthSqueezer{Bits: 3}, defTestClean.X, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []*tensor.Matrix{defTestMal.X, defAdvX} {
+		probs, classes := fs.Verdicts(x)
+		wantProbs := fs.MalwareProb(x)
+		wantClasses := fs.Predict(x)
+		for i := range wantProbs {
+			if probs[i] != wantProbs[i] || classes[i] != wantClasses[i] {
+				t.Fatalf("row %d: Verdicts (%v,%d) != separate (%v,%d)",
+					i, probs[i], classes[i], wantProbs[i], wantClasses[i])
+			}
+		}
+	}
+}

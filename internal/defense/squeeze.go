@@ -130,6 +130,39 @@ func (f *FeatureSqueezing) Predict(x *tensor.Matrix) []int {
 	return pred
 }
 
+// Verdicts returns MalwareProb and Predict for every row in one pass
+// over the squeeze pipeline: the adversarial flags and the squeezed-input
+// inference are computed once and both outputs derived from them,
+// bit-identical to calling MalwareProb and Predict separately. The
+// serving hot path uses this to avoid doubling the defended daemon's
+// forward passes.
+func (f *FeatureSqueezing) Verdicts(x *tensor.Matrix) ([]float64, []int) {
+	flags := f.IsAdversarial(x)
+	squeezed := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(squeezed.Row(i), f.Squeezer.Squeeze(x.Row(i)))
+	}
+	// One probability pass yields both outputs: softmax is monotone in
+	// the logits, so the probability argmax IS Predict's class. The
+	// pooled Probs matrix is consumed before any further inference.
+	t := f.Base.Temperature
+	if t <= 0 {
+		t = 1
+	}
+	pm := f.Base.Net.Probs(squeezed, t)
+	probs := make([]float64, x.Rows)
+	classes := make([]int, x.Rows)
+	for i := range probs {
+		probs[i] = pm.At(i, 1)
+		classes[i] = pm.RowArgmax(i)
+		if flags[i] {
+			probs[i] = 1
+			classes[i] = 1
+		}
+	}
+	return probs, classes
+}
+
 // MalwareProb reports the base model's probability on the squeezed input,
 // saturated to 1 for flagged rows.
 func (f *FeatureSqueezing) MalwareProb(x *tensor.Matrix) []float64 {

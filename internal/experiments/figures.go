@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -404,7 +405,7 @@ func Figure2(l *Lab, w io.Writer) error {
 	}
 	oracle := blackbox.NewDetectorOracle(oracleTarget)
 	seed := blackbox.SeedSet(ac.Val, 40, l.Profile.Seed+43)
-	res, err := blackbox.TrainSubstitute(oracle, seed, blackbox.SubstituteConfig{
+	res, err := blackbox.TrainSubstitute(context.Background(), oracle, seed, blackbox.SubstituteConfig{
 		Arch:           detector.ArchTarget,
 		WidthScale:     l.Profile.TargetWidthScale,
 		Rounds:         4,

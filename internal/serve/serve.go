@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -181,25 +182,66 @@ func (s *Scorer) score(ws *nn.Workspace, merged *tensor.Matrix, pend []*request)
 	return merged
 }
 
-func (s *Scorer) submit(r *request) {
+// submit enqueues one request, or returns context.Canceled once cancel
+// fires while the queue is full (cancel is nil on the fast path — a nil
+// channel never fires, so the fast path blocks exactly as before).
+func (s *Scorer) submit(r *request, cancel <-chan struct{}) error {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
-		s.mu.RUnlock()
 		panic("serve: Scorer used after Close")
 	}
-	s.reqs <- r
-	s.mu.RUnlock()
+	select {
+	case s.reqs <- r:
+		return nil
+	case <-cancel:
+		return context.Canceled
+	}
 }
 
 // Logits scores every row of x and returns a fresh rows×OutDim logits
 // matrix. Large inputs are split into MaxBatch chunks so the worker pool
 // shares one call; rows from concurrent callers coalesce into shared
-// batches. Bit-identical to net.Forward(x, false).
+// batches. Bit-identical to net.Forward(x, false). This is the
+// allocation-lean in-process fast path; remote-facing callers that need
+// cancellation use LogitsContext.
 func (s *Scorer) Logits(x *tensor.Matrix) *tensor.Matrix {
+	out, err := s.logits(nil, x)
+	if err != nil {
+		// Unreachable: only a cancellable context produces an error, and
+		// the fast path passes none.
+		panic(err)
+	}
+	return out
+}
+
+// LogitsContext is Logits with cancellation: the submit path — both the
+// enqueue and the wait for each chunk's completion — selects on
+// ctx.Done(), so a caller whose context ends mid-batch returns promptly
+// with ctx.Err() instead of waiting out the queue. Chunks already handed
+// to workers still complete (their results are discarded); the engine
+// never leaks a goroutine on cancellation because workers outlive
+// requests by design.
+func (s *Scorer) LogitsContext(ctx context.Context, x *tensor.Matrix) (*tensor.Matrix, error) {
+	out, err := s.logits(ctx.Done(), x)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// logits is the shared submit path. cancel is nil for the fast path; a
+// nil channel never fires in a select, so the fast path pays only the
+// select's fixed cost and allocates nothing beyond the result matrix and
+// its chunk requests.
+func (s *Scorer) logits(cancel <-chan struct{}, x *tensor.Matrix) (*tensor.Matrix, error) {
 	outDim := s.net.OutDim()
 	out := tensor.New(x.Rows, outDim)
 	if x.Rows == 0 {
-		return out
+		return out, nil
 	}
 	if x.Cols != s.net.InDim() {
 		panic(fmt.Sprintf("serve: input width %d, want %d", x.Cols, s.net.InDim()))
@@ -216,13 +258,19 @@ func (s *Scorer) Logits(x *tensor.Matrix) *tensor.Matrix {
 			logits: tensor.FromSlice(end-start, outDim, out.Data[start*outDim:end*outDim]),
 			done:   make(chan struct{}),
 		}
-		s.submit(r)
+		if err := s.submit(r, cancel); err != nil {
+			return nil, err
+		}
 		pending = append(pending, r)
 	}
 	for _, r := range pending {
-		<-r.done
+		select {
+		case <-r.done:
+		case <-cancel:
+			return nil, context.Canceled
+		}
 	}
-	return out
+	return out, nil
 }
 
 // MalwareProb implements detector.Detector: P(class=1|x) per row at the

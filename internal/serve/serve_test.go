@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -225,4 +227,31 @@ func TestScorerCloseIdempotentAndPanicsAfter(t *testing.T) {
 		}
 	}()
 	s.Logits(randomBatch(1, 1, net.InDim()))
+}
+
+// TestLogitsContextCancellation: the context-aware submit path must
+// return promptly with the context's error once cancelled, while the
+// plain Logits fast path stays un-cancellable and identical.
+func TestLogitsContextCancellation(t *testing.T) {
+	net := testNet(t)
+	s := New(net, 1, Options{Workers: 1})
+	defer s.Close()
+
+	x := tensor.New(6, 24)
+	want := s.Logits(x)
+	got, err := s.LogitsContext(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("LogitsContext diverged from Logits at %d", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.LogitsContext(ctx, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled LogitsContext returned %v, want context.Canceled", err)
+	}
 }

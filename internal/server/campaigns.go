@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,8 +34,12 @@ type serverTarget struct{ s *Server }
 
 var _ campaign.Target = serverTarget{}
 
-// LabelBatch implements campaign.Target.
-func (t serverTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
+// LabelBatch implements campaign.Target. A defended daemon judges
+// campaign batches through its defense chain — the same verdict path
+// /v1/label serves — so campaigns attack exactly what clients score
+// against. The job's ctx flows into the engine's submit path, so a
+// cancelled campaign abandons a batch already queued behind other work.
+func (t serverTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
 	m := t.s.acquire()
 	if m == nil {
 		return nil, 0, errors.New("server: shut down")
@@ -44,7 +49,16 @@ func (t serverTarget) LabelBatch(x *tensor.Matrix) ([]int, int64, error) {
 		return nil, 0, fmt.Errorf("server: campaign batch has %d features, model expects %d",
 			x.Cols, m.scorer.InDim())
 	}
-	logits := m.scorer.Logits(x)
+	if m.det != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return m.det.Predict(x), m.version, nil
+	}
+	logits, err := m.scorer.LogitsContext(ctx, x)
+	if err != nil {
+		return nil, 0, err
+	}
 	labels := make([]int, logits.Rows)
 	for i := range labels {
 		labels[i] = logits.RowArgmax(i)
@@ -72,21 +86,22 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxBodyBytes)})
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.opts.MaxBodyBytes)
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	if dec.More() {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trailing data after JSON body"})
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
 		return
 	}
 	snap, err := s.campaigns.Submit(spec)
 	if err != nil {
-		// Spec problems are the client's (422); backpressure is 429; a
-		// closed engine means the daemon is going away (503).
+		// Spec problems are the client's (422 invalid_spec);
+		// backpressure is 429 queue_full; a closed engine means the
+		// daemon is going away (503 unavailable).
 		status := http.StatusUnprocessableEntity
 		switch {
 		case errors.Is(err, campaign.ErrQueueFull):
@@ -94,7 +109,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, campaign.ErrClosed):
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, snap)
@@ -114,16 +129,15 @@ func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("offset"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest,
-				errorResponse{Error: fmt.Sprintf("offset must be a non-negative integer, got %q", raw)})
+			writeError(w, http.StatusBadRequest,
+				"offset must be a non-negative integer, got %q", raw)
 			return
 		}
 		offset = n
 	}
 	snap, ok := s.campaigns.Get(r.PathValue("id"), offset)
 	if !ok {
-		writeJSON(w, http.StatusNotFound,
-			errorResponse{Error: fmt.Sprintf("unknown campaign %q", r.PathValue("id"))})
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -132,8 +146,7 @@ func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.campaigns.Cancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound,
-			errorResponse{Error: fmt.Sprintf("unknown campaign %q", r.PathValue("id"))})
+		writeError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, snap)

@@ -1,9 +1,7 @@
 package server
 
 import (
-	"bytes"
-	"encoding/json"
-	"net/http"
+	"context"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
@@ -11,6 +9,7 @@ import (
 
 	"malevade/internal/attack"
 	"malevade/internal/campaign"
+	"malevade/internal/client"
 	"malevade/internal/detector"
 	"malevade/internal/experiments"
 )
@@ -80,42 +79,16 @@ func TestE2ECampaignMatchesLab(t *testing.T) {
 		TargetURL:      ts.URL,
 		BatchSize:      17,
 	}
-	body, err := json.Marshal(spec)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	c := client.New(ts.URL)
+	snap, err := c.SubmitCampaign(ctx, spec)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("submit over HTTP: %v", err)
 	}
-	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	final, err := c.WaitCampaign(ctx, snap.ID, client.WaitOptions{Interval: 10 * time.Millisecond})
 	if err != nil {
-		t.Fatal(err)
-	}
-	var snap campaign.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit over HTTP: status %d", resp.StatusCode)
-	}
-
-	var final campaign.Snapshot
-	deadline := time.Now().Add(120 * time.Second)
-	for {
-		if time.Now().After(deadline) {
-			t.Fatalf("campaign %s never finished", snap.ID)
-		}
-		resp, err := http.Get(ts.URL + "/v1/campaigns/" + snap.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = json.NewDecoder(resp.Body).Decode(&final)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if final.Status.Terminal() {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
+		t.Fatalf("campaign %s never finished: %v", snap.ID, err)
 	}
 	if final.Status != campaign.StatusDone {
 		t.Fatalf("campaign status %s (%s), want done", final.Status, final.Error)

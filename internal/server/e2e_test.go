@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
@@ -59,14 +60,14 @@ func TestE2EBlackBoxOverHTTP(t *testing.T) {
 	// The HTTP oracle chunks requests; pick a chunk smaller than the seed
 	// set so the wire path really exercises multi-request batches.
 	remote := blackbox.NewHTTPOracle(ts.URL)
-	remote.MaxBatch = 7
+	remote.Client.MaxBatch = 7
 	local := blackbox.NewDetectorOracle(target)
 
-	subRemote, err := blackbox.TrainSubstitute(remote, seed, cfg)
+	subRemote, err := blackbox.TrainSubstitute(context.Background(), remote, seed, cfg)
 	if err != nil {
 		t.Fatalf("substitute training over HTTP: %v", err)
 	}
-	subLocal, err := blackbox.TrainSubstitute(local, seed.Clone(), cfg)
+	subLocal, err := blackbox.TrainSubstitute(context.Background(), local, seed.Clone(), cfg)
 	if err != nil {
 		t.Fatalf("substitute training in-process: %v", err)
 	}

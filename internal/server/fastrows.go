@@ -1,0 +1,209 @@
+package server
+
+import (
+	"strconv"
+
+	"malevade/internal/tensor"
+)
+
+// fastParseRows is the hot-path decoder for the scoring request body:
+// a hand-rolled scanner for the canonical shape
+//
+//	{"rows": [[n, n, ...], ...]}
+//
+// that parses straight into the batch matrix without reflection. At batch
+// 256×491 it is ~7× faster than encoding/json, which is what keeps the
+// client SDK's wire overhead inside its budget (see BENCH_client.json).
+//
+// Safety contract: the parser accepts an input only when the strict
+// encoding/json path would accept it with the identical matrix — anything
+// unexpected (unknown fields, wrong row count or width, malformed or
+// non-finite numbers, trailing data) returns !ok and the caller falls
+// back to the strict decoder, which produces the canonical error
+// responses. The fuzz target FuzzScoreRequest cross-checks exactly this
+// agreement on every generated input, so the fast path can never widen or
+// shift the accepted language.
+func fastParseRows(raw []byte, inDim, maxRows int) (*tensor.Matrix, bool) {
+	p := rowsParser{buf: raw}
+	p.ws()
+	if !p.eat('{') {
+		return nil, false
+	}
+	p.ws()
+	if !p.literal(`"rows"`) {
+		return nil, false
+	}
+	p.ws()
+	if !p.eat(':') {
+		return nil, false
+	}
+	p.ws()
+	if !p.eat('[') {
+		return nil, false
+	}
+
+	// First row sizes nothing yet: rows arrive row-by-row and the matrix
+	// grows in whole-row steps, capped by maxRows so a hostile body
+	// cannot balloon allocation past the configured batch limit.
+	data := make([]float64, 0, 64*inDim)
+	rows := 0
+	p.ws()
+	if p.eat(']') {
+		return nil, false // empty batch: the strict path owns the error
+	}
+	for {
+		if rows >= maxRows {
+			return nil, false
+		}
+		p.ws()
+		if !p.eat('[') {
+			return nil, false
+		}
+		width := 0
+		p.ws()
+		if !p.eat(']') {
+			for {
+				p.ws()
+				v, ok := p.number()
+				if !ok {
+					return nil, false
+				}
+				if width >= inDim {
+					return nil, false
+				}
+				data = append(data, v)
+				width++
+				p.ws()
+				if p.eat(',') {
+					continue
+				}
+				if p.eat(']') {
+					break
+				}
+				return nil, false
+			}
+		}
+		if width != inDim {
+			return nil, false
+		}
+		rows++
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat(']') {
+			break
+		}
+		return nil, false
+	}
+	p.ws()
+	if !p.eat('}') {
+		return nil, false
+	}
+	p.ws()
+	if p.pos != len(p.buf) {
+		return nil, false // trailing data
+	}
+	return tensor.FromSlice(rows, inDim, data), true
+}
+
+// rowsParser is a minimal cursor over the request body.
+type rowsParser struct {
+	buf []byte
+	pos int
+}
+
+func (p *rowsParser) ws() {
+	for p.pos < len(p.buf) {
+		switch p.buf[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *rowsParser) eat(c byte) bool {
+	if p.pos < len(p.buf) && p.buf[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *rowsParser) literal(s string) bool {
+	if p.pos+len(s) <= len(p.buf) && string(p.buf[p.pos:p.pos+len(s)]) == s {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// number scans one JSON number. The binary-feature fast path (a bare "0"
+// or "1") costs no ParseFloat at all; everything else takes the strict
+// JSON number grammar and rejects non-finite results, mirroring
+// decodeRows' finiteness check.
+func (p *rowsParser) number() (float64, bool) {
+	start := p.pos
+	if p.pos >= len(p.buf) {
+		return 0, false
+	}
+	// Fast path: single-digit 0/1 followed by a delimiter.
+	if c := p.buf[p.pos]; c == '0' || c == '1' {
+		if p.pos+1 >= len(p.buf) {
+			return 0, false
+		}
+		switch p.buf[p.pos+1] {
+		case ',', ']', ' ', '\t', '\n', '\r':
+			p.pos++
+			return float64(c - '0'), true
+		}
+	}
+	// General JSON number grammar: -?int frac? exp?
+	p.eat('-')
+	intStart := p.pos
+	digits := 0
+	for p.pos < len(p.buf) && p.buf[p.pos] >= '0' && p.buf[p.pos] <= '9' {
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	// JSON forbids leading zeros ("01"); keep strict agreement.
+	if digits > 1 && p.buf[intStart] == '0' {
+		return 0, false
+	}
+	if p.eat('.') {
+		fdigits := 0
+		for p.pos < len(p.buf) && p.buf[p.pos] >= '0' && p.buf[p.pos] <= '9' {
+			p.pos++
+			fdigits++
+		}
+		if fdigits == 0 {
+			return 0, false
+		}
+	}
+	if p.pos < len(p.buf) && (p.buf[p.pos] == 'e' || p.buf[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.buf) && (p.buf[p.pos] == '+' || p.buf[p.pos] == '-') {
+			p.pos++
+		}
+		edigits := 0
+		for p.pos < len(p.buf) && p.buf[p.pos] >= '0' && p.buf[p.pos] <= '9' {
+			p.pos++
+			edigits++
+		}
+		if edigits == 0 {
+			return 0, false
+		}
+	}
+	v, err := strconv.ParseFloat(string(p.buf[start:p.pos]), 64)
+	if err != nil {
+		// Out-of-range literals (1e999) differ from encoding/json's
+		// error; let the strict path own them.
+		return 0, false
+	}
+	return v, true
+}

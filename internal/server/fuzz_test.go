@@ -36,6 +36,32 @@ func FuzzScoreRequest(f *testing.F) {
 	f.Cleanup(s.Close)
 
 	f.Fuzz(func(t *testing.T, body []byte) {
+		// Differential check on the fast-path decoder: whenever
+		// fastParseRows accepts an input, the strict encoding/json path
+		// must accept it too and produce the identical matrix. This is
+		// the invariant that makes the fast path safe — it can only
+		// narrow the accepted language, never widen or reinterpret it.
+		if x, ok := fastParseRows(body, 3, 8); ok {
+			var ref ScoreRequest
+			dec := json.NewDecoder(strings.NewReader(string(body)))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&ref); err != nil || dec.More() {
+				t.Fatalf("fast parser accepted input the strict decoder rejects: %q (err %v)", body, err)
+			}
+			if len(ref.Rows) != x.Rows {
+				t.Fatalf("fast parser row count %d, strict %d for %q", x.Rows, len(ref.Rows), body)
+			}
+			for i, row := range ref.Rows {
+				if len(row) != x.Cols {
+					t.Fatalf("fast parser width %d, strict %d for %q", x.Cols, len(row), body)
+				}
+				for j, v := range row {
+					if x.At(i, j) != v {
+						t.Fatalf("fast parser value (%d,%d)=%v, strict %v for %q", i, j, x.At(i, j), v, body)
+					}
+				}
+			}
+		}
 		for _, endpoint := range []string{"/v1/score", "/v1/label"} {
 			req := httptest.NewRequest(http.MethodPost, endpoint, strings.NewReader(string(body)))
 			req.Header.Set("Content-Type", "application/json")

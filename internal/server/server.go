@@ -30,6 +30,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,10 +42,14 @@ import (
 	"time"
 
 	"malevade/internal/campaign"
+	"malevade/internal/client"
 	"malevade/internal/dataset"
+	"malevade/internal/defense"
+	"malevade/internal/detector"
 	"malevade/internal/nn"
 	"malevade/internal/serve"
 	"malevade/internal/tensor"
+	"malevade/internal/wire"
 )
 
 // Options configures a Server. ModelPath is required; everything else has
@@ -66,11 +71,20 @@ type Options struct {
 	// bodies are rejected with 413.
 	MaxBodyBytes int64
 	// Campaigns tunes the attack-campaign orchestrator behind
-	// /v1/campaigns (workers, queue depth, sample caps). LocalTarget and
-	// CraftModel are filled by the server when unset: campaigns then
-	// target the live generation-pinned model and craft on a private
-	// copy of the served model file.
+	// /v1/campaigns (workers, queue depth, sample caps). LocalTarget,
+	// CraftModel and RemoteTarget are filled by the server when unset:
+	// campaigns then target the live generation-pinned model, craft on a
+	// private copy of the served model file, and reach remote targets
+	// through the client SDK.
 	Campaigns campaign.Options
+	// Defenses hardens every loaded model generation with a servable
+	// defense chain (defense.Chain.Wrap): scoring, labels and campaign
+	// verdicts then all travel the defended path, so the daemon serves a
+	// hardened detector through the same API as a bare one. Every spec
+	// must be buildable from the model alone (Chain.ValidateServable);
+	// data-consuming defenses are built offline with ApplyDefenses and
+	// served as an ordinary hardened model file.
+	Defenses defense.Chain
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +109,9 @@ type model struct {
 	version  int64
 	path     string
 	loadedAt time.Time
+	// det is the defended verdict path when Options.Defenses is set (nil
+	// for a bare daemon, which scores straight off the engine's logits).
+	det detector.Detector
 
 	refs      atomic.Int64
 	retired   atomic.Bool
@@ -143,6 +160,11 @@ func New(opts Options) (*Server, error) {
 	if opts.ModelPath == "" {
 		return nil, fmt.Errorf("server: Options.ModelPath is required")
 	}
+	if len(opts.Defenses) > 0 {
+		if err := opts.Defenses.ValidateServable(); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	s := &Server{opts: opts}
 	m, err := s.load(opts.ModelPath)
 	if err != nil {
@@ -155,6 +177,11 @@ func New(opts Options) (*Server, error) {
 	}
 	if campaignOpts.CraftModel == nil {
 		campaignOpts.CraftModel = s.craftModel
+	}
+	if campaignOpts.RemoteTarget == nil {
+		campaignOpts.RemoteTarget = func(baseURL string) (campaign.Target, error) {
+			return client.NewRemoteTarget(baseURL), nil
+		}
 	}
 	s.campaigns = campaign.NewEngine(campaignOpts)
 	s.mux = http.NewServeMux()
@@ -186,13 +213,34 @@ func (s *Server) load(path string) (*model, error) {
 		return nil, fmt.Errorf("server: model %s has %d output classes, want 2 (clean/malware)",
 			path, net.OutDim())
 	}
-	return &model{
-		scorer:   serve.New(net, s.opts.Temperature, s.opts.Scorer),
+	scorerOpts := s.opts.Scorer
+	if len(s.opts.Defenses) > 0 && scorerOpts.Workers == 0 {
+		// A defended generation's verdicts travel the defense chain, not
+		// the coalescing engine; keep the (still load-bearing for InDim
+		// and drain semantics, but otherwise idle) engine at one worker
+		// instead of a full GOMAXPROCS pool.
+		scorerOpts.Workers = 1
+	}
+	m := &model{
+		scorer:   serve.New(net, s.opts.Temperature, scorerOpts),
 		version:  s.version.Add(1),
 		path:     path,
 		loadedAt: time.Now(),
 		drained:  make(chan struct{}),
-	}, nil
+	}
+	if len(s.opts.Defenses) > 0 {
+		// The defended path wraps a plain DNN over the same loaded
+		// network (its inference path is concurrency-safe and pools
+		// per-call workspaces). Engine batch/row counters therefore do
+		// not advance on defended daemons — docs/http-api.md notes this.
+		det, err := s.opts.Defenses.Wrap(&detector.DNN{Net: net, Temperature: s.opts.Temperature})
+		if err != nil {
+			m.scorer.Close()
+			return nil, fmt.Errorf("server: build defense chain: %w", err)
+		}
+		m.det = det
+	}
+	return m, nil
 }
 
 // acquire pins the current model generation for the duration of one
@@ -346,6 +394,9 @@ type HealthResponse struct {
 	ModelPath    string `json:"model_path"`
 	LoadedAt     string `json:"loaded_at"`
 	InDim        int    `json:"in_dim"`
+	// Defenses names the live defense chain, in application order (empty
+	// for a bare daemon).
+	Defenses []string `json:"defenses,omitempty"`
 }
 
 // StatsResponse answers /v1/stats with counters cumulative across reloads.
@@ -364,9 +415,10 @@ type StatsResponse struct {
 	Campaigns int64 `json:"campaigns"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
+// errorResponse is the JSON error envelope, carrying the human message
+// and the machine-readable taxonomy code (wire.Envelope is the canonical
+// definition; the alias keeps the server's wire schemas in one place).
+type errorResponse = wire.Envelope
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -374,26 +426,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders the error envelope for a refused call, deriving the
+// taxonomy code from the status so every documented status carries
+// exactly one code (see internal/wire and docs/ERRORS.md).
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{
+		Error: fmt.Sprintf(format, args...),
+		Code:  wire.CodeForStatus(status),
+	})
+}
+
 func (s *Server) reject(w http.ResponseWriter, status int, format string, args ...any) {
 	s.rejected.Add(1)
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeError(w, status, format, args...)
 }
 
 // decodeRows parses and validates a scoring request body into a matrix.
 // Every failure mode — malformed JSON, oversized body or batch, ragged or
 // wrong-width rows, non-finite values — is a client error, reported with
 // the returned status; the decoder never panics on hostile input.
+//
+// Canonical bodies take the reflection-free fast parser (fastrows.go);
+// anything it declines falls back to the strict encoding/json path below,
+// which owns every error message — so hostile inputs see exactly the
+// behavior they always did.
 func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, inDim int) (*tensor.Matrix, int, error) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	var req ScoreRequest
-	if err := dec.Decode(&req); err != nil {
+	raw, err := io.ReadAll(body)
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			return nil, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", s.opts.MaxBodyBytes)
 		}
+		return nil, http.StatusBadRequest, fmt.Errorf("read body: %v", err)
+	}
+	if x, ok := fastParseRows(raw, inDim, s.opts.MaxRows); ok {
+		return x, 0, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var req ScoreRequest
+	if err := dec.Decode(&req); err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("invalid JSON: %v", err)
 	}
 	if dec.More() {
@@ -424,10 +498,12 @@ func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, inDim int) (
 }
 
 // score runs the shared request path of /v1/score and /v1/label: pin one
-// model generation, decode against its input width, run one batched forward
-// pass, and hand the logits (computed wholly by that generation) to render.
+// model generation, decode against its input width, and hand the pinned
+// generation plus the decoded batch to render. Every verdict of one
+// request is computed wholly by that generation — off the engine's raw
+// logits for a bare daemon, through the defense chain for a defended one.
 func (s *Server) score(w http.ResponseWriter, r *http.Request,
-	render func(m *model, logits *tensor.Matrix)) {
+	render func(m *model, x *tensor.Matrix)) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.reject(w, http.StatusMethodNotAllowed, "use POST")
@@ -435,7 +511,7 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 	}
 	m := s.acquire()
 	if m == nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shut down"})
+		writeError(w, http.StatusServiceUnavailable, "server is shut down")
 		return
 	}
 	defer s.release(m)
@@ -445,35 +521,61 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	s.requests.Add(1)
-	render(m, m.scorer.Logits(x))
+	render(m, x)
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	s.score(w, r, func(m *model, logits *tensor.Matrix) {
+	s.score(w, r, func(m *model, x *tensor.Matrix) {
 		resp := ScoreResponse{
 			ModelVersion: m.version,
-			Results:      make([]ScoreResult, logits.Rows),
+			Results:      make([]ScoreResult, x.Rows),
 		}
-		probs := make([]float64, logits.Cols)
-		for i := range resp.Results {
-			nn.SoftmaxRow(logits.Row(i), probs, s.opts.Temperature)
-			resp.Results[i] = ScoreResult{
-				Prob:  probs[dataset.LabelMalware],
-				Class: logits.RowArgmax(i),
+		if m.det != nil {
+			// Defended daemon: the chain's verdicts (a squeezing flag
+			// saturates Prob to 1) replace the raw softmax head. Chains
+			// exposing the combined Verdicts pass (feature squeezing
+			// does) answer probability and class from one inference.
+			ps, classes := detectorVerdicts(m.det, x)
+			for i := range resp.Results {
+				resp.Results[i] = ScoreResult{Prob: ps[i], Class: classes[i]}
+			}
+		} else {
+			logits := m.scorer.Logits(x)
+			probs := make([]float64, logits.Cols)
+			for i := range resp.Results {
+				nn.SoftmaxRow(logits.Row(i), probs, s.opts.Temperature)
+				resp.Results[i] = ScoreResult{
+					Prob:  probs[dataset.LabelMalware],
+					Class: logits.RowArgmax(i),
+				}
 			}
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 }
 
+// detectorVerdicts fetches probabilities and classes for one batch,
+// through the detector's combined single-pass path when it has one.
+func detectorVerdicts(det detector.Detector, x *tensor.Matrix) ([]float64, []int) {
+	if v, ok := det.(interface {
+		Verdicts(x *tensor.Matrix) ([]float64, []int)
+	}); ok {
+		return v.Verdicts(x)
+	}
+	return det.MalwareProb(x), det.Predict(x)
+}
+
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
-	s.score(w, r, func(m *model, logits *tensor.Matrix) {
-		resp := LabelResponse{
-			ModelVersion: m.version,
-			Labels:       make([]int, logits.Rows),
-		}
-		for i := range resp.Labels {
-			resp.Labels[i] = logits.RowArgmax(i)
+	s.score(w, r, func(m *model, x *tensor.Matrix) {
+		resp := LabelResponse{ModelVersion: m.version}
+		if m.det != nil {
+			resp.Labels = m.det.Predict(x)
+		} else {
+			logits := m.scorer.Logits(x)
+			resp.Labels = make([]int, logits.Rows)
+			for i := range resp.Labels {
+				resp.Labels[i] = logits.RowArgmax(i)
+			}
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
@@ -482,7 +584,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	// An entirely empty body means "reload the configured path"; anything
@@ -492,19 +594,20 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid JSON: %v", err)})
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	m, err := s.reload(req.Path)
 	if err != nil {
 		// A failure on a client-supplied path is the client's error (the
-		// current model keeps serving either way); only a failure of the
-		// server's own configured path is a server fault worth a 5xx.
+		// current model keeps serving either way, so it's 422
+		// invalid_spec); only a failure of the server's own configured
+		// path is a server fault worth a 500 internal.
 		status := http.StatusInternalServerError
 		if req.Path != "" {
 			status = http.StatusUnprocessableEntity
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReloadResponse{ModelVersion: m.version, ModelPath: m.path})
@@ -522,6 +625,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ModelPath:    m.path,
 		LoadedAt:     m.loadedAt.UTC().Format(time.RFC3339),
 		InDim:        m.scorer.InDim(),
+		Defenses:     s.opts.Defenses.Names(),
 	})
 }
 

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/campaign"
+	"malevade/internal/client"
+	"malevade/internal/defense"
+	"malevade/internal/detector"
+	"malevade/internal/tensor"
+	"malevade/internal/wire"
+)
+
+// The taxonomy tests drive a live daemon through the client SDK and
+// assert every refusal decodes into the right typed error — the
+// 422-vs-500 reload split, the 429 backpressure split, 400/404/413/503 —
+// exercising both halves of the wire-error round trip at once.
+
+func wantWireError(t *testing.T, err error, status int, sentinel error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("call succeeded, want a typed refusal")
+	}
+	var we *wire.Error
+	if !errors.As(err, &we) {
+		t.Fatalf("error is %T (%v), want *wire.Error", err, err)
+	}
+	if we.Status != status {
+		t.Fatalf("status %d (%s), want %d", we.Status, we.Code, status)
+	}
+	if we.Code != wire.CodeForStatus(status) {
+		t.Fatalf("code %q does not pair with status %d", we.Code, status)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("refusal %v does not match its sentinel %v", err, sentinel)
+	}
+}
+
+// TestReloadErrorSplit: a bad client-supplied path is the client's fault
+// (422 invalid_spec); the daemon's own configured model going bad is a
+// server fault (500 internal). Both must reach the SDK as typed errors.
+func TestReloadErrorSplit(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	s, err := New(Options{ModelPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Client-supplied garbage path → 422.
+	_, err = c.Reload(ctx, dir+"/nope.gob")
+	wantWireError(t, err, http.StatusUnprocessableEntity, wire.ErrInvalidSpec)
+
+	// The daemon's own configured model corrupted on disk → 500.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Reload(ctx, "")
+	wantWireError(t, err, http.StatusInternalServerError, wire.ErrInternal)
+
+	// The current generation keeps serving through both refusals.
+	if _, err := c.Label(ctx, tensor.New(2, 3)); err != nil {
+		t.Fatalf("daemon stopped serving after refused reloads: %v", err)
+	}
+}
+
+// slowJudge is a campaign target whose batches take long enough that the
+// submissions below deterministically stack up behind the single worker.
+type slowJudge struct{ delay time.Duration }
+
+func (s slowJudge) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	timer := time.NewTimer(s.delay)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	case <-timer.C:
+	}
+	return make([]int, x.Rows), 1, nil
+}
+
+// TestCampaignBackpressure: a full campaign queue answers 429 queue_full,
+// distinct from the 422 a bad spec gets and the 404 an unknown id gets.
+func TestCampaignBackpressure(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveTestNet(t, dir, "model.gob", []int{4, 8, 2}, 7)
+	s, err := New(Options{
+		ModelPath: path,
+		Campaigns: campaign.Options{Workers: 1, QueueDepth: 1,
+			LocalTarget: slowJudge{delay: 30 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// A slow campaign (many slow one-row batches) occupies the only
+	// worker…
+	rows := make([][]float64, 256)
+	for i := range rows {
+		rows[i] = make([]float64, 4)
+	}
+	slow := campaign.Spec{
+		Attack:    attack.Config{Kind: attack.KindJSMA, Theta: 0.1, Gamma: 0.5},
+		Rows:      rows,
+		BatchSize: 1,
+	}
+	running, err := c.SubmitCampaign(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker has demonstrably picked it up, so the next
+	// submission sits in the queue instead of racing the drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := c.CampaignSnapshot(ctx, running.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Status == campaign.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never started: %s", snap.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// …a second fills the queue…
+	if _, err := c.SubmitCampaign(ctx, slow); err != nil {
+		t.Fatal(err)
+	}
+	// …and the third is backpressure: 429 queue_full.
+	_, err = c.SubmitCampaign(ctx, slow)
+	wantWireError(t, err, http.StatusTooManyRequests, wire.ErrQueueFull)
+
+	// A semantically bad spec is 422 invalid_spec, not backpressure.
+	_, err = c.SubmitCampaign(ctx, campaign.Spec{Attack: attack.Config{Kind: "bogus"}})
+	wantWireError(t, err, http.StatusUnprocessableEntity, wire.ErrInvalidSpec)
+
+	// An unknown id is 404 not_found.
+	_, err = c.CampaignSnapshot(ctx, "c999999", 0)
+	wantWireError(t, err, http.StatusNotFound, wire.ErrNotFound)
+	_, err = c.CancelCampaign(ctx, "c999999")
+	wantWireError(t, err, http.StatusNotFound, wire.ErrNotFound)
+
+	// Drain so Close is quick.
+	if _, err := c.CancelCampaign(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScoringRefusalTaxonomy: oversized batches are 400 bad_request,
+// oversized bodies 413 too_large, wrong method 405, and a closed daemon
+// 503 unavailable — each as its typed error through the SDK.
+func TestScoringRefusalTaxonomy(t *testing.T) {
+	path, _ := saveTestNet(t, t.TempDir(), "model.gob", []int{3, 8, 2}, 7)
+	s, err := New(Options{ModelPath: path, MaxRows: 2, MaxBodyBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// 3 rows against a 2-row cap → 400 (the client's single request
+	// carries all rows; MaxBatch default is far larger).
+	_, err = c.Label(ctx, tensor.New(3, 3))
+	wantWireError(t, err, http.StatusBadRequest, wire.ErrBadRequest)
+
+	// A payload past MaxBodyBytes → 413.
+	_, _, err = c.Score(ctx, tensor.New(2, 3000))
+	wantWireError(t, err, http.StatusRequestEntityTooLarge, wire.ErrTooLarge)
+
+	// Wrong method → 405 (GET against /v1/score via the health path's
+	// transport; easiest to provoke directly through a raw handler
+	// probe is out of SDK scope, so exercise it with the recorder).
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/score", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/score = %d, want 405", rec.Code)
+	}
+	env := wire.Envelope{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Code != wire.CodeMethodNotAllowed {
+		t.Fatalf("405 envelope %+v (err %v), want method_not_allowed", env, err)
+	}
+
+	// Shut down → 503 unavailable. The SDK retries 5xx on idempotent
+	// calls, so trim the budget to keep the test fast.
+	s.Close()
+	c.Retries = -1
+	_, err = c.Label(ctx, tensor.New(1, 3))
+	wantWireError(t, err, http.StatusServiceUnavailable, wire.ErrUnavailable)
+}
+
+// TestServedDefenses: a daemon with ServerOptions.Defenses serves the
+// hardened detector — its /v1/label verdicts are bit-identical to the
+// same chain built in-process via Chain.Wrap, health reports the chain,
+// and campaigns judged by the daemon use the defended path.
+func TestServedDefenses(t *testing.T) {
+	dir := t.TempDir()
+	path, net := saveTestNet(t, dir, "model.gob", []int{6, 16, 2}, 11)
+	chain := defense.Chain{{Kind: defense.KindSqueeze, Bits: 1, Threshold: 0.05}}
+	s, err := New(Options{ModelPath: path, Defenses: chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// In-process reference: the same chain wrapped around the same net.
+	ref, err := chain.Wrap(detector.NewDNN(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(32, 6)
+	rng := uint64(1)
+	for i := range x.Data {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		x.Data[i] = float64(rng%1000) / 1000
+	}
+	want := ref.Predict(x)
+
+	got, err := c.Label(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("defended daemon label %d = %d, in-process chain %d", i, got[i], want[i])
+		}
+	}
+	// Score's Prob saturates to 1 for flagged rows, matching the chain.
+	verdicts, _, err := c.Score(ctx, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbs := ref.MalwareProb(x)
+	for i := range verdicts {
+		if verdicts[i].Prob != wantProbs[i] || verdicts[i].Class != want[i] {
+			t.Fatalf("defended verdict %d = {%v %d}, want {%v %d}",
+				i, verdicts[i].Prob, verdicts[i].Class, wantProbs[i], want[i])
+		}
+	}
+
+	// Health names the live chain.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Defenses) != 1 || h.Defenses[0] != "squeeze(bits=1,thr=0.05)" {
+		t.Fatalf("health defenses %v", h.Defenses)
+	}
+
+	// A campaign against this daemon is judged through the same defended
+	// path: its baseline verdicts must match the chain's.
+	rows := make([][]float64, 8)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	snap, err := c.SubmitCampaign(ctx, campaign.Spec{
+		Attack: attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		Rows:   rows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitCampaign(ctx, snap.ID, client.WaitOptions{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != campaign.StatusDone {
+		t.Fatalf("campaign %s (%s), want done", final.Status, final.Error)
+	}
+	for _, r := range final.Results {
+		if got := r.BaselineDetected; got != (want[r.Index] == 1) {
+			t.Fatalf("campaign baseline verdict for row %d = %v, defended chain says %v",
+				r.Index, got, want[r.Index] == 1)
+		}
+	}
+
+	// Non-servable chains are rejected at construction, pointing at the
+	// offline path.
+	if _, err := New(Options{ModelPath: path,
+		Defenses: defense.Chain{{Kind: defense.KindDistill, Epochs: 1}}}); err == nil {
+		t.Fatal("data-consuming defense accepted as servable")
+	}
+}
+

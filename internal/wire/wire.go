@@ -1,0 +1,196 @@
+// Package wire defines the error taxonomy of the malevade HTTP API: the
+// JSON error envelope every daemon endpoint emits, the machine-readable
+// error codes inside it, and the typed Go errors the client SDK decodes
+// them into. It is the single vocabulary both sides of the wire speak —
+// internal/server renders codes from it, internal/client parses them back
+// — so an HTTP status can never drift away from its Go-level meaning.
+//
+// The taxonomy is documented for API consumers in docs/ERRORS.md; every
+// error-bearing HTTP status of the API maps to exactly one code and one
+// sentinel (a property the package's tests enforce), and *Error supports
+// errors.Is against the sentinels, so callers branch on semantics
+// ("was that backpressure?") instead of string-matching messages:
+//
+//	if errors.Is(err, wire.ErrQueueFull) { backOff() }
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Machine-readable error codes carried in the envelope's "code" field.
+// Each code pairs with exactly one HTTP status and one sentinel error.
+const (
+	// CodeBadRequest (400): malformed JSON, ragged or non-finite rows,
+	// oversized batches, bad query parameters.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound (404): the campaign (or route) does not exist.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed (405): wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeTooLarge (413): the request body exceeds the daemon's byte cap
+	// (a submitted model or population too large to accept).
+	CodeTooLarge = "too_large"
+	// CodeInvalidSpec (422): a semantically invalid client submission —
+	// an unknown attack kind, a reload path the daemon cannot load, a
+	// campaign spec that fails validation.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeQueueFull (429): backpressure; the campaign queue is at
+	// capacity. Retry later.
+	CodeQueueFull = "queue_full"
+	// CodeInternal (500): a server-side fault (the daemon's own
+	// configured model failed to reload, an unexpected handler error).
+	CodeInternal = "internal"
+	// CodeUnavailable (503): the daemon is shut down or shutting down.
+	CodeUnavailable = "unavailable"
+)
+
+// Sentinel errors, one per code. Use errors.Is against these to branch on
+// what a remote call's failure meant.
+var (
+	// ErrBadRequest is the 400 / bad_request sentinel.
+	ErrBadRequest = errors.New("wire: bad request")
+	// ErrNotFound is the 404 / not_found sentinel.
+	ErrNotFound = errors.New("wire: not found")
+	// ErrMethodNotAllowed is the 405 / method_not_allowed sentinel.
+	ErrMethodNotAllowed = errors.New("wire: method not allowed")
+	// ErrTooLarge is the 413 / too_large sentinel (request body, model or
+	// population too large for the daemon).
+	ErrTooLarge = errors.New("wire: request too large")
+	// ErrInvalidSpec is the 422 / invalid_spec sentinel.
+	ErrInvalidSpec = errors.New("wire: invalid spec")
+	// ErrQueueFull is the 429 / queue_full sentinel.
+	ErrQueueFull = errors.New("wire: queue full")
+	// ErrInternal is the 500 / internal sentinel.
+	ErrInternal = errors.New("wire: internal server error")
+	// ErrUnavailable is the 503 / unavailable sentinel.
+	ErrUnavailable = errors.New("wire: server unavailable")
+
+	// ErrMixedGenerations is the client-side taxonomy member with no HTTP
+	// status: a version-pinned batch had to be split across requests and
+	// a hot-reload landed between them, so no single model generation
+	// computed every label, even after retries.
+	ErrMixedGenerations = errors.New("wire: batch spans model generations")
+	// ErrProtocol is the client-side sentinel for a response that is not
+	// the documented contract: undecodable JSON, a label count that does
+	// not match the rows sent, a success status with a garbage body.
+	ErrProtocol = errors.New("wire: protocol violation")
+)
+
+// Envelope is the JSON error body every non-2xx response carries:
+//
+//	{"error": "human-readable message", "code": "machine_code"}
+//
+// Code is one of the Code* constants; older daemons may omit it, in which
+// case the client falls back to mapping the HTTP status alone.
+type Envelope struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Code is the machine-readable taxonomy code.
+	Code string `json:"code,omitempty"`
+}
+
+// statusTable is the single source of truth tying each error-bearing HTTP
+// status to its code and sentinel. Exactly one row per status, one status
+// per code — wire_test enforces the bijection.
+var statusTable = []struct {
+	status   int
+	code     string
+	sentinel error
+}{
+	{http.StatusBadRequest, CodeBadRequest, ErrBadRequest},
+	{http.StatusNotFound, CodeNotFound, ErrNotFound},
+	{http.StatusMethodNotAllowed, CodeMethodNotAllowed, ErrMethodNotAllowed},
+	{http.StatusRequestEntityTooLarge, CodeTooLarge, ErrTooLarge},
+	{http.StatusUnprocessableEntity, CodeInvalidSpec, ErrInvalidSpec},
+	{http.StatusTooManyRequests, CodeQueueFull, ErrQueueFull},
+	{http.StatusInternalServerError, CodeInternal, ErrInternal},
+	{http.StatusServiceUnavailable, CodeUnavailable, ErrUnavailable},
+}
+
+// Statuses lists every error-bearing HTTP status of the API, ascending.
+func Statuses() []int {
+	out := make([]int, len(statusTable))
+	for i, row := range statusTable {
+		out[i] = row.status
+	}
+	return out
+}
+
+// CodeForStatus maps an HTTP status to its taxonomy code; unknown statuses
+// map to CodeInternal for 5xx and CodeBadRequest otherwise, so even an
+// undocumented status decodes into a well-defined member of the taxonomy.
+func CodeForStatus(status int) string {
+	for _, row := range statusTable {
+		if row.status == status {
+			return row.code
+		}
+	}
+	if status >= 500 {
+		return CodeInternal
+	}
+	return CodeBadRequest
+}
+
+// SentinelForCode maps a taxonomy code to its sentinel error, or nil for an
+// unknown code.
+func SentinelForCode(code string) error {
+	for _, row := range statusTable {
+		if row.code == code {
+			return row.sentinel
+		}
+	}
+	return nil
+}
+
+// Error is the typed form of a refused API call: the HTTP status, the
+// machine-readable code and the human message, exactly as the daemon's
+// error envelope carried them. It round-trips the envelope — a client
+// decoding an *Error and a server encoding one agree field for field.
+//
+// Error matches the taxonomy sentinels through errors.Is:
+//
+//	errors.Is(err, wire.ErrInvalidSpec)  // true for a 422
+type Error struct {
+	// Status is the HTTP status code of the refusal.
+	Status int
+	// Code is the machine-readable taxonomy code from the envelope
+	// (derived from Status when a daemon omits it).
+	Code string
+	// Msg is the human-readable message from the envelope.
+	Msg string
+}
+
+// FromEnvelope builds the typed error for one refused response, deriving
+// the code from the status when the envelope omitted it.
+func FromEnvelope(status int, env Envelope) *Error {
+	code := env.Code
+	if code == "" {
+		code = CodeForStatus(status)
+	}
+	return &Error{Status: status, Code: code, Msg: env.Error}
+}
+
+// Envelope renders the error back into its JSON wire form.
+func (e *Error) Envelope() Envelope { return Envelope{Error: e.Msg, Code: e.Code} }
+
+// Error implements error: "daemon refused (422 invalid_spec): unknown kind".
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("daemon refused (%d %s)", e.Status, e.Code)
+	}
+	return fmt.Sprintf("daemon refused (%d %s): %s", e.Status, e.Code, e.Msg)
+}
+
+// Is reports whether target is the sentinel this error's code (or, for an
+// unknown code, its status) maps to, giving errors.Is support across the
+// whole taxonomy.
+func (e *Error) Is(target error) bool {
+	s := SentinelForCode(e.Code)
+	if s == nil {
+		s = SentinelForCode(CodeForStatus(e.Status))
+	}
+	return s != nil && target == s
+}

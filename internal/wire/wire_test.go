@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestStatusCodeSentinelBijection is the taxonomy's structural guarantee:
+// every documented error-bearing HTTP status maps to exactly one code and
+// exactly one sentinel, and no two statuses share either. docs/ERRORS.md
+// documents precisely this table.
+func TestStatusCodeSentinelBijection(t *testing.T) {
+	want := map[int]struct {
+		code     string
+		sentinel error
+	}{
+		http.StatusBadRequest:            {CodeBadRequest, ErrBadRequest},
+		http.StatusNotFound:              {CodeNotFound, ErrNotFound},
+		http.StatusMethodNotAllowed:      {CodeMethodNotAllowed, ErrMethodNotAllowed},
+		http.StatusRequestEntityTooLarge: {CodeTooLarge, ErrTooLarge},
+		http.StatusUnprocessableEntity:   {CodeInvalidSpec, ErrInvalidSpec},
+		http.StatusTooManyRequests:       {CodeQueueFull, ErrQueueFull},
+		http.StatusInternalServerError:   {CodeInternal, ErrInternal},
+		http.StatusServiceUnavailable:    {CodeUnavailable, ErrUnavailable},
+	}
+	statuses := Statuses()
+	if len(statuses) != len(want) {
+		t.Fatalf("taxonomy has %d statuses, test table has %d — update docs/ERRORS.md and this test together",
+			len(statuses), len(want))
+	}
+	seenCodes := map[string]int{}
+	seenSentinels := map[error]int{}
+	for _, status := range statuses {
+		row, ok := want[status]
+		if !ok {
+			t.Fatalf("undocumented status %d in taxonomy", status)
+		}
+		if got := CodeForStatus(status); got != row.code {
+			t.Errorf("CodeForStatus(%d) = %q, want %q", status, got, row.code)
+		}
+		if got := SentinelForCode(row.code); got != row.sentinel {
+			t.Errorf("SentinelForCode(%q) = %v, want %v", row.code, got, row.sentinel)
+		}
+		seenCodes[row.code]++
+		seenSentinels[row.sentinel]++
+	}
+	for code, n := range seenCodes {
+		if n != 1 {
+			t.Errorf("code %q claimed by %d statuses", code, n)
+		}
+	}
+	for s, n := range seenSentinels {
+		if n != 1 {
+			t.Errorf("sentinel %v claimed by %d statuses", s, n)
+		}
+	}
+}
+
+// TestErrorIsMatchesExactlyOneSentinel: a typed wire error must satisfy
+// errors.Is for precisely the sentinel of its status, never a neighbor's.
+func TestErrorIsMatchesExactlyOneSentinel(t *testing.T) {
+	sentinels := []error{
+		ErrBadRequest, ErrNotFound, ErrMethodNotAllowed, ErrTooLarge,
+		ErrInvalidSpec, ErrQueueFull, ErrInternal, ErrUnavailable,
+	}
+	for _, status := range Statuses() {
+		err := FromEnvelope(status, Envelope{Error: "boom", Code: CodeForStatus(status)})
+		matched := 0
+		for _, s := range sentinels {
+			if errors.Is(err, s) {
+				matched++
+			}
+		}
+		if matched != 1 {
+			t.Errorf("status %d matches %d sentinels, want exactly 1", status, matched)
+		}
+		// Wrapping must not break the match.
+		wrapped := fmt.Errorf("outer: %w", err)
+		if !errors.Is(wrapped, SentinelForCode(CodeForStatus(status))) {
+			t.Errorf("status %d: wrapped error lost its sentinel", status)
+		}
+		var we *Error
+		if !errors.As(wrapped, &we) || we.Status != status {
+			t.Errorf("status %d: errors.As failed to recover *Error", status)
+		}
+	}
+}
+
+// TestFromEnvelopeDerivesCode: daemons that omit the code field (or
+// non-envelope bodies) still decode into the right taxonomy member from
+// the status alone.
+func TestFromEnvelopeDerivesCode(t *testing.T) {
+	err := FromEnvelope(http.StatusTooManyRequests, Envelope{Error: "busy"})
+	if err.Code != CodeQueueFull {
+		t.Fatalf("derived code %q, want %q", err.Code, CodeQueueFull)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatal("derived-code error does not match ErrQueueFull")
+	}
+	// Unknown statuses fall into the catch-all halves of the taxonomy.
+	if got := CodeForStatus(http.StatusBadGateway); got != CodeInternal {
+		t.Fatalf("CodeForStatus(502) = %q, want internal", got)
+	}
+	if got := CodeForStatus(http.StatusTeapot); got != CodeBadRequest {
+		t.Fatalf("CodeForStatus(418) = %q, want bad_request", got)
+	}
+}
+
+// TestEnvelopeRoundTrip: encoding an Error back to its envelope and
+// decoding it again must be lossless — the round-trip property the client
+// SDK relies on.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	orig := &Error{Status: http.StatusUnprocessableEntity, Code: CodeInvalidSpec, Msg: "unknown kind"}
+	back := FromEnvelope(orig.Status, orig.Envelope())
+	if *back != *orig {
+		t.Fatalf("round trip changed the error: %+v -> %+v", orig, back)
+	}
+	if got, want := orig.Error(), `daemon refused (422 invalid_spec): unknown kind`; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}
+
+// TestClientSideSentinels: the two non-HTTP taxonomy members exist and
+// are distinct.
+func TestClientSideSentinels(t *testing.T) {
+	if errors.Is(ErrMixedGenerations, ErrProtocol) || errors.Is(ErrProtocol, ErrMixedGenerations) {
+		t.Fatal("client-side sentinels must be distinct")
+	}
+	wrapped := fmt.Errorf("saw 1 then 2: %w", ErrMixedGenerations)
+	if !errors.Is(wrapped, ErrMixedGenerations) {
+		t.Fatal("wrapped ErrMixedGenerations lost identity")
+	}
+}

@@ -1,0 +1,184 @@
+// Command apisnap snapshots the exported surface of the public facade
+// (package malevade, the repository root) and diffs it against the
+// committed api.snapshot, so public-API changes happen deliberately — a
+// PR that moves the surface must regenerate the snapshot and show the
+// diff in review — instead of by accident.
+//
+// Usage:
+//
+//	go run ./tools/apisnap           # check mode: exit 1 on drift
+//	go run ./tools/apisnap -write    # regenerate api.snapshot
+//
+// The snapshot is derived from the AST of the root package's non-test
+// files: every exported const, var, type and function, rendered without
+// doc comments or function bodies and sorted, so formatting and comment
+// churn never shows up as API drift. Only stdlib is used.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	write := flag.Bool("write", false, "regenerate the snapshot instead of checking it")
+	dir := flag.String("dir", ".", "package directory to snapshot")
+	out := flag.String("out", "api.snapshot", "snapshot file, relative to -dir")
+	flag.Parse()
+
+	if err := run(*dir, *out, *write); err != nil {
+		fmt.Fprintln(os.Stderr, "apisnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, out string, write bool) error {
+	surface, err := Surface(dir)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, out)
+	if write {
+		if err := os.WriteFile(path, []byte(surface), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d lines)\n", path, strings.Count(surface, "\n"))
+		return nil
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("no committed snapshot (run `go run ./tools/apisnap -write`): %w", err)
+	}
+	if string(committed) == surface {
+		fmt.Println("public API surface matches", path)
+		return nil
+	}
+	return fmt.Errorf("public API surface drifted from %s:\n%s\nif the change is deliberate, regenerate with `go run ./tools/apisnap -write`",
+		path, diff(string(committed), surface))
+}
+
+// Surface renders the exported API of the package in dir as a sorted,
+// comment-free declaration list with a fixed header.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var decls []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				decls = append(decls, exportedDecls(fset, d)...)
+			}
+		}
+	}
+	sort.Strings(decls)
+	var b strings.Builder
+	b.WriteString("# Exported surface of package malevade.\n")
+	b.WriteString("# Regenerate with: go run ./tools/apisnap -write\n")
+	for _, d := range decls {
+		b.WriteString(d)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// exportedDecls renders one top-level declaration's exported pieces, one
+// string per spec so partial changes diff minimally.
+func exportedDecls(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv != nil || !d.Name.IsExported() {
+			// The facade defines no exported methods; receivers would be
+			// covered by their type's spec if it ever does.
+			return nil
+		}
+		d.Doc = nil
+		d.Body = nil
+		return []string{render(fset, d)}
+	case *ast.GenDecl:
+		var out []string
+		for _, s := range d.Specs {
+			switch spec := s.(type) {
+			case *ast.TypeSpec:
+				if !spec.Name.IsExported() {
+					continue
+				}
+				spec.Doc, spec.Comment = nil, nil
+				out = append(out, render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{spec}}))
+			case *ast.ValueSpec:
+				kept := exportedValueSpec(spec)
+				if kept == nil {
+					continue
+				}
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{kept}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedValueSpec strips a const/var spec down to its exported names
+// (values stay: a changed initializer is an API-visible change for
+// constants), or nil when nothing is exported.
+func exportedValueSpec(spec *ast.ValueSpec) *ast.ValueSpec {
+	for _, n := range spec.Names {
+		if !n.IsExported() {
+			return nil // mixed specs don't occur in the facade
+		}
+	}
+	if len(spec.Names) == 0 {
+		return nil
+	}
+	spec.Doc, spec.Comment = nil, nil
+	return spec
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 8}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<!render error: %v>", err)
+	}
+	// Collapse to one line per declaration so sorting and diffing are
+	// stable regardless of struct-literal layout.
+	fields := strings.Fields(buf.String())
+	return strings.Join(fields, " ")
+}
+
+// diff renders a minimal line diff (added/removed) between two surfaces.
+func diff(old, new string) string {
+	oldSet := map[string]bool{}
+	for _, l := range strings.Split(old, "\n") {
+		oldSet[l] = true
+	}
+	newSet := map[string]bool{}
+	for _, l := range strings.Split(new, "\n") {
+		newSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(old, "\n") {
+		if l != "" && !newSet[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(new, "\n") {
+		if l != "" && !oldSet[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	return b.String()
+}
