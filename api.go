@@ -36,6 +36,7 @@ import (
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
 	"malevade/internal/experiments"
+	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/server"
 	"malevade/internal/tensor"
@@ -80,11 +81,38 @@ type (
 	// depth; the zero value picks defaults.
 	ScorerOptions = serve.Options
 	// Server is the HTTP scoring daemon: POST /v1/score and /v1/label,
-	// GET /healthz and /v1/stats, and atomic model hot-reload via POST
-	// /v1/reload (or Reload). It implements http.Handler.
+	// GET /healthz and /v1/stats, atomic model hot-reload via POST
+	// /v1/reload (or Reload), and — with ServerOptions.RegistryDir set —
+	// the model registry behind /v1/models. It implements http.Handler.
 	Server = server.Server
 	// ServerOptions configures a Server; ModelPath is required.
 	ServerOptions = server.Options
+	// Registry is the disk-backed model registry: named detectors with
+	// append-only version histories, JSON manifests (checksum, defense
+	// chain, generation), atomic live promotion behind the shared
+	// refcounted-drain machinery, and GC of unpinned old versions. The
+	// HTTP daemon exposes one as /v1/models; OpenRegistry embeds one
+	// in-process. Contents survive restarts.
+	Registry = registry.Registry
+	// RegistryOptions configures OpenRegistry; Dir is required.
+	RegistryOptions = registry.Options
+	// RegistryModelInfo is one registry model's state: live version,
+	// serving generation, defense chain and retained version history.
+	RegistryModelInfo = registry.Info
+	// RegistryVersionInfo is one entry of a model's append-only version
+	// history (file, checksum, generation, pin, defense chain).
+	RegistryVersionInfo = registry.VersionInfo
+	// RegistryInstance is one pinned, servable build of a model version,
+	// returned by Registry.Acquire; callers must Release it.
+	RegistryInstance = registry.Instance
+	// ModelInfo is a registry model's state as a remote daemon reports it
+	// (Client.Models / Client.Model / Client.RegisterModel).
+	ModelInfo = client.ModelInfo
+	// ModelVersionInfo is one remote model's version-history entry.
+	ModelVersionInfo = client.ModelVersionInfo
+	// RegisterModelRequest parameterizes Client.RegisterModel: daemon-side
+	// model file, optional defense chain, promote/pin flags.
+	RegisterModelRequest = client.RegisterModelRequest
 	// Oracle is the attacker's label-only view of a target detector.
 	Oracle = blackbox.Oracle
 	// HTTPOracle queries a remote Server's /v1/label endpoint — the
@@ -197,8 +225,17 @@ var (
 	// ErrInvalidSpec: 422 — semantically invalid submission (unknown
 	// attack kind, unloadable reload path, bad campaign spec).
 	ErrInvalidSpec = wire.ErrInvalidSpec
+	// ErrVersionConflict: 409 — a registry operation named a version the
+	// model does not hold, or the model has no live version to serve.
+	ErrVersionConflict = wire.ErrVersionConflict
 	// ErrQueueFull: 429 — campaign backpressure; retry later.
 	ErrQueueFull = wire.ErrQueueFull
+	// ErrRegistryFull: 507 — the model registry is at capacity; GC or
+	// delete before registering more.
+	ErrRegistryFull = wire.ErrRegistryFull
+	// ErrUnknownModel: 404 unknown_model — the request addressed a
+	// registry model name the daemon does not know.
+	ErrUnknownModel = wire.ErrUnknownModel
 	// ErrInternal: 500 — server-side fault.
 	ErrInternal = wire.ErrInternal
 	// ErrUnavailable: 503 — daemon shut down or shutting down.
@@ -293,6 +330,13 @@ func NewScorer(d *DNN, opts ScorerOptions) *Scorer {
 // Close it when done; Reload (or POST /v1/reload, or SIGHUP under
 // `malevade serve`) hot-swaps the model without dropping in-flight requests.
 func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// OpenRegistry loads (or initializes) a disk-backed model registry rooted
+// at opts.Dir, rebuilding every model's live serving instance from its
+// manifest — the in-process shape of the daemon's /v1/models API. Close it
+// to drain and release the serving engines; the on-disk store survives and
+// a subsequent OpenRegistry resumes the same serving state.
+func OpenRegistry(opts RegistryOptions) (*Registry, error) { return registry.Open(opts) }
 
 // NewHTTPOracle points a label oracle at a remote scoring daemon, so
 // TrainSubstitute can attack a detector it reaches only over the network.

@@ -8,6 +8,7 @@
 //	malevade score   -model target.gob -data data/test.gob -clients 8
 //	malevade serve   -model target.gob -addr 127.0.0.1:8446
 //	malevade campaign submit -attack jsma -theta 0.1 -gamma 0.025 -watch
+//	malevade models  list|register|promote|gc|rm      manage registered detectors
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
 //
@@ -49,6 +50,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "campaign":
 		return cmdCampaign(args[1:])
+	case "models":
+		return cmdModels(args[1:])
 	case "vocab":
 		return cmdVocab(args[1:])
 	case "explain":
@@ -73,6 +76,7 @@ commands:
   score     score a dataset through the concurrent batched engine
   serve     run the HTTP scoring daemon (hot-reload via SIGHUP or /v1/reload)
   campaign  submit/watch/list/cancel evasion campaigns on a daemon
+  models    list/register/promote/gc/rm the daemon's registered detectors
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features
 

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"malevade/internal/client"
+	"malevade/internal/defense"
+)
+
+// cmdModels drives the daemon's model-registry API from the command line
+// through the typed client SDK: list registered detectors, register a
+// model file as a new version, promote a version live, GC old versions,
+// delete a model. Model paths travel server-side semantics (the daemon
+// ingests files from its own disk), mirroring /v1/reload.
+func cmdModels(args []string) error {
+	if len(args) == 0 {
+		modelsUsage()
+		return fmt.Errorf("missing models subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdModelsList(args[1:])
+	case "register":
+		return cmdModelsRegister(args[1:])
+	case "inspect":
+		return cmdModelsInspect(args[1:])
+	case "promote":
+		return cmdModelsPromote(args[1:])
+	case "gc":
+		return cmdModelsGC(args[1:])
+	case "rm":
+		return cmdModelsRm(args[1:])
+	case "help", "-h", "--help":
+		modelsUsage()
+		return nil
+	default:
+		modelsUsage()
+		return fmt.Errorf("unknown models subcommand %q", args[0])
+	}
+}
+
+func modelsUsage() {
+	fmt.Fprintln(os.Stderr, `usage: malevade models <subcommand> [flags]
+
+subcommands:
+  list      list registered models on the daemon
+  register  register a daemon-side model file as a new version
+  inspect   show one model's manifest (versions, checksums, live pointer)
+  promote   promote a registered version to live
+  gc        drop unpinned non-live versions
+  rm        delete a model and its stored versions
+
+run 'malevade models <subcommand> -h' for flags`)
+}
+
+// shortSHA abbreviates a checksum for listings; the daemon's field is
+// remote input, so never assume its length.
+func shortSHA(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+func printModel(m client.ModelInfo) {
+	fmt.Printf("model:       %s\n", m.Name)
+	fmt.Printf("live:        v%d (generation %d)\n", m.Live, m.Generation)
+	if m.InDim > 0 {
+		fmt.Printf("in_dim:      %d\n", m.InDim)
+	}
+	if len(m.Defenses) > 0 {
+		fmt.Printf("defenses:    %v\n", m.Defenses)
+	}
+	fmt.Printf("requests:    %d\n", m.Requests)
+	for _, v := range m.Versions {
+		live := " "
+		if v.Version == m.Live {
+			live = "*"
+		}
+		pin := ""
+		if v.Pinned {
+			pin = " pinned"
+		}
+		def := ""
+		if len(v.Defenses) > 0 {
+			def = fmt.Sprintf(" defenses=%v", v.Defenses.Names())
+		}
+		fmt.Printf("  %s v%-4d %s  sha256=%s…%s%s\n",
+			live, v.Version, v.CreatedAt.Format("2006-01-02 15:04:05"), shortSHA(v.SHA256), pin, def)
+	}
+}
+
+func cmdModelsList(args []string) error {
+	fs := flag.NewFlagSet("models list", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	models, err := client.New(*serverURL).Models(ctx)
+	if err != nil {
+		return err
+	}
+	if len(models) == 0 {
+		fmt.Println("no registered models")
+		return nil
+	}
+	for _, m := range models {
+		def := ""
+		if len(m.Defenses) > 0 {
+			def = fmt.Sprintf(" defenses=%v", m.Defenses)
+		}
+		fmt.Printf("%-24s live=v%-3d gen=%-4d versions=%-3d requests=%d%s\n",
+			m.Name, m.Live, m.Generation, len(m.Versions), m.Requests, def)
+	}
+	return nil
+}
+
+func cmdModelsRegister(args []string) error {
+	fs := flag.NewFlagSet("models register", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "model name (required)")
+	path := fs.String("path", "", "model file on the daemon's disk (required)")
+	defensesJSON := fs.String("defenses", "",
+		`servable defense chain as JSON, e.g. '[{"kind":"squeeze","bits":3,"threshold":0.2}]'`)
+	promote := fs.Bool("promote", false, "promote the new version live (a model's first version always goes live)")
+	pin := fs.Bool("pin", false, "protect the version from gc")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *path == "" {
+		return fmt.Errorf("models register: -name and -path are required")
+	}
+	var defenses defense.Chain
+	if *defensesJSON != "" {
+		if err := json.Unmarshal([]byte(*defensesJSON), &defenses); err != nil {
+			return fmt.Errorf("models register: -defenses: %w", err)
+		}
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	m, err := client.New(*serverURL).RegisterModel(ctx, client.RegisterModelRequest{
+		Name: *name, Path: *path, Defenses: defenses, Promote: *promote, Pin: *pin,
+	})
+	if err != nil {
+		return err
+	}
+	printModel(m)
+	return nil
+}
+
+func cmdModelsInspect(args []string) error {
+	fs := flag.NewFlagSet("models inspect", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "model name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("models inspect: -name is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	m, err := client.New(*serverURL).Model(ctx, *name)
+	if err != nil {
+		return err
+	}
+	printModel(m)
+	return nil
+}
+
+func cmdModelsPromote(args []string) error {
+	fs := flag.NewFlagSet("models promote", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "model name (required)")
+	version := fs.Int("version", 0, "version to promote (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *version <= 0 {
+		return fmt.Errorf("models promote: -name and a positive -version are required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	m, err := client.New(*serverURL).PromoteModel(ctx, *name, *version)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted %s v%d (generation %d)\n", m.Name, m.Live, m.Generation)
+	return nil
+}
+
+func cmdModelsGC(args []string) error {
+	fs := flag.NewFlagSet("models gc", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "model name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("models gc: -name is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	m, removed, err := client.New(*serverURL).GCModel(ctx, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc %s: removed %d versions, %d retained\n", m.Name, removed, len(m.Versions))
+	return nil
+}
+
+func cmdModelsRm(args []string) error {
+	fs := flag.NewFlagSet("models rm", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "model name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("models rm: -name is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	if err := client.New(*serverURL).DeleteModel(ctx, *name); err != nil {
+		return err
+	}
+	fmt.Printf("deleted %s\n", *name)
+	return nil
+}

@@ -33,6 +33,8 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	defensesJSON := fs.String("defenses", "",
 		`servable defense chain as JSON, e.g. '[{"kind":"squeeze","bits":3,"threshold":0.2}]' (data-consuming defenses are built offline; see docs/ERRORS.md and ApplyDefenses)`)
+	registryDir := fs.String("registry", "",
+		"model-registry directory: serve named, versioned detectors via /v1/models (contents survive restarts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +51,7 @@ func cmdServe(args []string) error {
 		MaxRows:      *maxRows,
 		MaxBodyBytes: *maxBytes,
 		Defenses:     defenses,
+		RegistryDir:  *registryDir,
 	})
 	if err != nil {
 		return err

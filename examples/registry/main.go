@@ -1,0 +1,172 @@
+// Registry runs a multi-detector daemon end to end through the typed
+// client SDK: train a detector, register it twice in one registry-backed
+// daemon — a bare variant and a feature-squeezing-hardened variant under
+// two names — score the same rows against both, submit one evasion
+// campaign per model, hot-promote a new version of the bare model while
+// its campaign runs, and restart the daemon on the same registry
+// directory to show the store is durable.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"malevade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "registry:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Operator side: train a small detector and save it where the daemon
+	// can ingest it.
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(150))
+	if err != nil {
+		return err
+	}
+	target, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		WidthScale: 0.1, Epochs: 12, BatchSize: 64, Seed: 5,
+	})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "malevade-registry")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "target.gob")
+	if err := target.Net.SaveFile(modelPath); err != nil {
+		return err
+	}
+
+	// A registry-backed daemon: the equivalent of
+	// `malevade serve -model target.gob -registry DIR`.
+	regDir := filepath.Join(dir, "registry")
+	srv, err := malevade.NewServer(malevade.ServerOptions{
+		ModelPath:   modelPath,
+		RegistryDir: regDir,
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	c := malevade.NewClient(ts.URL)
+
+	// Register the same weights under two names: bare, and wrapped in a
+	// servable feature-squeezing chain. One daemon now serves the
+	// defended and undefended variants of the same detector.
+	squeeze := malevade.DefenseChain{{Kind: "squeeze", Bits: 3, Threshold: 0.2}}
+	if _, err := c.RegisterModel(ctx, malevade.RegisterModelRequest{
+		Name: "bare", Path: modelPath,
+	}); err != nil {
+		return err
+	}
+	if _, err := c.RegisterModel(ctx, malevade.RegisterModelRequest{
+		Name: "hardened", Path: modelPath, Defenses: squeeze,
+	}); err != nil {
+		return err
+	}
+	models, err := c.Models(ctx)
+	if err != nil {
+		return err
+	}
+	for _, m := range models {
+		fmt.Printf("registered %-9s live=v%d generation=%d defenses=%v\n",
+			m.Name, m.Live, m.Generation, m.Defenses)
+	}
+
+	// Score the same malware rows against both variants — the "model"
+	// field on the wire routes each batch.
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	bare, _, err := c.ScoreModel(ctx, "bare", mal.X)
+	if err != nil {
+		return err
+	}
+	hard, _, err := c.ScoreModel(ctx, "hardened", mal.X)
+	if err != nil {
+		return err
+	}
+	flagged := func(vs []malevade.Verdict) (n int) {
+		for _, v := range vs {
+			if v.Class == malevade.LabelMalware {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("detection on %d malware rows: bare %d/%d, hardened %d/%d\n",
+		mal.Len(), flagged(bare), mal.Len(), flagged(hard), mal.Len())
+
+	// One campaign per model: the same white-box JSMA attack judged
+	// against each variant — the paper's defended/undefended A/B in a
+	// single daemon.
+	attack := malevade.AttackConfig{Kind: "jsma", Theta: 0.1, Gamma: 0.025}
+	ids := map[string]string{}
+	for _, name := range []string{"bare", "hardened"} {
+		snap, err := c.SubmitCampaign(ctx, malevade.CampaignSpec{
+			Name:        "ab-" + name,
+			Attack:      attack,
+			TargetModel: name,
+			Profile:     "small",
+			BatchSize:   16,
+		})
+		if err != nil {
+			return err
+		}
+		ids[name] = snap.ID
+		fmt.Printf("campaign %s -> target_model=%s\n", snap.ID, name)
+	}
+
+	// While the bare campaign runs, register-and-promote a new version of
+	// the bare model (same weights here, so the numbers are stable while
+	// the generation visibly advances — batches never mix generations).
+	if _, err := c.RegisterModel(ctx, malevade.RegisterModelRequest{
+		Name: "bare", Path: modelPath, Promote: true,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("hot-promoted bare v2 mid-campaign")
+
+	for _, name := range []string{"bare", "hardened"} {
+		final, err := c.WaitCampaign(ctx, ids[name], malevade.WaitOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("campaign vs %-9s %s: evasion %.3f over %d samples (generations %v)\n",
+			name, final.Status, final.EvasionRate, final.DoneSamples, final.Generations)
+	}
+
+	// Durability: shut the daemon down and restart on the same registry
+	// directory — the manifests reload and the previously live versions
+	// (bare v2 included) serve again.
+	ts.Close()
+	srv.Close()
+	srv2, err := malevade.NewServer(malevade.ServerOptions{
+		ModelPath:   modelPath,
+		RegistryDir: regDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	c2 := malevade.NewClient(ts2.URL)
+	bareInfo, err := c2.Model(ctx, "bare")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after restart: bare live=v%d generation=%d (%d versions retained)\n",
+		bareInfo.Live, bareInfo.Generation, len(bareInfo.Versions))
+	return nil
+}

@@ -46,10 +46,21 @@ type Options struct {
 	// and the HTTP daemon wire in the client SDK's CampaignTarget). A nil
 	// factory rejects TargetURL specs at execution time.
 	RemoteTarget func(baseURL string) (Target, error)
+	// NamedTarget builds the Target for specs that name a TargetModel —
+	// the host's model registry (the HTTP daemon wires a generation-pinned
+	// registry target). Submit invokes the factory synchronously to
+	// validate the name, so an unknown model is a 422 at the API layer
+	// rather than an asynchronous job failure. A nil factory rejects
+	// TargetModel specs at submit time.
+	NamedTarget func(model string) (Target, error)
 	// CraftModel loads the default crafting model for specs with no
 	// CraftModelPath. Each call must return a network private to the
 	// caller (gradient crafting mutates per-network caches).
 	CraftModel func() (*nn.Network, error)
+	// NamedCraftModel loads the default crafting model for specs that
+	// name a TargetModel and no CraftModelPath — white-box on the named
+	// model's live version. Falls back to CraftModel when nil.
+	NamedCraftModel func(model string) (*nn.Network, error)
 	// Log, when non-nil, receives one line per campaign transition.
 	Log io.Writer
 }
@@ -160,6 +171,16 @@ func (e *Engine) Submit(spec Spec) (Snapshot, error) {
 		// here keeps the rejection synchronous (422 at the API layer)
 		// instead of failing inside the asynchronous job.
 		if _, err := experiments.ProfileByName(spec.Profile); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	if spec.TargetModel != "" {
+		// Resolve the named registry target synchronously too: an unknown
+		// model (or a host with no registry) rejects at submit time.
+		if e.opts.NamedTarget == nil {
+			return Snapshot{}, fmt.Errorf("campaign: spec names target_model %q but the engine has no model registry", spec.TargetModel)
+		}
+		if _, err := e.opts.NamedTarget(spec.TargetModel); err != nil {
 			return Snapshot{}, err
 		}
 	}
@@ -476,6 +497,10 @@ func (e *Engine) craftModel(spec Spec) (*nn.Network, error) {
 	switch {
 	case spec.CraftModelPath != "":
 		net, err = nn.LoadFile(spec.CraftModelPath)
+	case spec.TargetModel != "" && e.opts.NamedCraftModel != nil:
+		// White-box on the named registry model: craft on a private copy
+		// of its live version.
+		net, err = e.opts.NamedCraftModel(spec.TargetModel)
 	case e.opts.CraftModel != nil:
 		net, err = e.opts.CraftModel()
 	default:
@@ -535,6 +560,12 @@ func (e *Engine) target(spec Spec) (Target, error) {
 			return nil, fmt.Errorf("campaign: spec names a target_url but the engine has no remote-target factory")
 		}
 		return e.opts.RemoteTarget(spec.TargetURL)
+	}
+	if spec.TargetModel != "" {
+		if e.opts.NamedTarget == nil {
+			return nil, fmt.Errorf("campaign: spec names target_model %q but the engine has no model registry", spec.TargetModel)
+		}
+		return e.opts.NamedTarget(spec.TargetModel)
 	}
 	if e.opts.LocalTarget == nil {
 		return nil, fmt.Errorf("campaign: spec names no target_url and the engine has no local target")

@@ -33,6 +33,13 @@ type Spec struct {
 	// TargetURL points evasion evaluation at a remote scoring daemon's
 	// /v1/label endpoint. Empty targets the host's in-process model.
 	TargetURL string `json:"target_url,omitempty"`
+	// TargetModel names a model in the host's registry to evade instead
+	// of the default served model, so one daemon can run campaigns against
+	// many detectors (the defended and undefended variants of the same
+	// model, say). Mutually exclusive with TargetURL. Unless
+	// CraftModelPath overrides it, crafting also runs white-box on the
+	// named model's live version.
+	TargetModel string `json:"target_model,omitempty"`
 	// Profile names an experiments profile (small|medium|paper) whose
 	// attacked population — bit-identical to the in-process Lab's — the
 	// campaign perturbs. Ignored when Rows is set.
@@ -57,6 +64,9 @@ func (s Spec) Validate(maxSamples int) error {
 	}
 	if s.BatchSize < 0 {
 		return fmt.Errorf("campaign: batch_size must be non-negative, got %d", s.BatchSize)
+	}
+	if s.TargetModel != "" && s.TargetURL != "" {
+		return fmt.Errorf("campaign: target_model and target_url are mutually exclusive")
 	}
 	if s.MaxSamples < 0 {
 		return fmt.Errorf("campaign: max_samples must be non-negative, got %d", s.MaxSamples)

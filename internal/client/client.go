@@ -178,12 +178,17 @@ type Health struct {
 	// Defenses names the daemon's live defense chain, outermost last
 	// (empty for an undefended daemon).
 	Defenses []string `json:"defenses,omitempty"`
+	// Models counts the registry's named models (absent on daemons
+	// without a registry).
+	Models int `json:"models,omitempty"`
 }
 
 // Stats is the /v1/stats response; counters are cumulative across reloads.
 type Stats struct {
 	// ModelVersion is the live model generation.
 	ModelVersion int64 `json:"model_version"`
+	// UptimeSeconds is how long the daemon process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Requests/Rejected count scoring calls served and refused with 4xx.
 	Requests int64 `json:"requests"`
 	Rejected int64 `json:"rejected"`
@@ -194,6 +199,9 @@ type Stats struct {
 	Rows    int64 `json:"rows"`
 	// Campaigns counts accepted campaign submissions.
 	Campaigns int64 `json:"campaigns"`
+	// ModelRequests counts model-addressed requests served per registry
+	// model (absent on daemons without a registry).
+	ModelRequests map[string]int64 `json:"model_requests,omitempty"`
 }
 
 // do runs one JSON round-trip. Idempotent calls are retried (bounded, with
@@ -317,15 +325,29 @@ func (c *Client) chunks(rows int) [][2]int {
 	return out
 }
 
-// encodeRows renders the {"rows": [[...]]} payload for rows [start,end)
-// with strconv instead of reflection — the shortest-round-trip float form
-// AppendFloat emits parses back to the identical bits, and the common 0/1
-// feature values are single bytes. At batch 256×491 this is ~5× faster
-// than json.Marshal and is half of what keeps the SDK's overhead over
-// in-process scoring inside its budget (BENCH_client.json).
-func encodeRows(x *tensor.Matrix, start, end int) []byte {
-	buf := make([]byte, 0, (end-start)*(2*x.Cols+2)+16)
-	buf = append(buf, `{"rows":[`...)
+// encodeRows renders the {"rows": [[...]]} payload — with an optional
+// leading "model" field for model-addressed requests — for rows
+// [start,end) with strconv instead of reflection: the shortest-round-trip
+// float form AppendFloat emits parses back to the identical bits, and the
+// common 0/1 feature values are single bytes. At batch 256×491 this is
+// ~5× faster than json.Marshal and is half of what keeps the SDK's
+// overhead over in-process scoring inside its budget (BENCH_client.json).
+// (The daemon's own fast-path parser accepts only the bare single-model
+// shape; model-addressed bodies travel its strict decoder.)
+func encodeRows(model string, x *tensor.Matrix, start, end int) []byte {
+	buf := make([]byte, 0, (end-start)*(2*x.Cols+2)+32+len(model))
+	buf = append(buf, '{')
+	if model != "" {
+		buf = append(buf, `"model":`...)
+		name, err := json.Marshal(model)
+		if err != nil {
+			// A Go string always marshals; unreachable.
+			panic(err)
+		}
+		buf = append(buf, name...)
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `"rows":[`...)
 	for i := start; i < end; i++ {
 		if i > start {
 			buf = append(buf, ',')
@@ -365,6 +387,14 @@ func validateRows(x *tensor.Matrix) error {
 // batches into MaxBatch-row requests, and returns the per-row verdicts
 // plus the model generation that answered the final request.
 func (c *Client) Score(ctx context.Context, x *tensor.Matrix) ([]Verdict, int64, error) {
+	return c.ScoreModel(ctx, "", x)
+}
+
+// ScoreModel is Score addressed at a named registry model on the daemon
+// (the request's "model" field); an empty model scores the daemon's
+// default served model. Unknown names surface as a *wire.Error matching
+// wire.ErrUnknownModel.
+func (c *Client) ScoreModel(ctx context.Context, model string, x *tensor.Matrix) ([]Verdict, int64, error) {
 	if err := validateRows(x); err != nil {
 		return nil, 0, err
 	}
@@ -372,7 +402,7 @@ func (c *Client) Score(ctx context.Context, x *tensor.Matrix) ([]Verdict, int64,
 	var version int64
 	for _, w := range c.chunks(x.Rows) {
 		var resp scoreResponse
-		if err := c.doBytes(ctx, http.MethodPost, "/v1/score", encodeRows(x, w[0], w[1]), &resp, true); err != nil {
+		if err := c.doBytes(ctx, http.MethodPost, "/v1/score", encodeRows(model, x, w[0], w[1]), &resp, true); err != nil {
 			return nil, 0, err
 		}
 		if len(resp.Results) != w[1]-w[0] {
@@ -391,7 +421,14 @@ func (c *Client) Score(ctx context.Context, x *tensor.Matrix) ([]Verdict, int64,
 // which model generation answers (a hot-reload mid-batch is fine);
 // callers that need single-generation batches use LabelVersion.
 func (c *Client) Label(ctx context.Context, x *tensor.Matrix) ([]int, error) {
-	labels, _, err := c.labelsOnce(ctx, x, false)
+	labels, _, err := c.labelsOnce(ctx, "", x, false)
+	return labels, err
+}
+
+// LabelModel is Label addressed at a named registry model on the daemon;
+// an empty model labels through the daemon's default served model.
+func (c *Client) LabelModel(ctx context.Context, model string, x *tensor.Matrix) ([]int, error) {
+	labels, _, err := c.labelsOnce(ctx, model, x, false)
 	return labels, err
 }
 
@@ -403,12 +440,20 @@ func (c *Client) Label(ctx context.Context, x *tensor.Matrix) ([]int, error) {
 // wire.ErrMixedGenerations. The campaign engine rests its
 // generation-pinning invariant on this call.
 func (c *Client) LabelVersion(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	return c.LabelVersionModel(ctx, "", x)
+}
+
+// LabelVersionModel is LabelVersion addressed at a named registry model
+// on the daemon — the generation-pinning contract per named detector, so
+// campaigns judged against a registry model survive live promotions the
+// way default-slot campaigns survive hot-reloads.
+func (c *Client) LabelVersionModel(ctx context.Context, model string, x *tensor.Matrix) ([]int, int64, error) {
 	const pinRetries = 8
 	var err error
 	for attempt := 0; attempt < pinRetries; attempt++ {
 		var labels []int
 		var version int64
-		labels, version, err = c.labelsOnce(ctx, x, true)
+		labels, version, err = c.labelsOnce(ctx, model, x, true)
 		if err == nil || !errors.Is(err, wire.ErrMixedGenerations) {
 			return labels, version, err
 		}
@@ -420,7 +465,7 @@ func (c *Client) LabelVersion(ctx context.Context, x *tensor.Matrix) ([]int, int
 // all report one model generation — disagreement (a reload mid-batch) is
 // wire.ErrMixedGenerations; without it, the reported version is the last
 // chunk's and generation changes are ignored.
-func (c *Client) labelsOnce(ctx context.Context, x *tensor.Matrix, pinned bool) ([]int, int64, error) {
+func (c *Client) labelsOnce(ctx context.Context, model string, x *tensor.Matrix, pinned bool) ([]int, int64, error) {
 	if err := validateRows(x); err != nil {
 		return nil, 0, err
 	}
@@ -428,7 +473,7 @@ func (c *Client) labelsOnce(ctx context.Context, x *tensor.Matrix, pinned bool) 
 	var version int64
 	for i, w := range c.chunks(x.Rows) {
 		var resp labelResponse
-		if err := c.doBytes(ctx, http.MethodPost, "/v1/label", encodeRows(x, w[0], w[1]), &resp, true); err != nil {
+		if err := c.doBytes(ctx, http.MethodPost, "/v1/label", encodeRows(model, x, w[0], w[1]), &resp, true); err != nil {
 			return nil, 0, err
 		}
 		if len(resp.Labels) != w[1]-w[0] {

@@ -1,0 +1,140 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"time"
+
+	"malevade/internal/defense"
+)
+
+// The models half of the SDK: the daemon's disk-backed model registry
+// (/v1/models) — list, register, inspect, promote, GC and delete named
+// versioned detectors. Model-addressed scoring lives on the main client
+// (ScoreModel/LabelModel/LabelVersionModel). As everywhere in this
+// package, the wire structs are declared locally from docs/http-api.md
+// rather than imported from the server.
+
+// ModelVersionInfo is one entry of a model's append-only version history.
+type ModelVersionInfo struct {
+	// Version is the model-scoped version number (never reused).
+	Version int `json:"version"`
+	// File is the model file's base name in the daemon's registry dir.
+	File string `json:"file"`
+	// SHA256 is the hex checksum of the stored model file.
+	SHA256 string `json:"sha256"`
+	// Generation is the serving generation last assigned to this version
+	// (0 if it was never live).
+	Generation int64 `json:"generation,omitempty"`
+	// CreatedAt is when the version was registered.
+	CreatedAt time.Time `json:"created_at"`
+	// Pinned marks the version protected from GC.
+	Pinned bool `json:"pinned,omitempty"`
+	// Defenses is the servable defense chain the version serves behind.
+	Defenses defense.Chain `json:"defenses,omitempty"`
+}
+
+// ModelInfo is one registry model's state as the daemon reports it.
+type ModelInfo struct {
+	// Name is the model name.
+	Name string `json:"name"`
+	// Live is the live version number (0 = none).
+	Live int `json:"live_version"`
+	// Generation is the live instance's serving generation.
+	Generation int64 `json:"generation,omitempty"`
+	// InDim is the live model's feature width.
+	InDim int `json:"in_dim,omitempty"`
+	// Defenses names the live version's defense chain, in order.
+	Defenses []string `json:"defenses,omitempty"`
+	// Requests counts model-addressed scoring/label requests served.
+	Requests int64 `json:"requests"`
+	// Versions is the retained append-only history.
+	Versions []ModelVersionInfo `json:"versions"`
+}
+
+// RegisterModelRequest is the body of POST /v1/models: ingest the model
+// file at Path — a path on the daemon's disk, mirroring /v1/reload
+// semantics — as a new version of Name.
+type RegisterModelRequest struct {
+	// Name is the registry model to append to (created when new).
+	Name string `json:"name"`
+	// Path is the daemon-side model file to ingest.
+	Path string `json:"path"`
+	// Defenses is the servable defense chain the version serves behind
+	// whenever it is live (empty registers a bare model).
+	Defenses defense.Chain `json:"defenses,omitempty"`
+	// Promote makes the new version live immediately; a model's first
+	// version is always promoted.
+	Promote bool `json:"promote,omitempty"`
+	// Pin protects the version from GC once it stops being live.
+	Pin bool `json:"pin,omitempty"`
+}
+
+type modelActionRequest struct {
+	Action  string `json:"action"`
+	Version int    `json:"version,omitempty"`
+}
+
+type modelResponse struct {
+	Model   ModelInfo `json:"model"`
+	Removed int       `json:"removed,omitempty"`
+}
+
+type modelListResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func modelPath(name string) string { return "/v1/models/" + url.PathEscape(name) }
+
+// Models lists the daemon's registered models via GET /v1/models (empty
+// on a daemon started without a registry).
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var list modelListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/models", nil, &list, true)
+	return list.Models, err
+}
+
+// Model inspects one registered model via GET /v1/models/{name}. An
+// unknown name is a *wire.Error matching wire.ErrUnknownModel.
+func (c *Client) Model(ctx context.Context, name string) (ModelInfo, error) {
+	var resp modelResponse
+	err := c.do(ctx, http.MethodGet, modelPath(name), nil, &resp, true)
+	return resp.Model, err
+}
+
+// RegisterModel registers a daemon-side model file as a new version via
+// POST /v1/models. Mutating call, never retried. Capacity refusals match
+// wire.ErrRegistryFull.
+func (c *Client) RegisterModel(ctx context.Context, req RegisterModelRequest) (ModelInfo, error) {
+	var resp modelResponse
+	err := c.do(ctx, http.MethodPost, "/v1/models", req, &resp, false)
+	return resp.Model, err
+}
+
+// PromoteModel makes an already-registered version live via POST
+// /v1/models/{name}, assigning it a fresh serving generation; in-flight
+// requests finish on the generation they started on. A version the model
+// does not hold matches wire.ErrVersionConflict. Mutating call, never
+// retried.
+func (c *Client) PromoteModel(ctx context.Context, name string, version int) (ModelInfo, error) {
+	var resp modelResponse
+	err := c.do(ctx, http.MethodPost, modelPath(name), modelActionRequest{Action: "promote", Version: version}, &resp, false)
+	return resp.Model, err
+}
+
+// GCModel drops a model's unpinned non-live versions via POST
+// /v1/models/{name}, reporting the state after collection and how many
+// versions were removed. Mutating call, never retried.
+func (c *Client) GCModel(ctx context.Context, name string) (ModelInfo, int, error) {
+	var resp modelResponse
+	err := c.do(ctx, http.MethodPost, modelPath(name), modelActionRequest{Action: "gc"}, &resp, false)
+	return resp.Model, resp.Removed, err
+}
+
+// DeleteModel removes a model — live instance, manifest and every stored
+// version file — via DELETE /v1/models/{name}. Mutating call, never
+// retried.
+func (c *Client) DeleteModel(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, modelPath(name), nil, nil, false)
+}

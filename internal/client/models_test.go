@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"malevade/internal/tensor"
+	"malevade/internal/wire"
+)
+
+// TestModelAddressedScoringWire: ScoreModel/LabelModel must put the model
+// name on the wire as the request's "model" field — JSON-escaped — while
+// the nameless calls stay byte-compatible with pre-registry daemons
+// (no "model" key at all).
+func TestModelAddressedScoringWire(t *testing.T) {
+	var bodies []map[string]any
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Errorf("unparsable request body %q: %v", raw, err)
+		}
+		bodies = append(bodies, m)
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/v1/label" {
+			json.NewEncoder(w).Encode(map[string]any{"model_version": 7, "labels": []int{1}})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"model_version": 7,
+			"results":       []map[string]any{{"prob": 0.5, "class": 1}},
+		})
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := fastClient(ts.URL)
+	x := tensor.FromRows([][]float64{{0, 1, 0.5}})
+	if _, _, err := c.ScoreModel(ctx, `we"ird`, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Score(ctx, x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LabelModel(ctx, "bare", x); err != nil {
+		t.Fatal(err)
+	}
+	if got := bodies[0]["model"]; got != `we"ird` {
+		t.Fatalf("model field %q, want the escaped original", got)
+	}
+	if _, present := bodies[1]["model"]; present {
+		t.Fatalf("nameless Score sent a model field: %v", bodies[1])
+	}
+	if got := bodies[2]["model"]; got != "bare" {
+		t.Fatalf("label model field %v, want bare", got)
+	}
+}
+
+// TestModelRegistryEndpoints: the registry methods must hit the
+// documented paths and decode the {"model": ...} wrapper, and an
+// unknown_model refusal must match its refinement sentinel, not the
+// canonical ErrNotFound.
+func TestModelRegistryEndpoints(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.Method + " " + r.URL.Path {
+		case "GET /v1/models":
+			json.NewEncoder(w).Encode(map[string]any{"models": []map[string]any{{"name": "bare", "live_version": 2}}})
+		case "POST /v1/models":
+			var req RegisterModelRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			json.NewEncoder(w).Encode(map[string]any{"model": map[string]any{"name": req.Name, "live_version": 1}})
+		case "GET /v1/models/bare", "POST /v1/models/bare":
+			var body map[string]any
+			json.NewDecoder(r.Body).Decode(&body)
+			resp := map[string]any{"model": map[string]any{"name": "bare", "live_version": 3, "generation": 9}}
+			if body["action"] == "gc" {
+				resp["removed"] = 2
+			}
+			json.NewEncoder(w).Encode(resp)
+		case "DELETE /v1/models/bare":
+			json.NewEncoder(w).Encode(map[string]any{"name": "bare", "deleted": true})
+		case "GET /v1/models/ghost":
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(wire.Envelope{Error: `unknown model "ghost"`, Code: wire.CodeUnknownModel})
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusTeapot)
+		}
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := fastClient(ts.URL)
+	models, err := c.Models(ctx)
+	if err != nil || len(models) != 1 || models[0].Name != "bare" || models[0].Live != 2 {
+		t.Fatalf("Models: %v %v", models, err)
+	}
+	m, err := c.RegisterModel(ctx, RegisterModelRequest{Name: "fresh", Path: "x.gob"})
+	if err != nil || m.Name != "fresh" {
+		t.Fatalf("RegisterModel: %+v %v", m, err)
+	}
+	if m, err = c.Model(ctx, "bare"); err != nil || m.Live != 3 {
+		t.Fatalf("Model: %+v %v", m, err)
+	}
+	if m, err = c.PromoteModel(ctx, "bare", 3); err != nil || m.Generation != 9 {
+		t.Fatalf("PromoteModel: %+v %v", m, err)
+	}
+	if _, removed, err := c.GCModel(ctx, "bare"); err != nil || removed != 2 {
+		t.Fatalf("GCModel: removed %d, err %v", removed, err)
+	}
+	if err := c.DeleteModel(ctx, "bare"); err != nil {
+		t.Fatalf("DeleteModel: %v", err)
+	}
+
+	_, err = c.Model(ctx, "ghost")
+	if !errors.Is(err, wire.ErrUnknownModel) {
+		t.Fatalf("unknown model error %v, want ErrUnknownModel", err)
+	}
+	if errors.Is(err, wire.ErrNotFound) {
+		t.Fatal("unknown_model refusal must not match the canonical ErrNotFound")
+	}
+}
+
+// TestReloadReturnsGenerationAndStatsUptime: the SDK's Reload reports the
+// swapped-in model generation straight from the response body (no
+// follow-up /healthz needed), and Stats carries the daemon's
+// uptime_seconds and per-model request counters.
+func TestReloadReturnsGenerationAndStatsUptime(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/reload":
+			json.NewEncoder(w).Encode(map[string]any{"model_version": 5, "model_path": "m.gob"})
+		case "/v1/stats":
+			json.NewEncoder(w).Encode(map[string]any{
+				"model_version":  5,
+				"uptime_seconds": 12.5,
+				"model_requests": map[string]int64{"bare": 3},
+			})
+		}
+	}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := fastClient(ts.URL)
+	res, err := c.Reload(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelVersion != 5 || res.ModelPath != "m.gob" {
+		t.Fatalf("Reload result %+v, want generation 5 from the response body", res)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UptimeSeconds != 12.5 || stats.ModelRequests["bare"] != 3 {
+		t.Fatalf("Stats %+v, want uptime 12.5 and bare:3", stats)
+	}
+}

@@ -1,0 +1,52 @@
+package registry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzManifest throws arbitrary bytes at the manifest decoder. The
+// contract: corrupt, truncated or hostile manifests — broken JSON, wrong
+// formats, descending versions, path-escaping file names, malformed
+// checksums — always return an error, never panic; and any manifest the
+// decoder does accept must survive an encode/decode round trip unchanged,
+// so a registry can always re-read what it just persisted.
+func FuzzManifest(f *testing.F) {
+	f.Add([]byte(`{"format":"malevade-registry-v1","name":"target","live":1,"next_version":2,` +
+		`"versions":[{"version":1,"file":"v000001.gob",` +
+		`"sha256":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",` +
+		`"generation":1,"created_at":"2026-07-28T00:00:00Z"}]}`))
+	f.Add([]byte(`{"format":"malevade-registry-v1","name":"m","live":0,"next_version":1,"versions":[]}`))
+	f.Add([]byte(`{"format":"wrong","name":"m","live":0,"next_version":1}`))
+	f.Add([]byte(`{"format":"malevade-registry-v1","name":"../up","live":0,"next_version":1}`))
+	f.Add([]byte(`{"format":"malevade-registry-v1","name":"m","live":7,"next_version":1}`))
+	f.Add([]byte(`{"format":"malevade-registry-v1","name":"m","live":0,"next_version":3,` +
+		`"versions":[{"version":2,"file":"b.gob","sha256":"zz"},{"version":1,"file":"a.gob","sha256":"zz"}]}`))
+	f.Add([]byte(`{"format":"malevade-registry-v1","name":"m","live":1,"next_version":2,` +
+		`"versions":[{"version":1,"file":"../../etc/passwd","sha256":"aa"}]}`))
+	f.Add([]byte(`{"format":"malevade-registry-v1"`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests must round-trip bit-identically through the
+		// same persistence encoding writeManifest uses.
+		encoded, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			t.Fatalf("accepted manifest failed to encode: %v", err)
+		}
+		back, err := DecodeManifest(encoded)
+		if err != nil {
+			t.Fatalf("re-decoding an accepted manifest failed: %v\n%s", err, encoded)
+		}
+		if back.Name != m.Name || back.Live != m.Live ||
+			back.NextVersion != m.NextVersion || len(back.Versions) != len(m.Versions) {
+			t.Fatalf("manifest round trip drifted: %+v -> %+v", m, back)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"malevade/internal/defense"
+)
+
+// ManifestFormat tags the manifest encoding for forward compatibility.
+const ManifestFormat = "malevade-registry-v1"
+
+// manifestFile is the per-model manifest name inside the model directory.
+const manifestFile = "manifest.json"
+
+// VersionInfo is one entry of a model's append-only version history.
+type VersionInfo struct {
+	// Version is the model-scoped version number (1, 2, ... — numbers are
+	// never reused, even after GC removes an entry).
+	Version int `json:"version"`
+	// File is the model file's base name inside the model directory.
+	File string `json:"file"`
+	// SHA256 is the hex checksum of the model file, verified on every
+	// load so a corrupted artifact can never be promoted silently.
+	SHA256 string `json:"sha256"`
+	// Generation is the serving generation last assigned to this version
+	// (0 if it was never live).
+	Generation int64 `json:"generation,omitempty"`
+	// CreatedAt is when the version was registered.
+	CreatedAt time.Time `json:"created_at"`
+	// Pinned protects the version from GC even when it is not live.
+	Pinned bool `json:"pinned,omitempty"`
+	// Defenses is the servable defense chain the version is wrapped in
+	// when promoted (empty for a bare model).
+	Defenses defense.Chain `json:"defenses,omitempty"`
+}
+
+// Manifest is the JSON document persisted at <dir>/<name>/manifest.json:
+// the model's identity, its append-only version history and which version
+// is live. Writes go through writeManifest (temp file + rename) so a crash
+// can never leave a half-written manifest behind.
+type Manifest struct {
+	// Format must equal ManifestFormat.
+	Format string `json:"format"`
+	// Name is the model name; it must match the directory name.
+	Name string `json:"name"`
+	// Live is the version currently served (0 = none).
+	Live int `json:"live"`
+	// NextVersion is the number the next registered version receives;
+	// keeping it explicit preserves append-only numbering across GC.
+	NextVersion int `json:"next_version"`
+	// Versions is the retained history, ascending by Version.
+	Versions []VersionInfo `json:"versions"`
+}
+
+// ValidateName checks a registry model name: 1–64 characters drawn from
+// [a-z0-9._-], starting and ending with an alphanumeric. The charset
+// excludes path separators, so a valid name is always safe to use as a
+// directory name.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("registry: model name must not be empty")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("registry: model name %q exceeds 64 characters", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		alnum := (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+		if alnum {
+			continue
+		}
+		if (c == '.' || c == '_' || c == '-') && i > 0 && i < len(name)-1 {
+			continue
+		}
+		return fmt.Errorf("registry: model name %q: invalid character %q at %d (want [a-z0-9._-], alphanumeric at the ends)", name, c, i)
+	}
+	return nil
+}
+
+// validFileName accepts only bare base names, so a hostile manifest can
+// never point a load outside its own model directory.
+func validFileName(file string) bool {
+	return file != "" && file != "." && file != ".." &&
+		!strings.ContainsAny(file, `/\`)
+}
+
+// Validate checks the manifest's internal consistency: format tag, name,
+// strictly ascending version numbers below NextVersion, safe file names,
+// well-formed checksums, and a Live version that exists. Defense chains
+// are checked for servability, since a promoted version is wrapped with
+// nothing but its model file.
+func (m *Manifest) Validate() error {
+	if m.Format != ManifestFormat {
+		return fmt.Errorf("registry: unsupported manifest format %q (want %q)", m.Format, ManifestFormat)
+	}
+	if err := ValidateName(m.Name); err != nil {
+		return err
+	}
+	if m.NextVersion < 1 {
+		return fmt.Errorf("registry: manifest %s: next_version %d must be >= 1", m.Name, m.NextVersion)
+	}
+	prev := 0
+	liveSeen := false
+	files := make(map[string]bool, len(m.Versions))
+	for i, v := range m.Versions {
+		if v.Version <= prev {
+			return fmt.Errorf("registry: manifest %s: versions[%d]=%d not strictly ascending", m.Name, i, v.Version)
+		}
+		if v.Version >= m.NextVersion {
+			return fmt.Errorf("registry: manifest %s: version %d >= next_version %d", m.Name, v.Version, m.NextVersion)
+		}
+		if !validFileName(v.File) {
+			return fmt.Errorf("registry: manifest %s: version %d has unsafe file name %q", m.Name, v.Version, v.File)
+		}
+		if files[v.File] {
+			return fmt.Errorf("registry: manifest %s: file %q claimed by two versions", m.Name, v.File)
+		}
+		files[v.File] = true
+		if raw, err := hex.DecodeString(v.SHA256); err != nil || len(raw) != 32 {
+			return fmt.Errorf("registry: manifest %s: version %d has malformed sha256 %q", m.Name, v.Version, v.SHA256)
+		}
+		if v.Generation < 0 {
+			return fmt.Errorf("registry: manifest %s: version %d has negative generation", m.Name, v.Version)
+		}
+		if len(v.Defenses) > 0 {
+			if err := v.Defenses.ValidateServable(); err != nil {
+				return fmt.Errorf("registry: manifest %s: version %d: %w", m.Name, v.Version, err)
+			}
+		}
+		if v.Version == m.Live {
+			liveSeen = true
+		}
+		prev = v.Version
+	}
+	if m.Live < 0 || (m.Live > 0 && !liveSeen) {
+		return fmt.Errorf("registry: manifest %s: live version %d not in history", m.Name, m.Live)
+	}
+	return nil
+}
+
+// version finds a history entry by number.
+func (m *Manifest) version(v int) (*VersionInfo, bool) {
+	for i := range m.Versions {
+		if m.Versions[i].Version == v {
+			return &m.Versions[i], true
+		}
+	}
+	return nil, false
+}
+
+// maxGeneration is the largest generation recorded in the history.
+func (m *Manifest) maxGeneration() int64 {
+	var out int64
+	for _, v := range m.Versions {
+		if v.Generation > out {
+			out = v.Generation
+		}
+	}
+	return out
+}
+
+// clone deep-copies the manifest so mutations can be prepared, persisted,
+// and only then committed to the in-memory state.
+func (m *Manifest) clone() Manifest {
+	out := *m
+	out.Versions = make([]VersionInfo, len(m.Versions))
+	copy(out.Versions, m.Versions)
+	for i := range out.Versions {
+		out.Versions[i].Defenses = append(defense.Chain(nil), m.Versions[i].Defenses...)
+	}
+	return out
+}
+
+// DecodeManifest parses and validates one manifest document. Every failure
+// mode on corrupt, truncated or hostile input — malformed JSON, unknown
+// fields, trailing data, inconsistent histories, unsafe file names — is an
+// error, never a panic; the fuzz target FuzzManifest holds the decoder to
+// exactly this contract.
+func DecodeManifest(data []byte) (Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("registry: decode manifest: %w", err)
+	}
+	if dec.More() {
+		return Manifest{}, fmt.Errorf("registry: trailing data after manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// readManifest loads and decodes <dir>/manifest.json.
+func readManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("registry: read manifest: %w", err)
+	}
+	return DecodeManifest(data)
+}
+
+// writeManifest persists the manifest atomically: encode to a temp file in
+// the same directory, fsync-free rename over the final name. A concurrent
+// reader therefore always sees either the old or the new document.
+func writeManifest(dir string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: encode manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
+	if err != nil {
+		return fmt.Errorf("registry: write manifest: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: write manifest: %w", cmp(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestFile)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("registry: write manifest: %w", err)
+	}
+	return nil
+}
+
+// cmp returns the first non-nil error.
+func cmp(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// copyFile copies src into dstDir/dstName via a temp file + rename,
+// returning the hex SHA-256 of the bytes written.
+func copyFile(src, dstDir, dstName string) (sha string, err error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return "", fmt.Errorf("registry: open model %s: %w", src, err)
+	}
+	defer in.Close()
+	tmp, err := os.CreateTemp(dstDir, ".model-*.gob")
+	if err != nil {
+		return "", fmt.Errorf("registry: stage model: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}()
+	h := sha256.New()
+	if _, err := io.Copy(io.MultiWriter(tmp, h), in); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("registry: copy model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("registry: copy model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dstDir, dstName)); err != nil {
+		return "", fmt.Errorf("registry: install model: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fileSHA256 hashes an existing file, for checksum verification on load.
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

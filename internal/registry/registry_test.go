@@ -1,0 +1,429 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"malevade/internal/defense"
+	"malevade/internal/nn"
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+)
+
+// saveNet builds a small deterministic MLP and saves it under dir.
+func saveNet(t testing.TB, dir, name string, dims []int, seed uint64) (string, *nn.Network) {
+	t.Helper()
+	net, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, net
+}
+
+func openTestRegistry(t *testing.T, dir string) *Registry {
+	t.Helper()
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestRegisterPromoteLifecycle(t *testing.T) {
+	src := t.TempDir()
+	pathA, netA := saveNet(t, src, "a.gob", []int{4, 8, 2}, 1)
+	pathB, netB := saveNet(t, src, "b.gob", []int{4, 8, 2}, 2)
+	r := openTestRegistry(t, t.TempDir())
+
+	// First registration always promotes.
+	info, err := r.Register(RegisterRequest{Name: "target", Path: pathA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Live != 1 || info.Generation != 1 || len(info.Versions) != 1 {
+		t.Fatalf("after first register: %+v", info)
+	}
+
+	x := tensor.New(3, 4)
+	rnd := rng.New(7)
+	for i := range x.Data {
+		x.Data[i] = rnd.Float64()
+	}
+	wantA := netA.PredictClass(x)
+	wantB := netB.PredictClass(x)
+
+	inst, err := r.Acquire("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Scorer.Predict(x); !equalInts(got, wantA) {
+		t.Fatalf("v1 predictions %v, want %v", got, wantA)
+	}
+	if inst.Version != 1 || inst.Generation != 1 || inst.Name != "target" {
+		t.Fatalf("instance identity %+v", inst)
+	}
+	inst.Release()
+
+	// A non-promoting registration appends history but keeps v1 live.
+	info, err = r.Register(RegisterRequest{Name: "target", Path: pathB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Live != 1 || len(info.Versions) != 2 {
+		t.Fatalf("after staged register: %+v", info)
+	}
+
+	// Promotion swaps to v2 with a fresh generation.
+	info, err = r.Promote("target", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Live != 2 || info.Generation != 2 {
+		t.Fatalf("after promote: %+v", info)
+	}
+	inst, err = r.Acquire("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Scorer.Predict(x); !equalInts(got, wantB) {
+		t.Fatalf("v2 predictions %v, want %v", got, wantB)
+	}
+	inst.Release()
+
+	// Re-promoting an old version is allowed and advances the generation.
+	info, err = r.Promote("target", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Live != 1 || info.Generation != 3 {
+		t.Fatalf("after re-promote: %+v", info)
+	}
+}
+
+func TestRegistryRestartPersistence(t *testing.T) {
+	src := t.TempDir()
+	pathA, netA := saveNet(t, src, "a.gob", []int{4, 8, 2}, 3)
+	pathB, _ := saveNet(t, src, "b.gob", []int{4, 8, 2}, 4)
+	dir := t.TempDir()
+
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "bare", Path: pathA}); err != nil {
+		t.Fatal(err)
+	}
+	chain := defense.Chain{{Kind: defense.KindSqueeze, Bits: 3, Threshold: 0.2}}
+	if _, err := r.Register(RegisterRequest{Name: "hard", Path: pathA, Defenses: chain}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "bare", Path: pathB, Promote: true}); err != nil {
+		t.Fatal(err)
+	}
+	wantBare, err := r.Get("bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Reopen: names, live versions, generations and defenses all survive.
+	r2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	gotBare, err := r2.Get("bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBare.Live != wantBare.Live || gotBare.Generation != wantBare.Generation {
+		t.Fatalf("bare after restart: %+v, want live %d gen %d", gotBare, wantBare.Live, wantBare.Generation)
+	}
+	hard, err := r2.Get("hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hard.Defenses) != 1 {
+		t.Fatalf("hard lost its defense chain after restart: %+v", hard)
+	}
+	inst, err := r2.Acquire("hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Det == nil {
+		t.Fatal("restarted defended model has no defended verdict path")
+	}
+	inst.Release()
+
+	// New generations continue past the persisted maximum.
+	info, err := r2.Promote("bare", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation <= wantBare.Generation {
+		t.Fatalf("post-restart promotion generation %d did not advance past %d",
+			info.Generation, wantBare.Generation)
+	}
+	_ = netA
+}
+
+func TestRegistryGC(t *testing.T) {
+	src := t.TempDir()
+	path, _ := saveNet(t, src, "a.gob", []int{4, 8, 2}, 5)
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir)
+
+	if _, err := r.Register(RegisterRequest{Name: "m", Path: path, Pin: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Register(RegisterRequest{Name: "m", Path: path, Promote: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Versions: 1 (pinned), 2, 3, 4 (live). GC drops 2 and 3.
+	info, removed, err := r.GC("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || len(info.Versions) != 2 {
+		t.Fatalf("GC removed %d, kept %+v", removed, info.Versions)
+	}
+	if info.Versions[0].Version != 1 || info.Versions[1].Version != 4 {
+		t.Fatalf("GC kept wrong versions: %+v", info.Versions)
+	}
+	for _, file := range []string{"v000002.gob", "v000003.gob"} {
+		if _, err := os.Stat(filepath.Join(dir, "m", file)); !os.IsNotExist(err) {
+			t.Fatalf("GCed file %s still on disk (err %v)", file, err)
+		}
+	}
+	// Numbering stays append-only past the GCed range.
+	info, err = r.Register(RegisterRequest{Name: "m", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Versions[len(info.Versions)-1].Version; got != 5 {
+		t.Fatalf("post-GC version %d, want 5 (numbers are never reused)", got)
+	}
+	// The staged (unpinned, non-live) v5 is itself collectable; after that
+	// a GC with nothing to collect is a no-op.
+	if _, removed, err = r.GC("m"); err != nil || removed != 1 {
+		t.Fatalf("GC of staged version: removed %d, err %v", removed, err)
+	}
+	if _, removed, err = r.GC("m"); err != nil || removed != 0 {
+		t.Fatalf("idle GC: removed %d, err %v", removed, err)
+	}
+}
+
+func TestRegistryCapacityAndErrors(t *testing.T) {
+	src := t.TempDir()
+	path, _ := saveNet(t, src, "a.gob", []int{4, 8, 2}, 6)
+	r, err := Open(Options{Dir: t.TempDir(), MaxModels: 1, MaxVersions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if _, err := r.Register(RegisterRequest{Name: "only", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "second", Path: path}); !errors.Is(err, ErrFull) {
+		t.Fatalf("over MaxModels: %v, want ErrFull", err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "only", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "only", Path: path}); !errors.Is(err, ErrFull) {
+		t.Fatalf("over MaxVersions: %v, want ErrFull", err)
+	}
+
+	if _, err := r.Acquire("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("acquire unknown: %v", err)
+	}
+	if _, err := r.Get("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("get unknown: %v", err)
+	}
+	if err := r.Delete("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("delete unknown: %v", err)
+	}
+	if _, err := r.Promote("only", 99); !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("promote missing version: %v", err)
+	}
+	if _, err := r.LoadLive("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("LoadLive unknown: %v", err)
+	}
+	for _, bad := range []string{"", "UPPER", "has space", "../escape", "a/b", ".dot", "-lead", "trail-"} {
+		if _, err := r.Register(RegisterRequest{Name: bad, Path: path}); err == nil {
+			t.Errorf("register accepted invalid name %q", bad)
+		}
+	}
+
+	if err := r.Delete("only"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after delete = %d", r.Len())
+	}
+
+	r.Close()
+	if _, err := r.Register(RegisterRequest{Name: "x", Path: path}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("register after Close: %v", err)
+	}
+}
+
+func TestOpenRejectsCorruptStore(t *testing.T) {
+	src := t.TempDir()
+	path, _ := saveNet(t, src, "a.gob", []int{4, 8, 2}, 7)
+
+	// Corrupt manifest JSON.
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "m"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "m", manifestFile), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted a corrupt manifest")
+	}
+
+	// Tampered model file: checksum mismatch must fail Open.
+	dir2 := t.TempDir()
+	r, err := Open(Options{Dir: dir2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "m", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if err := os.WriteFile(filepath.Join(dir2, "m", "v000001.gob"), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir2}); err == nil {
+		t.Fatal("Open accepted a model file whose checksum does not match the manifest")
+	}
+
+	// A manifest whose directory name disagrees with its Name field.
+	dir3 := t.TempDir()
+	r, err = Open(Options{Dir: dir3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "m", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if err := os.Rename(filepath.Join(dir3, "m"), filepath.Join(dir3, "other")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir3}); err == nil {
+		t.Fatal("Open accepted a model directory renamed away from its manifest name")
+	}
+}
+
+// TestRegistryPromoteHammer hammers Acquire/score against repeated
+// promotions under the race detector: every scored batch must be computed
+// wholly by the version its pinned instance advertises — generations
+// alternate deterministically between two registered versions, so a torn
+// promotion would surface as predictions that disagree with the
+// generation's expected model.
+func TestRegistryPromoteHammer(t *testing.T) {
+	src := t.TempDir()
+	pathA, netA := saveNet(t, src, "a.gob", []int{4, 8, 2}, 11)
+	pathB, netB := saveNet(t, src, "b.gob", []int{4, 8, 2}, 12)
+	r := openTestRegistry(t, t.TempDir())
+	if _, err := r.Register(RegisterRequest{Name: "m", Path: pathA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(RegisterRequest{Name: "m", Path: pathB}); err != nil {
+		t.Fatal(err)
+	}
+
+	x := tensor.New(5, 4)
+	rnd := rng.New(42)
+	for i := range x.Data {
+		x.Data[i] = rnd.Float64()
+	}
+	wantA := netA.PredictClass(x)
+	wantB := netB.PredictClass(x)
+	if equalInts(wantA, wantB) {
+		t.Fatal("models A and B agree on the probe batch; hammer can't detect torn promotions")
+	}
+	// Generation g served version 1 (model A) when g is odd: the first
+	// registration takes generation 1 = version 1, and the promote loop
+	// below alternates 2, 1, 2, ... from generation 2 on.
+	wantFor := func(gen int64, version int) []int {
+		if version == 1 {
+			return wantA
+		}
+		return wantB
+	}
+
+	const clients = 8
+	var (
+		stop      atomic.Bool
+		responses atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				inst, err := r.Acquire("m")
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				got := inst.Scorer.Predict(x)
+				want := wantFor(inst.Generation, inst.Version)
+				if !equalInts(got, want) {
+					t.Errorf("generation %d (version %d): predictions %v, want %v — instance torn by promotion",
+						inst.Generation, inst.Version, got, want)
+					inst.Release()
+					return
+				}
+				inst.Release()
+				responses.Add(1)
+			}
+		}()
+	}
+
+	const minResponses = 200
+	const maxPromotes = 4000
+	promotes := 0
+	for ; promotes < maxPromotes && (responses.Load() < minResponses || promotes < 30); promotes++ {
+		version := 2 - promotes%2 // 2, 1, 2, 1, ...
+		if _, err := r.Promote("m", version); err != nil {
+			t.Fatalf("promote %d: %v", promotes, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if responses.Load() == 0 {
+		t.Fatal("no scores completed during the hammer")
+	}
+	t.Logf("%d consistent scores across %d promotions", responses.Load(), promotes)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

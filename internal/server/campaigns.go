@@ -10,7 +10,9 @@ import (
 
 	"malevade/internal/campaign"
 	"malevade/internal/nn"
+	"malevade/internal/registry"
 	"malevade/internal/tensor"
+	"malevade/internal/wire"
 )
 
 // The campaigns API exposes the asynchronous attack-campaign orchestrator
@@ -45,17 +47,49 @@ func (t serverTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, 
 		return nil, 0, errors.New("server: shut down")
 	}
 	defer t.s.release(m)
-	if x.Cols != m.scorer.InDim() {
-		return nil, 0, fmt.Errorf("server: campaign batch has %d features, model expects %d",
-			x.Cols, m.scorer.InDim())
+	return instanceLabels(ctx, m, x)
+}
+
+// namedTarget judges campaign batches against one registry model: each
+// LabelBatch call pins whatever version is live at that moment, so a
+// promotion mid-campaign splits between batches, never inside one —
+// exactly the default slot's hot-reload contract, per named detector.
+type namedTarget struct {
+	s    *Server
+	name string
+}
+
+var _ campaign.Target = namedTarget{}
+
+// LabelBatch implements campaign.Target over the named model's live
+// instance.
+func (t namedTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, int64, error) {
+	if t.s.registry == nil {
+		return nil, 0, errors.New("server: no model registry")
 	}
-	if m.det != nil {
+	m, err := t.s.registry.Acquire(t.name)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer m.Release()
+	return instanceLabels(ctx, m, x)
+}
+
+// instanceLabels judges one batch wholly on one pinned instance — through
+// the defense chain when the instance carries one, off the engine's
+// logits otherwise — and reports the instance's generation.
+func instanceLabels(ctx context.Context, m *model, x *tensor.Matrix) ([]int, int64, error) {
+	if x.Cols != m.Scorer.InDim() {
+		return nil, 0, fmt.Errorf("server: campaign batch has %d features, model expects %d",
+			x.Cols, m.Scorer.InDim())
+	}
+	if m.Det != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, err
 		}
-		return m.det.Predict(x), m.version, nil
+		return m.Det.Predict(x), m.Generation, nil
 	}
-	logits, err := m.scorer.LogitsContext(ctx, x)
+	logits, err := m.Scorer.LogitsContext(ctx, x)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -63,7 +97,7 @@ func (t serverTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, 
 	for i := range labels {
 		labels[i] = logits.RowArgmax(i)
 	}
-	return labels, m.version, nil
+	return labels, m.Generation, nil
 }
 
 // craftModel loads a fresh copy of the currently-served model file — the
@@ -71,11 +105,11 @@ func (t serverTarget) LabelBatch(ctx context.Context, x *tensor.Matrix) ([]int, 
 // campaign job gets its own network because gradient crafting mutates
 // per-network activation caches.
 func (s *Server) craftModel() (*nn.Network, error) {
-	m := s.cur.Load()
+	m := s.slot.Load()
 	if m == nil {
 		return nil, errors.New("server: shut down")
 	}
-	return nn.LoadFile(m.path)
+	return nn.LoadFile(m.Path)
 }
 
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
@@ -101,15 +135,22 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Spec problems are the client's (422 invalid_spec);
 		// backpressure is 429 queue_full; a closed engine means the
-		// daemon is going away (503 unavailable).
+		// daemon is going away (503 unavailable); a target_model the
+		// registry does not hold (or holds with nothing live) takes the
+		// registry's own taxonomy members.
 		status := http.StatusUnprocessableEntity
+		code := wire.CodeInvalidSpec
 		switch {
 		case errors.Is(err, campaign.ErrQueueFull):
-			status = http.StatusTooManyRequests
+			status, code = http.StatusTooManyRequests, wire.CodeQueueFull
 		case errors.Is(err, campaign.ErrClosed):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, wire.CodeUnavailable
+		case errors.Is(err, registry.ErrUnknownModel):
+			status, code = http.StatusNotFound, wire.CodeUnknownModel
+		case errors.Is(err, registry.ErrVersionConflict):
+			status, code = http.StatusConflict, wire.CodeVersionConflict
 		}
-		writeError(w, status, "%v", err)
+		writeErrorCode(w, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, snap)

@@ -1,0 +1,417 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"malevade/internal/registry"
+	"malevade/internal/rng"
+	"malevade/internal/tensor"
+	"malevade/internal/wire"
+)
+
+func getJSON(t *testing.T, s *Server, path string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if out != nil && w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s: undecodable body: %v", path, err)
+		}
+	}
+	return w
+}
+
+func wantErrorCode(t *testing.T, w *httptest.ResponseRecorder, status int, code string) {
+	t.Helper()
+	if w.Code != status {
+		t.Fatalf("status %d, want %d (body %s)", w.Code, status, w.Body)
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error == "" {
+		t.Fatalf("error body not an envelope: %s", w.Body)
+	}
+	if env.Code != code {
+		t.Fatalf("envelope code %q, want %q (body %s)", env.Code, code, w.Body)
+	}
+}
+
+// TestModelsAPILifecycle drives the registry end to end over the HTTP
+// surface: register two named detectors (one defended), address them from
+// scoring requests, promote, GC, delete — with every refusal carrying its
+// documented taxonomy code.
+func TestModelsAPILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	defaultPath, _ := saveTestNet(t, dir, "default.gob", []int{3, 8, 2}, 7)
+	pathA, netA := saveTestNet(t, dir, "a.gob", []int{3, 8, 2}, 21)
+	pathB, netB := saveTestNet(t, dir, "b.gob", []int{3, 8, 2}, 22)
+	s, err := New(Options{ModelPath: defaultPath, RegistryDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Empty registry lists empty.
+	var list ModelListResponse
+	if w := getJSON(t, s, "/v1/models", &list); w.Code != http.StatusOK || len(list.Models) != 0 {
+		t.Fatalf("empty list: %d %s", w.Code, w.Body)
+	}
+
+	// Register a bare detector and a squeeze-hardened variant of it.
+	w := postJSON(t, s, "/v1/models", fmt.Sprintf(`{"name":"bare","path":%q}`, pathA))
+	if w.Code != http.StatusOK {
+		t.Fatalf("register bare: %d %s", w.Code, w.Body)
+	}
+	var mr ModelResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Model.Live != 1 || mr.Model.InDim != 3 {
+		t.Fatalf("bare after register: %+v", mr.Model)
+	}
+	w = postJSON(t, s, "/v1/models", fmt.Sprintf(
+		`{"name":"hard","path":%q,"defenses":[{"kind":"squeeze","bits":3,"threshold":0.2}]}`, pathA))
+	if w.Code != http.StatusOK {
+		t.Fatalf("register hard: %d %s", w.Code, w.Body)
+	}
+
+	// Model-addressed scoring answers with the named model's generation
+	// and verdicts; the default path is untouched.
+	x := tensor.New(4, 3)
+	r := rng.New(5)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	rowsJSON, _ := json.Marshal(rows)
+	w = postJSON(t, s, "/v1/score", fmt.Sprintf(`{"model":"bare","rows":%s}`, rowsJSON))
+	if w.Code != http.StatusOK {
+		t.Fatalf("model-addressed score: %d %s", w.Code, w.Body)
+	}
+	var sr ScoreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	wantA := expectedResults(netA, x, 1)
+	for i, got := range sr.Results {
+		if got != wantA[i] {
+			t.Fatalf("bare row %d: %+v, want %+v", i, got, wantA[i])
+		}
+	}
+	// The defended variant flags or saturates through its chain — assert
+	// it answers and is addressed independently.
+	w = postJSON(t, s, "/v1/label", fmt.Sprintf(`{"model":"hard","rows":%s}`, rowsJSON))
+	if w.Code != http.StatusOK {
+		t.Fatalf("model-addressed label: %d %s", w.Code, w.Body)
+	}
+
+	// Unknown model: 404 with the unknown_model refinement code.
+	w = postJSON(t, s, "/v1/score", fmt.Sprintf(`{"model":"ghost","rows":%s}`, rowsJSON))
+	wantErrorCode(t, w, http.StatusNotFound, wire.CodeUnknownModel)
+	w = getJSON(t, s, "/v1/models/ghost", nil)
+	wantErrorCode(t, w, http.StatusNotFound, wire.CodeUnknownModel)
+
+	// Stage a second bare version without promoting, then promote it.
+	w = postJSON(t, s, "/v1/models", fmt.Sprintf(`{"name":"bare","path":%q}`, pathB))
+	if w.Code != http.StatusOK {
+		t.Fatalf("stage bare v2: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Model.Live != 1 || len(mr.Model.Versions) != 2 {
+		t.Fatalf("staged v2 should not be live: %+v", mr.Model)
+	}
+	w = postJSON(t, s, "/v1/models/bare", `{"action":"promote","version":2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("promote: %d %s", w.Code, w.Body)
+	}
+	w = postJSON(t, s, "/v1/score", fmt.Sprintf(`{"model":"bare","rows":%s}`, rowsJSON))
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	wantB := expectedResults(netB, x, 1)
+	for i, got := range sr.Results {
+		if got != wantB[i] {
+			t.Fatalf("bare v2 row %d: %+v, want %+v", i, got, wantB[i])
+		}
+	}
+
+	// Promoting a version that does not exist: 409 version_conflict.
+	w = postJSON(t, s, "/v1/models/bare", `{"action":"promote","version":9}`)
+	wantErrorCode(t, w, http.StatusConflict, wire.CodeVersionConflict)
+	// Unknown actions and non-positive versions are plain 400s.
+	w = postJSON(t, s, "/v1/models/bare", `{"action":"explode"}`)
+	wantErrorCode(t, w, http.StatusBadRequest, wire.CodeBadRequest)
+	w = postJSON(t, s, "/v1/models/bare", `{"action":"promote"}`)
+	wantErrorCode(t, w, http.StatusBadRequest, wire.CodeBadRequest)
+
+	// GC drops the unpinned non-live v1.
+	w = postJSON(t, s, "/v1/models/bare", `{"action":"gc"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("gc: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Removed != 1 || len(mr.Model.Versions) != 1 {
+		t.Fatalf("gc: %+v", mr)
+	}
+
+	// Campaigns addressed at an unknown registry model refuse at submit.
+	w = postJSON(t, s, "/v1/campaigns",
+		`{"attack":{"kind":"jsma","theta":0.1,"gamma":0.02},"target_model":"ghost","profile":"small"}`)
+	wantErrorCode(t, w, http.StatusNotFound, wire.CodeUnknownModel)
+	// target_model and target_url together fail validation.
+	w = postJSON(t, s, "/v1/campaigns",
+		`{"attack":{"kind":"jsma","theta":0.1,"gamma":0.02},"target_model":"bare","target_url":"http://x","profile":"small"}`)
+	wantErrorCode(t, w, http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+
+	// Stats carry the new uptime and per-model counters.
+	var stats StatsResponse
+	if w := getJSON(t, s, "/v1/stats", &stats); w.Code != http.StatusOK {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Fatalf("uptime_seconds = %v, want > 0", stats.UptimeSeconds)
+	}
+	// bare served two model-addressed scores, hard one label.
+	if stats.ModelRequests["bare"] != 2 || stats.ModelRequests["hard"] != 1 {
+		t.Fatalf("model_requests = %v, want bare:2 hard:1", stats.ModelRequests)
+	}
+	var h HealthResponse
+	getJSON(t, s, "/healthz", &h)
+	if h.Models != 2 {
+		t.Fatalf("healthz models = %d, want 2", h.Models)
+	}
+
+	// Delete removes the model and its addressing.
+	req := httptest.NewRequest(http.MethodDelete, "/v1/models/hard", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body)
+	}
+	w = postJSON(t, s, "/v1/label", fmt.Sprintf(`{"model":"hard","rows":%s}`, rowsJSON))
+	wantErrorCode(t, w, http.StatusNotFound, wire.CodeUnknownModel)
+}
+
+// TestModelsAPICapacityAndNoRegistry covers the registry_full refusal and
+// the behavior of a daemon started without -registry.
+func TestModelsAPICapacityAndNoRegistry(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveTestNet(t, dir, "m.gob", []int{3, 8, 2}, 7)
+
+	s, err := New(Options{ModelPath: path, RegistryDir: t.TempDir(), RegistryMaxModels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if w := postJSON(t, s, "/v1/models", fmt.Sprintf(`{"name":"one","path":%q}`, path)); w.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", w.Code, w.Body)
+	}
+	w := postJSON(t, s, "/v1/models", fmt.Sprintf(`{"name":"two","path":%q}`, path))
+	wantErrorCode(t, w, http.StatusInsufficientStorage, wire.CodeRegistryFull)
+	// Unloadable files and invalid names are the client's submission
+	// problem (422), not a capacity refusal.
+	w = postJSON(t, s, "/v1/models", `{"name":"one","path":"/nonexistent.gob"}`)
+	wantErrorCode(t, w, http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+	w = postJSON(t, s, "/v1/models", fmt.Sprintf(`{"name":"../up","path":%q}`, path))
+	wantErrorCode(t, w, http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+
+	// Without a registry: reads answer empty, mutations and model
+	// addressing refuse with 422.
+	bare, _ := newTestServer(t, Options{})
+	var list ModelListResponse
+	if w := getJSON(t, bare, "/v1/models", &list); w.Code != http.StatusOK || len(list.Models) != 0 {
+		t.Fatalf("no-registry list: %d %s", w.Code, w.Body)
+	}
+	w = postJSON(t, bare, "/v1/models", fmt.Sprintf(`{"name":"x","path":%q}`, path))
+	wantErrorCode(t, w, http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+	w = postJSON(t, bare, "/v1/score", `{"model":"x","rows":[[0.1,0.2,0.3]]}`)
+	wantErrorCode(t, w, http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+}
+
+// TestDefaultSlotGenerationFollowsRegistry: a registry dir populated by a
+// standalone OpenRegistry carries persisted generations; a daemon started
+// on it must number its default slot past them, keeping generations
+// unique across the whole process.
+func TestDefaultSlotGenerationFollowsRegistry(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveTestNet(t, dir, "m.gob", []int{3, 8, 2}, 7)
+	regDir := t.TempDir()
+	reg, err := registry.Open(registry.Options{Dir: regDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := reg.Register(registry.RegisterRequest{Name: "seeded", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	if info.Generation != 1 {
+		t.Fatalf("standalone registry assigned generation %d, want 1", info.Generation)
+	}
+
+	s, err := New(Options{ModelPath: path, RegistryDir: regDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.ModelVersion(); got <= info.Generation {
+		t.Fatalf("default slot generation %d does not clear the registry's persisted %d", got, info.Generation)
+	}
+	seeded, err := s.Registry().Get("seeded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Generation != info.Generation {
+		t.Fatalf("restart reassigned the persisted generation: %d -> %d", info.Generation, seeded.Generation)
+	}
+}
+
+// TestRegistryPromoteHammerHTTP is the registry's wire-level promote
+// acceptance test, mirroring TestReloadHammerScoreConsistency: real HTTP
+// traffic addressing one named model while its live version is repeatedly
+// promoted between two registered versions. Every response must arrive and
+// be computed wholly by one version — the version the response's
+// generation maps to must match every row bit-for-bit. Under -race this
+// also proves the promotion swap/drain path is data-race free.
+func TestRegistryPromoteHammerHTTP(t *testing.T) {
+	dir := t.TempDir()
+	defaultPath, _ := saveTestNet(t, dir, "default.gob", []int{8, 16, 2}, 5)
+	pathA, netA := saveTestNet(t, dir, "a.gob", []int{8, 16, 2}, 1)
+	pathB, netB := saveTestNet(t, dir, "b.gob", []int{8, 16, 2}, 2)
+	s, err := New(Options{ModelPath: defaultPath, RegistryDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := s.Registry()
+	if _, err := reg.Register(registry.RegisterRequest{Name: "m", Path: pathA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(registry.RegisterRequest{Name: "m", Path: pathB}); err != nil {
+		t.Fatal(err)
+	}
+
+	const rows = 5
+	r := rng.New(42)
+	x := tensor.New(rows, 8)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	batch := make([][]float64, rows)
+	for i := range batch {
+		batch[i] = x.Row(i)
+	}
+	rowsJSON, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(fmt.Sprintf(`{"model":"m","rows":%s}`, rowsJSON))
+
+	wantA := expectedResults(netA, x, 1)
+	wantB := expectedResults(netB, x, 1)
+	for i := range wantA {
+		if wantA[i] == wantB[i] {
+			t.Fatalf("row %d: versions agree exactly; hammer can't detect torn promotions", i)
+		}
+	}
+	// Generations alternate deterministically: the default slot took
+	// generation 1, registering version 1 promoted it at generation 2, and
+	// the promote loop below alternates version 2, 1, 2, ... from
+	// generation 3 on — so even generations serve version 1 (model A) and
+	// odd generations ≥ 3 serve version 2 (model B).
+	wantFor := func(generation int64) []ScoreResult {
+		if generation < 2 {
+			return nil
+		}
+		if generation%2 == 0 {
+			return wantA
+		}
+		return wantB
+	}
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const clients = 8
+	var (
+		responses atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := ts.Client().Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("request dropped: %v", err)
+					return
+				}
+				var sr ScoreResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d during promote hammer", resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					t.Errorf("decode: %v", decErr)
+					return
+				}
+				want := wantFor(sr.ModelVersion)
+				if want == nil {
+					t.Errorf("response generation %d maps to no promoted version", sr.ModelVersion)
+					return
+				}
+				if len(sr.Results) != rows {
+					t.Errorf("got %d results, want %d", len(sr.Results), rows)
+					return
+				}
+				for i, got := range sr.Results {
+					if got != want[i] {
+						t.Errorf("generation %d row %d: got %+v, want %+v — response mixes versions",
+							sr.ModelVersion, i, got, want[i])
+						return
+					}
+				}
+				responses.Add(1)
+			}
+		}()
+	}
+
+	const minResponses = 150
+	const maxPromotes = 5000
+	promotes := 0
+	for ; promotes < maxPromotes && (responses.Load() < minResponses || promotes < 30); promotes++ {
+		version := 2 - promotes%2 // 2, 1, 2, 1, ...
+		pinfo, err := reg.Promote("m", version)
+		if err != nil {
+			t.Fatalf("promote %d: %v", promotes, err)
+		}
+		if pinfo.Generation != int64(promotes+3) {
+			t.Fatalf("promote %d: generation %d, want %d", promotes, pinfo.Generation, promotes+3)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := responses.Load(); n == 0 {
+		t.Fatal("no responses completed during the hammer")
+	} else {
+		t.Logf("%d consistent responses across %d live promotions", n, promotes)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"malevade/internal/defense"
 	"malevade/internal/detector"
 	"malevade/internal/nn"
+	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/tensor"
 	"malevade/internal/wire"
@@ -83,8 +84,21 @@ type Options struct {
 	// hardened detector through the same API as a bare one. Every spec
 	// must be buildable from the model alone (Chain.ValidateServable);
 	// data-consuming defenses are built offline with ApplyDefenses and
-	// served as an ordinary hardened model file.
+	// served as an ordinary hardened model file. Applies to the default
+	// model only; registry models carry their own per-version chains.
 	Defenses defense.Chain
+	// RegistryDir, when non-empty, opens the disk-backed model registry
+	// rooted there and exposes it as /v1/models: named, versioned,
+	// durable detectors with atomic live promotion, addressable from
+	// scoring/label requests (the "model" field) and campaign specs
+	// ("target_model"). Registry generations and default-slot reloads
+	// draw from one monotonic counter.
+	RegistryDir string
+	// RegistryMaxModels / RegistryMaxVersions cap the registry (defaults
+	// 64 models, 32 versions per model); past them registrations are
+	// refused with 507 registry_full.
+	RegistryMaxModels   int
+	RegistryMaxVersions int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,28 +114,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// model is one immutable loaded model generation: the scoring engine plus
-// its identity. refs counts in-flight requests pinned to this generation so
-// a reload can drain it before closing the engine; once retired, the last
-// release signals drained instead of making the reloader poll.
-type model struct {
-	scorer   *serve.Scorer
-	version  int64
-	path     string
-	loadedAt time.Time
-	// det is the defended verdict path when Options.Defenses is set (nil
-	// for a bare daemon, which scores straight off the engine's logits).
-	det detector.Detector
-
-	refs      atomic.Int64
-	retired   atomic.Bool
-	drained   chan struct{}
-	drainOnce sync.Once
-}
-
-func (m *model) signalDrained() {
-	m.drainOnce.Do(func() { close(m.drained) })
-}
+// model is the server's name for one immutable loaded generation of the
+// default slot — the registry's refcounted Instance (the drain machinery
+// the reload path introduced now lives in internal/registry, shared with
+// every named model's slot).
+type model = registry.Instance
 
 // Server is the HTTP scoring daemon. Create with New, serve with any
 // http.Server (it implements http.Handler), and Close when done.
@@ -129,21 +126,28 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 
-	// cur is the live model generation. Handlers pin it with acquire/
-	// release; Reload swaps it and drains the old generation. nil after
-	// Close.
-	cur atomic.Pointer[model]
+	// slot holds the live default-model generation. Handlers pin it with
+	// acquire/release; Reload swaps it and drains the old generation.
+	// Empty after Close.
+	slot registry.Slot
 
 	// reloadMu serializes Reload/Close so generations retire one at a
 	// time and version numbers are strictly increasing.
 	reloadMu sync.Mutex
 	version  atomic.Int64
 
+	// registry is the named-model store behind /v1/models (nil unless
+	// Options.RegistryDir is set). It shares s.version as its generation
+	// counter, so default-slot reloads and registry promotions draw from
+	// one monotonic sequence.
+	registry *registry.Registry
+
 	// campaigns is the asynchronous attack-campaign orchestrator behind
 	// /v1/campaigns; its local target pins one model generation per
 	// campaign batch.
 	campaigns *campaign.Engine
 
+	started  time.Time    // process start, for uptime_seconds
 	requests atomic.Int64 // scoring requests served (score + label)
 	rejected atomic.Int64 // scoring requests rejected with 4xx
 	reloads  atomic.Int64 // successful hot-reloads
@@ -165,12 +169,34 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, started: time.Now()}
+	// The registry opens before the default slot loads: Open raises the
+	// shared generation counter past every generation persisted in the
+	// manifests, so the default model's generation — and everything after
+	// it — stays unique even against a registry dir populated by an
+	// earlier process.
+	if opts.RegistryDir != "" {
+		reg, err := registry.Open(registry.Options{
+			Dir:         opts.RegistryDir,
+			Temperature: opts.Temperature,
+			Scorer:      opts.Scorer,
+			MaxModels:   opts.RegistryMaxModels,
+			MaxVersions: opts.RegistryMaxVersions,
+			Gen:         &s.version,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.registry = reg
+	}
 	m, err := s.load(opts.ModelPath)
 	if err != nil {
+		if s.registry != nil {
+			s.registry.Close()
+		}
 		return nil, err
 	}
-	s.cur.Store(m)
+	s.slot.Store(m)
 	campaignOpts := opts.Campaigns
 	if campaignOpts.LocalTarget == nil {
 		campaignOpts.LocalTarget = serverTarget{s}
@@ -181,6 +207,23 @@ func New(opts Options) (*Server, error) {
 	if campaignOpts.RemoteTarget == nil {
 		campaignOpts.RemoteTarget = func(baseURL string) (campaign.Target, error) {
 			return client.NewRemoteTarget(baseURL), nil
+		}
+	}
+	if s.registry != nil {
+		if campaignOpts.NamedTarget == nil {
+			campaignOpts.NamedTarget = func(name string) (campaign.Target, error) {
+				// Validate eagerly (Submit calls this synchronously), then
+				// judge batches against whatever version is live at batch
+				// time — a promotion mid-campaign splits between batches,
+				// never inside one.
+				if _, err := s.registry.Get(name); err != nil {
+					return nil, err
+				}
+				return namedTarget{s: s, name: name}, nil
+			}
+		}
+		if campaignOpts.NamedCraftModel == nil {
+			campaignOpts.NamedCraftModel = s.registry.LoadLive
 		}
 	}
 	s.campaigns = campaign.NewEngine(campaignOpts)
@@ -194,99 +237,51 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
+	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
+	s.mux.HandleFunc("POST /v1/models/{name}", s.handleModelAction)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleModelDelete)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// load builds the next model generation from a saved network file.
+// load builds the next default-slot generation from a saved network file,
+// through the registry's shared instance builder (engine + optional
+// defense wrap + two-class-head validation at load time).
 func (s *Server) load(path string) (*model, error) {
-	net, err := nn.LoadFile(path)
+	gen := s.version.Add(1)
+	m, err := registry.BuildInstance(registry.InstanceConfig{
+		Path:        path,
+		Version:     int(gen),
+		Generation:  gen,
+		Temperature: s.opts.Temperature,
+		Scorer:      s.opts.Scorer,
+		Defenses:    s.opts.Defenses,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("server: load model: %w", err)
-	}
-	// The API contract is the paper's two-class head (clean/malware); a
-	// model with any other logits width must fail here, at load time,
-	// rather than panic inside every scoring handler.
-	if net.OutDim() != 2 {
-		return nil, fmt.Errorf("server: model %s has %d output classes, want 2 (clean/malware)",
-			path, net.OutDim())
-	}
-	scorerOpts := s.opts.Scorer
-	if len(s.opts.Defenses) > 0 && scorerOpts.Workers == 0 {
-		// A defended generation's verdicts travel the defense chain, not
-		// the coalescing engine; keep the (still load-bearing for InDim
-		// and drain semantics, but otherwise idle) engine at one worker
-		// instead of a full GOMAXPROCS pool.
-		scorerOpts.Workers = 1
-	}
-	m := &model{
-		scorer:   serve.New(net, s.opts.Temperature, scorerOpts),
-		version:  s.version.Add(1),
-		path:     path,
-		loadedAt: time.Now(),
-		drained:  make(chan struct{}),
-	}
-	if len(s.opts.Defenses) > 0 {
-		// The defended path wraps a plain DNN over the same loaded
-		// network (its inference path is concurrency-safe and pools
-		// per-call workspaces). Engine batch/row counters therefore do
-		// not advance on defended daemons — docs/http-api.md notes this.
-		det, err := s.opts.Defenses.Wrap(&detector.DNN{Net: net, Temperature: s.opts.Temperature})
-		if err != nil {
-			m.scorer.Close()
-			return nil, fmt.Errorf("server: build defense chain: %w", err)
-		}
-		m.det = det
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	return m, nil
 }
 
-// acquire pins the current model generation for the duration of one
-// request. The retry loop closes the race with a concurrent swap: a ref
-// taken on an already-retired generation is dropped and the load retried,
-// so a successful acquire guarantees the generation stayed current at the
-// moment its refcount became visible — the drain in Reload can therefore
-// never close an engine a request is still using. Returns nil after Close.
-func (s *Server) acquire() *model {
-	for {
-		m := s.cur.Load()
-		if m == nil {
-			return nil
-		}
-		m.refs.Add(1)
-		if s.cur.Load() == m {
-			return m
-		}
-		// Lost the race with a swap: drop the ref through release so that
-		// if this was the retired generation's last reference, the drain
-		// is signalled — a bare decrement here would wedge retire forever.
-		s.release(m)
-	}
-}
+// acquire pins the current default-model generation for the duration of
+// one request (registry.Slot.Acquire: a successful acquire guarantees the
+// generation stayed current at the moment its refcount became visible, so
+// a reload's drain can never close an engine a request is still using).
+// Returns nil after Close.
+func (s *Server) acquire() *model { return s.slot.Acquire() }
 
-func (s *Server) release(m *model) {
-	if m.refs.Add(-1) == 0 && m.retired.Load() {
-		m.signalDrained()
-	}
-}
+func (s *Server) release(m *model) { m.Release() }
 
-// retire drains a swapped-out generation and folds its engine counters into
-// the cumulative stats. The drain blocks on a channel the last release
-// closes — no polling. Any ref taken after the retired count was observed
-// at zero belongs to an acquire that will fail its recheck without touching
-// the engine, so closing it then is safe.
+// retire drains a swapped-out generation and folds its engine counters
+// into the cumulative stats.
 func (s *Server) retire(m *model) {
-	m.retired.Store(true)
-	if m.refs.Load() == 0 {
-		m.signalDrained()
-	}
-	<-m.drained
-	b, r := m.scorer.Stats()
+	b, r := m.Retire()
 	s.retiredBatches.Add(b)
 	s.retiredRows.Add(r)
-	m.scorer.Close()
 }
 
 // Reload hot-swaps the model. An empty path reloads from the configured
@@ -297,7 +292,7 @@ func (s *Server) Reload(path string) (version int64, err error) {
 	if err != nil {
 		return 0, err
 	}
-	return m.version, nil
+	return m.Generation, nil
 }
 
 // reload is Reload returning the swapped-in generation, so callers can
@@ -305,43 +300,54 @@ func (s *Server) Reload(path string) (version int64, err error) {
 func (s *Server) reload(path string) (*model, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	old := s.cur.Load()
+	old := s.slot.Load()
 	if old == nil {
 		return nil, fmt.Errorf("server: reload after Close")
 	}
 	if path == "" {
-		path = old.path
+		path = old.Path
 	}
 	m, err := s.load(path)
 	if err != nil {
 		return nil, err
 	}
-	s.cur.Store(m)
+	s.slot.Store(m)
 	s.reloads.Add(1)
 	s.retire(old)
 	return m, nil
 }
 
+// Registry exposes the daemon's model registry (nil unless RegistryDir
+// was configured), for embedders that register or promote in-process.
+func (s *Server) Registry() *registry.Registry { return s.registry }
+
 // Close cancels running campaigns, drains in-flight requests and releases
-// the scoring engine. Subsequent requests are answered 503. Idempotent.
+// the scoring engines — the default slot's and every registry model's.
+// Subsequent requests are answered 503. The registry's on-disk store is
+// untouched, so a daemon restarted on the same -registry dir serves the
+// previously live versions. Idempotent.
 func (s *Server) Close() {
 	// Campaigns first: their batches hold generation refs through
-	// serverTarget, so cancelling and draining them lets the final retire
-	// below complete without waiting on long-running jobs.
+	// serverTarget/namedTarget, so cancelling and draining them lets the
+	// retires below complete without waiting on long-running jobs.
 	s.campaigns.Close()
+	if s.registry != nil {
+		s.registry.Close()
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	old := s.cur.Swap(nil)
+	old := s.slot.Swap(nil)
 	if old != nil {
 		s.retire(old)
 	}
 }
 
-// ModelVersion reports the current model generation (1 at startup,
-// incremented by each successful reload).
+// ModelVersion reports the current default-model generation (1 at
+// startup, advanced by each successful reload — and, when a registry is
+// configured, sharing its monotonic sequence with promotions).
 func (s *Server) ModelVersion() int64 {
-	if m := s.cur.Load(); m != nil {
-		return m.version
+	if m := s.slot.Load(); m != nil {
+		return m.Generation
 	}
 	return 0
 }
@@ -349,9 +355,13 @@ func (s *Server) ModelVersion() int64 {
 // Wire schemas.
 
 // ScoreRequest is the body of /v1/score and /v1/label: a batch of feature
-// vectors, each exactly InDim wide.
+// vectors, each exactly the addressed model's input width. Model routes
+// the request to a named registry model; empty keeps the daemon's
+// original single-model behavior, so the wire protocol is backward
+// compatible.
 type ScoreRequest struct {
-	Rows [][]float64 `json:"rows"`
+	Model string      `json:"model,omitempty"`
+	Rows  [][]float64 `json:"rows"`
 }
 
 // ScoreResult is one row's verdict.
@@ -397,22 +407,30 @@ type HealthResponse struct {
 	// Defenses names the live defense chain, in application order (empty
 	// for a bare daemon).
 	Defenses []string `json:"defenses,omitempty"`
+	// Models counts the registry's named models (absent without a
+	// registry).
+	Models int `json:"models,omitempty"`
 }
 
 // StatsResponse answers /v1/stats with counters cumulative across reloads.
 type StatsResponse struct {
 	ModelVersion int64 `json:"model_version"`
+	// UptimeSeconds is how long the daemon process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Requests/Rejected count scoring calls (score + label) served and
 	// refused with a 4xx.
 	Requests int64 `json:"requests"`
 	Rejected int64 `json:"rejected"`
 	Reloads  int64 `json:"reloads"`
-	// Batches/Rows are the engine's merged-batch counters; Rows/Batches
-	// is the mean coalescing factor.
+	// Batches/Rows are the default-model engine's merged-batch counters;
+	// Rows/Batches is the mean coalescing factor.
 	Batches int64 `json:"batches"`
 	Rows    int64 `json:"rows"`
 	// Campaigns counts campaign submissions accepted by /v1/campaigns.
 	Campaigns int64 `json:"campaigns"`
+	// ModelRequests counts model-addressed scoring/label requests served
+	// per registry model (absent without a registry).
+	ModelRequests map[string]int64 `json:"model_requests,omitempty"`
 }
 
 // errorResponse is the JSON error envelope, carrying the human message
@@ -427,12 +445,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError renders the error envelope for a refused call, deriving the
-// taxonomy code from the status so every documented status carries
-// exactly one code (see internal/wire and docs/ERRORS.md).
+// canonical taxonomy code from the status (see internal/wire and
+// docs/ERRORS.md).
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorCode(w, status, wire.CodeForStatus(status), format, args...)
+}
+
+// writeErrorCode renders the error envelope with an explicit taxonomy
+// code — the path for refinement codes that share a status with a
+// canonical one (unknown_model on 404).
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	writeJSON(w, status, errorResponse{
 		Error: fmt.Sprintf(format, args...),
-		Code:  wire.CodeForStatus(status),
+		Code:  code,
 	})
 }
 
@@ -441,16 +466,8 @@ func (s *Server) reject(w http.ResponseWriter, status int, format string, args .
 	writeError(w, status, format, args...)
 }
 
-// decodeRows parses and validates a scoring request body into a matrix.
-// Every failure mode — malformed JSON, oversized body or batch, ragged or
-// wrong-width rows, non-finite values — is a client error, reported with
-// the returned status; the decoder never panics on hostile input.
-//
-// Canonical bodies take the reflection-free fast parser (fastrows.go);
-// anything it declines falls back to the strict encoding/json path below,
-// which owns every error message — so hostile inputs see exactly the
-// behavior they always did.
-func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, inDim int) (*tensor.Matrix, int, error) {
+// readBody reads a scoring request body under the configured byte cap.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	raw, err := io.ReadAll(body)
 	if err != nil {
@@ -461,27 +478,39 @@ func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, inDim int) (
 		}
 		return nil, http.StatusBadRequest, fmt.Errorf("read body: %v", err)
 	}
-	if x, ok := fastParseRows(raw, inDim, s.opts.MaxRows); ok {
-		return x, 0, nil
-	}
+	return raw, 0, nil
+}
+
+// decodeScoreRequest is the strict scoring-body decoder. Every failure
+// mode — malformed JSON, unknown fields, trailing data — is a client
+// error; row validation happens in rowsMatrix once the addressed model
+// (and therefore the expected width) is known.
+func decodeScoreRequest(raw []byte) (ScoreRequest, int, error) {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var req ScoreRequest
 	if err := dec.Decode(&req); err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("invalid JSON: %v", err)
+		return ScoreRequest{}, http.StatusBadRequest, fmt.Errorf("invalid JSON: %v", err)
 	}
 	if dec.More() {
-		return nil, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body")
+		return ScoreRequest{}, http.StatusBadRequest, fmt.Errorf("trailing data after JSON body")
 	}
-	if len(req.Rows) == 0 {
+	return req, 0, nil
+}
+
+// rowsMatrix validates a decoded batch against the addressed model's
+// input width and packs it into a matrix; the validator never panics on
+// hostile input.
+func (s *Server) rowsMatrix(rows [][]float64, inDim int) (*tensor.Matrix, int, error) {
+	if len(rows) == 0 {
 		return nil, http.StatusBadRequest, fmt.Errorf("rows must be a non-empty array")
 	}
-	if len(req.Rows) > s.opts.MaxRows {
+	if len(rows) > s.opts.MaxRows {
 		return nil, http.StatusBadRequest,
-			fmt.Errorf("batch of %d rows exceeds limit %d", len(req.Rows), s.opts.MaxRows)
+			fmt.Errorf("batch of %d rows exceeds limit %d", len(rows), s.opts.MaxRows)
 	}
-	x := tensor.New(len(req.Rows), inDim)
-	for i, row := range req.Rows {
+	x := tensor.New(len(rows), inDim)
+	for i, row := range rows {
 		if len(row) != inDim {
 			return nil, http.StatusBadRequest,
 				fmt.Errorf("row %d has %d features, want %d", i, len(row), inDim)
@@ -497,11 +526,41 @@ func (s *Server) decodeRows(w http.ResponseWriter, r *http.Request, inDim int) (
 	return x, 0, nil
 }
 
+// registryAcquire pins a named registry model's live instance, mapping
+// registry errors onto the wire taxonomy: unknown names are 404
+// unknown_model, a model with no live version is 409 version_conflict,
+// and a daemon without a registry refuses model addressing outright.
+func (s *Server) registryAcquire(name string) (*model, int, string, error) {
+	if s.registry == nil {
+		return nil, http.StatusUnprocessableEntity, wire.CodeInvalidSpec,
+			fmt.Errorf("daemon has no model registry (start with -registry)")
+	}
+	inst, err := s.registry.Acquire(name)
+	switch {
+	case err == nil:
+		return inst, 0, "", nil
+	case errors.Is(err, registry.ErrUnknownModel):
+		return nil, http.StatusNotFound, wire.CodeUnknownModel, err
+	case errors.Is(err, registry.ErrVersionConflict):
+		return nil, http.StatusConflict, wire.CodeVersionConflict, err
+	default:
+		return nil, http.StatusServiceUnavailable, wire.CodeUnavailable, err
+	}
+}
+
 // score runs the shared request path of /v1/score and /v1/label: pin one
-// model generation, decode against its input width, and hand the pinned
-// generation plus the decoded batch to render. Every verdict of one
-// request is computed wholly by that generation — off the engine's raw
-// logits for a bare daemon, through the defense chain for a defended one.
+// model generation — the default slot, or the registry model the body's
+// "model" field names — decode against its input width, and hand the
+// pinned generation plus the decoded batch to render. Every verdict of
+// one request is computed wholly by that generation — off the engine's
+// raw logits for a bare model, through the defense chain for a defended
+// one.
+//
+// Canonical single-model bodies take the reflection-free fast parser
+// (fastrows.go); anything it declines — including every model-addressed
+// body — falls back to the strict encoding/json path, which owns every
+// error message, so hostile inputs see exactly the behavior they always
+// did.
 func (s *Server) score(w http.ResponseWriter, r *http.Request,
 	render func(m *model, x *tensor.Matrix)) {
 	if r.Method != http.MethodPost {
@@ -515,32 +574,59 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	defer s.release(m)
-	x, status, err := s.decodeRows(w, r, m.scorer.InDim())
+	raw, status, err := s.readBody(w, r)
+	if err != nil {
+		s.reject(w, status, "%v", err)
+		return
+	}
+	if x, ok := fastParseRows(raw, m.Scorer.InDim(), s.opts.MaxRows); ok {
+		s.requests.Add(1)
+		render(m, x)
+		return
+	}
+	req, status, err := decodeScoreRequest(raw)
+	if err != nil {
+		s.reject(w, status, "%v", err)
+		return
+	}
+	target := m
+	if req.Model != "" {
+		named, status, code, err := s.registryAcquire(req.Model)
+		if err != nil {
+			s.rejected.Add(1)
+			writeErrorCode(w, status, code, "%v", err)
+			return
+		}
+		defer named.Release()
+		target = named
+	}
+	x, status, err := s.rowsMatrix(req.Rows, target.Scorer.InDim())
 	if err != nil {
 		s.reject(w, status, "%v", err)
 		return
 	}
 	s.requests.Add(1)
-	render(m, x)
+	target.CountRequest()
+	render(target, x)
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.score(w, r, func(m *model, x *tensor.Matrix) {
 		resp := ScoreResponse{
-			ModelVersion: m.version,
+			ModelVersion: m.Generation,
 			Results:      make([]ScoreResult, x.Rows),
 		}
-		if m.det != nil {
-			// Defended daemon: the chain's verdicts (a squeezing flag
+		if m.Det != nil {
+			// Defended model: the chain's verdicts (a squeezing flag
 			// saturates Prob to 1) replace the raw softmax head. Chains
 			// exposing the combined Verdicts pass (feature squeezing
 			// does) answer probability and class from one inference.
-			ps, classes := detectorVerdicts(m.det, x)
+			ps, classes := detectorVerdicts(m.Det, x)
 			for i := range resp.Results {
 				resp.Results[i] = ScoreResult{Prob: ps[i], Class: classes[i]}
 			}
 		} else {
-			logits := m.scorer.Logits(x)
+			logits := m.Scorer.Logits(x)
 			probs := make([]float64, logits.Cols)
 			for i := range resp.Results {
 				nn.SoftmaxRow(logits.Row(i), probs, s.opts.Temperature)
@@ -567,11 +653,11 @@ func detectorVerdicts(det detector.Detector, x *tensor.Matrix) ([]float64, []int
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	s.score(w, r, func(m *model, x *tensor.Matrix) {
-		resp := LabelResponse{ModelVersion: m.version}
-		if m.det != nil {
-			resp.Labels = m.det.Predict(x)
+		resp := LabelResponse{ModelVersion: m.Generation}
+		if m.Det != nil {
+			resp.Labels = m.Det.Predict(x)
 		} else {
-			logits := m.scorer.Logits(x)
+			logits := m.Scorer.Logits(x)
 			resp.Labels = make([]int, logits.Rows)
 			for i := range resp.Labels {
 				resp.Labels[i] = logits.RowArgmax(i)
@@ -610,40 +696,48 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ReloadResponse{ModelVersion: m.version, ModelPath: m.path})
+	writeJSON(w, http.StatusOK, ReloadResponse{ModelVersion: m.Generation, ModelPath: m.Path})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	m := s.cur.Load()
+	m := s.slot.Load()
 	if m == nil {
 		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "shutdown"})
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:       "ok",
-		ModelVersion: m.version,
-		ModelPath:    m.path,
-		LoadedAt:     m.loadedAt.UTC().Format(time.RFC3339),
-		InDim:        m.scorer.InDim(),
+		ModelVersion: m.Generation,
+		ModelPath:    m.Path,
+		LoadedAt:     m.LoadedAt.UTC().Format(time.RFC3339),
+		InDim:        m.Scorer.InDim(),
 		Defenses:     s.opts.Defenses.Names(),
-	})
+	}
+	if s.registry != nil {
+		resp.Models = s.registry.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		Requests:  s.requests.Load(),
-		Rejected:  s.rejected.Load(),
-		Reloads:   s.reloads.Load(),
-		Batches:   s.retiredBatches.Load(),
-		Rows:      s.retiredRows.Load(),
-		Campaigns: s.campaigns.Submitted(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Rejected:      s.rejected.Load(),
+		Reloads:       s.reloads.Load(),
+		Batches:       s.retiredBatches.Load(),
+		Rows:          s.retiredRows.Load(),
+		Campaigns:     s.campaigns.Submitted(),
 	}
 	if m := s.acquire(); m != nil {
-		b, rows := m.scorer.Stats()
-		resp.ModelVersion = m.version
+		b, rows := m.Scorer.Stats()
+		resp.ModelVersion = m.Generation
 		resp.Batches += b
 		resp.Rows += rows
 		s.release(m)
+	}
+	if s.registry != nil {
+		resp.ModelRequests = s.registry.RequestCounts()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -306,4 +306,3 @@ func TestServedDefenses(t *testing.T) {
 		t.Fatal("data-consuming defense accepted as servable")
 	}
 }
-

@@ -6,8 +6,10 @@
 // — so an HTTP status can never drift away from its Go-level meaning.
 //
 // The taxonomy is documented for API consumers in docs/ERRORS.md; every
-// error-bearing HTTP status of the API maps to exactly one code and one
-// sentinel (a property the package's tests enforce), and *Error supports
+// error-bearing HTTP status of the API maps to exactly one canonical code
+// and one sentinel (a property the package's tests enforce), a few
+// refinement codes share a status with a more specific meaning
+// (unknown_model rides a 404), and *Error supports
 // errors.Is against the sentinels, so callers branch on semantics
 // ("was that backpressure?") instead of string-matching messages:
 //
@@ -37,14 +39,27 @@ const (
 	// an unknown attack kind, a reload path the daemon cannot load, a
 	// campaign spec that fails validation.
 	CodeInvalidSpec = "invalid_spec"
+	// CodeVersionConflict (409): the registry operation names a model
+	// version that does not exist, or the model has no live version to
+	// serve.
+	CodeVersionConflict = "version_conflict"
 	// CodeQueueFull (429): backpressure; the campaign queue is at
 	// capacity. Retry later.
 	CodeQueueFull = "queue_full"
+	// CodeRegistryFull (507): the model registry is at its model or
+	// per-model version capacity; delete or GC before registering more.
+	CodeRegistryFull = "registry_full"
 	// CodeInternal (500): a server-side fault (the daemon's own
 	// configured model failed to reload, an unexpected handler error).
 	CodeInternal = "internal"
 	// CodeUnavailable (503): the daemon is shut down or shutting down.
 	CodeUnavailable = "unavailable"
+
+	// CodeUnknownModel (404): the request addressed a registry model name
+	// the daemon does not know. A refinement of the 404 status: routes and
+	// campaign ids still answer CodeNotFound, model addressing answers
+	// this, and the two decode into distinct sentinels.
+	CodeUnknownModel = "unknown_model"
 )
 
 // Sentinel errors, one per code. Use errors.Is against these to branch on
@@ -61,8 +76,15 @@ var (
 	ErrTooLarge = errors.New("wire: request too large")
 	// ErrInvalidSpec is the 422 / invalid_spec sentinel.
 	ErrInvalidSpec = errors.New("wire: invalid spec")
+	// ErrVersionConflict is the 409 / version_conflict sentinel.
+	ErrVersionConflict = errors.New("wire: version conflict")
 	// ErrQueueFull is the 429 / queue_full sentinel.
 	ErrQueueFull = errors.New("wire: queue full")
+	// ErrRegistryFull is the 507 / registry_full sentinel.
+	ErrRegistryFull = errors.New("wire: registry full")
+	// ErrUnknownModel is the unknown_model sentinel, carried on a 404
+	// whose envelope code distinguishes it from a plain not_found.
+	ErrUnknownModel = errors.New("wire: unknown model")
 	// ErrInternal is the 500 / internal sentinel.
 	ErrInternal = errors.New("wire: internal server error")
 	// ErrUnavailable is the 503 / unavailable sentinel.
@@ -93,8 +115,8 @@ type Envelope struct {
 }
 
 // statusTable is the single source of truth tying each error-bearing HTTP
-// status to its code and sentinel. Exactly one row per status, one status
-// per code — wire_test enforces the bijection.
+// status to its canonical code and sentinel. Exactly one row per status,
+// one status per code — wire_test enforces the bijection.
 var statusTable = []struct {
 	status   int
 	code     string
@@ -103,11 +125,25 @@ var statusTable = []struct {
 	{http.StatusBadRequest, CodeBadRequest, ErrBadRequest},
 	{http.StatusNotFound, CodeNotFound, ErrNotFound},
 	{http.StatusMethodNotAllowed, CodeMethodNotAllowed, ErrMethodNotAllowed},
+	{http.StatusConflict, CodeVersionConflict, ErrVersionConflict},
 	{http.StatusRequestEntityTooLarge, CodeTooLarge, ErrTooLarge},
 	{http.StatusUnprocessableEntity, CodeInvalidSpec, ErrInvalidSpec},
 	{http.StatusTooManyRequests, CodeQueueFull, ErrQueueFull},
 	{http.StatusInternalServerError, CodeInternal, ErrInternal},
 	{http.StatusServiceUnavailable, CodeUnavailable, ErrUnavailable},
+	{http.StatusInsufficientStorage, CodeRegistryFull, ErrRegistryFull},
+}
+
+// refinementTable holds the codes that share an HTTP status with a
+// canonical row but carry a more specific meaning in the envelope. A
+// refinement decodes into its own sentinel; CodeForStatus never emits one
+// (servers opt in explicitly per endpoint).
+var refinementTable = []struct {
+	status   int
+	code     string
+	sentinel error
+}{
+	{http.StatusNotFound, CodeUnknownModel, ErrUnknownModel},
 }
 
 // Statuses lists every error-bearing HTTP status of the API, ascending.
@@ -134,15 +170,36 @@ func CodeForStatus(status int) string {
 	return CodeBadRequest
 }
 
-// SentinelForCode maps a taxonomy code to its sentinel error, or nil for an
-// unknown code.
+// SentinelForCode maps a taxonomy code — canonical or refinement — to its
+// sentinel error, or nil for an unknown code.
 func SentinelForCode(code string) error {
 	for _, row := range statusTable {
 		if row.code == code {
 			return row.sentinel
 		}
 	}
+	for _, row := range refinementTable {
+		if row.code == code {
+			return row.sentinel
+		}
+	}
 	return nil
+}
+
+// StatusForCode maps a taxonomy code — canonical or refinement — to the
+// HTTP status it travels on, or 0 for an unknown code.
+func StatusForCode(code string) int {
+	for _, row := range statusTable {
+		if row.code == code {
+			return row.status
+		}
+	}
+	for _, row := range refinementTable {
+		if row.code == code {
+			return row.status
+		}
+	}
+	return 0
 }
 
 // Error is the typed form of a refused API call: the HTTP status, the

@@ -19,11 +19,13 @@ func TestStatusCodeSentinelBijection(t *testing.T) {
 		http.StatusBadRequest:            {CodeBadRequest, ErrBadRequest},
 		http.StatusNotFound:              {CodeNotFound, ErrNotFound},
 		http.StatusMethodNotAllowed:      {CodeMethodNotAllowed, ErrMethodNotAllowed},
+		http.StatusConflict:              {CodeVersionConflict, ErrVersionConflict},
 		http.StatusRequestEntityTooLarge: {CodeTooLarge, ErrTooLarge},
 		http.StatusUnprocessableEntity:   {CodeInvalidSpec, ErrInvalidSpec},
 		http.StatusTooManyRequests:       {CodeQueueFull, ErrQueueFull},
 		http.StatusInternalServerError:   {CodeInternal, ErrInternal},
 		http.StatusServiceUnavailable:    {CodeUnavailable, ErrUnavailable},
+		http.StatusInsufficientStorage:   {CodeRegistryFull, ErrRegistryFull},
 	}
 	statuses := Statuses()
 	if len(statuses) != len(want) {
@@ -62,8 +64,9 @@ func TestStatusCodeSentinelBijection(t *testing.T) {
 // errors.Is for precisely the sentinel of its status, never a neighbor's.
 func TestErrorIsMatchesExactlyOneSentinel(t *testing.T) {
 	sentinels := []error{
-		ErrBadRequest, ErrNotFound, ErrMethodNotAllowed, ErrTooLarge,
-		ErrInvalidSpec, ErrQueueFull, ErrInternal, ErrUnavailable,
+		ErrBadRequest, ErrNotFound, ErrMethodNotAllowed, ErrVersionConflict,
+		ErrTooLarge, ErrInvalidSpec, ErrQueueFull, ErrInternal,
+		ErrUnavailable, ErrRegistryFull, ErrUnknownModel,
 	}
 	for _, status := range Statuses() {
 		err := FromEnvelope(status, Envelope{Error: "boom", Code: CodeForStatus(status)})
@@ -85,6 +88,37 @@ func TestErrorIsMatchesExactlyOneSentinel(t *testing.T) {
 		if !errors.As(wrapped, &we) || we.Status != status {
 			t.Errorf("status %d: errors.As failed to recover *Error", status)
 		}
+	}
+}
+
+// TestRefinementCodes: a refinement code shares its HTTP status with a
+// canonical row but decodes into its own sentinel — an unknown_model 404
+// matches ErrUnknownModel and only ErrUnknownModel, while a bare 404
+// still decodes to ErrNotFound.
+func TestRefinementCodes(t *testing.T) {
+	refined := FromEnvelope(http.StatusNotFound, Envelope{Error: "no such model", Code: CodeUnknownModel})
+	if !errors.Is(refined, ErrUnknownModel) {
+		t.Fatal("unknown_model envelope does not match ErrUnknownModel")
+	}
+	if errors.Is(refined, ErrNotFound) {
+		t.Fatal("unknown_model envelope must not match the canonical ErrNotFound")
+	}
+	plain := FromEnvelope(http.StatusNotFound, Envelope{Error: "no such campaign"})
+	if !errors.Is(plain, ErrNotFound) || errors.Is(plain, ErrUnknownModel) {
+		t.Fatal("bare 404 must decode to the canonical ErrNotFound only")
+	}
+	// CodeForStatus never emits a refinement; StatusForCode resolves both.
+	if got := CodeForStatus(http.StatusNotFound); got != CodeNotFound {
+		t.Fatalf("CodeForStatus(404) = %q, want the canonical %q", got, CodeNotFound)
+	}
+	if got := StatusForCode(CodeUnknownModel); got != http.StatusNotFound {
+		t.Fatalf("StatusForCode(unknown_model) = %d, want 404", got)
+	}
+	if got := StatusForCode(CodeRegistryFull); got != http.StatusInsufficientStorage {
+		t.Fatalf("StatusForCode(registry_full) = %d, want 507", got)
+	}
+	if got := StatusForCode("nope"); got != 0 {
+		t.Fatalf("StatusForCode(unknown) = %d, want 0", got)
 	}
 }
 
