@@ -48,6 +48,9 @@ import (
 type (
 	// Matrix is a dense row-major float64 matrix.
 	Matrix = tensor.Matrix
+	// Matrix32 is the dense row-major float32 matrix behind the binary
+	// scoring hot path; convert with ToFloat32 and Matrix32.Float64.
+	Matrix32 = tensor.Matrix32
 	// Corpus bundles the train/validation/test splits.
 	Corpus = dataset.Corpus
 	// Dataset is one labelled split.
@@ -196,6 +199,37 @@ const (
 // NumFeatures is the width of the feature vector (491 API features).
 const NumFeatures = 491
 
+// Inference precisions for ServerOptions.BinaryPrecision, Scorer.EnsurePlan
+// and Scorer.Verdicts32. Float64 is the accuracy reference every other
+// precision is parity-tested against; float32 is the register-tiled hot
+// path binary-framed requests use by default; int8 is the opt-in
+// quantized variant (smaller weights, scalar kernels).
+const (
+	PrecisionFloat64 = serve.PrecisionFloat64
+	PrecisionFloat32 = serve.PrecisionFloat32
+	PrecisionInt8    = serve.PrecisionInt8
+)
+
+// Scoring request codecs for Client.Codec.
+const (
+	// CodecJSON sends {"rows": [[...]]} bodies (the default).
+	CodecJSON = client.CodecJSON
+	// CodecBinary sends zero-copy float32 rows frames
+	// (ContentTypeRowsF32); see docs/http-api.md.
+	CodecBinary = client.CodecBinary
+)
+
+// Content types the scoring endpoints negotiate.
+const (
+	ContentTypeJSON    = wire.ContentTypeJSON
+	ContentTypeRowsF32 = wire.ContentTypeRowsF32
+)
+
+// ToFloat32 converts a float64 matrix to the float32 layout the binary
+// scoring path consumes. The conversion rounds to nearest; values beyond
+// float32 range become ±Inf, which scoring rejects as non-finite.
+func ToFloat32(m *Matrix) *Matrix32 { return tensor.ToFloat32(m) }
+
 // Experiment profiles.
 var (
 	// ProfileSmall runs in seconds (CI and benchmarks).
@@ -222,6 +256,9 @@ var (
 	// ErrTooLarge: 413 — request body (model, population) over the
 	// daemon's byte cap.
 	ErrTooLarge = wire.ErrTooLarge
+	// ErrUnsupportedMedia: 415 unsupported_media_type — the scoring
+	// request's Content-Type is neither JSON nor the binary rows frame.
+	ErrUnsupportedMedia = wire.ErrUnsupportedMedia
 	// ErrInvalidSpec: 422 — semantically invalid submission (unknown
 	// attack kind, unloadable reload path, bad campaign spec).
 	ErrInvalidSpec = wire.ErrInvalidSpec

@@ -191,6 +191,8 @@ func cmdScore(args []string) error {
 	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 256, "max rows per merged forward pass")
 	clients := fs.Int("clients", 8, "concurrent client goroutines submitting rows")
+	precision := fs.String("precision", serve.PrecisionFloat64,
+		"inference precision: float64 (reference), float32 (tiled hot path), or int8 (quantized)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,6 +212,11 @@ func cmdScore(args []string) error {
 	}
 	sc := serve.New(net, 1, serve.Options{Workers: *workers, MaxBatch: *batch})
 	defer sc.Close()
+	if *precision != serve.PrecisionFloat64 {
+		if err := sc.EnsurePlan(*precision); err != nil {
+			return fmt.Errorf("score: %w", err)
+		}
+	}
 
 	rows := ds.X.Rows
 	cols := ds.X.Cols
@@ -217,6 +224,8 @@ func cmdScore(args []string) error {
 	per := (rows + *clients - 1) / *clients
 	start := time.Now()
 	var wg sync.WaitGroup
+	var scoreErr error
+	var scoreErrOnce sync.Once
 	for c := 0; c < *clients; c++ {
 		lo := c * per
 		hi := lo + per
@@ -230,10 +239,22 @@ func cmdScore(args []string) error {
 		go func(lo, hi int) {
 			defer wg.Done()
 			x := tensor.FromSlice(hi-lo, cols, ds.X.Data[lo*cols:hi*cols])
-			copy(preds[lo:hi], sc.Predict(x))
+			if *precision == serve.PrecisionFloat64 {
+				copy(preds[lo:hi], sc.Predict(x))
+				return
+			}
+			_, classes, err := sc.Verdicts32(tensor.ToFloat32(x), *precision)
+			if err != nil {
+				scoreErrOnce.Do(func() { scoreErr = err })
+				return
+			}
+			copy(preds[lo:hi], classes)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if scoreErr != nil {
+		return fmt.Errorf("score: %w", scoreErr)
+	}
 	elapsed := time.Since(start)
 
 	malware := 0
@@ -247,6 +268,7 @@ func cmdScore(args []string) error {
 		}
 	}
 	batches, scored := sc.Stats()
+	fmt.Printf("precision:           %s\n", *precision)
 	fmt.Printf("samples scored:      %d\n", rows)
 	fmt.Printf("flagged as malware:  %d (%.4f)\n", malware, float64(malware)/float64(rows))
 	fmt.Printf("label agreement:     %.4f\n", float64(correct)/float64(rows))

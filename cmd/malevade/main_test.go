@@ -81,6 +81,17 @@ func TestDatasetTrainAttackExplainPipeline(t *testing.T) {
 		"-workers", "2", "-batch", "32", "-clients", "4"}); err != nil {
 		t.Fatalf("score: %v", err)
 	}
+	if err := run([]string{"score",
+		"-model", model, "-data", filepath.Join(dataDir, "test.gob"),
+		"-workers", "2", "-batch", "32", "-clients", "4",
+		"-precision", "float32"}); err != nil {
+		t.Fatalf("score -precision float32: %v", err)
+	}
+	if err := run([]string{"score", "-model", model,
+		"-data", filepath.Join(dataDir, "test.gob"),
+		"-precision", "float16"}); err == nil {
+		t.Fatal("expected unknown-precision error")
+	}
 	if err := run([]string{"score", "-model", model,
 		"-data", "/nonexistent/d.gob"}); err == nil {
 		t.Fatal("expected score load error")

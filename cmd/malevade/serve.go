@@ -35,6 +35,8 @@ func cmdServe(args []string) error {
 		`servable defense chain as JSON, e.g. '[{"kind":"squeeze","bits":3,"threshold":0.2}]' (data-consuming defenses are built offline; see docs/ERRORS.md and ApplyDefenses)`)
 	registryDir := fs.String("registry", "",
 		"model-registry directory: serve named, versioned detectors via /v1/models (contents survive restarts)")
+	precision := fs.String("precision", serve.PrecisionFloat32,
+		"inference precision for binary-framed requests: float32, int8, or float64 (JSON requests always use the float64 reference)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,13 +47,14 @@ func cmdServe(args []string) error {
 		}
 	}
 	srv, err := server.New(server.Options{
-		ModelPath:    *modelPath,
-		Temperature:  *temp,
-		Scorer:       serve.Options{Workers: *workers, MaxBatch: *batch},
-		MaxRows:      *maxRows,
-		MaxBodyBytes: *maxBytes,
-		Defenses:     defenses,
-		RegistryDir:  *registryDir,
+		ModelPath:       *modelPath,
+		Temperature:     *temp,
+		Scorer:          serve.Options{Workers: *workers, MaxBatch: *batch},
+		MaxRows:         *maxRows,
+		MaxBodyBytes:    *maxBytes,
+		Defenses:        defenses,
+		RegistryDir:     *registryDir,
+		BinaryPrecision: *precision,
 	})
 	if err != nil {
 		return err

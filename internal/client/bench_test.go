@@ -30,6 +30,7 @@ var (
 	benchScorer *serve.Scorer
 	benchTS     *httptest.Server
 	benchX      *tensor.Matrix
+	benchX32    *tensor.Matrix32
 )
 
 // benchSetup builds one full-width (491-512-256-2) network, an in-process
@@ -65,6 +66,7 @@ func benchSetup(b *testing.B) {
 				benchX.Data[i] = 1
 			}
 		}
+		benchX32 = tensor.ToFloat32(benchX)
 	})
 }
 
@@ -79,11 +81,63 @@ func BenchmarkDirectScore(b *testing.B) {
 	b.ReportMetric(float64(benchBatch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
+// BenchmarkDirectScoreF32 is the in-process float32 hot path over the
+// identical workload: register-tiled float32 kernels through the
+// compiled inference plan, verdicts included. BENCH_infer.json commits
+// this against BenchmarkDirectScore's float64 reference.
+func BenchmarkDirectScoreF32(b *testing.B) {
+	benchSetup(b)
+	if err := benchScorer.EnsurePlan(serve.PrecisionFloat32); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchScorer.Verdicts32(benchX32, serve.PrecisionFloat32); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchBatch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkDirectScoreInt8 is the opt-in int8-quantized variant of the
+// same workload.
+func BenchmarkDirectScoreInt8(b *testing.B) {
+	benchSetup(b)
+	if err := benchScorer.EnsurePlan(serve.PrecisionInt8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchScorer.Verdicts32(benchX32, serve.PrecisionInt8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchBatch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
 // BenchmarkClientScore drives the identical batches through the client
 // SDK against the live localhost daemon.
 func BenchmarkClientScore(b *testing.B) {
 	benchSetup(b)
 	c := client.New(benchTS.URL)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Score(ctx, benchX); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchBatch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkClientScoreBinary is the same SDK workload under the binary
+// rows codec: float32 frames on the wire, the daemon's zero-copy decode
+// and float32 plan underneath. BENCH_wire.json commits this against
+// BenchmarkClientScore's JSON baseline.
+func BenchmarkClientScoreBinary(b *testing.B) {
+	benchSetup(b)
+	c := client.New(benchTS.URL)
+	c.Codec = client.CodecBinary
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

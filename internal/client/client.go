@@ -74,6 +74,14 @@ type Client struct {
 	// MaxResponseBytes caps how much of a response body is read (default
 	// 64 MiB — campaign snapshots with full result windows are large).
 	MaxResponseBytes int64
+	// Codec selects the scoring request representation: CodecJSON (the
+	// default, also chosen by an empty string) or CodecBinary, the
+	// length-prefixed float32 rows frame (wire.ContentTypeRowsF32) that
+	// feeds the daemon's zero-copy float32 hot path. Binary requests carry
+	// float32 values: feature values are rounded to the nearest float32 on
+	// encode, and a finite float64 too large for float32 is refused
+	// client-side. Non-scoring calls always speak JSON.
+	Codec string
 
 	// rowsServed counts feature rows the daemon has successfully
 	// answered across Score/Label/LabelVersion, per served chunk — so
@@ -87,6 +95,15 @@ type Client struct {
 // of each attempt (a version-pinned batch that retried across a
 // hot-reload counts every pass).
 func (c *Client) RowsServed() int64 { return c.rowsServed.Load() }
+
+// Scoring request codecs for Client.Codec.
+const (
+	// CodecJSON sends {"rows": [[...]]} JSON bodies (the default).
+	CodecJSON = "json"
+	// CodecBinary sends the zero-copy float32 rows frame
+	// (application/x-malevade-rows-f32; see docs/http-api.md).
+	CodecBinary = "binary"
+)
 
 // New returns a client for the daemon at baseURL using the shared pooled
 // transport and default limits.
@@ -217,12 +234,13 @@ func (c *Client) do(ctx context.Context, method, path string, payload, out any, 
 		}
 		body = raw
 	}
-	return c.doBytes(ctx, method, path, body, out, idempotent)
+	return c.doBytes(ctx, method, path, wire.ContentTypeJSON, body, out, idempotent)
 }
 
-// doBytes is do with a pre-encoded body (the scoring hot path builds its
-// rows payload without reflection; see encodeRows).
-func (c *Client) doBytes(ctx context.Context, method, path string, body []byte, out any, idempotent bool) error {
+// doBytes is do with a pre-encoded body and its content type (the scoring
+// hot path builds its rows payload without reflection; see encodeRows and
+// encodeFrame).
+func (c *Client) doBytes(ctx context.Context, method, path, contentType string, body []byte, out any, idempotent bool) error {
 	attempts := 1
 	if idempotent {
 		attempts += c.retries()
@@ -241,7 +259,7 @@ func (c *Client) doBytes(ctx context.Context, method, path string, body []byte, 
 			case <-t.C:
 			}
 		}
-		err := c.once(ctx, method, path, body, out)
+		err := c.once(ctx, method, path, contentType, body, out)
 		if err == nil {
 			return nil
 		}
@@ -269,7 +287,7 @@ func retryable(err error) bool {
 }
 
 // once runs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte, out any) error {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -279,7 +297,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -357,10 +375,13 @@ func encodeRows(model string, x *tensor.Matrix, start, end int) []byte {
 			if j > 0 {
 				buf = append(buf, ',')
 			}
-			switch v {
-			case 0:
+			switch {
+			// Negative zero compares equal to zero but must keep its sign
+			// bit on the wire: a bare `case 0` here once collapsed -0.0 to
+			// "0" and broke bit-exact round-trips.
+			case v == 0 && !math.Signbit(v):
 				buf = append(buf, '0')
-			case 1:
+			case v == 1:
 				buf = append(buf, '1')
 			default:
 				buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
@@ -369,6 +390,40 @@ func encodeRows(model string, x *tensor.Matrix, start, end int) []byte {
 		buf = append(buf, ']')
 	}
 	return append(buf, `]}`...)
+}
+
+// encodeFrame renders rows [start,end) as one binary float32 rows frame
+// (wire.ContentTypeRowsF32). Values are rounded to the nearest float32;
+// a finite float64 whose conversion overflows to ±Inf is refused here,
+// before any bytes go on the wire — the daemon would reject the resulting
+// non-finite feature with a 400 anyway, and the caller almost certainly
+// wanted the JSON codec for such data.
+func encodeFrame(model string, x *tensor.Matrix, start, end int) ([]byte, error) {
+	vals := make([]float32, 0, (end-start)*x.Cols)
+	for i := start; i < end; i++ {
+		for j, v := range x.Row(i) {
+			f := float32(v)
+			if math.IsInf(float64(f), 0) && !math.IsInf(v, 0) {
+				return nil, fmt.Errorf("client: row %d feature %d (%g) overflows float32", i, j, v)
+			}
+			vals = append(vals, f)
+		}
+	}
+	return wire.AppendFrame(nil, model, end-start, x.Cols, vals)
+}
+
+// rowsBody encodes rows [start,end) under the client's codec and returns
+// the body with its content type.
+func (c *Client) rowsBody(model string, x *tensor.Matrix, start, end int) ([]byte, string, error) {
+	switch c.Codec {
+	case "", CodecJSON:
+		return encodeRows(model, x, start, end), wire.ContentTypeJSON, nil
+	case CodecBinary:
+		raw, err := encodeFrame(model, x, start, end)
+		return raw, wire.ContentTypeRowsF32, err
+	default:
+		return nil, "", fmt.Errorf("client: unknown codec %q", c.Codec)
+	}
 }
 
 // validateRows rejects non-finite feature values before any bytes go on
@@ -401,8 +456,12 @@ func (c *Client) ScoreModel(ctx context.Context, model string, x *tensor.Matrix)
 	out := make([]Verdict, 0, x.Rows)
 	var version int64
 	for _, w := range c.chunks(x.Rows) {
+		body, contentType, err := c.rowsBody(model, x, w[0], w[1])
+		if err != nil {
+			return nil, 0, err
+		}
 		var resp scoreResponse
-		if err := c.doBytes(ctx, http.MethodPost, "/v1/score", encodeRows(model, x, w[0], w[1]), &resp, true); err != nil {
+		if err := c.doBytes(ctx, http.MethodPost, "/v1/score", contentType, body, &resp, true); err != nil {
 			return nil, 0, err
 		}
 		if len(resp.Results) != w[1]-w[0] {
@@ -472,8 +531,12 @@ func (c *Client) labelsOnce(ctx context.Context, model string, x *tensor.Matrix,
 	out := make([]int, 0, x.Rows)
 	var version int64
 	for i, w := range c.chunks(x.Rows) {
+		body, contentType, err := c.rowsBody(model, x, w[0], w[1])
+		if err != nil {
+			return nil, 0, err
+		}
 		var resp labelResponse
-		if err := c.doBytes(ctx, http.MethodPost, "/v1/label", encodeRows(model, x, w[0], w[1]), &resp, true); err != nil {
+		if err := c.doBytes(ctx, http.MethodPost, "/v1/label", contentType, body, &resp, true); err != nil {
 			return nil, 0, err
 		}
 		if len(resp.Labels) != w[1]-w[0] {

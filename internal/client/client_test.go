@@ -1,14 +1,17 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"malevade/internal/campaign/spec"
@@ -22,6 +25,130 @@ func fastClient(url string) *Client {
 	c := New(url)
 	c.RetryBackoff = time.Millisecond
 	return c
+}
+
+// decodeRowsBody parses an encodeRows payload with the same strict decoder
+// discipline the daemon applies (DisallowUnknownFields, no trailing data).
+func decodeRowsBody(t *testing.T, body []byte) (string, [][]float64) {
+	t.Helper()
+	var req struct {
+		Model string      `json:"model"`
+		Rows  [][]float64 `json:"rows"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		t.Fatalf("encodeRows emitted invalid JSON: %v\n%s", err, body)
+	}
+	if dec.More() {
+		t.Fatalf("encodeRows emitted trailing data: %s", body)
+	}
+	return req.Model, req.Rows
+}
+
+// TestEncodeRowsBitExact is the satellite-1 contract: the strconv fast
+// encoder must round-trip every finite float64 bit-for-bit through a
+// strict JSON decode. The corner inputs are the ones shortest-round-trip
+// formatting historically gets wrong: negative zero (which a bare
+// switch-case 0 used to collapse to "0"), denormals, the extremes, and
+// 17-significant-digit values.
+func TestEncodeRowsBitExact(t *testing.T) {
+	corners := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64,
+		5e-324, 2.2250738585072014e-308, // denormal boundary
+		0.1, 1.0 / 3.0, 0.30000000000000004,
+		9007199254740993.0, // 2^53+1, rounds to 2^53
+		1e-17, 123456789.12345679,
+	}
+	x := tensor.New(len(corners), 3)
+	for i, v := range corners {
+		x.Set(i, 0, v)
+		x.Set(i, 1, -v)
+		x.Set(i, 2, float64(i))
+	}
+	for _, model := range []string{"", "det-v2", `odd"name\`} {
+		gotModel, rows := decodeRowsBody(t, encodeRows(model, x, 0, x.Rows))
+		if gotModel != model {
+			t.Fatalf("model %q decoded as %q", model, gotModel)
+		}
+		if len(rows) != x.Rows {
+			t.Fatalf("%d rows decoded from %d", len(rows), x.Rows)
+		}
+		for i, row := range rows {
+			for j, v := range row {
+				if math.Float64bits(v) != math.Float64bits(x.At(i, j)) {
+					t.Fatalf("(%d,%d): decoded %x, encoded %x",
+						i, j, math.Float64bits(v), math.Float64bits(x.At(i, j)))
+				}
+			}
+		}
+	}
+
+	// Property check over arbitrary finite bit patterns, including the
+	// window bounds encodeRows is called with.
+	f := func(bits [6]uint64, lo uint8) bool {
+		vals := make([]float64, len(bits))
+		for i, b := range bits {
+			v := math.Float64frombits(b)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = float64(i) // validateRows bars non-finite from the encoder
+			}
+			vals[i] = v
+		}
+		m := tensor.FromSlice(2, 3, vals)
+		start := int(lo) % 2
+		_, rows := decodeRowsBody(t, encodeRows("", m, start, 2))
+		if len(rows) != 2-start {
+			return false
+		}
+		for i, row := range rows {
+			for j, v := range row {
+				if math.Float64bits(v) != math.Float64bits(m.At(start+i, j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeFrameRefusesOverflow: the binary codec carries float32s, so a
+// finite float64 beyond float32 range must be refused client-side rather
+// than silently shipped as ±Inf for the daemon to 400.
+func TestEncodeFrameRefusesOverflow(t *testing.T) {
+	x := tensor.FromSlice(1, 2, []float64{1, 1e39})
+	if _, err := encodeFrame("", x, 0, 1); err == nil {
+		t.Fatal("float32 overflow accepted")
+	}
+	// Rounding (not overflow) is fine: 0.1 is not float32-representable
+	// but the codec is lossy by contract.
+	ok := tensor.FromSlice(1, 2, []float64{0.1, math.MaxFloat32})
+	raw, err := encodeFrame("m", ok, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := wire.ParseFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Values(); got[0] != float32(0.1) || got[1] != math.MaxFloat32 {
+		t.Fatalf("frame values %v", got)
+	}
+}
+
+// TestUnknownCodecRefused: a typo'd Codec fails fast on the first call
+// instead of silently speaking JSON.
+func TestUnknownCodecRefused(t *testing.T) {
+	c := New("http://127.0.0.1:1")
+	c.Codec = "protobuf"
+	if _, _, err := c.Score(context.Background(), tensor.New(1, 2)); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
 }
 
 // TestWireErrorRoundTrip: a daemon refusal must decode into a *wire.Error

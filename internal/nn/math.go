@@ -22,6 +22,13 @@ func tanh(x float64) float64 { return math.Tanh(x) }
 // SoftmaxRow writes softmax(logits/temperature) into out. It is numerically
 // stable (max-shifted) and tolerates temperature != 1 for defensive
 // distillation. len(out) must equal len(logits); temperature must be > 0.
+//
+// Non-finite logits get limit semantics instead of NaN poisoning: +Inf
+// logits split the whole probability mass evenly among themselves, NaN and
+// -Inf logits get zero mass, and a row with no informative logit at all
+// answers the uniform distribution. Finite rows are computed exactly as
+// before, bit for bit — the degenerate branches only fire where the naive
+// max-shift would have produced Inf-Inf = NaN.
 func SoftmaxRow(logits, out []float64, temperature float64) {
 	if len(logits) != len(out) {
 		panic("nn: SoftmaxRow length mismatch")
@@ -35,11 +42,37 @@ func SoftmaxRow(logits, out []float64, temperature float64) {
 			maxLogit = v
 		}
 	}
+	if math.IsInf(maxLogit, 1) {
+		n := 0.0
+		for _, v := range logits {
+			if math.IsInf(v, 1) {
+				n++
+			}
+		}
+		for i, v := range logits {
+			if math.IsInf(v, 1) {
+				out[i] = 1 / n
+			} else {
+				out[i] = 0
+			}
+		}
+		return
+	}
 	sum := 0.0
 	for i, v := range logits {
 		e := math.Exp((v - maxLogit) / temperature)
+		if math.IsNaN(e) {
+			e = 0 // NaN logit, or an all -Inf row shifting -Inf by -Inf
+		}
 		out[i] = e
 		sum += e
+	}
+	if sum == 0 {
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return
 	}
 	inv := 1 / sum
 	for i := range out {

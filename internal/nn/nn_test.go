@@ -51,6 +51,38 @@ func TestSoftmaxRowStableUnderHugeLogits(t *testing.T) {
 	}
 }
 
+// TestSoftmaxRowLimitSemantics pins the degenerate-logit contract: softmax
+// never answers NaN. +Inf logits split the mass evenly among themselves,
+// NaN and -Inf logits get zero mass, and a row with nothing informative is
+// uniform. These are the rows where the max-shift used to compute
+// Inf-Inf = NaN and leak undecodable responses out of the daemon.
+func TestSoftmaxRowLimitSemantics(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		name   string
+		logits []float64
+		want   []float64
+	}{
+		{"one +Inf wins", []float64{inf, 3}, []float64{1, 0}},
+		{"two +Inf split", []float64{inf, inf, -2}, []float64{0.5, 0.5, 0}},
+		{"+Inf beats NaN", []float64{nan, inf}, []float64{0, 1}},
+		{"NaN gets zero mass", []float64{nan, 0, 0}, []float64{0, 0.5, 0.5}},
+		{"all -Inf uniform", []float64{math.Inf(-1), math.Inf(-1)}, []float64{0.5, 0.5}},
+		{"all NaN uniform", []float64{nan, nan}, []float64{0.5, 0.5}},
+	}
+	for _, tc := range cases {
+		for _, temp := range []float64{1, 10} {
+			out := make([]float64, len(tc.logits))
+			SoftmaxRow(tc.logits, out, temp)
+			for i, want := range tc.want {
+				if out[i] != want {
+					t.Fatalf("%s (T=%g): out = %v, want %v", tc.name, temp, out, tc.want)
+				}
+			}
+		}
+	}
+}
+
 func TestSoftmaxTemperatureFlattens(t *testing.T) {
 	logits := []float64{4, 0}
 	sharp := make([]float64, 2)

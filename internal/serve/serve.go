@@ -85,6 +85,11 @@ type Scorer struct {
 
 	batches atomic.Int64 // merged batches executed
 	rows    atomic.Int64 // rows scored
+
+	// Lazily compiled reduced-precision plans for the float32/int8 direct
+	// scoring path (see serve32.go). Compilation is once per precision.
+	planF32  planSlot
+	planInt8 planSlot
 }
 
 var _ detector.Detector = (*Scorer)(nil)

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"malevade/internal/wire"
 )
 
 // FuzzScoreRequest throws arbitrary bytes at the /v1/score and /v1/label
@@ -95,6 +99,101 @@ func FuzzScoreRequest(f *testing.F) {
 				}
 			default:
 				t.Fatalf("%s: status %d on fuzzed input (want 200 or 4xx): %s", endpoint, w.Code, w.Body)
+			}
+		}
+	})
+}
+
+// FuzzScoreFrame is the binary-framing twin of FuzzScoreRequest: arbitrary
+// bytes posted as application/x-malevade-rows-f32. The decoder contract is
+// the same — malformed frames (bad magic, truncated payloads, shape lies,
+// hostile dimension products, non-finite values, unknown model names) earn
+// a 4xx JSON error envelope; the server never panics, never 5xxes, and a
+// 200 carries exactly one verdict per frame row. Additionally, whenever
+// ParseFrame accepts a body, re-encoding the parsed frame must reproduce
+// it byte-for-byte — the frame grammar is canonical, so parse∘encode is
+// the identity on valid frames.
+func FuzzScoreFrame(f *testing.F) {
+	frame := func(model string, rows, cols int, values []float32) []byte {
+		raw, err := wire.AppendFrame(nil, model, rows, cols, values)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}
+	f.Add(frame("", 1, 3, []float32{0.1, 0.2, 0.3}))
+	f.Add(frame("", 2, 3, []float32{1, 0, 1, 0, 1, 0}))
+	f.Add(frame("other", 1, 3, []float32{0.5, 0.5, 0.5}))
+	f.Add(frame("", 1, 2, []float32{1, 2}))                                 // wrong width
+	f.Add(frame("", 9, 3, make([]float32, 27)))                             // over MaxRows
+	f.Add(frame("", 1, 3, []float32{float32(math.NaN()), 0, 0}))            // non-finite
+	f.Add(frame("", 1, 3, []float32{float32(math.Inf(1)), 0, 0}))           // non-finite
+	f.Add(frame("", 1, 3, []float32{math.MaxFloat32, -math.MaxFloat32, 0})) // extreme but finite
+	f.Add([]byte("MVF1"))                                                   // truncated header
+	f.Add([]byte("XXXX\x01\x00"))                                           // bad magic
+	f.Add([]byte(`{"rows": [[0,0,0]]}`))                                    // JSON under the wrong content type
+	f.Add([]byte{})
+	truncated := frame("", 2, 3, make([]float32, 6))
+	f.Add(truncated[:len(truncated)-3])
+	f.Add(append(frame("", 1, 3, make([]float32, 3)), 0xde, 0xad))
+
+	path, _ := saveTestNet(f, f.TempDir(), "fuzzframe.gob", []int{3, 8, 2}, 7)
+	s, err := New(Options{ModelPath: path, MaxRows: 8, MaxBodyBytes: 1 << 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if fr, err := wire.ParseFrame(body); err == nil {
+			// Canonical-grammar check: the accepted body re-encodes to
+			// itself exactly, and FrameLen agrees with reality.
+			re, err := wire.AppendFrame(nil, fr.Model, fr.Rows, fr.Cols, fr.Values())
+			if err != nil {
+				t.Fatalf("parsed frame refuses to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("parse/encode not identity:\n in  %x\n out %x", body, re)
+			}
+			if want := wire.FrameLen(len(fr.Model), fr.Rows, fr.Cols); want != len(body) {
+				t.Fatalf("FrameLen says %d, body is %d", want, len(body))
+			}
+		}
+		for _, endpoint := range []string{"/v1/score", "/v1/label"} {
+			req := httptest.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+			req.Header.Set("Content-Type", wire.ContentTypeRowsF32)
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			switch {
+			case w.Code == http.StatusOK:
+				fr, err := wire.ParseFrame(body)
+				if err != nil {
+					t.Fatalf("%s: 200 for a body ParseFrame rejects: %v", endpoint, err)
+				}
+				if endpoint == "/v1/label" {
+					var lr LabelResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &lr); err != nil {
+						t.Fatalf("%s: 200 with undecodable body: %v", endpoint, err)
+					}
+					if len(lr.Labels) != fr.Rows || lr.ModelVersion == 0 {
+						t.Fatalf("%s: %d labels for %d rows: %s", endpoint, len(lr.Labels), fr.Rows, w.Body)
+					}
+					continue
+				}
+				var resp ScoreResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					t.Fatalf("%s: 200 with undecodable body: %v", endpoint, err)
+				}
+				if len(resp.Results) != fr.Rows || resp.ModelVersion == 0 {
+					t.Fatalf("%s: %d results for %d rows: %s", endpoint, len(resp.Results), fr.Rows, w.Body)
+				}
+			case w.Code >= 400 && w.Code < 500:
+				var e errorResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+					t.Fatalf("%s: %d without JSON error body: %s", endpoint, w.Code, w.Body)
+				}
+			default:
+				t.Fatalf("%s: status %d on fuzzed frame (want 200 or 4xx): %s", endpoint, w.Code, w.Body)
 			}
 		}
 	})

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"mime"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,15 @@ type Options struct {
 	// MaxBodyBytes caps the request body size (default 32 MiB). Larger
 	// bodies are rejected with 413.
 	MaxBodyBytes int64
+	// BinaryPrecision selects the inference path for binary-framed
+	// scoring requests (Content-Type application/x-malevade-rows-f32):
+	// serve.PrecisionFloat32 (the default — vector kernels, drift bounded
+	// by internal/nn's parity tests), serve.PrecisionInt8 (explicit
+	// opt-in), or serve.PrecisionFloat64 to route binary frames through
+	// the reference engine. JSON requests always score in float64.
+	// Defended models and models whose weights fail plan compilation fall
+	// back to float64 regardless.
+	BinaryPrecision string
 	// Campaigns tunes the attack-campaign orchestrator behind
 	// /v1/campaigns (workers, queue depth, sample caps). LocalTarget,
 	// CraftModel and RemoteTarget are filled by the server when unset:
@@ -110,6 +120,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
+	}
+	if o.BinaryPrecision == "" {
+		o.BinaryPrecision = serve.PrecisionFloat32
 	}
 	return o
 }
@@ -163,6 +176,9 @@ func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.ModelPath == "" {
 		return nil, fmt.Errorf("server: Options.ModelPath is required")
+	}
+	if !serve.ValidPrecision(opts.BinaryPrecision) {
+		return nil, fmt.Errorf("server: unknown binary precision %q", opts.BinaryPrecision)
 	}
 	if len(opts.Defenses) > 0 {
 		if err := opts.Defenses.ValidateServable(); err != nil {
@@ -439,9 +455,21 @@ type StatsResponse struct {
 type errorResponse = wire.Envelope
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: an unencodable value
+	// (say, a NaN that slipped into a response struct) must become a 500
+	// envelope, not a silent empty body under an already-committed 200.
+	buf, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		buf, _ = json.Marshal(errorResponse{
+			Error: fmt.Sprintf("encoding response: %v", err),
+			Code:  wire.CodeForStatus(status),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
 }
 
 // writeError renders the error envelope for a refused call, deriving the
@@ -561,12 +589,36 @@ func (s *Server) registryAcquire(name string) (*model, int, string, error) {
 // body — falls back to the strict encoding/json path, which owns every
 // error message, so hostile inputs see exactly the behavior they always
 // did.
+//
+// The request's Content-Type picks the representation: absent or JSON
+// takes the paths above; the binary rows frame (wire.ContentTypeRowsF32)
+// takes scoreFrame and the reduced-precision engine; anything else is a
+// 415 unsupported_media_type. render32 renders one reduced-precision
+// batch and is only ever called with a precision whose plan compiled.
 func (s *Server) score(w http.ResponseWriter, r *http.Request,
-	render func(m *model, x *tensor.Matrix)) {
+	render func(m *model, x *tensor.Matrix),
+	render32 func(m *model, x *tensor.Matrix32, precision string)) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.reject(w, http.StatusMethodNotAllowed, "use POST")
 		return
+	}
+	binary := false
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil {
+			s.reject(w, http.StatusUnsupportedMediaType, "unparseable Content-Type %q", ct)
+			return
+		}
+		switch mt {
+		case wire.ContentTypeJSON:
+		case wire.ContentTypeRowsF32:
+			binary = true
+		default:
+			s.reject(w, http.StatusUnsupportedMediaType,
+				"unsupported Content-Type %q (use %s or %s)", mt, wire.ContentTypeJSON, wire.ContentTypeRowsF32)
+			return
+		}
 	}
 	m := s.acquire()
 	if m == nil {
@@ -579,8 +631,13 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 		s.reject(w, status, "%v", err)
 		return
 	}
+	if binary {
+		s.scoreFrame(w, m, raw, render, render32)
+		return
+	}
 	if x, ok := fastParseRows(raw, m.Scorer.InDim(), s.opts.MaxRows); ok {
 		s.requests.Add(1)
+		m.CountRequest()
 		render(m, x)
 		return
 	}
@@ -610,6 +667,59 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 	render(target, x)
 }
 
+// scoreFrame is the binary half of the scoring path: parse the rows
+// frame, resolve its model field exactly like the JSON "model" field,
+// validate shape and finiteness under the same limits, then score through
+// the reduced-precision plan. A defended model, a float64
+// BinaryPrecision, or a model whose weights refuse plan compilation falls
+// back to the float64 reference path — callers opted into a wire format,
+// not into wrong answers.
+func (s *Server) scoreFrame(w http.ResponseWriter, m *model, raw []byte,
+	render func(m *model, x *tensor.Matrix),
+	render32 func(m *model, x *tensor.Matrix32, precision string)) {
+	f, err := wire.ParseFrame(raw)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	target := m
+	if f.Model != "" {
+		named, status, code, err := s.registryAcquire(f.Model)
+		if err != nil {
+			s.rejected.Add(1)
+			writeErrorCode(w, status, code, "%v", err)
+			return
+		}
+		defer named.Release()
+		target = named
+	}
+	if f.Rows > s.opts.MaxRows {
+		s.reject(w, http.StatusBadRequest, "batch of %d rows exceeds limit %d", f.Rows, s.opts.MaxRows)
+		return
+	}
+	if inDim := target.Scorer.InDim(); f.Cols != inDim {
+		s.reject(w, http.StatusBadRequest, "frame rows have %d features, want %d", f.Cols, inDim)
+		return
+	}
+	x32 := tensor.FromSlice32(f.Rows, f.Cols, f.Values())
+	for i, v := range x32.Data {
+		f64 := float64(v)
+		if math.IsNaN(f64) || math.IsInf(f64, 0) {
+			s.reject(w, http.StatusBadRequest, "row %d feature %d is not finite", i/f.Cols, i%f.Cols)
+			return
+		}
+	}
+	s.requests.Add(1)
+	target.CountRequest()
+	precision := s.opts.BinaryPrecision
+	if target.Det != nil || precision == serve.PrecisionFloat64 ||
+		target.Scorer.EnsurePlan(precision) != nil {
+		render(target, x32.Float64())
+		return
+	}
+	render32(target, x32, precision)
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.score(w, r, func(m *model, x *tensor.Matrix) {
 		resp := ScoreResponse{
@@ -635,6 +745,20 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 					Class: logits.RowArgmax(i),
 				}
 			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}, func(m *model, x *tensor.Matrix32, precision string) {
+		ps, classes, err := m.Scorer.Verdicts32(x, precision)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp := ScoreResponse{
+			ModelVersion: m.Generation,
+			Results:      make([]ScoreResult, x.Rows),
+		}
+		for i := range resp.Results {
+			resp.Results[i] = ScoreResult{Prob: ps[i], Class: classes[i]}
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
@@ -664,6 +788,13 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}, func(m *model, x *tensor.Matrix32, precision string) {
+		_, classes, err := m.Scorer.Verdicts32(x, precision)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, LabelResponse{ModelVersion: m.Generation, Labels: classes})
 	})
 }
 

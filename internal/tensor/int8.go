@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizedInt8 is an int8-quantized weight matrix with symmetric
+// per-column scales: element (k, j) represents Scales[j] *
+// float32(Data[k*Cols+j]). It is the weight storage of the opt-in int8
+// inference plan — 4× smaller than float32 weights, which is the point:
+// the variant trades accuracy (and, in this pure-Go kernel, throughput)
+// for memory footprint, and exists mainly as the quantization-accuracy
+// testbed the parity suite exercises.
+type QuantizedInt8 struct {
+	Rows int
+	Cols int
+	// Data holds Rows*Cols quantized values in row-major order.
+	Data []int8
+	// Scales holds one dequantization scale per column (output channel).
+	Scales []float32
+}
+
+// QuantizeInt8 quantizes w symmetrically per column: scale_j =
+// maxAbs(w[:,j]) / 127, values round to nearest. An all-zero column gets
+// scale 0 and quantizes to zeros.
+func QuantizeInt8(w *Matrix32) *QuantizedInt8 {
+	q := &QuantizedInt8{
+		Rows:   w.Rows,
+		Cols:   w.Cols,
+		Data:   make([]int8, w.Rows*w.Cols),
+		Scales: make([]float32, w.Cols),
+	}
+	inv := make([]float32, w.Cols)
+	for j := 0; j < w.Cols; j++ {
+		var maxAbs float32
+		for i := 0; i < w.Rows; i++ {
+			if a := abs32(w.At(i, j)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 0 {
+			q.Scales[j] = maxAbs / 127
+			inv[j] = 127 / maxAbs
+		}
+	}
+	for i := 0; i < w.Rows; i++ {
+		row := w.Row(i)
+		for j, v := range row {
+			q.Data[i*w.Cols+j] = int8(math.RoundToEven(float64(v * inv[j])))
+		}
+	}
+	return q
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MatMulInt8 computes dst = a × w with dynamic per-row symmetric int8
+// quantization of a: each input row is quantized to int8 at scale
+// maxAbs(row)/127, the products accumulate exactly in int32, and the
+// result dequantizes through the input-row and weight-column scales.
+// xq and acc are caller-supplied scratch (len ≥ a.Cols and ≥ w.Cols; nil
+// allocates) so steady-state inference reuses buffers.
+func MatMulInt8(dst *Matrix32, a *Matrix32, w *QuantizedInt8, xq []int8, acc []int32) {
+	if a.Cols != w.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInt8 inner dims %d != %d", a.Cols, w.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInt8 dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, w.Cols))
+	}
+	if len(xq) < a.Cols {
+		xq = make([]int8, a.Cols)
+	}
+	if len(acc) < w.Cols {
+		acc = make([]int32, w.Cols)
+	}
+	n := w.Cols
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var maxAbs float32
+		for _, v := range row {
+			if av := abs32(v); av > maxAbs {
+				maxAbs = av
+			}
+		}
+		dRow := dst.Row(i)
+		if maxAbs == 0 {
+			for j := range dRow {
+				dRow[j] = 0
+			}
+			continue
+		}
+		inv := 127 / maxAbs
+		for k, v := range row {
+			xq[k] = int8(math.RoundToEven(float64(v * inv)))
+		}
+		for j := 0; j < n; j++ {
+			acc[j] = 0
+		}
+		for k, qv := range xq[:a.Cols] {
+			if qv == 0 {
+				continue
+			}
+			qv32 := int32(qv)
+			wRow := w.Data[k*n : (k+1)*n]
+			for j, wv := range wRow {
+				acc[j] += qv32 * int32(wv)
+			}
+		}
+		scaleX := maxAbs / 127
+		for j := range dRow {
+			dRow[j] = float32(acc[j]) * scaleX * w.Scales[j]
+		}
+	}
+}

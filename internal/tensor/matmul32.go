@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMulF32 computes dst = a × b in float32. Shapes must be compatible and
+// dst must be a.Rows × b.Cols; dst may not alias a or b.
+//
+// This is the inference hot path's kernel: on amd64 CPUs with AVX2+FMA it
+// dispatches to register-tiled assembly (an AVX-512 4-row×64-column tile
+// when the CPU has it, an AVX2 2-row×32-column tile otherwise) that keeps
+// every accumulator resident in vector registers and shares each loaded
+// panel of b across all rows of the tile; elsewhere it runs the same
+// cache-friendly (i, k, j) axpy ordering as the float64 MatMul. Large
+// products shard output rows across GOMAXPROCS goroutines; row shards
+// write disjoint memory, and the per-element operation sequence is
+// independent of the sharding, so parallelism cannot change the bits.
+//
+// Rounding contract (pinned by the package's golden tests): on the
+// assembly path, output column j < b.Cols&^31 of every row is a fused
+// multiply-add accumulation over k in ascending order (one rounding per
+// step); the remaining tail columns are scalar multiply-then-add in the
+// same order. The AVX-512 and AVX2 tiles therefore produce bit-identical
+// results — tile shape only regroups independent output elements. The
+// portable fallback is multiply-then-add throughout (with the float64
+// kernel's skip of exact-zero a elements). Cross-CPU results may differ
+// in the last ulp; all user-visible accuracy guarantees are the
+// float32-vs-float64 parity thresholds in internal/nn, not bit equality
+// across machines.
+func MatMulF32(dst, a, b *Matrix32) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulF32 inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulF32 dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if a.Rows == 0 || b.Cols == 0 {
+		return
+	}
+	if a.Cols == 0 {
+		for i := range dst.Data {
+			dst.Data[i] = 0
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && a.Rows >= 2*workers && a.Rows*a.Cols*b.Cols >= 2_000_000 {
+		matMulF32Parallel(dst, a, b, workers)
+		return
+	}
+	matMulF32Range(dst, a, b, 0, a.Rows)
+}
+
+// matMulF32Parallel shards output rows across workers.
+func matMulF32Parallel(dst, a, b *Matrix32, workers int) {
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulF32Range(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulF32Generic computes dst rows [lo, hi) of a × b with the portable
+// scalar kernel: the float64 MatMul's (i, k, j) axpy ordering, including
+// its skip of exact-zero a elements (the paper's ~30%-dense binary
+// feature rows make that skip worth real time on hosts without the
+// vector kernels).
+func matMulF32Generic(dst, a, b *Matrix32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dRow := dst.Row(i)
+		for j := range dRow {
+			dRow[j] = 0
+		}
+		aRow := a.Row(i)
+		for k, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			bRow := b.Row(k)
+			for j, bv := range bRow {
+				dRow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulF32ColTail fills dst columns [j0, b.Cols) of rows [lo, hi) with
+// the scalar multiply-then-add loop — the sub-vector-width column tail of
+// the assembly path.
+func matMulF32ColTail(dst, a, b *Matrix32, lo, hi, j0 int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		aRow := a.Row(i)
+		dRow := dst.Row(i)
+		for j := j0; j < n; j++ {
+			var acc float32
+			for k, av := range aRow {
+				acc += av * b.Data[k*n+j]
+			}
+			dRow[j] = acc
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rand32 fills a rows×cols matrix with values in [-2, 2), forcing roughly
+// zeroFrac of them to exact zero (the paper's binary feature rows are
+// mostly zeros, and the generic kernel has a zero-skip worth covering).
+func rand32(r *rand.Rand, rows, cols int, zeroFrac float64) *Matrix32 {
+	m := New32(rows, cols)
+	for i := range m.Data {
+		if r.Float64() < zeroFrac {
+			continue
+		}
+		m.Data[i] = float32(r.Float64()*4 - 2)
+	}
+	return m
+}
+
+func bitsEqual32(a, b *Matrix32) (int, bool) {
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// naiveF32 is the textbook multiply-then-add triple loop with no zero
+// skipping and no blocking — the semantic definition the portable kernel
+// must match bit for bit on finite inputs.
+func naiveF32(a, b *Matrix32) *Matrix32 {
+	dst := New32(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var acc float32
+			for k := 0; k < a.Cols; k++ {
+				acc += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, acc)
+		}
+	}
+	return dst
+}
+
+func TestMatMulF32GenericMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 17, 5}, {7, 64, 33}, {16, 100, 70}} {
+		a := rand32(r, sh[0], sh[1], 0.4)
+		b := rand32(r, sh[1], sh[2], 0.2)
+		got := New32(sh[0], sh[2])
+		matMulF32Generic(got, a, b, 0, a.Rows)
+		want := naiveF32(a, b)
+		if i, ok := bitsEqual32(got, want); !ok {
+			t.Fatalf("shape %v: generic differs from naive at flat index %d: %g vs %g",
+				sh, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulF32MatchesFloat64(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	a := rand32(r, 32, 491, 0.7)
+	b := rand32(r, 491, 96, 0)
+	got := New32(32, 96)
+	MatMulF32(got, a, b)
+	want := New(32, 96)
+	MatMul(want, a.Float64(), b.Float64())
+	for i := range got.Data {
+		if d := math.Abs(float64(got.Data[i]) - want.Data[i]); d > 1e-3 {
+			t.Fatalf("flat index %d: float32 %g vs float64 %g (delta %g)",
+				i, got.Data[i], want.Data[i], d)
+		}
+	}
+}
+
+func TestMatMulF32ParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a := rand32(r, 37, 130, 0.3)
+	b := rand32(r, 130, 97, 0)
+	serial := New32(37, 97)
+	matMulF32Range(serial, a, b, 0, a.Rows)
+	for _, workers := range []int{2, 3, 8, 64} {
+		par := New32(37, 97)
+		matMulF32Parallel(par, a, b, workers)
+		if i, ok := bitsEqual32(par, serial); !ok {
+			t.Fatalf("workers=%d: parallel differs from serial at flat index %d", workers, i)
+		}
+	}
+}
+
+func TestMatMulF32DegenerateShapes(t *testing.T) {
+	// Zero inner dimension: dst must be cleared, not left stale.
+	dst := FromSlice32(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	MatMulF32(dst, New32(2, 0), New32(0, 3))
+	for i, v := range dst.Data {
+		if v != 0 {
+			t.Fatalf("k=0: dst[%d] = %g, want 0", i, v)
+		}
+	}
+	// Zero rows / zero cols: no panic, nothing to write.
+	MatMulF32(New32(0, 3), New32(0, 5), New32(5, 3))
+	MatMulF32(New32(2, 0), New32(2, 5), New32(5, 0))
+}
+
+func TestMatMulF32PanicsOnShapeMismatch(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("inner", func() { MatMulF32(New32(2, 3), New32(2, 4), New32(5, 3)) })
+	mustPanic("dst", func() { MatMulF32(New32(9, 9), New32(2, 4), New32(4, 3)) })
+}
+
+func TestMatrix32Basics(t *testing.T) {
+	m := New32(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Data[5] != 7 {
+		t.Fatalf("Set/At: got %g", m.At(1, 2))
+	}
+	m.Row(0)[1] = 4
+	if m.At(0, 1) != 4 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone must not share backing storage")
+	}
+	if !m.SameShape(c) || m.SameShape(New32(3, 2)) {
+		t.Fatal("SameShape mismatch")
+	}
+	am := FromSlice32(2, 3, []float32{1, 5, 5, -1, -1, -3})
+	if am.RowArgmax(0) != 1 {
+		t.Fatalf("RowArgmax tie must break low: got %d", am.RowArgmax(0))
+	}
+	if am.RowArgmax(1) != 0 {
+		t.Fatalf("RowArgmax row 1: got %d", am.RowArgmax(1))
+	}
+	if am.HasNaN() {
+		t.Fatal("HasNaN on finite data")
+	}
+	am.Set(1, 1, float32(math.Inf(-1)))
+	if !am.HasNaN() {
+		t.Fatal("HasNaN must flag Inf")
+	}
+	am.Set(1, 1, float32(math.NaN()))
+	if !am.HasNaN() {
+		t.Fatal("HasNaN must flag NaN")
+	}
+}
+
+func TestFloat32Float64Conversions(t *testing.T) {
+	src := FromSlice32(1, 4, []float32{0, 1, -0.5, float32(math.Pi)})
+	back := ToFloat32(src.Float64())
+	if i, ok := bitsEqual32(src, back); !ok {
+		t.Fatalf("f32→f64→f32 not exact at %d", i)
+	}
+	big := FromSlice(1, 2, []float64{math.MaxFloat64, -1e300})
+	n := ToFloat32(big)
+	if !math.IsInf(float64(n.Data[0]), 1) || !math.IsInf(float64(n.Data[1]), -1) {
+		t.Fatalf("overflow must narrow to ±Inf, got %v", n.Data)
+	}
+}
+
+func TestAddRowVector32(t *testing.T) {
+	m := FromSlice32(2, 2, []float32{1, 2, 3, 4})
+	AddRowVector32(m, []float32{10, 20})
+	want := []float32{11, 22, 13, 24}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("Data[%d] = %g, want %g", i, m.Data[i], v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	AddRowVector32(m, []float32{1})
+}
+
+func TestQuantizeInt8(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	w := rand32(r, 40, 17, 0.1)
+	// Column 3 all zero: must get scale 0 and quantize to zeros.
+	for i := 0; i < w.Rows; i++ {
+		w.Set(i, 3, 0)
+	}
+	q := QuantizeInt8(w)
+	if q.Scales[3] != 0 {
+		t.Fatalf("all-zero column scale = %g, want 0", q.Scales[3])
+	}
+	for i := 0; i < w.Rows; i++ {
+		for j := 0; j < w.Cols; j++ {
+			deq := q.Scales[j] * float32(q.Data[i*q.Cols+j])
+			limit := float64(q.Scales[j])*0.5000001 + 1e-12
+			if err := math.Abs(float64(w.At(i, j) - deq)); err > limit {
+				t.Fatalf("(%d,%d): dequant error %g exceeds half-scale %g", i, j, err, limit)
+			}
+		}
+	}
+}
+
+// TestMatMulInt8MatchesDequantizedReference pins the int8 kernel exactly:
+// given the quantized operands the kernel derives, the int32 accumulation
+// is exact arithmetic and the dequantization is a fixed float32 product
+// chain, so the output is bit-for-bit reproducible.
+func TestMatMulInt8MatchesDequantizedReference(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	a := rand32(r, 9, 130, 0.5)
+	// Row 4 all zeros exercises the zero-row short circuit.
+	for j := 0; j < a.Cols; j++ {
+		a.Set(4, j, 0)
+	}
+	w := rand32(r, 130, 33, 0.1)
+	q := QuantizeInt8(w)
+	got := New32(9, 33)
+	MatMulInt8(got, a, q, nil, nil)
+
+	want := New32(9, 33)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var maxAbs float32
+		for _, v := range row {
+			if av := abs32(v); av > maxAbs {
+				maxAbs = av
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		inv := 127 / maxAbs
+		scaleX := maxAbs / 127
+		for j := 0; j < q.Cols; j++ {
+			var acc int32
+			for k, v := range row {
+				xq := int32(int8(math.RoundToEven(float64(v * inv))))
+				acc += xq * int32(q.Data[k*q.Cols+j])
+			}
+			want.Set(i, j, float32(acc)*scaleX*q.Scales[j])
+		}
+	}
+	if i, ok := bitsEqual32(got, want); !ok {
+		t.Fatalf("int8 kernel differs from dequantized reference at flat index %d: %g vs %g",
+			i, got.Data[i], want.Data[i])
+	}
+}
+
+func TestMatMulInt8ScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	a := rand32(r, 5, 40, 0.3)
+	w := rand32(r, 40, 12, 0)
+	q := QuantizeInt8(w)
+	alloc := New32(5, 12)
+	MatMulInt8(alloc, a, q, nil, nil)
+	scratch := New32(5, 12)
+	xq := make([]int8, 40)
+	acc := make([]int32, 12)
+	MatMulInt8(scratch, a, q, xq, acc)
+	if i, ok := bitsEqual32(alloc, scratch); !ok {
+		t.Fatalf("scratch-reusing call differs at flat index %d", i)
+	}
+}
+
+func TestMatMulInt8PanicsOnShapeMismatch(t *testing.T) {
+	q := QuantizeInt8(New32(4, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMulInt8(New32(2, 3), New32(2, 5), q, nil, nil)
+}
+
+// Benchmark shapes are the paper model's layers (491→1200→1500→1300→2) at
+// the server's max coalesced batch of 256 rows. Regenerate BENCH_infer.json
+// from these plus the internal/nn inference benchmarks.
+var benchShapes = []struct {
+	name    string
+	m, k, n int
+}{
+	{"256x491x1200", 256, 491, 1200},
+	{"256x1200x1500", 256, 1200, 1500},
+	{"256x1500x1300", 256, 1500, 1300},
+	{"256x1300x2", 256, 1300, 2},
+}
+
+func BenchmarkMatMulF32(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	for _, sh := range benchShapes {
+		a := rand32(r, sh.m, sh.k, 0.7)
+		w := rand32(r, sh.k, sh.n, 0)
+		dst := New32(sh.m, sh.n)
+		b.Run(sh.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMulF32(dst, a, w)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulF64(b *testing.B) {
+	r := rand.New(rand.NewSource(32))
+	for _, sh := range benchShapes {
+		a := rand32(r, sh.m, sh.k, 0.7).Float64()
+		w := rand32(r, sh.k, sh.n, 0).Float64()
+		dst := New(sh.m, sh.n)
+		b.Run(sh.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMul(dst, a, w)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulInt8(b *testing.B) {
+	r := rand.New(rand.NewSource(33))
+	sh := benchShapes[0]
+	a := rand32(r, sh.m, sh.k, 0.7)
+	q := QuantizeInt8(rand32(r, sh.k, sh.n, 0))
+	dst := New32(sh.m, sh.n)
+	xq := make([]int8, sh.k)
+	acc := make([]int32, sh.n)
+	b.Run(sh.name, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulInt8(dst, a, q, xq, acc)
+		}
+	})
+}

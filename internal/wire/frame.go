@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Content types the scoring endpoints negotiate. JSON is the default and
+// stays fully supported; the rows frame is the zero-copy hot path for
+// bulk scoring.
+const (
+	// ContentTypeJSON is the default request representation.
+	ContentTypeJSON = "application/json"
+	// ContentTypeRowsF32 selects the binary float32 rows frame defined by
+	// this file (and documented in docs/http-api.md).
+	ContentTypeRowsF32 = "application/x-malevade-rows-f32"
+)
+
+// The rows frame is a single length-validated blob:
+//
+//	offset  size       field
+//	0       4          magic "MVF1"
+//	4       1          version (currently 1)
+//	5       1          flags (currently 0; parsers reject anything else)
+//	6       2          nameLen, uint16 little-endian
+//	8       4          rows, uint32 little-endian
+//	12      4          cols, uint32 little-endian
+//	16      nameLen    model name (UTF-8; empty = daemon's default model)
+//	...     pad        zero bytes padding the name to a multiple of 4
+//	...     rows*cols*4  float32 values, little-endian, row-major
+//
+// The total length must match the header exactly — no trailing bytes —
+// and the 4-byte name padding keeps the values region 4-aligned in the
+// raw body, which is what lets a little-endian decoder hand out the
+// values as a zero-copy view of the request buffer.
+const (
+	frameMagic   = "MVF1"
+	FrameVersion = 1
+	// FrameHeaderLen is the fixed-size prefix before the name.
+	FrameHeaderLen = 16
+	// MaxFrameName caps the model-name field; registry names are far
+	// shorter, and the cap keeps a hostile header from reserving memory.
+	MaxFrameName = 1024
+)
+
+// nativeLittle reports whether this machine stores float32s in the
+// frame's byte order, enabling the zero-copy paths.
+var nativeLittle = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func padName(n int) int { return (n + 3) &^ 3 }
+
+// FrameLen returns the exact encoded size of a frame with the given name
+// length and row count, before any validation of the counts themselves.
+func FrameLen(nameLen, rows, cols int) int {
+	return FrameHeaderLen + padName(nameLen) + rows*cols*4
+}
+
+// AppendFrame appends one encoded rows frame to dst and returns the
+// extended slice. model may be empty (the daemon's default model);
+// len(values) must be rows*cols.
+func AppendFrame(dst []byte, model string, rows, cols int, values []float32) ([]byte, error) {
+	if len(model) > MaxFrameName {
+		return nil, fmt.Errorf("wire: frame model name %d bytes exceeds %d", len(model), MaxFrameName)
+	}
+	if rows < 0 || cols < 0 || int64(rows) > math.MaxUint32 || int64(cols) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: frame dimensions %dx%d out of range", rows, cols)
+	}
+	if rows*cols != len(values) {
+		return nil, fmt.Errorf("wire: frame %dx%d needs %d values, have %d", rows, cols, rows*cols, len(values))
+	}
+	var hdr [FrameHeaderLen]byte
+	copy(hdr[:4], frameMagic)
+	hdr[4] = FrameVersion
+	hdr[5] = 0
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(model)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(rows))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(cols))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, model...)
+	for p := len(model); p < padName(len(model)); p++ {
+		dst = append(dst, 0)
+	}
+	if nativeLittle && len(values) > 0 {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(&values[0])), len(values)*4)
+		return append(dst, raw...), nil
+	}
+	var buf [4]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		dst = append(dst, buf[:]...)
+	}
+	return dst, nil
+}
+
+// Frame is one parsed rows frame. The payload references the buffer
+// ParseFrame was given; the frame is only valid while that buffer is.
+type Frame struct {
+	// Model is the addressed registry model; empty means the daemon's
+	// default model.
+	Model string
+	// Rows and Cols are the batch shape.
+	Rows, Cols int
+	payload    []byte // rows*cols little-endian float32s
+}
+
+// ParseFrame validates raw structurally — magic, version, flags, name
+// bounds, zero padding, and an exact overflow-safe length check — and
+// returns the parsed frame. It never allocates proportional to the
+// payload. Any error means the body is not a well-formed frame; servers
+// answer those with 400 bad_request.
+func ParseFrame(raw []byte) (*Frame, error) {
+	if len(raw) < FrameHeaderLen {
+		return nil, fmt.Errorf("wire: frame truncated: %d bytes < %d-byte header", len(raw), FrameHeaderLen)
+	}
+	if string(raw[:4]) != frameMagic {
+		return nil, fmt.Errorf("wire: bad frame magic %q", raw[:4])
+	}
+	if raw[4] != FrameVersion {
+		return nil, fmt.Errorf("wire: unsupported frame version %d", raw[4])
+	}
+	if raw[5] != 0 {
+		return nil, fmt.Errorf("wire: unsupported frame flags %#x", raw[5])
+	}
+	nameLen := int(binary.LittleEndian.Uint16(raw[6:8]))
+	rows := binary.LittleEndian.Uint32(raw[8:12])
+	cols := binary.LittleEndian.Uint32(raw[12:16])
+	if nameLen > MaxFrameName {
+		return nil, fmt.Errorf("wire: frame model name %d bytes exceeds %d", nameLen, MaxFrameName)
+	}
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("wire: frame has empty shape %dx%d", rows, cols)
+	}
+	// Overflow-safe length check: once nvals fits in the body, every term
+	// of want is small enough that the sum cannot wrap.
+	nvals := uint64(rows) * uint64(cols)
+	if nvals > uint64(len(raw))/4 {
+		return nil, fmt.Errorf("wire: frame length %d too short for %dx%d values", len(raw), rows, cols)
+	}
+	want := uint64(FrameHeaderLen+padName(nameLen)) + nvals*4
+	if want != uint64(len(raw)) {
+		return nil, fmt.Errorf("wire: frame length %d does not match header (want %d for %dx%d)", len(raw), want, rows, cols)
+	}
+	name := raw[FrameHeaderLen : FrameHeaderLen+nameLen]
+	for _, b := range raw[FrameHeaderLen+nameLen : FrameHeaderLen+padName(nameLen)] {
+		if b != 0 {
+			return nil, fmt.Errorf("wire: frame name padding not zero")
+		}
+	}
+	return &Frame{
+		Model:   string(name),
+		Rows:    int(rows),
+		Cols:    int(cols),
+		payload: raw[FrameHeaderLen+padName(nameLen):],
+	}, nil
+}
+
+// Values returns the frame's Rows*Cols float32s in row-major order. On
+// little-endian machines the header's 4-byte alignment discipline makes
+// this a zero-copy view of the parsed buffer (the frame's whole point);
+// if the caller handed ParseFrame an unaligned sub-slice, or the machine
+// is big-endian, it decodes into a fresh slice instead.
+func (f *Frame) Values() []float32 {
+	n := f.Rows * f.Cols
+	if n == 0 {
+		return nil
+	}
+	if nativeLittle && uintptr(unsafe.Pointer(&f.payload[0]))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&f.payload[0])), n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(f.payload[i*4:]))
+	}
+	return out
+}

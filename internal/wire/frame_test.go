@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustFrame(t *testing.T, model string, rows, cols int, values []float32) []byte {
+	t.Helper()
+	raw, err := AppendFrame(nil, model, rows, cols, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	// Every float32 bit pattern class must survive: denormals, negative
+	// zero, NaN, infinities, extremes. (Non-finite rejection is server
+	// policy, not framing.)
+	values := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		math.SmallestNonzeroFloat32, -math.SmallestNonzeroFloat32,
+		math.MaxFloat32, -math.MaxFloat32,
+		float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1)),
+		1e-30,
+	}
+	for _, model := range []string{"", "a", "ab", "abc", "abcd", "svc-models/detector_v2"} {
+		raw := mustFrame(t, model, 3, 4, values)
+		if len(raw) != FrameLen(len(model), 3, 4) {
+			t.Fatalf("model %q: encoded %d bytes, FrameLen says %d", model, len(raw), FrameLen(len(model), 3, 4))
+		}
+		f, err := ParseFrame(raw)
+		if err != nil {
+			t.Fatalf("model %q: %v", model, err)
+		}
+		if f.Model != model || f.Rows != 3 || f.Cols != 4 {
+			t.Fatalf("model %q: parsed %q %dx%d", model, f.Model, f.Rows, f.Cols)
+		}
+		got := f.Values()
+		for i := range values {
+			if math.Float32bits(got[i]) != math.Float32bits(values[i]) {
+				t.Fatalf("model %q value %d: %x vs %x", model, i, math.Float32bits(got[i]), math.Float32bits(values[i]))
+			}
+		}
+	}
+}
+
+func TestFrameValuesUnaligned(t *testing.T) {
+	values := []float32{1.5, -2.25, 3.75, 0.125}
+	raw := mustFrame(t, "m", 2, 2, values)
+	// Force every possible payload misalignment; the decoder must fall
+	// back to copying and still return identical bits.
+	for shift := 1; shift < 4; shift++ {
+		buf := make([]byte, len(raw)+shift)
+		copy(buf[shift:], raw)
+		f, err := ParseFrame(buf[shift:])
+		if err != nil {
+			t.Fatalf("shift %d: %v", shift, err)
+		}
+		got := f.Values()
+		for i := range values {
+			if got[i] != values[i] {
+				t.Fatalf("shift %d value %d: %g vs %g", shift, i, got[i], values[i])
+			}
+		}
+	}
+}
+
+func TestParseFrameRejects(t *testing.T) {
+	good := mustFrame(t, "abc", 2, 3, make([]float32, 6))
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"short header", good[:15], "truncated"},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), "magic"},
+		{"bad version", mutate(func(b []byte) []byte { b[4] = 9; return b }), "version"},
+		{"bad flags", mutate(func(b []byte) []byte { b[5] = 1; return b }), "flags"},
+		{"truncated payload", good[:len(good)-4], "length"},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), "length"},
+		{"nonzero padding", mutate(func(b []byte) []byte { b[FrameHeaderLen+3] = 7; return b }), "padding"},
+		{"zero rows", mutate(func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0, 0, 0, 0; return b }), "empty shape"},
+		{"zero cols", mutate(func(b []byte) []byte { b[12], b[13], b[14], b[15] = 0, 0, 0, 0; return b }), "empty shape"},
+		{"name over cap", mutate(func(b []byte) []byte { b[6], b[7] = 0xff, 0xff; return b }), "name"},
+		// rows*cols = (2^31-1)(2^31+1) = 2^62-1: naive want arithmetic
+		// wraps to a small number; the parser must not index past the
+		// buffer, let alone accept it.
+		{"product overflow", mutate(func(b []byte) []byte {
+			b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0x7f
+			b[12], b[13], b[14], b[15] = 0x01, 0x00, 0x00, 0x80
+			return b[:16]
+		}), "too short"},
+	}
+	for _, tc := range cases {
+		f, err := ParseFrame(tc.raw)
+		if err == nil {
+			t.Fatalf("%s: accepted (%+v)", tc.name, f)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAppendFrameRejects(t *testing.T) {
+	if _, err := AppendFrame(nil, strings.Repeat("n", MaxFrameName+1), 1, 1, []float32{1}); err == nil {
+		t.Fatal("over-long model name accepted")
+	}
+	if _, err := AppendFrame(nil, "m", 2, 3, make([]float32, 5)); err == nil {
+		t.Fatal("value-count mismatch accepted")
+	}
+}

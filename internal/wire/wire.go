@@ -35,6 +35,10 @@ const (
 	// CodeTooLarge (413): the request body exceeds the daemon's byte cap
 	// (a submitted model or population too large to accept).
 	CodeTooLarge = "too_large"
+	// CodeUnsupportedMedia (415): the request's Content-Type names a
+	// representation the endpoint does not speak (scoring endpoints accept
+	// JSON and the binary rows frame, nothing else).
+	CodeUnsupportedMedia = "unsupported_media_type"
 	// CodeInvalidSpec (422): a semantically invalid client submission —
 	// an unknown attack kind, a reload path the daemon cannot load, a
 	// campaign spec that fails validation.
@@ -74,6 +78,8 @@ var (
 	// ErrTooLarge is the 413 / too_large sentinel (request body, model or
 	// population too large for the daemon).
 	ErrTooLarge = errors.New("wire: request too large")
+	// ErrUnsupportedMedia is the 415 / unsupported_media_type sentinel.
+	ErrUnsupportedMedia = errors.New("wire: unsupported media type")
 	// ErrInvalidSpec is the 422 / invalid_spec sentinel.
 	ErrInvalidSpec = errors.New("wire: invalid spec")
 	// ErrVersionConflict is the 409 / version_conflict sentinel.
@@ -127,6 +133,7 @@ var statusTable = []struct {
 	{http.StatusMethodNotAllowed, CodeMethodNotAllowed, ErrMethodNotAllowed},
 	{http.StatusConflict, CodeVersionConflict, ErrVersionConflict},
 	{http.StatusRequestEntityTooLarge, CodeTooLarge, ErrTooLarge},
+	{http.StatusUnsupportedMediaType, CodeUnsupportedMedia, ErrUnsupportedMedia},
 	{http.StatusUnprocessableEntity, CodeInvalidSpec, ErrInvalidSpec},
 	{http.StatusTooManyRequests, CodeQueueFull, ErrQueueFull},
 	{http.StatusInternalServerError, CodeInternal, ErrInternal},

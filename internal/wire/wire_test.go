@@ -21,6 +21,7 @@ func TestStatusCodeSentinelBijection(t *testing.T) {
 		http.StatusMethodNotAllowed:      {CodeMethodNotAllowed, ErrMethodNotAllowed},
 		http.StatusConflict:              {CodeVersionConflict, ErrVersionConflict},
 		http.StatusRequestEntityTooLarge: {CodeTooLarge, ErrTooLarge},
+		http.StatusUnsupportedMediaType:  {CodeUnsupportedMedia, ErrUnsupportedMedia},
 		http.StatusUnprocessableEntity:   {CodeInvalidSpec, ErrInvalidSpec},
 		http.StatusTooManyRequests:       {CodeQueueFull, ErrQueueFull},
 		http.StatusInternalServerError:   {CodeInternal, ErrInternal},
@@ -65,8 +66,8 @@ func TestStatusCodeSentinelBijection(t *testing.T) {
 func TestErrorIsMatchesExactlyOneSentinel(t *testing.T) {
 	sentinels := []error{
 		ErrBadRequest, ErrNotFound, ErrMethodNotAllowed, ErrVersionConflict,
-		ErrTooLarge, ErrInvalidSpec, ErrQueueFull, ErrInternal,
-		ErrUnavailable, ErrRegistryFull, ErrUnknownModel,
+		ErrTooLarge, ErrUnsupportedMedia, ErrInvalidSpec, ErrQueueFull,
+		ErrInternal, ErrUnavailable, ErrRegistryFull, ErrUnknownModel,
 	}
 	for _, status := range Statuses() {
 		err := FromEnvelope(status, Envelope{Error: "boom", Code: CodeForStatus(status)})
