@@ -36,6 +36,7 @@ import (
 	"malevade/internal/detector"
 	"malevade/internal/evaluation"
 	"malevade/internal/experiments"
+	"malevade/internal/gateway"
 	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/server"
@@ -167,6 +168,25 @@ type (
 	ClientStats = client.Stats
 	// ReloadResult reports the model generation Client.Reload swapped in.
 	ReloadResult = client.ReloadResult
+	// RawResult is one unretried verbatim HTTP exchange from Client.Raw —
+	// the relay primitive the gateway's proxy tier is built on.
+	RawResult = client.RawResult
+	// Gateway is the replica-fleet front tier: one HTTP process serving
+	// the daemon's wire API across N scoring replicas, with health
+	// probing, round-robin failover, per-model routing, fleet-sharded
+	// campaigns and aggregated stats. Create with NewGateway, serve like
+	// a Server (it is an http.Handler), Close when done.
+	Gateway = gateway.Gateway
+	// GatewayOptions configures a Gateway (replica URLs, probe cadence,
+	// up/down thresholds, retry budget); the zero value of everything but
+	// Replicas picks defaults.
+	GatewayOptions = gateway.Options
+	// GatewayHealth is the gateway's /healthz payload: fleet status plus
+	// a per-replica breakdown.
+	GatewayHealth = gateway.HealthResponse
+	// GatewayStats is the gateway's /v1/stats payload: fleet-wide sums,
+	// the gateway's own routing counters and the per-replica breakdown.
+	GatewayStats = gateway.StatsResponse
 	// WaitOptions tunes Client.WaitCampaign (poll interval, incremental
 	// snapshot callback).
 	WaitOptions = client.WaitOptions
@@ -277,12 +297,22 @@ var (
 	ErrInternal = wire.ErrInternal
 	// ErrUnavailable: 503 — daemon shut down or shutting down.
 	ErrUnavailable = wire.ErrUnavailable
+	// ErrBadGateway: 502 — every healthy replica behind a gateway failed
+	// to answer the relayed call.
+	ErrBadGateway = wire.ErrBadGateway
+	// ErrNoReplicas: 503 no_replicas — the gateway's fleet has no
+	// healthy member (refines ErrUnavailable's status).
+	ErrNoReplicas = wire.ErrNoReplicas
 	// ErrMixedGenerations: client-side — a version-pinned batch spanned
 	// a hot-reload even after retries.
 	ErrMixedGenerations = wire.ErrMixedGenerations
 	// ErrProtocol: client-side — a response violated the documented wire
 	// contract.
 	ErrProtocol = wire.ErrProtocol
+	// ErrResponseTooLarge: client-side — a response body exceeded the
+	// Client's MaxResponseBytes cap; the call is not retried (a bigger
+	// response would fail the same way).
+	ErrResponseTooLarge = wire.ErrResponseTooLarge
 )
 
 // NewClient returns the typed SDK for the scoring daemon at baseURL,
@@ -367,6 +397,15 @@ func NewScorer(d *DNN, opts ScorerOptions) *Scorer {
 // Close it when done; Reload (or POST /v1/reload, or SIGHUP under
 // `malevade serve`) hot-swaps the model without dropping in-flight requests.
 func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// NewGateway starts the replica-fleet front tier over the scoring daemons
+// listed in opts.Replicas: it health-probes the fleet (one synchronous
+// round before returning), load-balances /v1/score and /v1/label across
+// healthy replicas with bounded failover, routes model-addressed requests
+// to replicas advertising the model, runs fleet-sharded campaigns, and
+// aggregates /v1/stats. Serve it like a Server; Close releases the prober
+// and campaign workers.
+func NewGateway(opts GatewayOptions) (*Gateway, error) { return gateway.New(opts) }
 
 // OpenRegistry loads (or initializes) a disk-backed model registry rooted
 // at opts.Dir, rebuilding every model's live serving instance from its

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"malevade/internal/gateway"
+)
+
+// fleetFile is the JSON shape of the -fleet file: a static replica list,
+// merged with any -replica flags.
+type fleetFile struct {
+	Replicas []string `json:"replicas"`
+}
+
+// cmdGateway runs the replica-fleet scoring gateway: the front tier that
+// health-probes a static list of `malevade serve` replicas and serves the
+// daemon's own wire API across them — load-balanced scoring with
+// failover, per-model routing, fleet-sharded campaigns, aggregated stats.
+// SIGHUP forces an immediate probe round; SIGTERM/SIGINT drains.
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8445", "listen address")
+	var replicas stringList
+	fs.Var(&replicas, "replica", "replica base URL, e.g. http://127.0.0.1:8446 (repeatable)")
+	fleetPath := fs.String("fleet", "",
+		`fleet file: JSON {"replicas":["http://host:port", ...]}, merged with -replica flags`)
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "health-probe interval")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+	failThreshold := fs.Int("fail-threshold", 2, "consecutive failures that mark a replica down")
+	upThreshold := fs.Int("up-threshold", 1, "consecutive successful probes that mark a replica up")
+	maxBytes := fs.Int64("max-bytes", 32<<20, "max request body bytes")
+	retries := fs.Int("retries", 2, "max extra replicas tried per scoring call (-1 disables failover)")
+	craftModel := fs.String("craft-model", "",
+		"default crafting model file for campaigns whose spec has no craft_model_path")
+	timeouts := httpTimeoutFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fleetPath != "" {
+		raw, err := os.ReadFile(*fleetPath)
+		if err != nil {
+			return fmt.Errorf("gateway: -fleet: %w", err)
+		}
+		var ff fleetFile
+		if err := json.Unmarshal(raw, &ff); err != nil {
+			return fmt.Errorf("gateway: -fleet %s: %w", *fleetPath, err)
+		}
+		replicas = append(replicas, ff.Replicas...)
+	}
+	if len(replicas) == 0 {
+		return fmt.Errorf("gateway: no replicas; pass -replica URL (repeatable) or -fleet file.json")
+	}
+	gw, err := gateway.New(gateway.Options{
+		Replicas:       replicas,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *failThreshold,
+		UpThreshold:    *upThreshold,
+		MaxBodyBytes:   *maxBytes,
+		Retries:        *retries,
+		CraftModelPath: *craftModel,
+		Log:            os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	banner := func(bound string) {
+		fmt.Fprintf(os.Stderr, "gateway on http://%s fronting %d replica(s); SIGHUP re-probes, SIGTERM drains\n",
+			bound, len(replicas))
+	}
+	return runHTTP("gateway", *addr, gw, timeouts, gw.Probe, banner)
+}

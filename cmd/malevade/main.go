@@ -7,6 +7,7 @@
 //	malevade attack  -model target.gob -data data/test.gob -theta 0.1 -gamma 0.025
 //	malevade score   -model target.gob -data data/test.gob -clients 8
 //	malevade serve   -model target.gob -addr 127.0.0.1:8446
+//	malevade gateway -replica http://127.0.0.1:8446 -replica http://127.0.0.1:8447
 //	malevade campaign submit -attack jsma -theta 0.1 -gamma 0.025 -watch
 //	malevade models  list|register|promote|gc|rm      manage registered detectors
 //	malevade vocab                                    print the 491-API vocabulary
@@ -48,6 +49,8 @@ func run(args []string) error {
 		return cmdScore(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "gateway":
+		return cmdGateway(args[1:])
 	case "campaign":
 		return cmdCampaign(args[1:])
 	case "models":
@@ -75,6 +78,7 @@ commands:
   attack    run the JSMA attack against a saved model
   score     score a dataset through the concurrent batched engine
   serve     run the HTTP scoring daemon (hot-reload via SIGHUP or /v1/reload)
+  gateway   front a fleet of serve replicas: probing, failover, fan-out
   campaign  submit/watch/list/cancel evasion campaigns on a daemon
   models    list/register/promote/gc/rm the daemon's registered detectors
   vocab     print the 491-API feature vocabulary

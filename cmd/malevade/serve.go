@@ -1,16 +1,10 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
 	"malevade/internal/defense"
 	"malevade/internal/serve"
@@ -30,7 +24,7 @@ func cmdServe(args []string) error {
 	batch := fs.Int("batch", 256, "max rows per merged forward pass")
 	maxRows := fs.Int("max-rows", 4096, "max rows per scoring request")
 	maxBytes := fs.Int64("max-bytes", 32<<20, "max request body bytes")
-	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	timeouts := httpTimeoutFlags(fs)
 	defensesJSON := fs.String("defenses", "",
 		`servable defense chain as JSON, e.g. '[{"kind":"squeeze","bits":3,"threshold":0.2}]' (data-consuming defenses are built offline; see docs/ERRORS.md and ApplyDefenses)`)
 	registryDir := fs.String("registry", "",
@@ -61,41 +55,17 @@ func cmdServe(args []string) error {
 	}
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
-	errCh := make(chan error, 1)
-	go func() {
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			errCh <- err
+	onHUP := func() {
+		version, err := srv.Reload("")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: reload failed, keeping current model: %v\n", err)
+			return
 		}
-	}()
-	fmt.Fprintf(os.Stderr, "serving %s on http://%s (version %d); SIGHUP reloads, SIGTERM drains\n",
-		*modelPath, *addr, srv.ModelVersion())
-
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, syscall.SIGHUP, syscall.SIGTERM, syscall.SIGINT)
-	defer signal.Stop(sigCh)
-	for {
-		select {
-		case err := <-errCh:
-			return fmt.Errorf("serve: %w", err)
-		case sig := <-sigCh:
-			if sig == syscall.SIGHUP {
-				version, err := srv.Reload("")
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "serve: reload failed, keeping current model: %v\n", err)
-					continue
-				}
-				fmt.Fprintf(os.Stderr, "serve: hot-reloaded model (version %d)\n", version)
-				continue
-			}
-			fmt.Fprintf(os.Stderr, "serve: %v received, draining...\n", sig)
-			ctx, cancel := context.WithTimeout(context.Background(), *drain)
-			err := httpSrv.Shutdown(ctx)
-			cancel()
-			if err != nil {
-				return fmt.Errorf("serve: shutdown: %w", err)
-			}
-			return nil
-		}
+		fmt.Fprintf(os.Stderr, "serve: hot-reloaded model (version %d)\n", version)
 	}
+	banner := func(bound string) {
+		fmt.Fprintf(os.Stderr, "serving %s on http://%s (version %d); SIGHUP reloads, SIGTERM drains\n",
+			*modelPath, bound, srv.ModelVersion())
+	}
+	return runHTTP("serve", *addr, srv, timeouts, onHUP, banner)
 }

@@ -1,0 +1,138 @@
+// Gateway stands up a two-replica scoring fleet behind the fleet gateway
+// in one process: train a small detector, start two `serve`-equivalent
+// daemons over the same model file, front them with malevade.NewGateway,
+// and drive the fleet through the unchanged client SDK — score through
+// the proxy, watch a replica die and the fleet route around it, shard a
+// campaign across both replicas, and read the aggregated stats.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"malevade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Operator side: one trained model file, served by two replicas.
+	corpus, err := malevade.GenerateCorpus(malevade.TableIConfig(1).Scaled(150))
+	if err != nil {
+		return err
+	}
+	target, err := malevade.TrainDetector(corpus.Train, malevade.DetectorConfig{
+		WidthScale: 0.1, Epochs: 15, BatchSize: 64, Seed: 5,
+	})
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "malevade-gateway")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "target.gob")
+	if err := target.Net.SaveFile(modelPath); err != nil {
+		return err
+	}
+
+	var replicas []*httptest.Server
+	for i := 0; i < 2; i++ {
+		srv, err := malevade.NewServer(malevade.ServerOptions{ModelPath: modelPath})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		replicas = append(replicas, ts)
+	}
+
+	// The front tier: probes both replicas synchronously before returning,
+	// so the fleet is routable immediately.
+	gw, err := malevade.NewGateway(malevade.GatewayOptions{
+		Replicas:       []string{replicas[0].URL, replicas[1].URL},
+		ProbeInterval:  200 * time.Millisecond,
+		CraftModelPath: modelPath,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	front := httptest.NewServer(gw)
+	defer front.Close()
+
+	// Client side: the same SDK that talks to one daemon talks to the
+	// fleet — nothing about the caller changes.
+	c := malevade.NewClient(front.URL)
+	mal := corpus.Test.FilterLabel(malevade.LabelMalware)
+	population := make([][]float64, 48)
+	for i := range population {
+		population[i] = append([]float64(nil), mal.X.Row(i)...)
+	}
+	batch := &malevade.Matrix{Rows: 32, Cols: mal.X.Cols, Data: mal.X.Data[:32*mal.X.Cols]}
+	verdicts, generation, err := c.Score(ctx, batch)
+	if err != nil {
+		return err
+	}
+	detected := 0
+	for _, v := range verdicts {
+		if v.Class == malevade.LabelMalware {
+			detected++
+		}
+	}
+	fmt.Printf("fleet scored %d rows (generation %d): %d/%d detected\n",
+		len(verdicts), generation, detected, len(verdicts))
+
+	// Kill one replica. The gateway retries its next requests on the
+	// surviving replica and ejects the dead one after consecutive
+	// failures — callers just see answers.
+	replicas[0].CloseClientConnections()
+	replicas[0].Close()
+	if _, _, err := c.Score(ctx, batch); err != nil {
+		return fmt.Errorf("scoring after replica death: %w", err)
+	}
+	fmt.Println("replica 0 killed: fleet still answering")
+
+	// A campaign submitted to the gateway is sharded across the fleet
+	// batch by batch, each batch judged wholly by one replica generation.
+	spec := malevade.CampaignSpec{
+		Name:           "fleet-demo",
+		Attack:         malevade.AttackConfig{Kind: "fgsm", Theta: 0.3},
+		CraftModelPath: modelPath,
+		Rows:           population,
+		BatchSize:      8,
+	}
+	snap, err := c.SubmitCampaign(ctx, spec)
+	if err != nil {
+		return err
+	}
+	final, err := c.WaitCampaign(ctx, snap.ID, malevade.WaitOptions{Interval: 20 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s: %s, %d/%d samples, evasion %.2f, generations %v\n",
+		final.ID, final.Status, final.DoneSamples, final.TotalSamples,
+		final.EvasionRate, final.Generations)
+
+	// The aggregated view: fleet-wide sums plus the gateway's own
+	// routing counters.
+	health, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet health: %s\n", health.Status)
+	return nil
+}

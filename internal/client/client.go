@@ -198,6 +198,11 @@ type Health struct {
 	// Models counts the registry's named models (absent on daemons
 	// without a registry).
 	Models int `json:"models,omitempty"`
+	// ModelNames lists the registry's model names, sorted (absent on
+	// daemons without a registry). One health probe therefore carries
+	// everything a routing tier needs: liveness, generation, and which
+	// named detectors this replica can serve.
+	ModelNames []string `json:"model_names,omitempty"`
 }
 
 // Stats is the /v1/stats response; counters are cumulative across reloads.
@@ -282,8 +287,9 @@ func retryable(err error) bool {
 	if errors.As(err, &we) {
 		return we.Status >= 500
 	}
-	// Undecodable success bodies are protocol violations, not blips.
-	return !errors.Is(err, wire.ErrProtocol)
+	// Undecodable success bodies are protocol violations, not blips, and
+	// an over-limit response will be exactly as large on the next attempt.
+	return !errors.Is(err, wire.ErrProtocol) && !errors.Is(err, wire.ErrResponseTooLarge)
 }
 
 // once runs a single HTTP exchange.
@@ -308,7 +314,7 @@ func (c *Client) once(ctx context.Context, method, path, contentType string, bod
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResponseBytes()))
+	raw, err := c.readLimited(resp.Body)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return ctxErr
@@ -327,6 +333,79 @@ func (c *Client) once(ctx context.Context, method, path, contentType string, bod
 		return fmt.Errorf("client: decode %s %s response: %v: %w", method, path, err, wire.ErrProtocol)
 	}
 	return nil
+}
+
+// readLimited reads a response body under MaxResponseBytes, detecting —
+// rather than silently committing — an overflow: it reads one byte past
+// the cap, and a body that large is refused whole with
+// wire.ErrResponseTooLarge. (An earlier version clipped the body at
+// exactly the cap, so an oversized campaign snapshot surfaced as a
+// baffling ErrProtocol "unexpected end of JSON input".)
+func (c *Client) readLimited(body io.Reader) ([]byte, error) {
+	max := c.maxResponseBytes()
+	raw, err := io.ReadAll(io.LimitReader(body, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) > max {
+		return nil, fmt.Errorf("response exceeds %d bytes: %w", max, wire.ErrResponseTooLarge)
+	}
+	return raw, nil
+}
+
+// RawResult is one verbatim HTTP exchange as Raw returns it: the status,
+// the response Content-Type and the unparsed body, exactly as the daemon
+// sent them.
+type RawResult struct {
+	// Status is the HTTP status code (refusals included — a 4xx/5xx is a
+	// result here, not an error).
+	Status int
+	// ContentType is the response's Content-Type header, verbatim.
+	ContentType string
+	// Body is the raw response body, bounded by MaxResponseBytes.
+	Body []byte
+}
+
+// Raw performs exactly one HTTP exchange against path and returns the
+// response verbatim — no retries, no envelope decoding, no JSON at all.
+// It exists for front tiers (the scoring gateway) that relay daemon
+// traffic without re-encoding it and own their failover policy, so a
+// refused call is a RawResult carrying the daemon's own status and error
+// envelope, not a Go error. The error cases are the transport's: a failed
+// exchange, a cancelled ctx, or a response past MaxResponseBytes
+// (wire.ErrResponseTooLarge).
+func (c *Client) Raw(ctx context.Context, method, path, contentType string, body []byte) (RawResult, error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+	if err != nil {
+		return RawResult{}, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return RawResult{}, ctxErr
+		}
+		return RawResult{}, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := c.readLimited(resp.Body)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return RawResult{}, ctxErr
+		}
+		return RawResult{}, fmt.Errorf("client: read %s %s response: %w", method, path, err)
+	}
+	return RawResult{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        raw,
+	}, nil
 }
 
 // chunks yields [start,end) row windows of at most MaxBatch rows.

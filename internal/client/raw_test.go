@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"malevade/internal/wire"
+)
+
+// TestOverLimitResponseIsTypedError is the truncation-bugfix regression:
+// a response body one byte past MaxResponseBytes must surface as
+// wire.ErrResponseTooLarge — not be silently clipped at the cap and then
+// misreported as a protocol violation when the truncated JSON fails to
+// decode.
+func TestOverLimitResponseIsTypedError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		// A syntactically valid JSON body longer than the client cap: the
+		// old LimitReader-at-exactly-max bug would clip it mid-token and
+		// blame the daemon with ErrProtocol.
+		w.Write([]byte(`{"status":"` + strings.Repeat("x", 256) + `"}`))
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxResponseBytes = 128
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("over-limit response decoded without error")
+	}
+	if !errors.Is(err, wire.ErrResponseTooLarge) {
+		t.Fatalf("err = %v, want wire.ErrResponseTooLarge", err)
+	}
+	if errors.Is(err, wire.ErrProtocol) {
+		t.Fatalf("over-limit response misreported as protocol violation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "128 bytes") {
+		t.Fatalf("error does not name the cap: %v", err)
+	}
+	// Deterministic failure: the idempotent call must not have retried.
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("over-limit response fetched %d times, want 1 (not retryable)", got)
+	}
+}
+
+// TestAtLimitResponseStillDecodes: the cap is inclusive — a body of
+// exactly MaxResponseBytes decodes normally (the fix reads max+1 to
+// detect overflow, it must not shrink the usable window).
+func TestAtLimitResponseStillDecodes(t *testing.T) {
+	body := `{"status":"ok","model_version":7}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxResponseBytes = int64(len(body))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("at-limit response: %v", err)
+	}
+	if h.ModelVersion != 7 {
+		t.Fatalf("decoded version %d, want 7", h.ModelVersion)
+	}
+}
+
+// TestRawRelaysVerbatim: Raw must hand back the daemon's exact status,
+// Content-Type and body bytes — including refusals, which are results for
+// a proxy tier, not errors — and must send the request body verbatim.
+func TestRawRelaysVerbatim(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/score" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if ct := r.Header.Get("Content-Type"); ct != wire.ContentTypeRowsF32 {
+			t.Errorf("Content-Type = %q, want the binary frame type", ct)
+		}
+		got := make([]byte, 5)
+		r.Body.Read(got)
+		if string(got) != "hello" {
+			t.Errorf("body = %q, want %q", got, "hello")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte(`{"error":"short and stout","code":"bad_request"}`))
+	}))
+	defer ts.Close()
+
+	res, err := New(ts.URL).Raw(context.Background(), http.MethodPost, "/v1/score",
+		wire.ContentTypeRowsF32, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Raw: %v", err)
+	}
+	if res.Status != http.StatusTeapot {
+		t.Fatalf("status %d, want 418", res.Status)
+	}
+	if res.ContentType != "application/json" {
+		t.Fatalf("content type %q", res.ContentType)
+	}
+	if !strings.Contains(string(res.Body), "short and stout") {
+		t.Fatalf("body %q", res.Body)
+	}
+}
+
+// TestRawOverLimitAndTransportErrors: Raw shares the over-limit
+// discipline with the JSON path, and transport failures are Go errors.
+func TestRawOverLimitAndTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("y", 64)))
+	}))
+	c := New(ts.URL)
+	c.MaxResponseBytes = 16
+	if _, err := c.Raw(context.Background(), http.MethodGet, "/healthz", "", nil); !errors.Is(err, wire.ErrResponseTooLarge) {
+		t.Fatalf("err = %v, want wire.ErrResponseTooLarge", err)
+	}
+	ts.Close()
+	if _, err := New(ts.URL).Raw(context.Background(), http.MethodGet, "/healthz", "", nil); err == nil {
+		t.Fatal("transport failure must surface as an error")
+	}
+}

@@ -1,0 +1,183 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/campaign"
+	"malevade/internal/client"
+	"malevade/internal/server"
+	"malevade/internal/wire"
+)
+
+// campaignSpec builds a deterministic explicit-population campaign: the
+// rows and the crafting model are fixed, so the same spec run anywhere
+// against the same model file must produce identical per-sample results.
+func campaignSpec(modelPath string, samples, batch int) campaign.Spec {
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]float64, samples)
+	for i := range rows {
+		rows[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return campaign.Spec{
+		Name:           "fleet-parity",
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.4},
+		CraftModelPath: modelPath,
+		Rows:           rows,
+		BatchSize:      batch,
+	}
+}
+
+func runCampaign(t *testing.T, baseURL string, sp campaign.Spec) campaign.Snapshot {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := fastClient(baseURL)
+	snap, err := c.SubmitCampaign(ctx, sp)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.WaitCampaign(ctx, snap.ID, client.WaitOptions{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return final
+}
+
+// assertCampaignsEqual compares per-sample outcomes, which is the paper's
+// currency: the same population judged by the same model must evade (or
+// not) identically wherever the judging ran.
+func assertCampaignsEqual(t *testing.T, got, want campaign.Snapshot) {
+	t.Helper()
+	if got.Status != campaign.StatusDone {
+		t.Fatalf("campaign status %q (error %q), want done", got.Status, got.Error)
+	}
+	if got.TotalSamples != want.TotalSamples || got.DoneSamples != want.DoneSamples {
+		t.Fatalf("sample counts got %d/%d, want %d/%d",
+			got.DoneSamples, got.TotalSamples, want.DoneSamples, want.TotalSamples)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		g, w := got.Results[i], want.Results[i]
+		if g.Index != w.Index || g.BaselineDetected != w.BaselineDetected ||
+			g.Evaded != w.Evaded || g.CraftEvaded != w.CraftEvaded ||
+			g.L2 != w.L2 || g.ModifiedFeatures != w.ModifiedFeatures {
+			t.Fatalf("sample %d diverged:\n fleet:  %+v\n single: %+v", i, g, w)
+		}
+	}
+	if got.EvasionRate != want.EvasionRate || got.BaselineDetectionRate != want.BaselineDetectionRate {
+		t.Fatalf("rates diverged: evasion %v vs %v, baseline %v vs %v",
+			got.EvasionRate, want.EvasionRate, got.BaselineDetectionRate, want.BaselineDetectionRate)
+	}
+}
+
+// TestGatewayCampaignMatchesSingleDaemon: a campaign fanned out across a
+// 2-replica fleet produces sample-for-sample the results of the same
+// campaign on one daemon, and every batch stays generation-pinned (the
+// snapshot's generation list holds the fleet's one live generation).
+func TestGatewayCampaignMatchesSingleDaemon(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	solo := newReplica(t, server.Options{ModelPath: modelPath})
+	r1 := newReplica(t, server.Options{ModelPath: modelPath})
+	r2 := newReplica(t, server.Options{ModelPath: modelPath})
+	g := newGateway(t, Options{Replicas: []string{r1.URL, r2.URL}})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	sp := campaignSpec(modelPath, 24, 4) // 6 batches round-robin across 2 replicas
+	want := runCampaign(t, solo.URL, sp)
+	got := runCampaign(t, gts.URL, sp)
+	assertCampaignsEqual(t, got, want)
+	if len(got.Generations) != 1 {
+		t.Fatalf("fleet campaign saw generations %v; batches must stay generation-pinned", got.Generations)
+	}
+	if got.Batches != 6 {
+		t.Fatalf("batches = %d, want 6", got.Batches)
+	}
+}
+
+// TestGatewayCampaignSurvivesReplicaDeath is the failover e2e: one of two
+// replicas is killed right after the campaign is submitted. The campaign
+// must finish done with zero dropped samples, zero mixed-generation
+// batches, and results identical to a single-daemon run — a dead replica
+// costs retries, never correctness.
+func TestGatewayCampaignSurvivesReplicaDeath(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	solo := newReplica(t, server.Options{ModelPath: modelPath})
+	stable := newReplica(t, server.Options{ModelPath: modelPath})
+	doomedSrv, err := server.New(server.Options{ModelPath: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(doomedSrv.Close)
+	doomed := httptest.NewServer(doomedSrv)
+
+	g := newGateway(t, Options{
+		Replicas:      []string{stable.URL, doomed.URL},
+		FailThreshold: 1, // eject the dead replica on its first refused batch
+	})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	sp := campaignSpec(modelPath, 60, 4) // 15 batches: plenty still queued at kill time
+	want := runCampaign(t, solo.URL, sp)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	gc := fastClient(gts.URL)
+	snap, err := gc.SubmitCampaign(ctx, sp)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Kill the replica while the campaign runs: drop its live connections
+	// and stop accepting new ones.
+	doomed.CloseClientConnections()
+	doomed.Close()
+
+	got, err := gc.WaitCampaign(ctx, snap.ID, client.WaitOptions{Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	assertCampaignsEqual(t, got, want)
+	if len(got.Generations) != 1 {
+		t.Fatalf("failover campaign saw generations %v; want exactly one", got.Generations)
+	}
+	if got.DoneSamples != 60 {
+		t.Fatalf("dropped samples: done %d of 60", got.DoneSamples)
+	}
+}
+
+// TestGatewayCampaignNamedTargetUnknownModel: submitting a campaign whose
+// target_model no probed replica advertises is refused synchronously with
+// the registry taxonomy's 404 unknown_model, exactly like a single daemon
+// whose registry lacks the model.
+func TestGatewayCampaignNamedTargetUnknownModel(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	r1 := newReplica(t, server.Options{ModelPath: modelPath})
+	g := newGateway(t, Options{Replicas: []string{r1.URL}})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	sp := campaignSpec(modelPath, 8, 4)
+	sp.TargetModel = "nobody-has-this"
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := fastClient(gts.URL).SubmitCampaign(ctx, sp)
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Status != 404 || we.Code != wire.CodeUnknownModel {
+		t.Fatalf("submit err = %v, want 404 %s", err, wire.CodeUnknownModel)
+	}
+}

@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"malevade/internal/server"
+	"malevade/internal/wire"
+)
+
+// FuzzGatewayProxy throws arbitrary bodies and content types at the
+// gateway's proxy tier with a real replica behind it. The front-tier
+// contract under attack-shaped input: the gateway never panics and never
+// originates a 5xx for malformed input — with a healthy fleet, whatever
+// comes back is either the replica's own verdict (200) or the replica's
+// own 4xx refusal, relayed verbatim. 502/503 would mean a hostile body
+// crashed the replica path or confused the gateway into blaming the
+// fleet; both are bugs this target exists to catch.
+func FuzzGatewayProxy(f *testing.F) {
+	f.Add([]byte(`{"rows": [[0.1, 0.2, 0.3]]}`), wire.ContentTypeJSON)
+	f.Add([]byte(`{"model":"solo","rows":[[0,0,0]]}`), wire.ContentTypeJSON)
+	f.Add([]byte(`{"rows": "not an array"}`), wire.ContentTypeJSON)
+	f.Add([]byte(`not json at all`), wire.ContentTypeJSON)
+	f.Add([]byte(``), wire.ContentTypeJSON)
+	f.Add([]byte(`{"rows":[[1e999]]}`), "application/json; charset=utf-8")
+	frame, err := wire.AppendFrame(nil, "", 1, 3, []float32{0.1, 0.2, 0.3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame, wire.ContentTypeRowsF32)
+	f.Add(frame[:8], wire.ContentTypeRowsF32)
+	f.Add([]byte("MVF1garbage"), wire.ContentTypeRowsF32)
+	f.Add(frame, "completely/bogus")
+
+	modelPath := saveTestNet(f, f.TempDir(), "fuzz.gob", []int{3, 8, 2}, 7)
+	srv, err := server.New(server.Options{ModelPath: modelPath, MaxRows: 8, MaxBodyBytes: 1 << 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.Close)
+	replica := httptest.NewServer(srv)
+	f.Cleanup(replica.Close)
+	g, err := New(Options{
+		Replicas:     []string{replica.URL},
+		NewClient:    fastClient,
+		MaxBodyBytes: 1 << 12,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(g.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte, contentType string) {
+		for _, path := range []string{"/v1/score", "/v1/label"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			req.Header.Set("Content-Type", contentType)
+			w := httptest.NewRecorder()
+			g.ServeHTTP(w, req)
+			if w.Code >= http.StatusInternalServerError {
+				t.Fatalf("%s answered %d for body %q (%s): %s",
+					path, w.Code, body, contentType, w.Body.Bytes())
+			}
+			if w.Code != http.StatusOK {
+				var env wire.Envelope
+				if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error == "" {
+					t.Fatalf("%s refusal %d is not an error envelope: %q",
+						path, w.Code, w.Body.Bytes())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package gateway is the fleet front tier of the malevade serving stack:
+// one HTTP process that speaks the daemon's own wire API — /v1/score,
+// /v1/label (JSON and binary rows frames, proxied without re-encoding),
+// /healthz, /v1/stats and the asynchronous /v1/campaigns API — and serves
+// it by routing across N scoring-daemon replicas. The paper's deployed
+// detector stops being one process: the gateway health-probes a static
+// replica list, marks members up and down on consecutive-failure/success
+// thresholds, load-balances scoring traffic round-robin with bounded
+// retry-on-next-replica for idempotent calls, routes model-addressed
+// requests to replicas whose registries advertise the model, fans
+// campaign populations out across the fleet one generation-pinned batch
+// at a time, and aggregates /v1/stats fleet-wide.
+//
+// The gateway is a pure consumer of the client SDK (internal/client): it
+// holds no model, no registry and no scoring engine, and everything it
+// says to a replica travels the same typed client a remote attacker would
+// use. Errors it originates speak the wire taxonomy — 502 bad_gateway
+// when every healthy replica failed to answer, 503 no_replicas (a
+// refinement of unavailable) when the fleet has no healthy member.
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malevade/internal/campaign"
+	"malevade/internal/client"
+	"malevade/internal/nn"
+	"malevade/internal/wire"
+)
+
+// Options configures a Gateway. Replicas is required; everything else has
+// defaults sized for a small LAN fleet.
+type Options struct {
+	// Replicas lists the scoring daemons' base URLs, e.g.
+	// "http://10.0.0.7:8446". Required, at least one.
+	Replicas []string
+	// NewClient builds the SDK client for one replica (nil = client.New).
+	// Tests inject clients with tightened limits here.
+	NewClient func(baseURL string) *client.Client
+	// ProbeInterval is how often each replica is health-probed
+	// (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive failures — probes or live
+	// traffic — mark an up replica down (default 2).
+	FailThreshold int
+	// UpThreshold is how many consecutive successful probes mark a down
+	// replica up again (default 1).
+	UpThreshold int
+	// MaxBodyBytes caps proxied request bodies (default 32 MiB, matching
+	// the daemon's own default). Larger bodies are refused with 413
+	// before any replica sees them.
+	MaxBodyBytes int64
+	// Retries bounds how many additional replicas an idempotent scoring
+	// call is retried against after a failure (default 2; negative
+	// disables failover). The fleet size bounds it implicitly — each
+	// replica is tried at most once per request.
+	Retries int
+	// CraftModelPath names the default crafting model file (nn.SaveFile)
+	// for campaigns whose spec carries no craft_model_path. The gateway
+	// holds no model of its own, so white-box-by-default crafting needs
+	// an explicit file; empty means such specs fail.
+	CraftModelPath string
+	// Campaigns tunes the gateway's campaign engine (workers, queue
+	// depth, sample caps). Target factories left nil are filled with
+	// fleet-routing implementations.
+	Campaigns campaign.Options
+	// Log, when non-nil, receives one line per replica state transition.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.NewClient == nil {
+		o.NewClient = client.New
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.UpThreshold <= 0 {
+		o.UpThreshold = 1
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	switch {
+	case o.Retries == 0:
+		o.Retries = 2
+	case o.Retries < 0:
+		o.Retries = 0
+	}
+	return o
+}
+
+// replica is one fleet member: its SDK client plus the prober's view of
+// its health. The identity fields are immutable; everything behind mu is
+// shared between the prober, the proxy path and the campaign target.
+type replica struct {
+	url string
+	c   *client.Client
+
+	mu         sync.Mutex
+	up         bool
+	consecFail int
+	consecOK   int
+	lastErr    string
+	generation int64
+	models     map[string]bool // registry models this replica advertises
+
+	served atomic.Int64 // proxied scoring calls this replica answered
+	failed atomic.Int64 // proxied/probe calls this replica failed
+}
+
+func (r *replica) isUp() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.up
+}
+
+func (r *replica) hasModel(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.models[name]
+}
+
+// Gateway is the fleet front tier. Create with New, serve with any
+// http.Server (it implements http.Handler), and Close when done.
+type Gateway struct {
+	opts     Options
+	replicas []*replica
+	mux      *http.ServeMux
+
+	campaigns *campaign.Engine
+
+	rr      atomic.Uint64 // round-robin cursor
+	started time.Time
+	closed  atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	requests atomic.Int64 // scoring calls proxied (success or relayed refusal)
+	rejected atomic.Int64 // scoring calls the gateway itself refused (4xx)
+	retries  atomic.Int64 // retry-on-next-replica occurrences
+}
+
+// New builds a gateway over opts.Replicas, runs one synchronous probe
+// round (so a fleet that is already serving is routable immediately), and
+// starts the background prober.
+func New(opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("gateway: Options.Replicas is required")
+	}
+	g := &Gateway{
+		opts:    opts,
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(opts.Replicas))
+	for _, raw := range opts.Replicas {
+		url := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if url == "" {
+			return nil, fmt.Errorf("gateway: empty replica URL")
+		}
+		if seen[url] {
+			return nil, fmt.Errorf("gateway: duplicate replica %s", url)
+		}
+		seen[url] = true
+		g.replicas = append(g.replicas, &replica{url: url, c: opts.NewClient(url)})
+	}
+
+	campaignOpts := opts.Campaigns
+	if campaignOpts.LocalTarget == nil {
+		campaignOpts.LocalTarget = &fleetTarget{g: g}
+	}
+	if campaignOpts.NamedTarget == nil {
+		campaignOpts.NamedTarget = g.namedTarget
+	}
+	if campaignOpts.RemoteTarget == nil {
+		campaignOpts.RemoteTarget = func(baseURL string) (campaign.Target, error) {
+			return client.NewRemoteTarget(baseURL), nil
+		}
+	}
+	if campaignOpts.CraftModel == nil {
+		path := opts.CraftModelPath
+		campaignOpts.CraftModel = func() (*nn.Network, error) {
+			if path == "" {
+				return nil, fmt.Errorf("gateway: spec names no craft_model_path and the gateway was started without -craft-model")
+			}
+			return nn.LoadFile(path)
+		}
+	}
+	g.campaigns = campaign.NewEngine(campaignOpts)
+
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/v1/score", func(w http.ResponseWriter, r *http.Request) { g.proxyScoring(w, r, "/v1/score") })
+	g.mux.HandleFunc("/v1/label", func(w http.ResponseWriter, r *http.Request) { g.proxyScoring(w, r, "/v1/label") })
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/v1/stats", g.handleStats)
+	g.mux.HandleFunc("POST /v1/campaigns", g.handleCampaignSubmit)
+	g.mux.HandleFunc("GET /v1/campaigns", g.handleCampaignList)
+	g.mux.HandleFunc("GET /v1/campaigns/{id}", g.handleCampaignGet)
+	g.mux.HandleFunc("DELETE /v1/campaigns/{id}", g.handleCampaignCancel)
+
+	g.probeAll() // synchronous first round: healthy replicas are up before New returns
+	g.wg.Add(1)
+	go g.probeLoop()
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.closed.Load() {
+		wire.WriteError(w, http.StatusServiceUnavailable, "gateway is shut down")
+		return
+	}
+	g.mux.ServeHTTP(w, r)
+}
+
+// Close stops the prober, cancels running campaigns and drains the
+// campaign workers. Subsequent requests are answered 503. Idempotent.
+func (g *Gateway) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	close(g.stop)
+	g.wg.Wait()
+	g.campaigns.Close()
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.opts.Log != nil {
+		fmt.Fprintf(g.opts.Log, format, args...)
+	}
+}
+
+// healthy snapshots the replicas currently marked up.
+func (g *Gateway) healthy() []*replica {
+	out := make([]*replica, 0, len(g.replicas))
+	for _, r := range g.replicas {
+		if r.isUp() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// pick selects the next replica for one attempt: round-robin over healthy
+// replicas not yet tried this request, preferring — when the request
+// addresses a registry model — replicas that advertise it. When no
+// healthy replica advertises the model, every healthy replica is a
+// candidate: advertisement data is only as fresh as the last probe, and
+// the replica's own 404 unknown_model is the authoritative answer.
+func (g *Gateway) pick(model string, tried map[*replica]bool) *replica {
+	up := g.healthy()
+	candidates := up
+	if model != "" {
+		advertising := make([]*replica, 0, len(up))
+		for _, r := range up {
+			if r.hasModel(model) {
+				advertising = append(advertising, r)
+			}
+		}
+		if len(advertising) > 0 {
+			candidates = advertising
+		}
+	}
+	n := len(candidates)
+	if n == 0 {
+		return nil
+	}
+	start := int(g.rr.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		r := candidates[(start+i)%n]
+		if !tried[r] {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,477 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malevade/internal/client"
+	"malevade/internal/nn"
+	"malevade/internal/server"
+	"malevade/internal/wire"
+)
+
+// saveTestNet writes a small deterministic MLP and returns its path.
+func saveTestNet(t testing.TB, dir, name string, dims []int, seed uint64) string {
+	t.Helper()
+	net, err := nn.NewMLP(nn.MLPConfig{Dims: dims, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newReplica starts one real scoring daemon over modelPath and returns its
+// HTTP server. Callers close ts; the daemon closes via t.Cleanup.
+func newReplica(t testing.TB, opts server.Options) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fastClient keeps test retries quick.
+func fastClient(url string) *client.Client {
+	c := client.New(url)
+	c.RetryBackoff = time.Millisecond
+	return c
+}
+
+// newGateway builds a gateway whose prober only runs when the test calls
+// Probe() (interval = 1h), so fleet-state transitions are deterministic.
+func newGateway(t testing.TB, opts Options) *Gateway {
+	t.Helper()
+	if opts.NewClient == nil {
+		opts.NewClient = fastClient
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = time.Hour
+	}
+	if opts.ProbeTimeout == 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	g, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func postRaw(t testing.TB, h http.Handler, path, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func getJSON(t testing.TB, h http.Handler, path string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", path, err, w.Body.Bytes())
+		}
+	}
+	return w.Code
+}
+
+// TestGatewayBitIdenticalToSingleDaemon is the fleet-parity contract: a
+// 2-replica fleet behind the gateway must answer /v1/score and /v1/label —
+// JSON and binary rows frames alike — byte-for-byte identically to one
+// daemon serving the same model file, across several requests so both
+// replicas take turns answering.
+func TestGatewayBitIdenticalToSingleDaemon(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	reference, err := server.New(server.Options{ModelPath: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reference.Close()
+	r1 := newReplica(t, server.Options{ModelPath: modelPath})
+	r2 := newReplica(t, server.Options{ModelPath: modelPath})
+	g := newGateway(t, Options{Replicas: []string{r1.URL, r2.URL}})
+
+	jsonBody := []byte(`{"rows":[[0.9,0.1,0.4],[0.2,0.8,0.6],[0,1,1]]}`)
+	frame, err := wire.AppendFrame(nil, "", 3, 3, []float32{0.9, 0.1, 0.4, 0.2, 0.8, 0.6, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		path, contentType string
+		body              []byte
+	}{
+		{"/v1/score", wire.ContentTypeJSON, jsonBody},
+		{"/v1/label", wire.ContentTypeJSON, jsonBody},
+		{"/v1/score", wire.ContentTypeRowsF32, frame},
+		{"/v1/label", wire.ContentTypeRowsF32, frame},
+	}
+	for _, tc := range cases {
+		want := postRaw(t, reference, tc.path, tc.contentType, tc.body)
+		// Four rounds so round-robin visits both replicas per case.
+		for i := 0; i < 4; i++ {
+			got := postRaw(t, g, tc.path, tc.contentType, tc.body)
+			if got.Code != want.Code {
+				t.Fatalf("%s (%s) round %d: status %d vs daemon %d: %s",
+					tc.path, tc.contentType, i, got.Code, want.Code, got.Body.Bytes())
+			}
+			if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+				t.Fatalf("%s (%s) round %d: fleet answer diverged from single daemon\n gateway: %s\n daemon:  %s",
+					tc.path, tc.contentType, i, got.Body.Bytes(), want.Body.Bytes())
+			}
+		}
+	}
+	// Both replicas must have carried traffic for the parity claim to
+	// mean anything.
+	for _, r := range g.replicas {
+		if r.served.Load() == 0 {
+			t.Fatalf("replica %s served no requests; round-robin is broken", r.url)
+		}
+	}
+}
+
+// TestGatewayNoReplicas: with every replica down, scoring answers the 503
+// no_replicas refinement (not a generic 503) and /healthz fails closed.
+func TestGatewayNoReplicas(t *testing.T) {
+	t.Parallel()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from the start
+	g := newGateway(t, Options{Replicas: []string{dead.URL}})
+
+	w := postRaw(t, g, "/v1/score", wire.ContentTypeJSON, []byte(`{"rows":[[0,0,0]]}`))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", w.Code, w.Body.Bytes())
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("non-envelope refusal: %s", w.Body.Bytes())
+	}
+	if env.Code != wire.CodeNoReplicas {
+		t.Fatalf("code = %q, want %q", env.Code, wire.CodeNoReplicas)
+	}
+	var h HealthResponse
+	if code := getJSON(t, g, "/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status = %d, want 503", code)
+	}
+	if h.Status != "no_replicas" || h.ReplicasUp != 0 {
+		t.Fatalf("healthz = %+v, want no_replicas with 0 up", h)
+	}
+}
+
+// TestGatewayFailover: a replica that probes healthy but serves 500s costs
+// one retry, not a failed request — the good replica answers and the
+// retry counter records the detour. A 4xx, by contrast, is authoritative
+// and relayed without burning retries.
+func TestGatewayFailover(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	good := newReplica(t, server.Options{ModelPath: modelPath})
+	var bad *httptest.Server
+	bad = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			wire.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "model_version": 1})
+			return
+		}
+		wire.WriteError(w, http.StatusInternalServerError, "replica fault")
+	}))
+	defer bad.Close()
+	g := newGateway(t, Options{Replicas: []string{bad.URL, good.URL}})
+
+	body := []byte(`{"rows":[[0.5,0.5,0.5]]}`)
+	for i := 0; i < 4; i++ {
+		w := postRaw(t, g, "/v1/label", wire.ContentTypeJSON, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("round %d: status %d, want 200 via failover: %s", i, w.Code, w.Body.Bytes())
+		}
+	}
+	if g.retries.Load() == 0 {
+		t.Fatal("failover happened without incrementing the retry counter")
+	}
+	// A malformed body is the client's fault: the replica's 400 must come
+	// back verbatim, not as a gateway 502.
+	w := postRaw(t, g, "/v1/label", wire.ContentTypeJSON, []byte(`{"rows":`))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want the replica's 400: %s", w.Code, w.Body.Bytes())
+	}
+}
+
+// TestGatewayBadGateway: when every healthy replica fails at the transport
+// level, the refusal is the 502 bad_gateway taxonomy member.
+func TestGatewayBadGateway(t *testing.T) {
+	t.Parallel()
+	hangup := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			wire.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+			return
+		}
+		conn, _, err := http.NewResponseController(w).Hijack()
+		if err == nil {
+			conn.Close() // mid-request hangup: transport error client-side
+		}
+	}))
+	defer hangup.Close()
+	g := newGateway(t, Options{Replicas: []string{hangup.URL}, Retries: -1})
+
+	w := postRaw(t, g, "/v1/score", wire.ContentTypeJSON, []byte(`{"rows":[[0,0,0]]}`))
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502: %s", w.Code, w.Body.Bytes())
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Code != wire.CodeBadGateway {
+		t.Fatalf("want a %q envelope, got %s", wire.CodeBadGateway, w.Body.Bytes())
+	}
+}
+
+// TestGatewayModelRouting: model-addressed requests prefer replicas whose
+// last probe advertised the model.
+func TestGatewayModelRouting(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	plain := newReplica(t, server.Options{
+		ModelPath:   modelPath,
+		RegistryDir: filepath.Join(dir, "registry-empty"),
+	})
+	withReg := newReplica(t, server.Options{
+		ModelPath:   modelPath,
+		RegistryDir: filepath.Join(dir, "registry"),
+	})
+	ctx := context.Background()
+	if _, err := fastClient(withReg.URL).RegisterModel(ctx, client.RegisterModelRequest{
+		Name: "solo", Path: modelPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := newGateway(t, Options{Replicas: []string{plain.URL, withReg.URL}})
+	g.Probe() // pick up the advertisement
+
+	var regReplica *replica
+	for _, r := range g.replicas {
+		if r.url == strings.TrimRight(withReg.URL, "/") {
+			regReplica = r
+		}
+	}
+	if regReplica == nil || !regReplica.hasModel("solo") {
+		t.Fatalf("probe did not record the registry advertisement: %+v", g.replicas)
+	}
+	before := regReplica.served.Load()
+	body := []byte(`{"model":"solo","rows":[[0.1,0.2,0.3]]}`)
+	for i := 0; i < 6; i++ {
+		w := postRaw(t, g, "/v1/score", wire.ContentTypeJSON, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", i, w.Code, w.Body.Bytes())
+		}
+	}
+	if got := regReplica.served.Load() - before; got != 6 {
+		t.Fatalf("advertising replica served %d of 6 model-addressed requests", got)
+	}
+	// An unknown model falls through to all healthy replicas, whose 404
+	// unknown_model is authoritative and relayed.
+	w := postRaw(t, g, "/v1/score", wire.ContentTypeJSON, []byte(`{"model":"ghost","rows":[[0,0,0]]}`))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want the replica's 404: %s", w.Code, w.Body.Bytes())
+	}
+}
+
+// TestGatewayStatsAggregation: /v1/stats sums replica counters fleet-wide
+// and carries the per-replica breakdown plus the gateway's own counters.
+func TestGatewayStatsAggregation(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	r1 := newReplica(t, server.Options{ModelPath: modelPath})
+	r2 := newReplica(t, server.Options{ModelPath: modelPath})
+	g := newGateway(t, Options{Replicas: []string{r1.URL, r2.URL}})
+
+	body := []byte(`{"rows":[[0.5,0.5,0.5],[0.1,0.9,0.3]]}`)
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		if w := postRaw(t, g, "/v1/score", wire.ContentTypeJSON, body); w.Code != http.StatusOK {
+			t.Fatalf("score %d: %d %s", i, w.Code, w.Body.Bytes())
+		}
+	}
+	var st StatsResponse
+	if code := getJSON(t, g, "/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Replicas != 2 || st.ReplicasUp != 2 || len(st.Fleet) != 2 {
+		t.Fatalf("fleet shape wrong: %+v", st)
+	}
+	if st.GatewayRequests != calls {
+		t.Fatalf("gateway_requests = %d, want %d", st.GatewayRequests, calls)
+	}
+	if st.Requests != calls || st.Rows != 2*calls {
+		t.Fatalf("fleet sums requests=%d rows=%d, want %d and %d", st.Requests, st.Rows, calls, 2*calls)
+	}
+	var perReplica int64
+	for _, row := range st.Fleet {
+		if row.Stats == nil {
+			t.Fatalf("replica %s missing stats: %q", row.URL, row.Error)
+		}
+		perReplica += row.Stats.Requests
+		if row.Served == 0 {
+			t.Fatalf("replica %s shows zero served; load balancing is broken", row.URL)
+		}
+	}
+	if perReplica != st.Requests {
+		t.Fatalf("breakdown sums to %d, header says %d", perReplica, st.Requests)
+	}
+}
+
+// TestGatewayProbeFlapping drives a replica through down/up cycles and
+// checks the consecutive-threshold state machine: FailThreshold failures
+// eject, UpThreshold successes readmit, and nothing flaps on a single
+// blip. Concurrent probes and traffic run throughout so -race patrols the
+// fleet-state locking.
+func TestGatewayProbeFlapping(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	modelPath := saveTestNet(t, dir, "model.gob", []int{3, 8, 2}, 7)
+	srv, err := server.New(server.Options{ModelPath: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	var healthy atomic.Bool
+	healthy.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			wire.WriteError(w, http.StatusServiceUnavailable, "induced outage")
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	g := newGateway(t, Options{
+		Replicas:      []string{flaky.URL},
+		ProbeInterval: 5 * time.Millisecond, // background prober runs hot on purpose
+		FailThreshold: 2,
+		UpThreshold:   2,
+	})
+	rep := g.replicas[0]
+
+	// Background traffic keeps the proxy path racing the prober.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := []byte(`{"rows":[[0.3,0.3,0.3]]}`)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					postRaw(t, g, "/v1/label", wire.ContentTypeJSON, body)
+				}
+			}
+		}()
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if rep.isUp() == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("replica never became %s", what)
+	}
+	waitFor(true, "up initially")
+	for cycle := 0; cycle < 3; cycle++ {
+		healthy.Store(false)
+		waitFor(false, "down")
+		healthy.Store(true)
+		waitFor(true, "up")
+	}
+}
+
+// TestGatewayThresholds pins the consecutive-threshold state machine
+// exactly (no background prober racing the assertions): one blip must not
+// eject with FailThreshold=2, one good probe must not readmit with
+// UpThreshold=2.
+func TestGatewayThresholds(t *testing.T) {
+	t.Parallel()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	g := newGateway(t, Options{
+		Replicas:      []string{dead.URL},
+		FailThreshold: 2,
+		UpThreshold:   2,
+	})
+	rep := g.replicas[0]
+
+	g.reportSuccess(rep, client.Health{Status: "ok"})
+	if rep.isUp() {
+		t.Fatal("a single good probe readmitted the replica despite UpThreshold=2")
+	}
+	g.reportSuccess(rep, client.Health{Status: "ok"})
+	if !rep.isUp() {
+		t.Fatal("two good probes did not readmit the replica")
+	}
+	g.reportFailure(rep, io.ErrUnexpectedEOF)
+	if !rep.isUp() {
+		t.Fatal("a single failure ejected the replica despite FailThreshold=2")
+	}
+	g.reportFailure(rep, io.ErrUnexpectedEOF)
+	if rep.isUp() {
+		t.Fatal("two consecutive failures did not eject the replica")
+	}
+	// Traffic successes reset the failure streak without readmitting.
+	g.reportFailure(rep, io.ErrUnexpectedEOF)
+	rep.noteTrafficOK()
+	rep.mu.Lock()
+	streak := rep.consecFail
+	up := rep.up
+	rep.mu.Unlock()
+	if streak != 0 || up {
+		t.Fatalf("noteTrafficOK: consecFail=%d up=%v, want 0 and still down", streak, up)
+	}
+}
+
+// TestGatewayRejectsOversizeBody: the gateway's own 413 fires before any
+// replica sees the bytes.
+func TestGatewayRejectsOversizeBody(t *testing.T) {
+	t.Parallel()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	g := newGateway(t, Options{Replicas: []string{dead.URL}, MaxBodyBytes: 64})
+	w := postRaw(t, g, "/v1/score", wire.ContentTypeJSON, bytes.NewBufferString(strings.Repeat("x", 100)).Bytes())
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413: %s", w.Code, w.Body.Bytes())
+	}
+	if g.rejected.Load() != 1 {
+		t.Fatalf("gateway_rejected = %d, want 1", g.rejected.Load())
+	}
+}

@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"malevade/internal/client"
+)
+
+// The prober is the gateway's only source of "up" transitions: a down
+// replica re-enters rotation after Options.UpThreshold consecutive
+// successful health probes. "Down" transitions are fed by both probes and
+// live traffic — Options.FailThreshold consecutive failures from either
+// source eject a replica — so a replica that dies between probe ticks
+// stops receiving traffic after at most FailThreshold failed requests,
+// not after the next tick.
+
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+// Probe runs one synchronous probe round on demand, in addition to the
+// background prober's schedule. The gateway command wires it to SIGHUP so
+// an operator can force a recovered replica back into rotation without
+// waiting out UpThreshold probe intervals; tests use it to step the fleet
+// state machine deterministically.
+func (g *Gateway) Probe() { g.probeAll() }
+
+// probeAll probes every replica concurrently and waits for the round to
+// finish — New relies on that for a deterministic first view of the fleet.
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, r := range g.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			g.probe(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.ProbeTimeout)
+	defer cancel()
+	h, err := r.c.Health(ctx)
+	if err != nil {
+		g.reportFailure(r, err)
+		return
+	}
+	if h.Status != "ok" {
+		g.reportFailure(r, &notServingError{status: h.Status})
+		return
+	}
+	g.reportSuccess(r, h)
+}
+
+// notServingError marks a reachable replica that reports itself not
+// serving (draining, shut down) — a health failure without a transport
+// failure.
+type notServingError struct{ status string }
+
+func (e *notServingError) Error() string { return "replica health status " + e.status }
+
+// reportSuccess records one successful probe. Live traffic does not call
+// this: an up replica needs no reinforcement, and a down replica must
+// prove itself over UpThreshold probes rather than one lucky request.
+func (g *Gateway) reportSuccess(r *replica, h client.Health) {
+	r.mu.Lock()
+	r.consecFail = 0
+	r.lastErr = ""
+	r.generation = h.ModelVersion
+	r.models = make(map[string]bool, len(h.ModelNames))
+	for _, name := range h.ModelNames {
+		r.models[name] = true
+	}
+	transitioned := false
+	if !r.up {
+		r.consecOK++
+		if r.consecOK >= g.opts.UpThreshold {
+			r.up = true
+			transitioned = true
+		}
+	}
+	r.mu.Unlock()
+	if transitioned {
+		g.logf("gateway: replica %s up (generation %d)\n", r.url, h.ModelVersion)
+	}
+}
+
+// noteTrafficOK resets r's consecutive-failure count after a proxied
+// request the replica answered. It never transitions a replica up — only
+// the prober does that — but it keeps sporadic transport blips spread
+// across a probe interval from summing to a spurious ejection.
+func (r *replica) noteTrafficOK() {
+	r.mu.Lock()
+	r.consecFail = 0
+	r.mu.Unlock()
+}
+
+// reportFailure records one failed probe or one failed proxied request
+// against r's consecutive-failure count.
+func (g *Gateway) reportFailure(r *replica, err error) {
+	r.failed.Add(1)
+	r.mu.Lock()
+	r.consecOK = 0
+	r.consecFail++
+	r.lastErr = err.Error()
+	transitioned := false
+	if r.up && r.consecFail >= g.opts.FailThreshold {
+		r.up = false
+		transitioned = true
+	}
+	r.mu.Unlock()
+	if transitioned {
+		g.logf("gateway: replica %s down: %v\n", r.url, err)
+	}
+}

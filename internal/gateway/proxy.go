@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+
+	"malevade/internal/client"
+	"malevade/internal/wire"
+)
+
+// proxyScoring serves POST /v1/score and /v1/label by relaying the request
+// body — JSON or binary rows frame, byte-for-byte, no re-encoding — to one
+// healthy replica via the SDK's raw exchange, and relaying that replica's
+// response (status, content type, body) back verbatim. Scoring is
+// idempotent, so a replica that fails at the transport level or answers
+// 5xx costs one bounded retry against the next healthy replica; a 4xx is
+// the replica's authoritative refusal of this request and is relayed
+// immediately. The generation-pinning contract survives trivially: each
+// request is answered wholly by one replica, so the daemon's own
+// one-generation-per-response guarantee carries through.
+func (g *Gateway) proxyScoring(w http.ResponseWriter, r *http.Request, path string) {
+	if r.Method != http.MethodPost {
+		g.rejected.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		wire.WriteError(w, http.StatusMethodNotAllowed, "%s requires POST", path)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes))
+	if err != nil {
+		g.rejected.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			wire.WriteError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", g.opts.MaxBodyBytes)
+			return
+		}
+		wire.WriteError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	contentType := r.Header.Get("Content-Type")
+	if !validHeaderValue(contentType) {
+		// The transport would refuse to send this header; failing the
+		// request here keeps a hostile Content-Type from being charged
+		// to a replica as a transport failure.
+		g.rejected.Add(1)
+		wire.WriteError(w, http.StatusBadRequest, "invalid Content-Type header value")
+		return
+	}
+	res, gwErr := g.exchange(r.Context(), http.MethodPost, path, contentType, body)
+	if gwErr != nil {
+		if errors.Is(gwErr, context.Canceled) {
+			return // caller went away; nothing useful to write
+		}
+		var we *wire.Error
+		if errors.As(gwErr, &we) {
+			wire.WriteErrorCode(w, we.Status, we.Code, "%s", we.Msg)
+			return
+		}
+		wire.WriteError(w, http.StatusInternalServerError, "%v", gwErr)
+		return
+	}
+	g.requests.Add(1)
+	if res.ContentType != "" {
+		w.Header().Set("Content-Type", res.ContentType)
+	}
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}
+
+// exchange runs one idempotent raw call against the fleet: pick a healthy
+// replica (model-affine when the body addresses a registry model), relay,
+// and on transport failure or a 5xx answer retry against the next healthy
+// replica up to Options.Retries times. The error, when non-nil, is either
+// ctx's cancellation or a *wire.Error the caller can render: 503
+// no_replicas when the fleet had no healthy member, 502 bad_gateway when
+// every attempt failed in transit.
+func (g *Gateway) exchange(ctx context.Context, method, path, contentType string, body []byte) (client.RawResult, error) {
+	model := sniffModel(contentType, body)
+	tried := make(map[*replica]bool)
+	var (
+		lastRes   client.RawResult
+		haveRes   bool
+		lastErr   error
+		attempted int
+	)
+	for attempted <= g.opts.Retries {
+		r := g.pick(model, tried)
+		if r == nil {
+			break
+		}
+		tried[r] = true
+		if attempted > 0 {
+			g.retries.Add(1)
+		}
+		attempted++
+		res, err := r.c.Raw(ctx, method, path, contentType, body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return client.RawResult{}, context.Cause(ctx)
+			}
+			g.reportFailure(r, err)
+			lastErr = err
+			continue
+		}
+		if res.Status >= http.StatusInternalServerError {
+			// The replica answered, but with a server-side fault; keep
+			// its envelope as a last resort and try the next replica.
+			// Neither a success (it must not reset the prober's failure
+			// streak on a sick replica) nor a transport failure.
+			lastRes, haveRes = res, true
+			continue
+		}
+		r.noteTrafficOK()
+		r.served.Add(1)
+		return res, nil
+	}
+	if haveRes {
+		return lastRes, nil
+	}
+	if len(tried) == 0 {
+		return client.RawResult{}, &wire.Error{
+			Status: http.StatusServiceUnavailable,
+			Code:   wire.CodeNoReplicas,
+			Msg:    "no healthy replicas",
+		}
+	}
+	return client.RawResult{}, &wire.Error{
+		Status: http.StatusBadGateway,
+		Code:   wire.CodeBadGateway,
+		Msg:    "all replicas failed: " + lastErr.Error(),
+	}
+}
+
+// validHeaderValue reports whether s is a legal HTTP header field value
+// (the net/http transport's own rule: visible ASCII plus tab and space;
+// no control bytes, no DEL).
+func validHeaderValue(s string) bool {
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if (b < 0x20 && b != '\t') || b == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// sniffModel extracts the addressed registry model from a scoring request
+// body so the gateway can prefer replicas that serve it. Best-effort by
+// design: a body this function cannot parse is still proxied — the replica
+// is the authority on validity — so sniffing must never reject.
+func sniffModel(contentType string, body []byte) string {
+	mt := contentType
+	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+		mt = parsed
+	}
+	if mt == wire.ContentTypeRowsF32 {
+		f, err := wire.ParseFrame(body)
+		if err != nil {
+			return ""
+		}
+		return f.Model
+	}
+	var probe struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return ""
+	}
+	return probe.Model
+}

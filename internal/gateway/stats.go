@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"malevade/internal/client"
+	"malevade/internal/wire"
+)
+
+// ReplicaHealth is one fleet member's row in the gateway's /healthz
+// payload — the prober's current view, not a live round-trip.
+type ReplicaHealth struct {
+	// URL is the replica's base URL.
+	URL string `json:"url"`
+	// Up reports whether the replica is in rotation.
+	Up bool `json:"up"`
+	// Generation is the replica's default-model generation as of its
+	// last successful probe.
+	Generation int64 `json:"generation,omitempty"`
+	// Models lists the registry models the replica advertised at its
+	// last successful probe.
+	Models []string `json:"models,omitempty"`
+	// ConsecutiveFailures is the current failure streak feeding the
+	// down-transition threshold.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// LastError is the most recent probe or traffic failure, cleared by
+	// a successful probe.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// HealthResponse is the gateway's GET /healthz payload. Status is "ok"
+// with at least one replica up (HTTP 200), "no_replicas" with none (HTTP
+// 503 so fleet-blind load-balancer checks fail closed), and "shutdown"
+// after Close.
+type HealthResponse struct {
+	Status     string          `json:"status"`
+	Replicas   int             `json:"replicas"`
+	ReplicasUp int             `json:"replicas_up"`
+	Fleet      []ReplicaHealth `json:"fleet"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		wire.WriteError(w, http.StatusMethodNotAllowed, "/healthz requires GET")
+		return
+	}
+	resp := HealthResponse{Status: "ok", Replicas: len(g.replicas)}
+	for _, rep := range g.replicas {
+		rep.mu.Lock()
+		row := ReplicaHealth{
+			URL:                 rep.url,
+			Up:                  rep.up,
+			Generation:          rep.generation,
+			ConsecutiveFailures: rep.consecFail,
+			LastError:           rep.lastErr,
+		}
+		for name := range rep.models {
+			row.Models = append(row.Models, name)
+		}
+		rep.mu.Unlock()
+		sort.Strings(row.Models)
+		if row.Up {
+			resp.ReplicasUp++
+		}
+		resp.Fleet = append(resp.Fleet, row)
+	}
+	status := http.StatusOK
+	if resp.ReplicasUp == 0 {
+		resp.Status = "no_replicas"
+		status = http.StatusServiceUnavailable
+	}
+	wire.WriteJSON(w, status, resp)
+}
+
+// ReplicaStats is one fleet member's row in the gateway's /v1/stats
+// payload: the gateway's own routing counters plus — for replicas that
+// answered the aggregation fan-out — the replica's full /v1/stats.
+type ReplicaStats struct {
+	// URL is the replica's base URL.
+	URL string `json:"url"`
+	// Up reports whether the replica is in rotation.
+	Up bool `json:"up"`
+	// Served counts scoring calls this replica answered through the
+	// gateway; Failed counts probe and traffic failures charged to it.
+	Served int64 `json:"served"`
+	Failed int64 `json:"failed"`
+	// Stats is the replica's own /v1/stats, absent when the replica did
+	// not answer (Error says why).
+	Stats *client.Stats `json:"stats,omitempty"`
+	// Error is the aggregation fan-out failure for this replica, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// StatsResponse is the gateway's GET /v1/stats payload: fleet-wide sums
+// over every replica that answered, the gateway's own counters, and the
+// per-replica breakdown.
+type StatsResponse struct {
+	// UptimeSeconds is how long the gateway process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Replicas      int     `json:"replicas"`
+	ReplicasUp    int     `json:"replicas_up"`
+	// Requests through Campaigns sum the corresponding replica counters
+	// across every replica that answered the fan-out. Replica counters
+	// include direct (non-gateway) traffic, so sums can exceed the
+	// gateway's own counts.
+	Requests  int64 `json:"requests"`
+	Rejected  int64 `json:"rejected"`
+	Reloads   int64 `json:"reloads"`
+	Batches   int64 `json:"batches"`
+	Rows      int64 `json:"rows"`
+	Campaigns int64 `json:"campaigns"`
+	// ModelRequests sums per-model request counts across the fleet.
+	ModelRequests map[string]int64 `json:"model_requests,omitempty"`
+	// GatewayRequests counts scoring calls the gateway proxied;
+	// GatewayRejected ones it refused itself (4xx before any replica);
+	// GatewayRetries retry-on-next-replica occurrences;
+	// GatewayCampaigns campaign submissions accepted by the gateway's
+	// own engine.
+	GatewayRequests  int64 `json:"gateway_requests"`
+	GatewayRejected  int64 `json:"gateway_rejected"`
+	GatewayRetries   int64 `json:"gateway_retries"`
+	GatewayCampaigns int64 `json:"gateway_campaigns"`
+	// Fleet is the per-replica breakdown.
+	Fleet []ReplicaStats `json:"fleet"`
+}
+
+// handleStats fans GET /v1/stats out to every up replica concurrently,
+// sums what answered, and reports fan-out failures per replica instead of
+// failing the whole aggregation — a stats scrape must not flap with one
+// slow replica.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		wire.WriteError(w, http.StatusMethodNotAllowed, "/v1/stats requires GET")
+		return
+	}
+	resp := StatsResponse{
+		UptimeSeconds:    time.Since(g.started).Seconds(),
+		Replicas:         len(g.replicas),
+		GatewayRequests:  g.requests.Load(),
+		GatewayRejected:  g.rejected.Load(),
+		GatewayRetries:   g.retries.Load(),
+		GatewayCampaigns: g.campaigns.Submitted(),
+		Fleet:            make([]ReplicaStats, len(g.replicas)),
+	}
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		row := &resp.Fleet[i]
+		row.URL = rep.url
+		row.Up = rep.isUp()
+		row.Served = rep.served.Load()
+		row.Failed = rep.failed.Load()
+		if !row.Up {
+			row.Error = "not probed: replica is down"
+			continue
+		}
+		resp.ReplicasUp++
+		wg.Add(1)
+		go func(rep *replica, row *ReplicaStats) {
+			defer wg.Done()
+			st, err := rep.c.Stats(r.Context())
+			if err != nil {
+				row.Error = err.Error()
+				return
+			}
+			row.Stats = &st
+		}(rep, row)
+	}
+	wg.Wait()
+	for _, row := range resp.Fleet {
+		if row.Stats == nil {
+			continue
+		}
+		resp.Requests += row.Stats.Requests
+		resp.Rejected += row.Stats.Rejected
+		resp.Reloads += row.Stats.Reloads
+		resp.Batches += row.Stats.Batches
+		resp.Rows += row.Stats.Rows
+		resp.Campaigns += row.Stats.Campaigns
+		for name, n := range row.Stats.ModelRequests {
+			if resp.ModelRequests == nil {
+				resp.ModelRequests = make(map[string]int64)
+			}
+			resp.ModelRequests[name] += n
+		}
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}

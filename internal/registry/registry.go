@@ -617,6 +617,20 @@ func (r *Registry) Len() int {
 	return len(r.models)
 }
 
+// Names reports the registered model names, sorted — the lightweight
+// listing health payloads embed so routing tiers learn a replica's
+// models without paying for full version histories.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.models))
+	for name := range r.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Close retires every live instance (draining in-flight holders) and
 // rejects further operations. The on-disk store is untouched — a
 // subsequent Open resumes exactly this serving state. Idempotent.

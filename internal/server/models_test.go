@@ -194,6 +194,11 @@ func TestModelsAPILifecycle(t *testing.T) {
 	if h.Models != 2 {
 		t.Fatalf("healthz models = %d, want 2", h.Models)
 	}
+	// The health payload advertises the sorted model names — what a fleet
+	// gateway's probe routes on.
+	if len(h.ModelNames) != 2 || h.ModelNames[0] != "bare" || h.ModelNames[1] != "hard" {
+		t.Fatalf("healthz model_names = %v, want [bare hard]", h.ModelNames)
+	}
 
 	// Delete removes the model and its addressing.
 	req := httptest.NewRequest(http.MethodDelete, "/v1/models/hard", nil)

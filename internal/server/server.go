@@ -426,6 +426,10 @@ type HealthResponse struct {
 	// Models counts the registry's named models (absent without a
 	// registry).
 	Models int `json:"models,omitempty"`
+	// ModelNames lists the registry's model names, sorted (absent without
+	// a registry) — what a fleet gateway's health probe needs for
+	// per-model routing without a second round-trip.
+	ModelNames []string `json:"model_names,omitempty"`
 }
 
 // StatsResponse answers /v1/stats with counters cumulative across reloads.
@@ -454,39 +458,18 @@ type StatsResponse struct {
 // definition; the alias keeps the server's wire schemas in one place).
 type errorResponse = wire.Envelope
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	// Marshal before touching the ResponseWriter: an unencodable value
-	// (say, a NaN that slipped into a response struct) must become a 500
-	// envelope, not a silent empty body under an already-committed 200.
-	buf, err := json.Marshal(v)
-	if err != nil {
-		status = http.StatusInternalServerError
-		buf, _ = json.Marshal(errorResponse{
-			Error: fmt.Sprintf("encoding response: %v", err),
-			Code:  wire.CodeForStatus(status),
-		})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	buf = append(buf, '\n')
-	_, _ = w.Write(buf)
-}
+// writeJSON, writeError and writeErrorCode are the wire package's shared
+// renderers (marshal-first: an unencodable value becomes a 500 envelope,
+// never an empty committed 200), aliased to keep this package's handler
+// code terse.
+func writeJSON(w http.ResponseWriter, status int, v any) { wire.WriteJSON(w, status, v) }
 
-// writeError renders the error envelope for a refused call, deriving the
-// canonical taxonomy code from the status (see internal/wire and
-// docs/ERRORS.md).
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeErrorCode(w, status, wire.CodeForStatus(status), format, args...)
+	wire.WriteError(w, status, format, args...)
 }
 
-// writeErrorCode renders the error envelope with an explicit taxonomy
-// code — the path for refinement codes that share a status with a
-// canonical one (unknown_model on 404).
 func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
-	writeJSON(w, status, errorResponse{
-		Error: fmt.Sprintf(format, args...),
-		Code:  code,
-	})
+	wire.WriteErrorCode(w, status, code, format, args...)
 }
 
 func (s *Server) reject(w http.ResponseWriter, status int, format string, args ...any) {
@@ -845,7 +828,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Defenses:     s.opts.Defenses.Names(),
 	}
 	if s.registry != nil {
-		resp.Models = s.registry.Len()
+		resp.ModelNames = s.registry.Names()
+		resp.Models = len(resp.ModelNames)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

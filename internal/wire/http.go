@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// The HTTP rendering half of the taxonomy: every service tier that speaks
+// the malevade wire contract (the daemon in internal/server, the scoring
+// gateway in internal/gateway) renders success bodies and error envelopes
+// through these helpers, so the marshal-first discipline — an unencodable
+// value becomes a 500 envelope, never a committed 200 with a broken body —
+// is defined exactly once.
+
+// WriteJSON renders v as the JSON body of one response. It marshals
+// before touching the ResponseWriter: an unencodable value (say, a NaN
+// that slipped into a response struct) becomes a 500 error envelope, not
+// a silent empty body under an already-committed success status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		buf, _ = json.Marshal(Envelope{
+			Error: fmt.Sprintf("encoding response: %v", err),
+			Code:  CodeForStatus(status),
+		})
+	}
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(status)
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
+}
+
+// WriteError renders the error envelope for a refused call, deriving the
+// canonical taxonomy code from the status (docs/ERRORS.md is the table).
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteErrorCode(w, status, CodeForStatus(status), format, args...)
+}
+
+// WriteErrorCode renders the error envelope with an explicit taxonomy
+// code — the path for refinement codes that share a status with a
+// canonical one (unknown_model on 404, no_replicas on 503).
+func WriteErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	WriteJSON(w, status, Envelope{Error: fmt.Sprintf(format, args...), Code: code})
+}

@@ -56,6 +56,10 @@ const (
 	// CodeInternal (500): a server-side fault (the daemon's own
 	// configured model failed to reload, an unexpected handler error).
 	CodeInternal = "internal"
+	// CodeBadGateway (502): a front tier (the scoring gateway) could not
+	// get an answer out of any healthy replica — every attempt failed at
+	// the transport layer or returned an unusable response.
+	CodeBadGateway = "bad_gateway"
 	// CodeUnavailable (503): the daemon is shut down or shutting down.
 	CodeUnavailable = "unavailable"
 
@@ -64,6 +68,11 @@ const (
 	// campaign ids still answer CodeNotFound, model addressing answers
 	// this, and the two decode into distinct sentinels.
 	CodeUnknownModel = "unknown_model"
+	// CodeNoReplicas (503): the gateway's replica fleet has no healthy
+	// member to route to. A refinement of the 503 status: a single daemon
+	// shutting down still answers CodeUnavailable, an empty fleet answers
+	// this, and the two decode into distinct sentinels.
+	CodeNoReplicas = "no_replicas"
 )
 
 // Sentinel errors, one per code. Use errors.Is against these to branch on
@@ -93,8 +102,15 @@ var (
 	ErrUnknownModel = errors.New("wire: unknown model")
 	// ErrInternal is the 500 / internal sentinel.
 	ErrInternal = errors.New("wire: internal server error")
+	// ErrBadGateway is the 502 / bad_gateway sentinel: no healthy replica
+	// behind the gateway produced an answer.
+	ErrBadGateway = errors.New("wire: bad gateway")
 	// ErrUnavailable is the 503 / unavailable sentinel.
 	ErrUnavailable = errors.New("wire: server unavailable")
+	// ErrNoReplicas is the no_replicas sentinel, carried on a 503 whose
+	// envelope code distinguishes an empty gateway fleet from a single
+	// daemon shutting down.
+	ErrNoReplicas = errors.New("wire: no healthy replicas")
 
 	// ErrMixedGenerations is the client-side taxonomy member with no HTTP
 	// status: a version-pinned batch had to be split across requests and
@@ -105,6 +121,13 @@ var (
 	// the documented contract: undecodable JSON, a label count that does
 	// not match the rows sent, a success status with a garbage body.
 	ErrProtocol = errors.New("wire: protocol violation")
+	// ErrResponseTooLarge is the client-side sentinel for a response body
+	// that exceeds the client's configured byte cap
+	// (Client.MaxResponseBytes). The SDK refuses the whole response rather
+	// than silently truncating it — a clipped body would otherwise surface
+	// as a baffling ErrProtocol decode failure. Deterministic, never
+	// retried.
+	ErrResponseTooLarge = errors.New("wire: response exceeds client byte limit")
 )
 
 // Envelope is the JSON error body every non-2xx response carries:
@@ -137,6 +160,7 @@ var statusTable = []struct {
 	{http.StatusUnprocessableEntity, CodeInvalidSpec, ErrInvalidSpec},
 	{http.StatusTooManyRequests, CodeQueueFull, ErrQueueFull},
 	{http.StatusInternalServerError, CodeInternal, ErrInternal},
+	{http.StatusBadGateway, CodeBadGateway, ErrBadGateway},
 	{http.StatusServiceUnavailable, CodeUnavailable, ErrUnavailable},
 	{http.StatusInsufficientStorage, CodeRegistryFull, ErrRegistryFull},
 }
@@ -151,6 +175,7 @@ var refinementTable = []struct {
 	sentinel error
 }{
 	{http.StatusNotFound, CodeUnknownModel, ErrUnknownModel},
+	{http.StatusServiceUnavailable, CodeNoReplicas, ErrNoReplicas},
 }
 
 // Statuses lists every error-bearing HTTP status of the API, ascending.

@@ -25,6 +25,7 @@ func TestStatusCodeSentinelBijection(t *testing.T) {
 		http.StatusUnprocessableEntity:   {CodeInvalidSpec, ErrInvalidSpec},
 		http.StatusTooManyRequests:       {CodeQueueFull, ErrQueueFull},
 		http.StatusInternalServerError:   {CodeInternal, ErrInternal},
+		http.StatusBadGateway:            {CodeBadGateway, ErrBadGateway},
 		http.StatusServiceUnavailable:    {CodeUnavailable, ErrUnavailable},
 		http.StatusInsufficientStorage:   {CodeRegistryFull, ErrRegistryFull},
 	}
@@ -67,7 +68,8 @@ func TestErrorIsMatchesExactlyOneSentinel(t *testing.T) {
 	sentinels := []error{
 		ErrBadRequest, ErrNotFound, ErrMethodNotAllowed, ErrVersionConflict,
 		ErrTooLarge, ErrUnsupportedMedia, ErrInvalidSpec, ErrQueueFull,
-		ErrInternal, ErrUnavailable, ErrRegistryFull, ErrUnknownModel,
+		ErrInternal, ErrBadGateway, ErrUnavailable, ErrRegistryFull,
+		ErrUnknownModel, ErrNoReplicas,
 	}
 	for _, status := range Statuses() {
 		err := FromEnvelope(status, Envelope{Error: "boom", Code: CodeForStatus(status)})
@@ -104,6 +106,13 @@ func TestRefinementCodes(t *testing.T) {
 	if errors.Is(refined, ErrNotFound) {
 		t.Fatal("unknown_model envelope must not match the canonical ErrNotFound")
 	}
+	empty := FromEnvelope(http.StatusServiceUnavailable, Envelope{Error: "fleet is down", Code: CodeNoReplicas})
+	if !errors.Is(empty, ErrNoReplicas) || errors.Is(empty, ErrUnavailable) {
+		t.Fatal("no_replicas envelope must match ErrNoReplicas and only ErrNoReplicas")
+	}
+	if plain503 := FromEnvelope(http.StatusServiceUnavailable, Envelope{Error: "draining"}); !errors.Is(plain503, ErrUnavailable) || errors.Is(plain503, ErrNoReplicas) {
+		t.Fatal("bare 503 must decode to the canonical ErrUnavailable only")
+	}
 	plain := FromEnvelope(http.StatusNotFound, Envelope{Error: "no such campaign"})
 	if !errors.Is(plain, ErrNotFound) || errors.Is(plain, ErrUnknownModel) {
 		t.Fatal("bare 404 must decode to the canonical ErrNotFound only")
@@ -135,8 +144,8 @@ func TestFromEnvelopeDerivesCode(t *testing.T) {
 		t.Fatal("derived-code error does not match ErrQueueFull")
 	}
 	// Unknown statuses fall into the catch-all halves of the taxonomy.
-	if got := CodeForStatus(http.StatusBadGateway); got != CodeInternal {
-		t.Fatalf("CodeForStatus(502) = %q, want internal", got)
+	if got := CodeForStatus(http.StatusGatewayTimeout); got != CodeInternal {
+		t.Fatalf("CodeForStatus(504) = %q, want internal", got)
 	}
 	if got := CodeForStatus(http.StatusTeapot); got != CodeBadRequest {
 		t.Fatalf("CodeForStatus(418) = %q, want bad_request", got)
@@ -157,11 +166,16 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	}
 }
 
-// TestClientSideSentinels: the two non-HTTP taxonomy members exist and
-// are distinct.
+// TestClientSideSentinels: the non-HTTP taxonomy members exist and are
+// pairwise distinct.
 func TestClientSideSentinels(t *testing.T) {
-	if errors.Is(ErrMixedGenerations, ErrProtocol) || errors.Is(ErrProtocol, ErrMixedGenerations) {
-		t.Fatal("client-side sentinels must be distinct")
+	members := []error{ErrMixedGenerations, ErrProtocol, ErrResponseTooLarge}
+	for i, a := range members {
+		for j, b := range members {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("client-side sentinels %v and %v must be distinct", a, b)
+			}
+		}
 	}
 	wrapped := fmt.Errorf("saw 1 then 2: %w", ErrMixedGenerations)
 	if !errors.Is(wrapped, ErrMixedGenerations) {
