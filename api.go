@@ -37,6 +37,7 @@ import (
 	"malevade/internal/evaluation"
 	"malevade/internal/experiments"
 	"malevade/internal/gateway"
+	"malevade/internal/harden"
 	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/server"
@@ -153,6 +154,32 @@ type (
 	// evades; one LabelBatch call is always answered wholly by one model
 	// generation, and the call honors its context.
 	CampaignTarget = campaign.Target
+	// HardenSpec describes one closed-loop hardening job: attack a named
+	// registry model, retrain on the harvested evasions, promote the
+	// hardened version, re-attack — until a target evasion rate or the
+	// round budget.
+	HardenSpec = harden.Spec
+	// HardenSnapshot is a point-in-time view of a hardening job: status,
+	// per-round metrics and the versions it promoted. It doubles as the
+	// job's durable on-disk state, which is what makes jobs resumable
+	// across daemon restarts.
+	HardenSnapshot = harden.Snapshot
+	// HardenRound records one completed attack→retrain→promote round's
+	// metrics (evasion rate before/after, rows harvested, version and
+	// generation promoted).
+	HardenRound = harden.Round
+	// HardenStatus is a hardening job's lifecycle state — the same state
+	// machine as campaigns.
+	HardenStatus = harden.Status
+	// HardenEngine is the closed-loop hardening controller: a bounded
+	// worker pool running queued, cancellable, resumable hardening jobs.
+	// The HTTP daemon embeds one behind /v1/harden when a registry is
+	// configured; standalone engines come from NewHardenEngine.
+	HardenEngine = harden.Engine
+	// HardenOptions tunes a HardenEngine (state dir, campaign engine,
+	// model registry, workers, round cap); Dir, Campaigns and Models are
+	// required for standalone engines.
+	HardenOptions = harden.Options
 	// Client is the typed SDK for a remote scoring daemon: every
 	// endpoint — scoring, labels, health, stats, hot-reload and the
 	// campaign API — behind one type with shared connection pooling, a
@@ -190,6 +217,9 @@ type (
 	// WaitOptions tunes Client.WaitCampaign (poll interval, incremental
 	// snapshot callback).
 	WaitOptions = client.WaitOptions
+	// HardenWaitOptions tunes Client.WaitHarden (poll interval, snapshot
+	// callback).
+	HardenWaitOptions = client.HardenWaitOptions
 	// WireError is the typed form of a refused daemon call: HTTP status,
 	// machine-readable taxonomy code and message, round-tripping the
 	// server's JSON error envelope. It matches the Err* sentinels
@@ -450,6 +480,16 @@ func NewCampaignEngine(opts CampaignOptions) *CampaignEngine {
 		}
 	}
 	return campaign.NewEngine(opts)
+}
+
+// NewHardenEngine starts a standalone closed-loop hardening controller —
+// the same engine the HTTP daemon exposes as /v1/harden, for embedders
+// that drive hardening in-process against their own campaign engine and
+// registry. Close it to stop the workers; in-flight jobs keep their
+// durable state under opts.Dir and resume when an engine is reopened on
+// the same directory.
+func NewHardenEngine(opts HardenOptions) (*HardenEngine, error) {
+	return harden.NewEngine(opts)
 }
 
 // NewDetectorCampaignTarget wraps an in-process detector as a campaign

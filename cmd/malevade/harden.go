@@ -1,0 +1,232 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/client"
+	"malevade/internal/harden"
+)
+
+// cmdHarden drives the daemon's closed-loop hardening API from the command
+// line: submit an attack→retrain→promote→re-attack job against a named
+// registry model and watch its per-round evasion-rate drop, or
+// status/list/cancel existing jobs. The default form submits directly
+// (`malevade harden -model NAME -rounds 2`); the status/list/cancel words
+// select the management subcommands.
+func cmdHarden(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "status":
+			return cmdHardenStatus(args[1:])
+		case "list":
+			return cmdHardenList(args[1:])
+		case "cancel":
+			return cmdHardenCancel(args[1:])
+		case "help", "-h", "--help":
+			hardenUsage()
+			return nil
+		}
+	}
+	return cmdHardenSubmit(args)
+}
+
+func hardenUsage() {
+	fmt.Fprintln(os.Stderr, `usage: malevade harden -model NAME [flags]      submit a hardening job
+       malevade harden <subcommand> [flags]
+
+subcommands:
+  status    poll one hardening job (per-round metrics)
+  list      list hardening jobs on the daemon
+  cancel    cancel a queued or running hardening job
+
+run 'malevade harden -h' or 'malevade harden <subcommand> -h' for flags`)
+}
+
+func cmdHardenSubmit(args []string) error {
+	fs := flag.NewFlagSet("harden", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "human-readable job label")
+	model := fs.String("model", "", "registry model to harden (required)")
+	kind := fs.String("attack", "jsma", "attack kind: jsma|pgd|fgsm|random")
+	theta := fs.Float64("theta", 0.1, "per-step perturbation magnitude (jsma/fgsm/random)")
+	gamma := fs.Float64("gamma", 0.025, "max fraction of perturbed features (jsma/random)")
+	epsilon := fs.Float64("epsilon", 0.1, "PGD L-inf radius")
+	steps := fs.Int("steps", 10, "PGD iterations")
+	attackSeed := fs.Uint64("attack-seed", 97, "random-add selection seed")
+	craft := fs.String("craft", "", "crafting model path on the daemon's disk (default: snapshot of the target's live version)")
+	profile := fs.String("profile", "small", "population + retraining profile: small|medium|paper")
+	rounds := fs.Int("rounds", 2, "retrain/promote round budget")
+	target := fs.Float64("target-evasion", 0, "stop once the measured evasion rate is at or below this (0 = run the full budget)")
+	maxSamples := fs.Int("max-samples", 0, "per-round population cap (0 = server default)")
+	batch := fs.Int("batch", 0, "samples per generation-pinned campaign batch (0 = server default)")
+	epochs := fs.Int("epochs", 0, "retraining epochs (0 = the profile's default)")
+	seed := fs.Uint64("seed", 43, "retraining seed (round r trains with seed+r)")
+	watch := fs.Bool("watch", true, "poll until the job finishes")
+	interval := fs.Duration("interval", time.Second, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("harden: -model is required")
+	}
+	spec := harden.Spec{
+		Name:  *name,
+		Model: *model,
+		Attack: attack.Config{
+			Kind: *kind, Theta: *theta, Gamma: *gamma,
+			Epsilon: *epsilon, Steps: *steps, Seed: *attackSeed,
+		},
+		CraftModelPath:    *craft,
+		Profile:           *profile,
+		Rounds:            *rounds,
+		TargetEvasionRate: *target,
+		MaxSamples:        *maxSamples,
+		BatchSize:         *batch,
+		Epochs:            *epochs,
+		Seed:              *seed,
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
+	snap, err := c.SubmitHarden(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("harden %s %s (model %s, budget %d rounds)\n",
+		snap.ID, snap.Status, snap.Spec.Model, snap.Spec.RoundBudget())
+	if !*watch {
+		return nil
+	}
+	return watchHarden(ctx, c, snap.ID, *interval)
+}
+
+func cmdHardenStatus(args []string) error {
+	fs := flag.NewFlagSet("harden status", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	id := fs.String("id", "", "hardening job id (required)")
+	watch := fs.Bool("watch", false, "poll until the job finishes")
+	interval := fs.Duration("interval", time.Second, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("harden status: -id is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
+	if *watch {
+		return watchHarden(ctx, c, *id, *interval)
+	}
+	snap, err := c.HardenSnapshot(ctx, *id)
+	if err != nil {
+		return err
+	}
+	printHarden(snap)
+	return nil
+}
+
+func cmdHardenList(args []string) error {
+	fs := flag.NewFlagSet("harden list", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	list, err := client.New(*serverURL).Hardens(ctx)
+	if err != nil {
+		return err
+	}
+	if len(list) == 0 {
+		fmt.Println("no hardening jobs")
+		return nil
+	}
+	for _, snap := range list {
+		fmt.Printf("%-8s %-9s model=%-16s rounds=%d/%d evasion=%.3f versions=%v\n",
+			snap.ID, snap.Status, snap.Spec.Model,
+			len(snap.Rounds), snap.Spec.RoundBudget(), snap.EvasionRate, snap.Versions)
+	}
+	return nil
+}
+
+func cmdHardenCancel(args []string) error {
+	fs := flag.NewFlagSet("harden cancel", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	id := fs.String("id", "", "hardening job id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("harden cancel: -id is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	snap, err := client.New(*serverURL).CancelHarden(ctx, *id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("harden %s %s\n", snap.ID, snap.Status)
+	return nil
+}
+
+// watchHarden streams one hardening job to the terminal until it reaches a
+// terminal state, printing a line whenever a campaign lands or a round
+// completes.
+func watchHarden(ctx context.Context, c *client.Client, id string, interval time.Duration) error {
+	lastCampaigns, lastRounds := -1, -1
+	final, err := c.WaitHarden(ctx, id, client.HardenWaitOptions{
+		Interval: interval,
+		OnSnapshot: func(snap harden.Snapshot) {
+			if snap.Campaigns == lastCampaigns && len(snap.Rounds) == lastRounds && !snap.Status.Terminal() {
+				return
+			}
+			lastCampaigns, lastRounds = snap.Campaigns, len(snap.Rounds)
+			fmt.Printf("%s %-9s rounds=%d/%d campaigns=%d evasion=%.3f\n",
+				snap.ID, snap.Status, len(snap.Rounds), snap.Spec.RoundBudget(),
+				snap.Campaigns, snap.EvasionRate)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printHarden(final)
+	if final.Status == harden.StatusFailed {
+		return fmt.Errorf("harden %s failed: %s", final.ID, final.Error)
+	}
+	return nil
+}
+
+func printHarden(snap harden.Snapshot) {
+	fmt.Printf("harden:          %s (model %s)\n", snap.ID, snap.Spec.Model)
+	if snap.Spec.Name != "" {
+		fmt.Printf("name:            %s\n", snap.Spec.Name)
+	}
+	fmt.Printf("status:          %s\n", snap.Status)
+	if snap.Error != "" {
+		fmt.Printf("error:           %s\n", snap.Error)
+	}
+	if snap.StopReason != "" {
+		fmt.Printf("stop reason:     %s\n", snap.StopReason)
+	}
+	if snap.Resumed {
+		fmt.Printf("resumed:         true\n")
+	}
+	fmt.Printf("rounds:          %d/%d (campaigns %d)\n",
+		len(snap.Rounds), snap.Spec.RoundBudget(), snap.Campaigns)
+	fmt.Printf("evasion rate:    %.4f\n", snap.EvasionRate)
+	fmt.Printf("versions:        %v\n", snap.Versions)
+	for _, r := range snap.Rounds {
+		after := "pending"
+		if r.ReattackID != "" {
+			after = fmt.Sprintf("%.4f", r.EvasionAfter)
+		}
+		fmt.Printf("  round %d: evasion %.4f → %s, %d rows harvested (%d dups), promoted v%d gen %d\n",
+			r.Round, r.EvasionBefore, after, r.RowsHarvested, r.Duplicates, r.Version, r.Generation)
+	}
+}

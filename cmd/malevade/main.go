@@ -9,6 +9,7 @@
 //	malevade serve   -model target.gob -addr 127.0.0.1:8446
 //	malevade gateway -replica http://127.0.0.1:8446 -replica http://127.0.0.1:8447
 //	malevade campaign submit -attack jsma -theta 0.1 -gamma 0.025 -watch
+//	malevade harden  -model prod -rounds 2            closed-loop adversarial hardening
 //	malevade models  list|register|promote|gc|rm      manage registered detectors
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
@@ -53,6 +54,8 @@ func run(args []string) error {
 		return cmdGateway(args[1:])
 	case "campaign":
 		return cmdCampaign(args[1:])
+	case "harden":
+		return cmdHarden(args[1:])
 	case "models":
 		return cmdModels(args[1:])
 	case "vocab":
@@ -80,6 +83,7 @@ commands:
   serve     run the HTTP scoring daemon (hot-reload via SIGHUP or /v1/reload)
   gateway   front a fleet of serve replicas: probing, failover, fan-out
   campaign  submit/watch/list/cancel evasion campaigns on a daemon
+  harden    run closed-loop adversarial hardening against a registry model
   models    list/register/promote/gc/rm the daemon's registered detectors
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features

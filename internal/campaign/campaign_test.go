@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -183,7 +184,7 @@ func TestCampaignResultsOffset(t *testing.T) {
 	if len(tail.Results) != 5 || tail.ResultsOffset != 15 {
 		t.Fatalf("tail window: %d results at offset %d", len(tail.Results), tail.ResultsOffset)
 	}
-	if tail.Results[0] != full.Results[15] {
+	if !reflect.DeepEqual(tail.Results[0], full.Results[15]) {
 		t.Errorf("windowed result mismatch: %+v vs %+v", tail.Results[0], full.Results[15])
 	}
 	past, _ := e.Get(snap.ID, 999)
@@ -339,7 +340,7 @@ func TestRandomAttackPerBatchSeeding(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a.Results {
-		if a.Results[i] != b.Results[i] {
+		if !reflect.DeepEqual(a.Results[i], b.Results[i]) {
 			t.Fatalf("run disagreement at sample %d: %+v vs %+v", i, a.Results[i], b.Results[i])
 		}
 	}

@@ -445,6 +445,9 @@ func (e *Engine) runBatch(j *job, craft *nn.Network, target Target, x *tensor.Ma
 			L2:               results[i].L2,
 			ModifiedFeatures: len(results[i].ModifiedFeatures),
 		}
+		if j.spec.KeepRows {
+			sr.Adversarial = append([]float64(nil), adv.Row(i)...)
+		}
 		if sr.BaselineDetected {
 			j.detected++
 		}

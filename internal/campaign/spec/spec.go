@@ -52,6 +52,13 @@ type Spec struct {
 	// BatchSize is the number of samples crafted and judged per pinned
 	// batch (0 = the engine default).
 	BatchSize int `json:"batch_size,omitempty"`
+	// KeepRows asks the engine to retain each sample's adversarial
+	// feature vector in its SampleResult, so consumers can harvest the
+	// crafted rows themselves — the hardening controller retrains on the
+	// successful evasions this exposes. Off by default: retained rows
+	// multiply a terminal campaign's memory footprint by the feature
+	// width.
+	KeepRows bool `json:"keep_rows,omitempty"`
 }
 
 // Validate rejects semantically invalid specs at submit time, so an
@@ -133,6 +140,9 @@ type SampleResult struct {
 	L2 float64 `json:"l2"`
 	// ModifiedFeatures counts the distinct perturbed features.
 	ModifiedFeatures int `json:"modified_features"`
+	// Adversarial is the crafted feature vector, populated only when the
+	// spec set KeepRows.
+	Adversarial []float64 `json:"adversarial,omitempty"`
 }
 
 // Snapshot is a point-in-time view of a campaign: identity, progress

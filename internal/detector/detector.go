@@ -146,6 +146,12 @@ type TrainConfig struct {
 	Seed uint64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// OnEpoch, when non-nil, runs after every epoch; a non-nil return
+	// aborts training with that error (wrapped, so errors.Is still sees
+	// it). Long-running callers use it as a cancellation point — the
+	// hardening controller checks its job context here so a cancelled job
+	// stops mid-retrain instead of finishing the fit.
+	OnEpoch func(epoch int, meanLoss float64) error
 }
 
 func (c *TrainConfig) setDefaults() {
@@ -199,6 +205,7 @@ func Train(d *dataset.Dataset, cfg TrainConfig) (*DNN, error) {
 		Optimizer: opt,
 		Seed:      cfg.Seed + 1,
 		Log:       cfg.Log,
+		OnEpoch:   cfg.OnEpoch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("detector: train %s: %w", cfg.Arch, err)

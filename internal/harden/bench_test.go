@@ -1,0 +1,45 @@
+package harden
+
+import (
+	"testing"
+	"time"
+
+	"malevade/internal/harden/spec"
+)
+
+// BenchmarkHardenRound measures one full controller round — crafting-model
+// snapshot, campaign orchestration, evasion harvest, corpus generation,
+// adversarial retraining, register-and-promote — with the attack itself
+// simulated (scripted campaign results), so the number isolates the
+// controller's own cost per round. Tiny population: 8 harvested rows, one
+// retraining epoch.
+func BenchmarkHardenRound(b *testing.B) {
+	rows := advRows(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		models := &fakeModels{live: 1}
+		e := newTestEngine(b, b.TempDir(), newFakeCampaigns([]float64{0.9, 0.4}, rows), models, nil)
+		sp := validSpec()
+		sp.Rounds = 1
+		snap, err := e.Submit(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			cur, ok := e.Get(snap.ID)
+			if ok && cur.Status.Terminal() {
+				if cur.Status != spec.StatusDone || len(cur.Rounds) != 1 {
+					b.Fatalf("round did not complete: %+v", cur)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("benchmark round timed out")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		e.Close()
+	}
+}

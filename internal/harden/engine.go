@@ -1,0 +1,790 @@
+package harden
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malevade/internal/campaign"
+	"malevade/internal/dataset"
+	"malevade/internal/defense"
+	"malevade/internal/detector"
+	"malevade/internal/experiments"
+	"malevade/internal/harden/spec"
+	"malevade/internal/nn"
+	"malevade/internal/registry"
+	"malevade/internal/tensor"
+)
+
+// Campaigns is the slice of the campaign engine the controller drives: it
+// submits one evasion campaign per round, polls it to completion, and
+// cancels it when the job's own context ends. *campaign.Engine satisfies
+// it.
+type Campaigns interface {
+	// Submit enqueues a campaign.
+	Submit(sp campaign.Spec) (campaign.Snapshot, error)
+	// Get polls a campaign, windowing per-sample results from offset on.
+	Get(id string, offset int) (campaign.Snapshot, bool)
+	// Cancel requests a campaign's cancellation.
+	Cancel(id string) (campaign.Snapshot, bool)
+}
+
+// Models is the slice of the model registry the controller hardens
+// through: resolve the target at submit time, snapshot its live version for
+// crafting, register + promote each hardened version, and GC history when
+// the version cap is hit. *registry.Registry satisfies it.
+type Models interface {
+	// Get resolves a model name to its registry info.
+	Get(name string) (registry.Info, error)
+	// Register ingests (and optionally promotes) a model file.
+	Register(req registry.RegisterRequest) (registry.Info, error)
+	// LoadLive returns a private copy of the model's live network.
+	LoadLive(name string) (*nn.Network, error)
+	// GC drops unpinned, non-live versions of the model.
+	GC(name string) (registry.Info, int, error)
+}
+
+// Options configures an Engine. Dir, Campaigns and Models are required;
+// everything else defaults.
+type Options struct {
+	// Dir is the durable job-state directory (created if missing). The
+	// daemon places it next to the registry dir so job state shares the
+	// registry's lifecycle and backup story.
+	Dir string
+	// Campaigns drives each round's evasion campaigns (required).
+	Campaigns Campaigns
+	// Models is the registry the hardened versions promote through
+	// (required).
+	Models Models
+	// Workers is the number of hardening jobs that run concurrently
+	// (default 1 — each job already fans out through campaign workers
+	// and a full retraining fit, so more is rarely useful).
+	Workers int
+	// QueueDepth bounds jobs waiting beyond the running ones (default 8);
+	// Submit fails with ErrQueueFull past it. Jobs resumed from durable
+	// state never count against it.
+	QueueDepth int
+	// MaxRounds caps any job's round budget (default 16).
+	MaxRounds int
+	// MaxHistory bounds how many jobs the engine remembers, in memory and
+	// on disk (default 64). Oldest terminal jobs are evicted first; live
+	// jobs are never evicted.
+	MaxHistory int
+	// PollInterval is the campaign polling cadence (default 15ms).
+	PollInterval time.Duration
+	// Log, when non-nil, receives one line per job transition.
+	Log io.Writer
+
+	// roundHook, when non-nil, runs after each round is recorded and
+	// persisted — a test seam for restart-mid-job coverage.
+	roundHook func(id string, round int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 16
+	}
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = 64
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 15 * time.Millisecond
+	}
+	return o
+}
+
+// Submission and lookup errors an API layer maps to status codes.
+var (
+	// ErrQueueFull rejects a Submit when every worker is busy and the
+	// backlog is at QueueDepth.
+	ErrQueueFull = errors.New("harden: queue is full")
+	// ErrClosed rejects operations on a closed engine.
+	ErrClosed = errors.New("harden: engine is closed")
+)
+
+// headerOffset is the results offset used for progress polls: past any
+// plausible population, so snapshots come back without per-sample payloads.
+const headerOffset = 1 << 30
+
+// job is one hardening job's mutable state. The engine's map owns the
+// pointer; snap and craftFile are guarded by mu so status polls, the runner
+// and the persister never race. userCancel distinguishes an operator's
+// cancel (terminal, persisted) from an engine shutdown (job stays
+// resumable on disk).
+type job struct {
+	id         string
+	ctx        context.Context
+	cancel     context.CancelFunc
+	userCancel atomic.Bool
+
+	mu        sync.Mutex
+	snap      spec.Snapshot
+	craftFile string
+}
+
+// Engine is the hardening-job orchestrator: a bounded worker pool draining
+// a submission queue, every job addressable by id for polling and
+// cancellation, and every job's state mirrored to disk so a restarted
+// engine resumes in-flight work. Create with NewEngine, Close when done;
+// all methods are safe for concurrent use.
+type Engine struct {
+	opts  Options
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	closed bool
+	seq    int64
+
+	submitted atomic.Int64
+}
+
+// NewEngine opens (or creates) the state directory, reloads every recorded
+// job — terminal ones as history, in-flight ones re-enqueued to resume from
+// their last persisted round — and starts the workers.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("harden: Options.Dir is required")
+	}
+	if opts.Campaigns == nil || opts.Models == nil {
+		return nil, fmt.Errorf("harden: Options.Campaigns and Options.Models are required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harden: create state dir: %w", err)
+	}
+	e := &Engine{opts: opts.withDefaults(), jobs: make(map[string]*job)}
+
+	states, skipped := loadStates(e.opts.Dir)
+	for _, name := range skipped {
+		e.logf("harden: skipping unreadable state file %s\n", name)
+	}
+	var resumed []*job
+	for _, st := range states {
+		if n, ok := seqOf(st.Snapshot.ID); ok && n > e.seq {
+			e.seq = n
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &job{id: st.Snapshot.ID, ctx: ctx, cancel: cancel, craftFile: st.CraftFile}
+		j.snap = st.Snapshot
+		if st.Snapshot.Status.Terminal() {
+			cancel()
+		} else {
+			// The daemon died (or closed) mid-job: requeue it from the
+			// recorded rounds. The in-flight campaign id was never
+			// persisted, so the interrupted round simply re-runs.
+			j.snap.Status = spec.StatusQueued
+			j.snap.Resumed = true
+			j.snap.CurrentCampaign = ""
+			resumed = append(resumed, j)
+		}
+		e.jobs[j.id] = j
+		e.order = append(e.order, j.id)
+	}
+
+	e.queue = make(chan *job, e.opts.QueueDepth+len(resumed))
+	for _, j := range resumed {
+		e.queue <- j
+		e.logf("harden %s resumed at round %d\n", j.id, len(j.snap.Rounds))
+	}
+	e.wg.Add(e.opts.Workers)
+	for i := 0; i < e.opts.Workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for j := range e.queue {
+				e.run(j)
+			}
+		}()
+	}
+	return e, nil
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Log != nil {
+		fmt.Fprintf(e.opts.Log, format, args...)
+	}
+}
+
+// Submit validates a spec, resolves its profile and target model
+// synchronously (so a doomed job is a 4xx at the API layer, never an
+// asynchronous failure), persists the queued job and enqueues it. The
+// engine never blocks the caller: a full queue is ErrQueueFull.
+func (e *Engine) Submit(sp spec.Spec) (spec.Snapshot, error) {
+	if err := sp.Validate(e.opts.MaxRounds); err != nil {
+		return spec.Snapshot{}, err
+	}
+	if _, err := experiments.ProfileByName(sp.Profile); err != nil {
+		return spec.Snapshot{}, err
+	}
+	info, err := e.opts.Models.Get(sp.Model)
+	if err != nil {
+		return spec.Snapshot{}, err
+	}
+	if info.Live == 0 {
+		return spec.Snapshot{}, fmt.Errorf("%w: model %q has no live version to harden", registry.ErrVersionConflict, sp.Model)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return spec.Snapshot{}, ErrClosed
+	}
+	e.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{id: fmt.Sprintf("h%06d", e.seq), ctx: ctx, cancel: cancel}
+	j.snap = spec.Snapshot{
+		ID:          j.id,
+		Spec:        sp,
+		Status:      spec.StatusQueued,
+		SubmittedAt: time.Now(),
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.seq--
+		e.mu.Unlock()
+		cancel()
+		return spec.Snapshot{}, ErrQueueFull
+	}
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
+	e.evictLocked()
+	e.mu.Unlock()
+	e.submitted.Add(1)
+	e.persist(j)
+	e.logf("harden %s queued: model %s, budget %d rounds\n", j.id, sp.Model, sp.RoundBudget())
+	return j.snapshot(), nil
+}
+
+// Get returns a job snapshot, or false for an unknown id.
+func (e *Engine) Get(id string) (spec.Snapshot, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return spec.Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List returns job snapshots in submission order.
+func (e *Engine) List() []spec.Snapshot {
+	e.mu.Lock()
+	jobs := make([]*job, 0, len(e.order))
+	for _, id := range e.order {
+		jobs = append(jobs, e.jobs[id])
+	}
+	e.mu.Unlock()
+	out := make([]spec.Snapshot, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// Cancel requests cancellation and returns the resulting snapshot, or
+// false for an unknown id. A queued job is marked cancelled immediately; a
+// running one stops at its next cancellation point (batch boundary,
+// retraining epoch) and converges to cancelled — poll Get for the terminal
+// state. Unlike an engine shutdown, an explicit Cancel is persisted: the
+// job will not resume on restart.
+func (e *Engine) Cancel(id string) (spec.Snapshot, bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return spec.Snapshot{}, false
+	}
+	j.userCancel.Store(true)
+	j.cancel()
+	j.mu.Lock()
+	wasQueued := j.snap.Status == spec.StatusQueued
+	if wasQueued {
+		j.markCancelledLocked()
+	}
+	j.mu.Unlock()
+	if wasQueued {
+		e.persist(j)
+	}
+	e.logf("harden %s cancel requested\n", id)
+	return j.snapshot(), true
+}
+
+// Submitted counts jobs accepted since the engine started (resumed jobs
+// excluded).
+func (e *Engine) Submitted() int64 { return e.submitted.Load() }
+
+// evictLocked drops the oldest terminal jobs beyond MaxHistory — from the
+// map and from disk, so the state directory stays bounded too. Live jobs
+// are never evicted. Callers hold e.mu.
+func (e *Engine) evictLocked() {
+	if len(e.order) <= e.opts.MaxHistory {
+		return
+	}
+	kept := e.order[:0]
+	excess := len(e.order) - e.opts.MaxHistory
+	for _, id := range e.order {
+		j := e.jobs[id]
+		j.mu.Lock()
+		terminal := j.snap.Status.Terminal()
+		cf := j.craftFile
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(e.jobs, id)
+			os.Remove(filepath.Join(e.opts.Dir, id+".json"))
+			if cf != "" {
+				os.Remove(filepath.Join(e.opts.Dir, cf))
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.order = kept
+}
+
+// Close cancels every job, stops the workers and waits for them. In-flight
+// jobs keep their last persisted state on disk — a reopened engine resumes
+// them — which is exactly how a daemon shutdown differs from an operator's
+// Cancel. Idempotent; subsequent Submits fail with ErrClosed while
+// Get/List keep answering from the final in-memory snapshots.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	jobs := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	close(e.queue)
+	e.wg.Wait()
+}
+
+// persist mirrors the job's current state to disk. Persistence failures
+// are logged, not fatal: the job keeps running, it just loses restart
+// coverage from this point.
+func (e *Engine) persist(j *job) {
+	j.mu.Lock()
+	st := state{Format: stateFormat, Snapshot: cloneSnapshot(j.snap), CraftFile: j.craftFile}
+	j.mu.Unlock()
+	// The in-flight campaign never survives a restart; resumed jobs re-run
+	// the interrupted round from scratch.
+	st.Snapshot.CurrentCampaign = ""
+	if err := writeState(e.opts.Dir, st); err != nil {
+		e.logf("%v\n", err)
+	}
+}
+
+// run executes one job on a worker goroutine.
+func (e *Engine) run(j *job) {
+	j.mu.Lock()
+	if j.ctx.Err() != nil || j.snap.Status != spec.StatusQueued {
+		// Cancelled while queued (or Close raced the queue drain): never
+		// start. Only an operator cancel persists; a shutdown leaves the
+		// on-disk state queued so the job resumes next boot.
+		j.markCancelledLocked()
+		j.mu.Unlock()
+		if j.userCancel.Load() {
+			e.persist(j)
+		}
+		return
+	}
+	j.snap.Status = spec.StatusRunning
+	if j.snap.StartedAt.IsZero() {
+		j.snap.StartedAt = time.Now()
+	}
+	j.mu.Unlock()
+	e.persist(j)
+	e.logf("harden %s running\n", j.id)
+
+	err := e.execute(j)
+
+	j.mu.Lock()
+	j.snap.FinishedAt = time.Now()
+	j.snap.CurrentCampaign = ""
+	switch {
+	case err == nil:
+		j.snap.Status = spec.StatusDone
+	case errors.Is(err, context.Canceled):
+		j.snap.Status = spec.StatusCancelled
+		j.snap.Error = "cancelled"
+	default:
+		j.snap.Status = spec.StatusFailed
+		j.snap.Error = err.Error()
+	}
+	status := j.snap.Status
+	reason := j.snap.StopReason
+	rounds := len(j.snap.Rounds)
+	j.mu.Unlock()
+
+	if status == spec.StatusCancelled && !j.userCancel.Load() {
+		// Engine shutdown: leave the durable state as-is so the job
+		// resumes on the next boot.
+		e.logf("harden %s interrupted after %d rounds (resumable)\n", j.id, rounds)
+		return
+	}
+	e.finalize(j)
+	e.logf("harden %s %s (%d rounds, stop=%s)\n", j.id, status, rounds, reason)
+}
+
+// finalize persists a terminal job and deletes its crafting snapshot (the
+// state file itself stays: job history survives restarts).
+func (e *Engine) finalize(j *job) {
+	j.mu.Lock()
+	cf := j.craftFile
+	j.craftFile = ""
+	j.mu.Unlock()
+	e.persist(j)
+	if cf != "" {
+		os.Remove(filepath.Join(e.opts.Dir, cf))
+	}
+}
+
+// execute runs the hardening loop. Panics from the attack or training
+// layers surface as job failures, never as a crashed worker.
+func (e *Engine) execute(j *job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harden: round panicked: %v", r)
+		}
+	}()
+
+	j.mu.Lock()
+	sp := j.snap.Spec
+	j.mu.Unlock()
+	p, err := experiments.ProfileByName(sp.Profile)
+	if err != nil {
+		return err
+	}
+	craftPath, err := e.ensureCraftModel(j, sp)
+	if err != nil {
+		return err
+	}
+
+	// The clean+malware base corpus each round's retraining augments.
+	// Generated lazily: a job whose first campaign already meets the
+	// target never pays for it.
+	var base *dataset.Dataset
+
+	for {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		camp, err := e.runCampaign(j, sp, craftPath)
+		if err != nil {
+			return err
+		}
+		rate := camp.EvasionRate
+
+		j.mu.Lock()
+		done := len(j.snap.Rounds)
+		if done > 0 && j.snap.Rounds[done-1].ReattackID == "" {
+			// This campaign doubles as the previous round's re-attack:
+			// its rate measures the hardened model.
+			j.snap.Rounds[done-1].EvasionAfter = rate
+			j.snap.Rounds[done-1].ReattackID = camp.ID
+		}
+		j.snap.Campaigns++
+		j.snap.EvasionRate = rate
+		j.mu.Unlock()
+		e.persist(j)
+		e.logf("harden %s campaign %s: evasion rate %.4f\n", j.id, camp.ID, rate)
+
+		if done >= sp.RoundBudget() {
+			e.stop(j, spec.StopRoundBudget)
+			return nil
+		}
+		if sp.TargetEvasionRate > 0 && rate <= sp.TargetEvasionRate {
+			e.stop(j, spec.StopTargetReached)
+			return nil
+		}
+		adv := HarvestEvasions(camp)
+		if adv == nil {
+			e.stop(j, spec.StopNoEvasions)
+			return nil
+		}
+
+		if base == nil {
+			corpus, err := dataset.Generate(dataset.TableIConfig(p.Seed).Scaled(p.ScaleDivisor))
+			if err != nil {
+				return err
+			}
+			base = corpus.Train
+		}
+		round := done + 1
+		sets, err := defense.BuildAdvTrainingSet(base, adv)
+		if err != nil {
+			return err
+		}
+		cfg := RoundTrainConfig(sp, p, round)
+		cfg.OnEpoch = func(int, float64) error { return j.ctx.Err() }
+		hardened, err := defense.AdversarialTraining(sets, cfg)
+		if err != nil {
+			return err
+		}
+		info, err := e.registerPromote(j, sp.Model, hardened.Net)
+		if err != nil {
+			return err
+		}
+
+		rec := spec.Round{
+			Round:             round,
+			CampaignID:        camp.ID,
+			EvasionBefore:     rate,
+			BaselineDetection: camp.BaselineDetectionRate,
+			RowsHarvested:     adv.Rows,
+			Duplicates:        sets.Duplicates,
+			TrainSeed:         cfg.Seed,
+			Version:           info.Live,
+			Generation:        info.Generation,
+			Generations:       camp.Generations,
+			StartedAt:         camp.StartedAt,
+			FinishedAt:        time.Now(),
+		}
+		j.mu.Lock()
+		j.snap.Rounds = append(j.snap.Rounds, rec)
+		j.snap.Versions = append(j.snap.Versions, info.Live)
+		j.mu.Unlock()
+		e.persist(j)
+		e.logf("harden %s round %d: %d rows harvested, promoted v%d (gen %d)\n",
+			j.id, round, rec.RowsHarvested, rec.Version, rec.Generation)
+		if e.opts.roundHook != nil {
+			e.opts.roundHook(j.id, round)
+		}
+	}
+}
+
+// stop records why a job finished successfully.
+func (e *Engine) stop(j *job, reason string) {
+	j.mu.Lock()
+	j.snap.StopReason = reason
+	j.mu.Unlock()
+}
+
+// ensureCraftModel resolves the fixed crafting model the job attacks with
+// every round: the spec's explicit path, the file a previous run of this
+// job already snapshotted (resume), or a fresh snapshot of the target's
+// live version.
+func (e *Engine) ensureCraftModel(j *job, sp spec.Spec) (string, error) {
+	if sp.CraftModelPath != "" {
+		return sp.CraftModelPath, nil
+	}
+	j.mu.Lock()
+	cf := j.craftFile
+	j.mu.Unlock()
+	if cf != "" {
+		path := filepath.Join(e.opts.Dir, cf)
+		if _, err := os.Stat(path); err == nil {
+			return path, nil
+		}
+	}
+	net, err := e.opts.Models.LoadLive(sp.Model)
+	if err != nil {
+		return "", fmt.Errorf("harden: snapshot crafting model: %w", err)
+	}
+	name := j.id + "-craft.gob"
+	path := filepath.Join(e.opts.Dir, name)
+	if err := net.SaveFile(path); err != nil {
+		return "", fmt.Errorf("harden: save crafting snapshot: %w", err)
+	}
+	j.mu.Lock()
+	j.craftFile = name
+	j.mu.Unlock()
+	e.persist(j)
+	return path, nil
+}
+
+// runCampaign submits one round's evasion campaign and polls it to
+// completion, returning the full terminal snapshot (per-sample results
+// included). On job cancellation it cancels the campaign and waits for the
+// campaign workers to actually release before returning, so a cancelled
+// hardening job never leaves a campaign running behind it.
+func (e *Engine) runCampaign(j *job, sp spec.Spec, craftPath string) (campaign.Snapshot, error) {
+	cs := sp.CampaignSpec(craftPath)
+	j.mu.Lock()
+	round := len(j.snap.Rounds) + 1
+	j.mu.Unlock()
+	cs.Name = fmt.Sprintf("harden %s round %d", j.id, round)
+
+	var camp campaign.Snapshot
+	for {
+		var err error
+		camp, err = e.opts.Campaigns.Submit(cs)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, campaign.ErrQueueFull) {
+			return campaign.Snapshot{}, err
+		}
+		select {
+		case <-j.ctx.Done():
+			return campaign.Snapshot{}, j.ctx.Err()
+		case <-time.After(e.opts.PollInterval):
+		}
+	}
+	j.mu.Lock()
+	j.snap.CurrentCampaign = camp.ID
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.snap.CurrentCampaign = ""
+		j.mu.Unlock()
+	}()
+
+	for {
+		select {
+		case <-j.ctx.Done():
+			e.opts.Campaigns.Cancel(camp.ID)
+			e.awaitCampaignTerminal(camp.ID)
+			return campaign.Snapshot{}, j.ctx.Err()
+		case <-time.After(e.opts.PollInterval):
+		}
+		cur, ok := e.opts.Campaigns.Get(camp.ID, headerOffset)
+		if !ok {
+			return campaign.Snapshot{}, fmt.Errorf("harden: campaign %s evicted mid-round", camp.ID)
+		}
+		if !cur.Status.Terminal() {
+			continue
+		}
+		switch cur.Status {
+		case campaign.StatusDone:
+			full, ok := e.opts.Campaigns.Get(camp.ID, 0)
+			if !ok {
+				return campaign.Snapshot{}, fmt.Errorf("harden: campaign %s evicted mid-round", camp.ID)
+			}
+			return full, nil
+		case campaign.StatusCancelled:
+			if err := j.ctx.Err(); err != nil {
+				return campaign.Snapshot{}, err
+			}
+			return campaign.Snapshot{}, fmt.Errorf("harden: campaign %s was cancelled externally", camp.ID)
+		default:
+			return campaign.Snapshot{}, fmt.Errorf("harden: campaign %s failed: %s", camp.ID, cur.Error)
+		}
+	}
+}
+
+// awaitCampaignTerminal bounds the wait for a cancelled round-campaign to
+// actually stop, so cancellation observably releases campaign workers
+// before the hardening job reports terminal.
+func (e *Engine) awaitCampaignTerminal(id string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		cur, ok := e.opts.Campaigns.Get(id, headerOffset)
+		if !ok || cur.Status.Terminal() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// registerPromote registers the hardened network as a new version of the
+// model and promotes it live. A registry at its version cap is GC'd
+// (unpinned history dropped) and retried once — hardening churns versions
+// by design, and the round metrics preserve what the history loses.
+func (e *Engine) registerPromote(j *job, model string, net *nn.Network) (registry.Info, error) {
+	tmp := filepath.Join(e.opts.Dir, j.id+"-retrain.gob")
+	if err := net.SaveFile(tmp); err != nil {
+		return registry.Info{}, fmt.Errorf("harden: save hardened model: %w", err)
+	}
+	defer os.Remove(tmp)
+	req := registry.RegisterRequest{Name: model, Path: tmp, Promote: true}
+	info, err := e.opts.Models.Register(req)
+	if errors.Is(err, registry.ErrFull) {
+		if _, _, gcErr := e.opts.Models.GC(model); gcErr == nil {
+			info, err = e.opts.Models.Register(req)
+		}
+	}
+	if err != nil {
+		return registry.Info{}, fmt.Errorf("harden: register hardened version: %w", err)
+	}
+	return info, nil
+}
+
+// markCancelledLocked finalizes a job that never ran. Callers hold j.mu.
+func (j *job) markCancelledLocked() {
+	if j.snap.Status.Terminal() {
+		return
+	}
+	j.snap.Status = spec.StatusCancelled
+	j.snap.Error = "cancelled"
+	j.snap.FinishedAt = time.Now()
+}
+
+// snapshot copies the job state for a reader.
+func (j *job) snapshot() spec.Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return cloneSnapshot(j.snap)
+}
+
+// cloneSnapshot deep-copies a snapshot so readers never share slices with
+// the job.
+func cloneSnapshot(s spec.Snapshot) spec.Snapshot {
+	out := s
+	out.Rounds = append([]spec.Round(nil), s.Rounds...)
+	for i := range out.Rounds {
+		out.Rounds[i].Generations = append([]int64(nil), out.Rounds[i].Generations...)
+	}
+	out.Versions = append([]int(nil), s.Versions...)
+	return out
+}
+
+// HarvestEvasions extracts the successful evasions' adversarial feature
+// vectors from a completed KeepRows campaign, as the matrix adversarial
+// retraining ingests (nil when the campaign produced none). Exported so the
+// golden-loop test can hand-glue the exact sequence the controller runs.
+func HarvestEvasions(camp campaign.Snapshot) *tensor.Matrix {
+	var rows [][]float64
+	for _, r := range camp.Results {
+		if r.Evaded && len(r.Adversarial) > 0 {
+			rows = append(rows, r.Adversarial)
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	m := tensor.New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// RoundTrainConfig is the retraining configuration the controller uses for
+// the 1-based round: the profile's target architecture and batch size, the
+// spec's (or profile's) epoch count, seeded with Spec.TrainSeed(round).
+// Exported so the golden-loop test can hand-glue the exact sequence the
+// controller runs.
+func RoundTrainConfig(s spec.Spec, p experiments.Profile, round int) detector.TrainConfig {
+	epochs := s.Epochs
+	if epochs == 0 {
+		epochs = p.TargetEpochs
+	}
+	return detector.TrainConfig{
+		Arch:       detector.ArchTarget,
+		WidthScale: p.TargetWidthScale,
+		Epochs:     epochs,
+		BatchSize:  p.BatchSize,
+		Seed:       s.TrainSeed(round),
+	}
+}

@@ -1,0 +1,249 @@
+// Package spec holds the hardening API's wire types — the Spec a client
+// submits, the per-round metrics, and the job Snapshot — as a leaf package
+// both sides of the wire can import: the controller (internal/harden)
+// consumes them server-side, the SDK (internal/client) client-side, without
+// either depending on the other. internal/harden re-exports aliases, so
+// most code never imports this package directly.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"malevade/internal/attack"
+	cspec "malevade/internal/campaign/spec"
+)
+
+// Spec describes one closed-loop hardening job: attack a named registry
+// model, retrain it on the harvested evasions, promote the hardened
+// version, and re-attack — until the measured evasion rate reaches
+// TargetEvasionRate or the round budget runs out. The zero value is
+// invalid: Model and Attack.Kind are required.
+//
+// Unlike campaigns, hardening specs carry no explicit row population: a
+// resumable job must be able to regenerate its population after a daemon
+// restart, so the population always comes from the (deterministic) named
+// Profile.
+type Spec struct {
+	// Name is an optional human-readable label echoed in snapshots.
+	Name string `json:"name,omitempty"`
+	// Model names the registry model to harden. Required; the model is
+	// attacked by name and every hardened version is registered and
+	// promoted under the same name.
+	Model string `json:"model"`
+	// Attack selects and parameterizes the evasion attack run each round.
+	Attack attack.Config `json:"attack"`
+	// CraftModelPath optionally pins crafting to a saved substitute model
+	// on the daemon host (grey/black-box hardening). Empty means the
+	// controller snapshots the target's live version at job start and
+	// crafts against that fixed snapshot every round — the paper's
+	// fixed-adversarial-examples methodology, which is also what makes
+	// the measured per-round evasion drop attributable to retraining
+	// rather than to a moving crafting gradient.
+	CraftModelPath string `json:"craft_model_path,omitempty"`
+	// TargetURL is rejected: hardening must retrain and promote through
+	// the daemon's own registry, so remote scoring targets cannot be
+	// hardened. The field exists only so the conflict is diagnosed as a
+	// 422 instead of silently ignored.
+	TargetURL string `json:"target_url,omitempty"`
+	// Profile names the experiments profile (small|medium|paper) that
+	// supplies both the attacked population and the retraining corpus;
+	// empty means "small".
+	Profile string `json:"profile,omitempty"`
+	// Rounds is the retraining budget: the controller runs at most this
+	// many attack→retrain→promote rounds, plus one final re-attack to
+	// measure the last round's effect. 0 means 1; the engine caps it.
+	Rounds int `json:"rounds,omitempty"`
+	// TargetEvasionRate stops the loop early once a measured campaign
+	// evasion rate is at or below it. Must be a finite value in [0, 1];
+	// 0 (the default) keeps looping until the round budget.
+	TargetEvasionRate float64 `json:"target_evasion_rate,omitempty"`
+	// MaxSamples caps each round's attacked population (0 = the campaign
+	// engine's cap).
+	MaxSamples int `json:"max_samples,omitempty"`
+	// BatchSize is the per-batch size for each round's campaign (0 = the
+	// campaign engine default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Epochs overrides the profile's retraining epoch count (0 = the
+	// profile's TargetEpochs).
+	Epochs int `json:"epochs,omitempty"`
+	// Seed drives retraining initialization and shuffling; round r trains
+	// with Seed+r so every round's fit is distinct but reproducible.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Validate rejects semantically invalid specs at submit time, so an
+// asynchronous job never starts doomed. maxRounds is the engine's round
+// cap. The engine additionally resolves Profile against the experiments
+// registry and the model name against its registry (concerns this leaf
+// package cannot carry).
+func (s Spec) Validate(maxRounds int) error {
+	if s.Model == "" {
+		return fmt.Errorf("harden: model is required")
+	}
+	if s.TargetURL != "" {
+		return fmt.Errorf("harden: target_url conflicts with model: hardening retrains and promotes through the daemon's own registry")
+	}
+	if err := s.Attack.Validate(); err != nil {
+		return err
+	}
+	if s.Rounds < 0 {
+		return fmt.Errorf("harden: rounds must be non-negative, got %d", s.Rounds)
+	}
+	if maxRounds > 0 && s.Rounds > maxRounds {
+		return fmt.Errorf("harden: %d rounds exceed the per-job cap %d", s.Rounds, maxRounds)
+	}
+	if math.IsNaN(s.TargetEvasionRate) || math.IsInf(s.TargetEvasionRate, 0) {
+		return fmt.Errorf("harden: target_evasion_rate must be finite")
+	}
+	if s.TargetEvasionRate < 0 || s.TargetEvasionRate > 1 {
+		return fmt.Errorf("harden: target_evasion_rate must be in [0,1], got %v", s.TargetEvasionRate)
+	}
+	if s.MaxSamples < 0 {
+		return fmt.Errorf("harden: max_samples must be non-negative, got %d", s.MaxSamples)
+	}
+	if s.BatchSize < 0 {
+		return fmt.Errorf("harden: batch_size must be non-negative, got %d", s.BatchSize)
+	}
+	if s.Epochs < 0 {
+		return fmt.Errorf("harden: epochs must be non-negative, got %d", s.Epochs)
+	}
+	return nil
+}
+
+// RoundBudget returns the effective round budget (Rounds, defaulting to 1).
+func (s Spec) RoundBudget() int {
+	if s.Rounds == 0 {
+		return 1
+	}
+	return s.Rounds
+}
+
+// CampaignSpec renders the evasion campaign the controller submits for one
+// round: the spec's attack against the named model, population from the
+// spec's profile, crafting pinned to craftPath, with per-sample adversarial
+// rows retained for harvesting. The golden-loop test glues the manual
+// sequence from this same constructor, so controller and hand-run rounds
+// are bit-identical by construction.
+func (s Spec) CampaignSpec(craftPath string) cspec.Spec {
+	return cspec.Spec{
+		Attack:         s.Attack,
+		CraftModelPath: craftPath,
+		TargetModel:    s.Model,
+		Profile:        s.Profile,
+		MaxSamples:     s.MaxSamples,
+		BatchSize:      s.BatchSize,
+		KeepRows:       true,
+	}
+}
+
+// TrainSeed returns the retraining seed for 1-based round r.
+func (s Spec) TrainSeed(round int) uint64 { return s.Seed + uint64(round) }
+
+// Status is a hardening job's lifecycle state — the same state machine as
+// campaigns (queued → running → done|failed|cancelled).
+type Status = cspec.Status
+
+// The hardening job lifecycle, re-exported from the campaign taxonomy so
+// the two job families share one vocabulary.
+const (
+	StatusQueued    = cspec.StatusQueued
+	StatusRunning   = cspec.StatusRunning
+	StatusDone      = cspec.StatusDone
+	StatusFailed    = cspec.StatusFailed
+	StatusCancelled = cspec.StatusCancelled
+)
+
+// Stop reasons recorded in Snapshot.StopReason when a job completes.
+const (
+	// StopRoundBudget: the job ran its full round budget.
+	StopRoundBudget = "round_budget"
+	// StopTargetReached: a measured evasion rate hit TargetEvasionRate.
+	StopTargetReached = "target_reached"
+	// StopNoEvasions: a campaign produced no successful evasions to
+	// harvest, so retraining had nothing to learn from.
+	StopNoEvasions = "no_evasions"
+)
+
+// Round records one completed attack→retrain→promote round's metrics.
+type Round struct {
+	// Round is the 1-based round number.
+	Round int `json:"round"`
+	// CampaignID identifies the attack campaign that opened the round.
+	CampaignID string `json:"campaign_id"`
+	// EvasionBefore is that campaign's measured evasion rate — the rate
+	// against the model as it stood entering the round.
+	EvasionBefore float64 `json:"evasion_before"`
+	// EvasionAfter is the re-attack's evasion rate against the hardened
+	// model, filled in when the next campaign completes. ReattackID
+	// identifies the measuring campaign; while it is empty, EvasionAfter
+	// is not yet measured.
+	EvasionAfter float64 `json:"evasion_after"`
+	// ReattackID identifies the campaign whose rate EvasionAfter reports
+	// (empty until measured).
+	ReattackID string `json:"reattack_id,omitempty"`
+	// BaselineDetection is the opening campaign's detection rate on the
+	// unperturbed population.
+	BaselineDetection float64 `json:"baseline_detection"`
+	// RowsHarvested counts the successful evasions fed to retraining;
+	// Duplicates counts harvested rows deduplicated away against the
+	// base corpus.
+	RowsHarvested int `json:"rows_harvested"`
+	Duplicates    int `json:"duplicates"`
+	// TrainSeed is the seed the round's retraining ran with.
+	TrainSeed uint64 `json:"train_seed"`
+	// Version is the registry version number the hardened model was
+	// registered as; Generation is the serving generation its promotion
+	// raised the model to.
+	Version    int   `json:"version"`
+	Generation int64 `json:"generation"`
+	// Generations lists the distinct serving generations the opening
+	// campaign's batches were judged by, in first-seen order.
+	Generations []int64 `json:"generations,omitempty"`
+	// StartedAt / FinishedAt bound the round.
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+// Snapshot is a point-in-time view of a hardening job. Snapshots are value
+// copies; readers never share memory with the job. The snapshot doubles as
+// the job's durable on-disk state, so a restarted daemon resumes from
+// exactly what the last poll would have reported.
+type Snapshot struct {
+	// ID is the engine-assigned job id.
+	ID string `json:"id"`
+	// Spec echoes the submitted spec.
+	Spec Spec `json:"spec"`
+	// Status is the lifecycle state at snapshot time.
+	Status Status `json:"status"`
+	// Error holds the failure (or cancellation) reason for terminal
+	// non-Done statuses.
+	Error string `json:"error,omitempty"`
+	// StopReason explains why a done job stopped (one of the Stop*
+	// constants).
+	StopReason string `json:"stop_reason,omitempty"`
+	// Resumed reports that the job survived a daemon restart: it was
+	// reloaded from durable state and continued from its recorded rounds.
+	Resumed bool `json:"resumed,omitempty"`
+	// SubmittedAt / StartedAt / FinishedAt bound the job's lifecycle;
+	// zero times are omitted from the wire form.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// CurrentCampaign is the in-flight campaign id while a round's
+	// attack phase runs (empty otherwise, and always empty in durable
+	// state: a resumed job re-runs its in-flight campaign).
+	CurrentCampaign string `json:"current_campaign,omitempty"`
+	// Campaigns counts completed measurement campaigns (rounds completed
+	// plus the final re-attack, once it lands).
+	Campaigns int `json:"campaigns"`
+	// EvasionRate is the latest measured campaign evasion rate (0 until
+	// the first campaign completes — see Campaigns to disambiguate).
+	EvasionRate float64 `json:"evasion_rate"`
+	// Rounds records every completed round's metrics in order.
+	Rounds []Round `json:"rounds,omitempty"`
+	// Versions lists the registry versions promoted by this job, in
+	// round order.
+	Versions []int `json:"versions,omitempty"`
+}

@@ -1,0 +1,104 @@
+package harden
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"malevade/internal/harden/spec"
+)
+
+// stateFormat versions the durable job-state schema; a bump invalidates
+// older files rather than silently misreading them.
+const stateFormat = 1
+
+// state is one job's durable form: the full wire snapshot plus the name of
+// the crafting-model file the job pinned (relative to the state dir, so the
+// whole directory can be moved with the registry it sits beside).
+type state struct {
+	Format    int           `json:"format"`
+	Snapshot  spec.Snapshot `json:"snapshot"`
+	CraftFile string        `json:"craft_file,omitempty"`
+}
+
+// writeState persists one job atomically (temp file + rename, the same
+// discipline as registry manifests) so a crash mid-write leaves the
+// previous state intact.
+func writeState(dir string, st state) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harden: encode state %s: %w", st.Snapshot.ID, err)
+	}
+	path := filepath.Join(dir, st.Snapshot.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("harden: write state %s: %w", st.Snapshot.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("harden: commit state %s: %w", st.Snapshot.ID, err)
+	}
+	return nil
+}
+
+// readState loads and validates one job-state file.
+func readState(path string) (state, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return state{}, err
+	}
+	var st state
+	if err := json.Unmarshal(data, &st); err != nil {
+		return state{}, fmt.Errorf("harden: decode %s: %w", filepath.Base(path), err)
+	}
+	if st.Format != stateFormat {
+		return state{}, fmt.Errorf("harden: %s has state format %d, want %d", filepath.Base(path), st.Format, stateFormat)
+	}
+	if st.Snapshot.ID == "" {
+		return state{}, fmt.Errorf("harden: %s has no job id", filepath.Base(path))
+	}
+	return st, nil
+}
+
+// loadStates scans a state directory and returns every readable job state
+// in id order, plus the names of files it had to skip (corrupt or
+// half-written leftovers — the engine logs them and carries on, because a
+// damaged history entry must not stop the daemon from booting).
+func loadStates(dir string) ([]state, []string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil
+	}
+	var states []state
+	var skipped []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, "h") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		st, err := readState(filepath.Join(dir, name))
+		if err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		states = append(states, st)
+	}
+	sort.Slice(states, func(i, k int) bool { return states[i].Snapshot.ID < states[k].Snapshot.ID })
+	return states, skipped
+}
+
+// seqOf extracts the numeric sequence from a job id ("h000042" → 42).
+func seqOf(id string) (int64, bool) {
+	if len(id) < 2 || id[0] != 'h' {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"malevade/internal/harden"
+	"malevade/internal/registry"
+	"malevade/internal/wire"
+)
+
+// The hardening API exposes the closed-loop controller (internal/harden)
+// over the daemon:
+//
+//	POST   /v1/harden       submit a hardening spec    → 202 + snapshot
+//	GET    /v1/harden       list job summaries         → 200
+//	GET    /v1/harden/{id}  status + per-round metrics → 200
+//	DELETE /v1/harden/{id}  cancel via context         → 202 + snapshot
+//
+// The controller only exists when the daemon has a model registry —
+// hardening retrains and promotes named, durable models — so every handler
+// first refuses registry-less daemons with the same 422 the scoring path
+// uses for model addressing. Job state is durable (RegistryDir/.harden):
+// a daemon killed mid-job resumes it on the next start from the same
+// registry dir.
+
+// requireHarden answers false after writing the 422 that explains why a
+// registry-less daemon has no hardening controller.
+func (s *Server) requireHarden(w http.ResponseWriter) bool {
+	if s.harden == nil {
+		writeErrorCode(w, http.StatusUnprocessableEntity, wire.CodeInvalidSpec,
+			"daemon has no model registry (start with -registry): hardening retrains and promotes registry models")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHardenSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.requireHarden(w) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var spec harden.Spec
+	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.opts.MaxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return
+	}
+	snap, err := s.harden.Submit(spec)
+	if err != nil {
+		// The campaign taxonomy, reused verbatim: spec problems are the
+		// client's (422 invalid_spec), backpressure is 429 queue_full, a
+		// closed controller means the daemon is going away (503
+		// unavailable), and a model the registry does not hold (or holds
+		// with nothing live) takes the registry's own taxonomy members.
+		status := http.StatusUnprocessableEntity
+		code := wire.CodeInvalidSpec
+		switch {
+		case errors.Is(err, harden.ErrQueueFull):
+			status, code = http.StatusTooManyRequests, wire.CodeQueueFull
+		case errors.Is(err, harden.ErrClosed):
+			status, code = http.StatusServiceUnavailable, wire.CodeUnavailable
+		case errors.Is(err, registry.ErrUnknownModel):
+			status, code = http.StatusNotFound, wire.CodeUnknownModel
+		case errors.Is(err, registry.ErrVersionConflict):
+			status, code = http.StatusConflict, wire.CodeVersionConflict
+		}
+		writeErrorCode(w, status, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// HardenList answers GET /v1/harden.
+type HardenList struct {
+	Jobs []harden.Snapshot `json:"jobs"`
+}
+
+func (s *Server) handleHardenList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireHarden(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, HardenList{Jobs: s.harden.List()})
+}
+
+func (s *Server) handleHardenGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireHarden(w) {
+		return
+	}
+	snap, ok := s.harden.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown hardening job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHardenCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.requireHarden(w) {
+		return
+	}
+	snap, ok := s.harden.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown hardening job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}

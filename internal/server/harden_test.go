@@ -1,0 +1,267 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/harden"
+	"malevade/internal/wire"
+)
+
+// attackJSMASmall is the paper's grey-box operating point, reused by every
+// hardening API test.
+func attackJSMASmall() attack.Config {
+	return attack.Config{Kind: attack.KindJSMA, Theta: 0.1, Gamma: 0.025}
+}
+
+// hardenQueueOpts shrinks the controller to one worker and a one-deep queue
+// so backpressure is reachable with three submissions.
+func hardenQueueOpts() harden.Options {
+	return harden.Options{Workers: 1, QueueDepth: 1}
+}
+
+// registerTestModel registers a saved network file as a named registry model
+// over the API (a model's first version is always promoted live).
+func registerTestModel(t *testing.T, s *Server, name, path string) {
+	t.Helper()
+	body, err := json.Marshal(RegisterModelRequest{Name: name, Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := postJSON(t, s, "/v1/models", string(body)); w.Code != http.StatusOK {
+		t.Fatalf("register %s: status %d: %s", name, w.Code, w.Body.String())
+	}
+}
+
+// submitHarden posts a hardening spec and decodes the accepted snapshot.
+func submitHarden(t *testing.T, s *Server, spec harden.Spec) harden.Snapshot {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postJSON(t, s, "/v1/harden", string(body))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit harden: status %d: %s", w.Code, w.Body.String())
+	}
+	var snap harden.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// getHarden fetches one hardening snapshot over the API.
+func getHarden(t *testing.T, s *Server, id string) harden.Snapshot {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/harden/"+id, nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("get %s: status %d: %s", id, w.Code, w.Body.String())
+	}
+	var snap harden.Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// awaitHarden polls the API until the hardening job is terminal.
+func awaitHarden(t *testing.T, s *Server, id string) harden.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := getHarden(t, s, id)
+		if snap.Status.Terminal() {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("hardening job %s never finished", id)
+	return harden.Snapshot{}
+}
+
+// expectHardenError posts a body to /v1/harden and asserts the status and
+// taxonomy code of the error envelope.
+func expectHardenError(t *testing.T, s *Server, body string, status int, code string) {
+	t.Helper()
+	w := postJSON(t, s, "/v1/harden", body)
+	if w.Code != status {
+		t.Fatalf("status %d, want %d: %s", w.Code, status, w.Body.String())
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("status %d without JSON error envelope: %s", w.Code, w.Body.String())
+	}
+	if e.Code != code {
+		t.Fatalf("error code %q, want %q (%s)", e.Code, code, w.Body.String())
+	}
+}
+
+// TestHardenAPINoRegistry: a registry-less daemon has no hardening
+// controller; every /v1/harden verb explains that as a 422 invalid_spec,
+// matching the scoring path's model-addressing refusal.
+func TestHardenAPINoRegistry(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	for _, probe := range []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/harden", `{"model":"m","attack":{"kind":"fgsm","theta":0.1}}`},
+		{http.MethodGet, "/v1/harden", ""},
+		{http.MethodGet, "/v1/harden/h000001", ""},
+		{http.MethodDelete, "/v1/harden/h000001", ""},
+	} {
+		req := httptest.NewRequest(probe.method, probe.path, strings.NewReader(probe.body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusUnprocessableEntity {
+			t.Errorf("%s %s: status %d, want 422", probe.method, probe.path, w.Code)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Code != wire.CodeInvalidSpec {
+			t.Errorf("%s %s: envelope %s, want code invalid_spec", probe.method, probe.path, w.Body.String())
+		}
+	}
+}
+
+// TestHardenAPILifecycle drives the wire surface on a registry daemon:
+// every documented error code, submit, list, get, and a cancel that
+// converges to cancelled.
+func TestHardenAPILifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveTestNet(t, dir, "prod.gob", []int{491, 12, 2}, 7)
+	s, _ := newTestServer(t, Options{ModelPath: path, RegistryDir: t.TempDir(), MaxBodyBytes: 1 << 12})
+	registerTestModel(t, s, "prod", path)
+
+	// The request-decoding and taxonomy walls, in order of depth.
+	expectHardenError(t, s, `{not json`, http.StatusBadRequest, wire.CodeBadRequest)
+	expectHardenError(t, s, `{"model":"prod","attack":{"kind":"fgsm","theta":0.1},"bogus":1}`,
+		http.StatusBadRequest, wire.CodeBadRequest)
+	expectHardenError(t, s, `{"model":"prod","attack":{"kind":"fgsm","theta":0.1}} trailing`,
+		http.StatusBadRequest, wire.CodeBadRequest)
+	expectHardenError(t, s, fmt.Sprintf(`{"model":"prod","attack":{"kind":"fgsm","theta":0.1},"name":%q}`,
+		strings.Repeat("x", 1<<13)), http.StatusRequestEntityTooLarge, wire.CodeTooLarge)
+	expectHardenError(t, s, `{"model":"prod","attack":{"kind":"fgsm","theta":0.1},"rounds":-1}`,
+		http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+	expectHardenError(t, s, `{"model":"prod","attack":{"kind":"fgsm","theta":0.1},"target_url":"http://x"}`,
+		http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+	expectHardenError(t, s, `{"model":"prod","attack":{"kind":"warp","theta":0.1}}`,
+		http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+	expectHardenError(t, s, `{"model":"prod","attack":{"kind":"fgsm","theta":0.1},"profile":"galactic"}`,
+		http.StatusUnprocessableEntity, wire.CodeInvalidSpec)
+	expectHardenError(t, s, `{"model":"ghost","attack":{"kind":"fgsm","theta":0.1}}`,
+		http.StatusNotFound, wire.CodeUnknownModel)
+
+	// Unknown-job lookups on both read verbs.
+	for _, method := range []string{http.MethodGet, http.MethodDelete} {
+		req := httptest.NewRequest(method, "/v1/harden/h999999", nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusNotFound {
+			t.Errorf("%s unknown job: status %d, want 404", method, w.Code)
+		}
+	}
+
+	// A valid submit is accepted and immediately cancellable; the DELETE
+	// answers 202 and the job converges to cancelled (it is cancelled
+	// faster than its first campaign could possibly finish).
+	snap := submitHarden(t, s, harden.Spec{
+		Model:  "prod",
+		Attack: attackJSMASmall(),
+		Rounds: 1,
+		Epochs: 1,
+	})
+	if snap.ID == "" || snap.Status.Terminal() {
+		t.Fatalf("accepted snapshot %+v, want a live job id", snap)
+	}
+	req := httptest.NewRequest(http.MethodDelete, "/v1/harden/"+snap.ID, nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("cancel: status %d: %s", w.Code, w.Body.String())
+	}
+	final := awaitHarden(t, s, snap.ID)
+	if final.Status != harden.StatusCancelled {
+		t.Fatalf("cancelled job converged to %s (%s), want cancelled", final.Status, final.Error)
+	}
+
+	// The list view carries the job, and stats count the submission.
+	req = httptest.NewRequest(http.MethodGet, "/v1/harden", nil)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("list: status %d", w.Code)
+	}
+	var list HardenList
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != snap.ID {
+		t.Fatalf("list %+v, want exactly %s", list.Jobs, snap.ID)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	var stats StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.HardenJobs != 1 {
+		t.Errorf("stats harden_jobs %d, want 1", stats.HardenJobs)
+	}
+}
+
+// TestHardenAPIQueueFull: backpressure surfaces as 429 queue_full once one
+// job occupies the single worker and another fills the queue.
+func TestHardenAPIQueueFull(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := saveTestNet(t, dir, "prod.gob", []int{491, 12, 2}, 7)
+	s, _ := newTestServer(t, Options{
+		ModelPath:   path,
+		RegistryDir: t.TempDir(),
+		Harden:      hardenQueueOpts(),
+	})
+	registerTestModel(t, s, "prod", path)
+
+	spec := harden.Spec{Model: "prod", Attack: attackJSMASmall(), Rounds: 1, Epochs: 1}
+	running := submitHarden(t, s, spec)
+	// Wait until the first job leaves the queue (its campaign keeps the
+	// worker busy for far longer than this test lives).
+	deadline := time.Now().Add(30 * time.Second)
+	for getHarden(t, s, running.ID).Status == harden.StatusQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued := submitHarden(t, s, spec)
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := postJSON(t, s, "/v1/harden", string(body))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429: %s", w.Code, w.Body.String())
+	}
+	var e errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Code != wire.CodeQueueFull {
+		t.Fatalf("429 envelope %s, want code queue_full", w.Body.String())
+	}
+
+	for _, id := range []string{queued.ID, running.ID} {
+		req := httptest.NewRequest(http.MethodDelete, "/v1/harden/"+id, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("cancel %s: status %d", id, rec.Code)
+		}
+		awaitHarden(t, s, id)
+	}
+}

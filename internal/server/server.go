@@ -19,6 +19,14 @@
 //	GET    /v1/campaigns/{id}  status + incremental per-sample results
 //	DELETE /v1/campaigns/{id}  cancel
 //
+// and, when a registry is configured, the closed-loop hardening API
+// (see harden.go):
+//
+//	POST   /v1/harden       submit a hardening job
+//	GET    /v1/harden       list jobs
+//	GET    /v1/harden/{id}  status + per-round metrics
+//	DELETE /v1/harden/{id}  cancel
+//
 // docs/http-api.md is the full wire reference.
 //
 // The model behind the endpoints hot-reloads atomically: a reload (SIGHUP in
@@ -38,6 +46,7 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +56,7 @@ import (
 	"malevade/internal/dataset"
 	"malevade/internal/defense"
 	"malevade/internal/detector"
+	"malevade/internal/harden"
 	"malevade/internal/nn"
 	"malevade/internal/registry"
 	"malevade/internal/serve"
@@ -109,6 +119,14 @@ type Options struct {
 	// refused with 507 registry_full.
 	RegistryMaxModels   int
 	RegistryMaxVersions int
+	// Harden tunes the closed-loop hardening controller behind /v1/harden
+	// (workers, queue depth, round cap). Dir, Campaigns and Models are
+	// filled by the server: job state persists under RegistryDir/.harden,
+	// rounds run through the daemon's campaign engine, and hardened
+	// versions promote through its registry. The controller only exists
+	// when RegistryDir is set — hardening retrains and promotes named,
+	// durable models.
+	Harden harden.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +177,12 @@ type Server struct {
 	// /v1/campaigns; its local target pins one model generation per
 	// campaign batch.
 	campaigns *campaign.Engine
+
+	// harden is the closed-loop hardening controller behind /v1/harden
+	// (nil unless a registry is configured). Its durable job state lives
+	// under RegistryDir/.harden, so a restarted daemon resumes in-flight
+	// hardening jobs.
+	harden *harden.Engine
 
 	started  time.Time    // process start, for uptime_seconds
 	requests atomic.Int64 // scoring requests served (score + label)
@@ -243,6 +267,28 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	s.campaigns = campaign.NewEngine(campaignOpts)
+	if s.registry != nil {
+		hardenOpts := opts.Harden
+		if hardenOpts.Dir == "" {
+			// The registry's Open skips directories without a
+			// manifest.json, so the job-state dir nests safely inside the
+			// registry dir and shares its backup/restore story.
+			hardenOpts.Dir = filepath.Join(opts.RegistryDir, ".harden")
+		}
+		hardenOpts.Campaigns = s.campaigns
+		hardenOpts.Models = s.registry
+		h, err := harden.NewEngine(hardenOpts)
+		if err != nil {
+			s.campaigns.Close()
+			s.registry.Close()
+			old := s.slot.Swap(nil)
+			if old != nil {
+				s.retire(old)
+			}
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.harden = h
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/score", s.handleScore)
 	s.mux.HandleFunc("/v1/label", s.handleLabel)
@@ -253,6 +299,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
+	s.mux.HandleFunc("POST /v1/harden", s.handleHardenSubmit)
+	s.mux.HandleFunc("GET /v1/harden", s.handleHardenList)
+	s.mux.HandleFunc("GET /v1/harden/{id}", s.handleHardenGet)
+	s.mux.HandleFunc("DELETE /v1/harden/{id}", s.handleHardenCancel)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
 	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
@@ -343,9 +393,16 @@ func (s *Server) Registry() *registry.Registry { return s.registry }
 // untouched, so a daemon restarted on the same -registry dir serves the
 // previously live versions. Idempotent.
 func (s *Server) Close() {
-	// Campaigns first: their batches hold generation refs through
-	// serverTarget/namedTarget, so cancelling and draining them lets the
-	// retires below complete without waiting on long-running jobs.
+	// The hardening controller closes first: its jobs drive campaigns and
+	// registry promotions, so stopping it (resumably — in-flight jobs keep
+	// their durable state) lets the campaign and registry shutdowns below
+	// proceed without live submitters. Then campaigns: their batches hold
+	// generation refs through serverTarget/namedTarget, so cancelling and
+	// draining them lets the retires below complete without waiting on
+	// long-running jobs.
+	if s.harden != nil {
+		s.harden.Close()
+	}
 	s.campaigns.Close()
 	if s.registry != nil {
 		s.registry.Close()
@@ -448,6 +505,9 @@ type StatsResponse struct {
 	Rows    int64 `json:"rows"`
 	// Campaigns counts campaign submissions accepted by /v1/campaigns.
 	Campaigns int64 `json:"campaigns"`
+	// HardenJobs counts hardening jobs accepted by /v1/harden (absent
+	// without a registry).
+	HardenJobs int64 `json:"harden_jobs,omitempty"`
 	// ModelRequests counts model-addressed scoring/label requests served
 	// per registry model (absent without a registry).
 	ModelRequests map[string]int64 `json:"model_requests,omitempty"`
@@ -843,6 +903,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Batches:       s.retiredBatches.Load(),
 		Rows:          s.retiredRows.Load(),
 		Campaigns:     s.campaigns.Submitted(),
+	}
+	if s.harden != nil {
+		resp.HardenJobs = s.harden.Submitted()
 	}
 	if m := s.acquire(); m != nil {
 		b, rows := m.Scorer.Stats()
