@@ -41,6 +41,7 @@ import (
 	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/server"
+	"malevade/internal/store"
 	"malevade/internal/tensor"
 	"malevade/internal/wire"
 )
@@ -180,6 +181,72 @@ type (
 	// model registry, workers, round cap); Dir, Campaigns and Models are
 	// required for standalone engines.
 	HardenOptions = harden.Options
+	// ResultsStore is the durable campaign-results store: an append-only,
+	// checksummed record log rooted at a directory (the daemon keeps its
+	// own under RegistryDir/.results) holding per-campaign results and
+	// opt-in sampled live traffic. Reopening a store recovers crash-torn
+	// tails and serves every committed record bit-identically; it
+	// implements CampaignSink, so a CampaignEngine streams results into it
+	// as they land. Create with OpenResultsStore.
+	ResultsStore = store.Store
+	// ResultsStoreOptions configures OpenResultsStore; Dir is required.
+	ResultsStoreOptions = store.Options
+	// StoredCampaign summarizes one stored campaign (id, status, sample
+	// count) as GET /v1/results lists them.
+	StoredCampaign = store.CampaignSummary
+	// StoredCampaignHistory is one campaign's full durable record — spec,
+	// terminal status and per-sample results — as GET /v1/results/{id}
+	// serves it.
+	StoredCampaignHistory = store.CampaignHistory
+	// TrafficRow is one recorded live-traffic row: the served feature
+	// vector plus the verdict, model, generation and timestamp it was
+	// answered with. The daemon records every Nth row behind `serve
+	// -record N`; the miner sweeps these.
+	TrafficRow = store.TrafficRow
+	// CampaignSink receives campaign lifecycle events (started, sample
+	// batches, finished) from a CampaignEngine; a ResultsStore is one.
+	// Wire it through CampaignOptions.Sink.
+	CampaignSink = campaign.Sink
+	// Miner runs queued historical-attack mining sweeps over a
+	// ResultsStore's recorded traffic — the engine behind the daemon's
+	// /v1/mine and `malevade mine`. Create with NewResultsMiner.
+	Miner = store.Miner
+	// MinerOptions tunes a Miner (workers, queue depth, history cap,
+	// default score band); the zero value picks defaults.
+	MinerOptions = store.MinerOptions
+	// MineSpec parameterizes one mining sweep: optional label, model
+	// filter, near-boundary score band and findings cap.
+	MineSpec = store.MineSpec
+	// MineSnapshot is a point-in-time view of one mining sweep; terminal
+	// snapshots carry the full ranked findings report.
+	MineSnapshot = store.MineSnapshot
+	// MineFinding is one ranked suspected in-the-wild evasion attempt:
+	// suspicion score, the signals that fired (generation_flip,
+	// low_confidence_clean, near_boundary), and the stored feature row.
+	MineFinding = store.Finding
+	// ResultsSummary mirrors GET /v1/results from Client.Results.
+	ResultsSummary = client.ResultsSummary
+	// ResultsPage mirrors GET /v1/results/{id} from
+	// Client.CampaignResults: a cursor-paginated window of one stored
+	// campaign's per-sample results.
+	ResultsPage = client.ResultsPage
+	// TrafficPage mirrors GET /v1/results/traffic from Client.Traffic.
+	TrafficPage = client.TrafficPage
+	// ResultsQuery filters Client.CampaignResults (cursor, limit,
+	// generation, verdict flips only).
+	ResultsQuery = client.ResultsQuery
+	// TrafficQuery filters Client.Traffic (cursor, limit, model,
+	// generation, probability band).
+	TrafficQuery = client.TrafficQuery
+	// ReplayRequest asks Client.Replay to re-score one stored
+	// perturbation against the daemon's current default model or any
+	// retained registry version.
+	ReplayRequest = client.ReplayRequest
+	// ReplayResponse reports a replayed verdict next to the stored one.
+	ReplayResponse = client.ReplayResponse
+	// MineWaitOptions tunes Client.WaitMine (poll interval, snapshot
+	// callback).
+	MineWaitOptions = client.MineWaitOptions
 	// Client is the typed SDK for a remote scoring daemon: every
 	// endpoint — scoring, labels, health, stats, hot-reload and the
 	// campaign API — behind one type with shared connection pooling, a
@@ -333,6 +400,15 @@ var (
 	// ErrNoReplicas: 503 no_replicas — the gateway's fleet has no
 	// healthy member (refines ErrUnavailable's status).
 	ErrNoReplicas = wire.ErrNoReplicas
+	// ErrNoStore: 422 no_store — a /v1/results or /v1/mine call reached a
+	// daemon running without a results store (start it with -registry);
+	// refines ErrInvalidSpec's status.
+	ErrNoStore = wire.ErrNoStore
+	// ErrStoreCorrupt: 500 store_corrupt — the results store refused a
+	// record log whose committed region fails its checksums (torn tails
+	// from crashes are recovered, checksum damage is not); refines
+	// ErrInternal's status.
+	ErrStoreCorrupt = wire.ErrStoreCorrupt
 	// ErrMixedGenerations: client-side — a version-pinned batch spanned
 	// a hot-reload even after retries.
 	ErrMixedGenerations = wire.ErrMixedGenerations
@@ -490,6 +566,44 @@ func NewCampaignEngine(opts CampaignOptions) *CampaignEngine {
 // the same directory.
 func NewHardenEngine(opts HardenOptions) (*HardenEngine, error) {
 	return harden.NewEngine(opts)
+}
+
+// OpenResultsStore opens (or initializes) a durable results store rooted
+// at opts.Dir. Reopening a directory recovers it: crash-torn record tails
+// are truncated, campaigns interrupted mid-stream gain a durable failed
+// terminal record, and every committed sample is served back
+// bit-identically; a log whose committed region fails its checksums
+// refuses to open with an error matching ErrStoreCorrupt. Close flushes
+// buffered traffic and releases the log files. Wire the store into a
+// CampaignEngine via CampaignOptions.Sink so campaign results survive
+// restarts.
+func OpenResultsStore(opts ResultsStoreOptions) (*ResultsStore, error) {
+	return store.Open(opts)
+}
+
+// NewResultsMiner starts a historical-attack mining engine over st's
+// recorded traffic — the same engine the HTTP daemon exposes as /v1/mine.
+// Close it to stop the workers; terminal snapshots survive in memory up to
+// opts.MaxHistory.
+func NewResultsMiner(st *ResultsStore, opts MinerOptions) *Miner {
+	return store.NewMiner(st, opts)
+}
+
+// SweepTraffic runs one synchronous mining sweep over recorded traffic
+// rows, ranking suspected in-the-wild evasion attempts by suspicion:
+// verdict flips across model generations, low-confidence clean calls
+// inside the near-boundary band, and boundary-probing score sequences.
+// The Miner runs this same sweep asynchronously.
+func SweepTraffic(rows []TrafficRow, sp MineSpec) []MineFinding {
+	return store.SweepTraffic(rows, sp)
+}
+
+// HarvestMineFindings packs mined findings' stored feature rows into a
+// matrix aligned with the findings — ready to feed adversarial retraining
+// the same way harvested campaign evasions are (ApplyDefenses with an
+// advtrain chain, or defense.BuildAdvTrainingSet in-process).
+func HarvestMineFindings(findings []MineFinding) (*Matrix, error) {
+	return store.HarvestFindings(findings)
 }
 
 // NewDetectorCampaignTarget wraps an in-process detector as a campaign

@@ -10,6 +10,7 @@
 //	malevade gateway -replica http://127.0.0.1:8446 -replica http://127.0.0.1:8447
 //	malevade campaign submit -attack jsma -theta 0.1 -gamma 0.025 -watch
 //	malevade harden  -model prod -rounds 2            closed-loop adversarial hardening
+//	malevade mine    -band 0.15                       mine recorded traffic for evasions
 //	malevade models  list|register|promote|gc|rm      manage registered detectors
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
@@ -56,6 +57,8 @@ func run(args []string) error {
 		return cmdCampaign(args[1:])
 	case "harden":
 		return cmdHarden(args[1:])
+	case "mine":
+		return cmdMine(args[1:])
 	case "models":
 		return cmdModels(args[1:])
 	case "vocab":
@@ -84,6 +87,7 @@ commands:
   gateway   front a fleet of serve replicas: probing, failover, fan-out
   campaign  submit/watch/list/cancel evasion campaigns on a daemon
   harden    run closed-loop adversarial hardening against a registry model
+  mine      sweep recorded daemon traffic for in-the-wild evasion attempts
   models    list/register/promote/gc/rm the daemon's registered detectors
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features

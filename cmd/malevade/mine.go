@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"malevade/internal/campaign"
+	"malevade/internal/client"
+	"malevade/internal/store"
+)
+
+// cmdMine drives the daemon's historical attack mining API from the
+// command line: sweep the results store's recorded live traffic for
+// suspected in-the-wild evasion attempts (verdict flips across model
+// generations, low-confidence clean calls, near-boundary probes) and print
+// the ranked findings. The default form submits a sweep directly
+// (`malevade mine -band 0.15`); the status/list/cancel words select the
+// management subcommands. Recording is opt-in: the daemon must run with
+// `serve -registry DIR -record N`.
+func cmdMine(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "status":
+			return cmdMineStatus(args[1:])
+		case "list":
+			return cmdMineList(args[1:])
+		case "cancel":
+			return cmdMineCancel(args[1:])
+		case "help", "-h", "--help":
+			mineUsage()
+			return nil
+		}
+	}
+	return cmdMineSubmit(args)
+}
+
+func mineUsage() {
+	fmt.Fprintln(os.Stderr, `usage: malevade mine [flags]                    submit a traffic-mining sweep
+       malevade mine <subcommand> [flags]
+
+subcommands:
+  status    poll one mining sweep (ranked findings when done)
+  list      list mining sweeps on the daemon
+  cancel    cancel a queued mining sweep
+
+run 'malevade mine -h' or 'malevade mine <subcommand> -h' for flags`)
+}
+
+func cmdMineSubmit(args []string) error {
+	fs := flag.NewFlagSet("mine", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	name := fs.String("name", "", "human-readable sweep label")
+	model := fs.String("model", "", "restrict the sweep to traffic answered by this registry model (default: all)")
+	band := fs.Float64("band", 0, "near-boundary score band around 0.5 (0 = server default, currently 0.15)")
+	maxFindings := fs.Int("max-findings", 0, "cap on ranked findings (0 = server default)")
+	watch := fs.Bool("watch", true, "poll until the sweep finishes and print the ranked report")
+	interval := fs.Duration("interval", 100*time.Millisecond, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := store.MineSpec{
+		Name:        *name,
+		Model:       *model,
+		Band:        *band,
+		MaxFindings: *maxFindings,
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
+	snap, err := c.SubmitMine(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mine %s %s\n", snap.ID, snap.Status)
+	if !*watch {
+		return nil
+	}
+	return watchMine(ctx, c, snap.ID, *interval)
+}
+
+func cmdMineStatus(args []string) error {
+	fs := flag.NewFlagSet("mine status", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	id := fs.String("id", "", "mining sweep id (required)")
+	watch := fs.Bool("watch", false, "poll until the sweep finishes")
+	interval := fs.Duration("interval", 100*time.Millisecond, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("mine status: -id is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
+	if *watch {
+		return watchMine(ctx, c, *id, *interval)
+	}
+	snap, err := c.MineSnapshot(ctx, *id)
+	if err != nil {
+		return err
+	}
+	printMine(snap)
+	return nil
+}
+
+func cmdMineList(args []string) error {
+	fs := flag.NewFlagSet("mine list", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	list, err := client.New(*serverURL).Mines(ctx)
+	if err != nil {
+		return err
+	}
+	if len(list) == 0 {
+		fmt.Println("no mining sweeps")
+		return nil
+	}
+	for _, snap := range list {
+		label := snap.Spec.Name
+		if label == "" {
+			label = "-"
+		}
+		fmt.Printf("%-8s %-9s name=%-16s swept=%d\n", snap.ID, snap.Status, label, snap.Swept)
+	}
+	return nil
+}
+
+func cmdMineCancel(args []string) error {
+	fs := flag.NewFlagSet("mine cancel", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon base URL")
+	id := fs.String("id", "", "mining sweep id (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("mine cancel: -id is required")
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	snap, err := client.New(*serverURL).CancelMine(ctx, *id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mine %s %s\n", snap.ID, snap.Status)
+	return nil
+}
+
+// watchMine polls one sweep to a terminal state, printing a line on every
+// status change, then the ranked findings report.
+func watchMine(ctx context.Context, c *client.Client, id string, interval time.Duration) error {
+	var last campaign.Status
+	final, err := c.WaitMine(ctx, id, client.MineWaitOptions{
+		Interval: interval,
+		OnSnapshot: func(snap store.MineSnapshot) {
+			if snap.Status == last || snap.Status.Terminal() {
+				return
+			}
+			last = snap.Status
+			fmt.Printf("%s %s\n", snap.ID, snap.Status)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printMine(final)
+	if final.Status == campaign.StatusFailed {
+		return fmt.Errorf("mine %s failed: %s", final.ID, final.Error)
+	}
+	return nil
+}
+
+func printMine(snap store.MineSnapshot) {
+	fmt.Printf("mine:            %s\n", snap.ID)
+	if snap.Spec.Name != "" {
+		fmt.Printf("name:            %s\n", snap.Spec.Name)
+	}
+	if snap.Spec.Model != "" {
+		fmt.Printf("model filter:    %s\n", snap.Spec.Model)
+	}
+	fmt.Printf("status:          %s\n", snap.Status)
+	if snap.Error != "" {
+		fmt.Printf("error:           %s\n", snap.Error)
+	}
+	fmt.Printf("swept:           %d traffic rows\n", snap.Swept)
+	fmt.Printf("findings:        %d\n", len(snap.Findings))
+	for _, f := range snap.Findings {
+		model := f.Model
+		if model == "" {
+			model = "default"
+		}
+		prob := "-"
+		if f.HasProb {
+			prob = fmt.Sprintf("%.4f", f.Prob)
+		}
+		fmt.Printf("  #%-3d suspicion=%.3f model=%s gens=%v seen=%d prob=%s signals=%s\n",
+			f.Rank, f.Suspicion, model, f.Generations, f.Count, prob,
+			strings.Join(f.Signals, ","))
+	}
+}

@@ -31,8 +31,13 @@ func cmdServe(args []string) error {
 		"model-registry directory: serve named, versioned detectors via /v1/models (contents survive restarts)")
 	precision := fs.String("precision", serve.PrecisionFloat32,
 		"inference precision for binary-framed requests: float32, int8, or float64 (JSON requests always use the float64 reference)")
+	record := fs.Int("record", 0,
+		"record every Nth served score/label row into the results store for 'malevade mine' (0 = off; requires -registry)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *record > 0 && *registryDir == "" {
+		return fmt.Errorf("serve: -record requires -registry (traffic persists in the results store beside it)")
 	}
 	var defenses defense.Chain
 	if *defensesJSON != "" {
@@ -49,6 +54,7 @@ func cmdServe(args []string) error {
 		Defenses:        defenses,
 		RegistryDir:     *registryDir,
 		BinaryPrecision: *precision,
+		RecordTraffic:   *record,
 	})
 	if err != nil {
 		return err

@@ -61,6 +61,13 @@ type Options struct {
 	// name a TargetModel and no CraftModelPath — white-box on the named
 	// model's live version. Falls back to CraftModel when nil.
 	NamedCraftModel func(model string) (*nn.Network, error)
+	// Sink, when non-nil, receives every campaign's durable event stream
+	// (accepted spec, judged batches, terminal snapshot) — the results
+	// store. Sink errors are logged, never fatal to the campaign.
+	Sink Sink
+	// BaseSeq seeds the id counter so engine-assigned c%06d ids stay
+	// unique across daemon restarts (the store's MaxCampaignSeq).
+	BaseSeq int64
 	// Log, when non-nil, receives one line per campaign transition.
 	Log io.Writer
 }
@@ -104,6 +111,9 @@ type job struct {
 	spec   Spec
 	ctx    context.Context
 	cancel context.CancelFunc
+	// sink is set only when the engine's sink accepted CampaignStarted,
+	// so a log that failed to open is not streamed into.
+	sink Sink
 
 	mu          sync.Mutex
 	status      Status
@@ -136,11 +146,13 @@ type Engine struct {
 	seq    int64
 
 	submitted atomic.Int64
+	evicted   atomic.Int64
 }
 
 // NewEngine starts an engine with opts.Workers campaign workers.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{opts: opts.withDefaults(), jobs: make(map[string]*job)}
+	e.seq = e.opts.BaseSeq
 	e.queue = make(chan *job, e.opts.QueueDepth)
 	e.wg.Add(e.opts.Workers)
 	for i := 0; i < e.opts.Workers; i++ {
@@ -189,6 +201,10 @@ func (e *Engine) Submit(spec Spec) (Snapshot, error) {
 		e.mu.Unlock()
 		return Snapshot{}, ErrClosed
 	}
+	if len(e.queue) == cap(e.queue) {
+		e.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
 	e.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -200,13 +216,19 @@ func (e *Engine) Submit(spec Spec) (Snapshot, error) {
 		submitted: time.Now(),
 		total:     len(spec.Rows),
 	}
-	select {
-	case e.queue <- j:
-	default:
-		e.mu.Unlock()
-		cancel()
-		return Snapshot{}, ErrQueueFull
+	if e.opts.Sink != nil {
+		// Open the durable log before the job can produce a result, so
+		// the sink's event stream always begins with Started. A sink
+		// failure downgrades this campaign to in-memory only.
+		if err := e.opts.Sink.CampaignStarted(j.id, spec, j.submitted); err != nil {
+			e.logf("campaign %s: results sink rejected start: %v\n", j.id, err)
+		} else {
+			j.sink = e.opts.Sink
+		}
 	}
+	// Cannot block: only Submit sends, only under e.mu, workers only
+	// drain, and capacity was checked above.
+	e.queue <- j
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.evictLocked()
@@ -270,10 +292,19 @@ func (e *Engine) Cancel(id string) (Snapshot, bool) {
 // Submitted counts campaigns accepted since the engine started.
 func (e *Engine) Submitted() int64 { return e.submitted.Load() }
 
+// Evicted counts terminal campaigns dropped from in-memory history by the
+// MaxHistory cap. With a Sink attached their results remain durably stored
+// and queryable; without one they are gone — either way the eviction is
+// counted and logged, never silent.
+func (e *Engine) Evicted() int64 { return e.evicted.Load() }
+
 // evictLocked drops the oldest terminal campaigns beyond MaxHistory so a
 // long-lived engine's memory stays bounded. Live (queued/running) campaigns
 // are never evicted; the map can therefore briefly exceed the cap when
-// everything retained is still live. Callers hold e.mu.
+// everything retained is still live. Evicted campaigns' ids answer
+// "unknown" from the engine afterwards, but their results were already
+// streamed to the Sink (when one is attached), so eviction archives rather
+// than destroys. Callers hold e.mu.
 func (e *Engine) evictLocked() {
 	if len(e.order) <= e.opts.MaxHistory {
 		return
@@ -285,6 +316,12 @@ func (e *Engine) evictLocked() {
 		if excess > 0 && j.snapshotStatus().Terminal() {
 			delete(e.jobs, id)
 			excess--
+			e.evicted.Add(1)
+			if j.sink != nil {
+				e.logf("campaign %s evicted from history (archived in the results store)\n", id)
+			} else {
+				e.logf("campaign %s evicted from history (no results store: results dropped)\n", id)
+			}
 			continue
 		}
 		kept = append(kept, id)
@@ -322,6 +359,7 @@ func (e *Engine) run(j *job) {
 		// never start.
 		j.markCancelledLocked()
 		j.mu.Unlock()
+		j.finishSink(e)
 		return
 	}
 	j.status = StatusRunning
@@ -332,7 +370,6 @@ func (e *Engine) run(j *job) {
 	err := e.execute(j)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err == nil:
@@ -344,7 +381,22 @@ func (e *Engine) run(j *job) {
 		j.status = StatusFailed
 		j.errMsg = err.Error()
 	}
-	e.logf("campaign %s %s (%d/%d samples)\n", j.id, j.status, len(j.results), j.total)
+	status, done, total := j.status, len(j.results), j.total
+	j.mu.Unlock()
+	e.logf("campaign %s %s (%d/%d samples)\n", j.id, status, done, total)
+	j.finishSink(e)
+}
+
+// finishSink seals the job's durable log with its terminal snapshot. Every
+// job that entered the queue passes through run exactly once (Close drains
+// the queue), so this is the single Finished call site.
+func (j *job) finishSink(e *Engine) {
+	if j.sink == nil {
+		return
+	}
+	if err := j.sink.CampaignFinished(j.id, j.snapshot(0, false)); err != nil {
+		e.logf("campaign %s: results sink rejected finish: %v\n", j.id, err)
+	}
 }
 
 // execute runs the campaign body: resolve crafting model, population and
@@ -429,12 +481,7 @@ func (e *Engine) runBatch(j *job, craft *nn.Network, target Target, x *tensor.Ma
 		return err
 	}
 
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.batches++
-	if !containsGen(j.generations, gen) {
-		j.generations = append(j.generations, gen)
-	}
+	batchResults := make([]SampleResult, n)
 	for i := 0; i < n; i++ {
 		sr := SampleResult{
 			Index:            start + i,
@@ -448,13 +495,32 @@ func (e *Engine) runBatch(j *job, craft *nn.Network, target Target, x *tensor.Ma
 		if j.spec.KeepRows {
 			sr.Adversarial = append([]float64(nil), adv.Row(i)...)
 		}
+		batchResults[i] = sr
+	}
+
+	j.mu.Lock()
+	j.batches++
+	if !containsGen(j.generations, gen) {
+		j.generations = append(j.generations, gen)
+	}
+	for _, sr := range batchResults {
 		if sr.BaselineDetected {
 			j.detected++
 		}
 		if sr.Evaded {
 			j.evaded++
 		}
-		j.results = append(j.results, sr)
+	}
+	j.results = append(j.results, batchResults...)
+	j.mu.Unlock()
+
+	// Stream the batch durably outside j.mu: the fsync must not stall
+	// status polls. Only this job's worker calls the sink with samples,
+	// so batches arrive in judged order.
+	if j.sink != nil {
+		if err := j.sink.CampaignSamples(j.id, batchResults); err != nil {
+			e.logf("campaign %s: results sink rejected batch: %v\n", j.id, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"malevade/internal/attack"
+	"malevade/internal/detector"
+	"malevade/internal/store"
+)
+
+// TestEvictionArchivesToSink is the regression test for history eviction
+// silently discarding campaign results: with a results store attached as the
+// engine's Sink, a campaign evicted from in-memory history must remain fully
+// queryable from the store — same verdicts, same ordering — and the engine
+// must count the eviction.
+func TestEvictionArchivesToSink(t *testing.T) {
+	dims := []int{4, 2}
+	dir := t.TempDir()
+	craftPath, _ := testNet(t, dir, dims, 1)
+	_, targetNet := testNet(t, dir, dims, 2)
+
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	e := NewEngine(Options{
+		MaxHistory:  2,
+		Sink:        st,
+		LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)},
+	})
+	defer e.Close()
+
+	sp := Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		CraftModelPath: craftPath,
+		Rows:           testRows(3, dims[0], 3),
+		KeepRows:       true,
+	}
+	var all []string
+	archived := map[string][]SampleResult{}
+	for i := 0; i < 5; i++ {
+		snap, err := e.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitTerminal(t, e, snap.ID)
+		if final.Status != StatusDone {
+			t.Fatalf("campaign %s ended %s (%s)", snap.ID, final.Status, final.Error)
+		}
+		archived[snap.ID] = final.Results
+		all = append(all, snap.ID)
+	}
+
+	if got := e.Evicted(); got != 3 {
+		t.Fatalf("Evicted() = %d, want 3", got)
+	}
+	for _, id := range all[:3] {
+		if _, ok := e.Get(id, 0); ok {
+			t.Fatalf("campaign %s should be evicted from engine history", id)
+		}
+		// The regression: evicted results must still be served by the store.
+		h, err := st.Campaign(id)
+		if err != nil {
+			t.Fatalf("evicted campaign %s lost from store: %v", id, err)
+		}
+		if h.Status != StatusDone {
+			t.Fatalf("stored campaign %s status %s, want done", id, h.Status)
+		}
+		if !reflect.DeepEqual(h.Samples, archived[id]) {
+			t.Fatalf("stored results for %s drifted:\n got %+v\nwant %+v", id, h.Samples, archived[id])
+		}
+	}
+	// Every campaign — evicted or retained — is stored exactly once.
+	if sums := st.Campaigns(); len(sums) != 5 {
+		t.Fatalf("store holds %d campaigns, want all 5", len(sums))
+	}
+}
+
+// TestBaseSeqContinuesIDs: seeding the engine with the store's highest seen
+// sequence keeps campaign ids unique across restarts.
+func TestBaseSeqContinuesIDs(t *testing.T) {
+	dims := []int{4, 2}
+	dir := t.TempDir()
+	craftPath, _ := testNet(t, dir, dims, 1)
+	_, targetNet := testNet(t, dir, dims, 2)
+	e := NewEngine(Options{
+		BaseSeq:     41,
+		LocalTarget: &DetectorTarget{Det: detector.NewDNN(targetNet)},
+	})
+	defer e.Close()
+	snap, err := e.Submit(Spec{
+		Attack:         attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		CraftModelPath: craftPath,
+		Rows:           testRows(2, dims[0], 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "c000042" {
+		t.Fatalf("first id after BaseSeq=41 is %s, want c000042", snap.ID)
+	}
+	waitTerminal(t, e, snap.ID)
+}

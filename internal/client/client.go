@@ -224,6 +224,12 @@ type Stats struct {
 	// ModelRequests counts model-addressed requests served per registry
 	// model (absent on daemons without a registry).
 	ModelRequests map[string]int64 `json:"model_requests,omitempty"`
+	// ResultsRecords/ResultsBytes report the durable results store's
+	// committed size (absent on daemons without one).
+	ResultsRecords int64 `json:"results_records,omitempty"`
+	ResultsBytes   int64 `json:"results_bytes,omitempty"`
+	// MineJobs counts mining sweeps accepted by /v1/mine.
+	MineJobs int64 `json:"mine_jobs,omitempty"`
 }
 
 // do runs one JSON round-trip. Idempotent calls are retried (bounded, with

@@ -14,11 +14,13 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"malevade/internal/client"
 	"malevade/internal/nn"
 	"malevade/internal/registry"
 	"malevade/internal/server"
+	"malevade/internal/store"
 	"malevade/internal/tensor"
 	"malevade/internal/wire"
 )
@@ -210,5 +212,28 @@ func TestClientStatsUniform(t *testing.T) {
 	}
 	if st.Rejected != base.Rejected {
 		t.Fatalf("clean scoring advanced rejected: %d -> %d", base.Rejected, st.Rejected)
+	}
+	// A registry daemon carries a results store: its byte counter reflects
+	// at least the committed log headers, and accepted mining sweeps
+	// advance mine_jobs — all through the same SDK Stats call.
+	if st.ResultsBytes <= 0 {
+		t.Fatalf("results_bytes = %d, want > 0 on a registry daemon", st.ResultsBytes)
+	}
+	snap, err := jsonC.SubmitMine(ctx, store.MineSpec{Name: "stats-audit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jsonC.WaitMine(ctx, snap.ID, client.MineWaitOptions{Interval: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	mined, err := jsonC.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mined.MineJobs - st.MineJobs; got != 1 {
+		t.Fatalf("mine_jobs advanced %d, want 1", got)
+	}
+	if mined.ResultsRecords < st.ResultsRecords {
+		t.Fatalf("results_records went backwards: %d -> %d", st.ResultsRecords, mined.ResultsRecords)
 	}
 }

@@ -418,45 +418,58 @@ func (e *Engine) run(j *job) {
 
 	err := e.execute(j)
 
-	j.mu.Lock()
-	j.snap.FinishedAt = time.Now()
-	j.snap.CurrentCampaign = ""
+	var status spec.Status
+	errMsg := ""
 	switch {
 	case err == nil:
-		j.snap.Status = spec.StatusDone
+		status = spec.StatusDone
 	case errors.Is(err, context.Canceled):
-		j.snap.Status = spec.StatusCancelled
-		j.snap.Error = "cancelled"
+		status = spec.StatusCancelled
+		errMsg = "cancelled"
 	default:
-		j.snap.Status = spec.StatusFailed
-		j.snap.Error = err.Error()
+		status = spec.StatusFailed
+		errMsg = err.Error()
 	}
-	status := j.snap.Status
-	reason := j.snap.StopReason
-	rounds := len(j.snap.Rounds)
-	j.mu.Unlock()
 
 	if status == spec.StatusCancelled && !j.userCancel.Load() {
-		// Engine shutdown: leave the durable state as-is so the job
-		// resumes on the next boot.
+		// Engine shutdown: publish the interruption in memory only and
+		// leave the durable state as-is so the job resumes on the next
+		// boot (the crafting snapshot stays for the resumed run).
+		j.mu.Lock()
+		j.snap.Status = status
+		j.snap.Error = errMsg
+		j.snap.FinishedAt = time.Now()
+		j.snap.CurrentCampaign = ""
+		rounds := len(j.snap.Rounds)
+		j.mu.Unlock()
 		e.logf("harden %s interrupted after %d rounds (resumable)\n", j.id, rounds)
 		return
 	}
-	e.finalize(j)
-	e.logf("harden %s %s (%d rounds, stop=%s)\n", j.id, status, rounds, reason)
-}
 
-// finalize persists a terminal job and deletes its crafting snapshot (the
-// state file itself stays: job history survives restarts).
-func (e *Engine) finalize(j *job) {
+	// Delete the crafting snapshot while the job still reads as running:
+	// once the status goes terminal any observer may check that the file
+	// is gone, so the removal must happen first. The state file itself
+	// stays — job history survives restarts.
 	j.mu.Lock()
 	cf := j.craftFile
 	j.craftFile = ""
 	j.mu.Unlock()
-	e.persist(j)
 	if cf != "" {
 		os.Remove(filepath.Join(e.opts.Dir, cf))
 	}
+
+	j.mu.Lock()
+	j.snap.Status = status
+	if errMsg != "" {
+		j.snap.Error = errMsg
+	}
+	j.snap.FinishedAt = time.Now()
+	j.snap.CurrentCampaign = ""
+	reason := j.snap.StopReason
+	rounds := len(j.snap.Rounds)
+	j.mu.Unlock()
+	e.persist(j)
+	e.logf("harden %s %s (%d rounds, stop=%s)\n", j.id, status, rounds, reason)
 }
 
 // execute runs the hardening loop. Panics from the attack or training

@@ -534,6 +534,42 @@ func (r *Registry) LoadLive(name string) (*nn.Network, error) {
 	return nn.LoadFile(path)
 }
 
+// LoadVersion loads a private copy of one specific retained version of the
+// named model (0 = the live version), returning the network and the
+// version actually loaded — the deterministic-replay path: re-score a
+// stored perturbation against any model version still in the registry.
+// Unknown names are ErrUnknownModel; a version not retained (or no live
+// version when 0 was asked) is ErrVersionConflict.
+func (r *Registry) LoadVersion(name string, version int) (*nn.Network, int, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	m, ok := r.models[name]
+	var path string
+	if ok {
+		if version == 0 {
+			version = m.manifest.Live
+		}
+		if vi, have := m.manifest.version(version); have {
+			path = filepath.Join(r.opts.Dir, name, vi.File)
+		}
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if path == "" {
+		return nil, 0, fmt.Errorf("%w: model %q does not retain version %d", ErrVersionConflict, name, version)
+	}
+	net, err := nn.LoadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return net, version, nil
+}
+
 // Info is one model's public state: identity, live pointer and retained
 // history, as served by GET /v1/models.
 type Info struct {

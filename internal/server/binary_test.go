@@ -330,6 +330,12 @@ func TestStatsCountersUniform(t *testing.T) {
 		t.Fatalf("rejection accounting: requests %d→%d, rejected %d→%d",
 			after.Requests, final.Requests, after.Rejected, final.Rejected)
 	}
+	// A storeless daemon (no registry) has no results store or miner: the
+	// store counters must stay absent-as-zero, never invented.
+	if final.ResultsRecords != 0 || final.ResultsBytes != 0 || final.MineJobs != 0 {
+		t.Fatalf("storeless daemon reported store counters: records=%d bytes=%d mine=%d",
+			final.ResultsRecords, final.ResultsBytes, final.MineJobs)
+	}
 }
 
 // TestFastPathRowBits: the strict and fast JSON decoders and the binary

@@ -1,0 +1,210 @@
+package server
+
+// The kill/restart e2e for the durable results store: a real daemon
+// process (this test binary re-executed) is SIGKILLed mid-campaign, then a
+// fresh daemon reopens the same registry directory and must serve every
+// sample the killed process had committed — bit-identically, with no
+// duplicates — mark the interrupted campaign failed, and continue the
+// campaign id sequence past the stored ones. This is the one store test
+// that crosses a real process boundary; the in-process recovery matrix
+// lives in internal/store.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/campaign"
+	"malevade/internal/nn"
+)
+
+// TestHelperResultsDaemon is not a test: it is the daemon process
+// TestE2EResultsRestartKill spawns and SIGKILLs. It serves a registry
+// daemon on a kernel-assigned port and prints the address on stdout.
+func TestHelperResultsDaemon(t *testing.T) {
+	if os.Getenv("MALEVADE_HELPER_RESULTS") != "1" {
+		t.Skip("helper process for TestE2EResultsRestartKill")
+	}
+	dir := os.Getenv("MALEVADE_HELPER_DIR")
+	srv, err := New(Options{ModelPath: filepath.Join(dir, "model.gob"), RegistryDir: dir})
+	if err != nil {
+		t.Fatalf("helper: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("helper: %v", err)
+	}
+	fmt.Printf("HELPER_ADDR %s\n", ln.Addr())
+	// Serve until the parent SIGKILLs us: the whole point is that no
+	// graceful shutdown path runs.
+	if err := http.Serve(ln, srv); err != nil {
+		t.Fatalf("helper: %v", err)
+	}
+}
+
+func TestE2EResultsRestartKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a daemon process")
+	}
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.gob")
+	mlp, err := nn.NewMLP(nn.MLPConfig{Dims: []int{7, 16, 2}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mlp.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperResultsDaemon$", "-test.timeout=120s")
+	cmd.Env = append(os.Environ(), "MALEVADE_HELPER_RESULTS=1", "MALEVADE_HELPER_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	var addr string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		if a, ok := strings.CutPrefix(scanner.Text(), "HELPER_ADDR "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("helper daemon never printed its address (scan err %v)", scanner.Err())
+	}
+	base := "http://" + addr
+
+	// Submit a long campaign: 400 rows in batches of 4, each batch
+	// committed and fsynced into the store as it lands.
+	spec := campaign.Spec{
+		Name:      "restart-kill",
+		Attack:    attack.Config{Kind: attack.KindJSMA, Theta: 0.2, Gamma: 0.3},
+		Rows:      testCampaignRows(400, 7, 11),
+		BatchSize: 4,
+		KeepRows:  true,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap campaign.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d err %v", resp.StatusCode, err)
+	}
+
+	// Poll the store-backed results endpoint until enough samples are
+	// durably committed, keeping the last page we saw before the kill.
+	var pre ResultsPage
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never committed 20 samples (last total %d)", pre.Total)
+		}
+		r, err := http.Get(base + "/v1/results/" + snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page ResultsPage
+		err = json.NewDecoder(r.Body).Decode(&page)
+		r.Body.Close()
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("results poll: status %d err %v", r.StatusCode, err)
+		}
+		if page.Status.Terminal() {
+			t.Fatalf("campaign finished before the kill (status %s); raise the population", page.Status)
+		}
+		if page.Total >= 20 {
+			pre = page
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// SIGKILL mid-stream: no Close, no flush, no graceful anything.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	// A fresh daemon on the same registry dir must recover the store.
+	srv, err := New(Options{ModelPath: modelPath, RegistryDir: dir})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer srv.Close()
+
+	var post ResultsPage
+	decodeInto(t, getPath(t, srv, "/v1/results/"+snap.ID), &post)
+	if post.Status != campaign.StatusFailed || !post.Recovered {
+		t.Fatalf("recovered campaign: status %s recovered %v, want failed/true", post.Status, post.Recovered)
+	}
+	if !strings.Contains(post.Error, "interrupted") {
+		t.Fatalf("recovered campaign error %q, want interrupted marker", post.Error)
+	}
+	// Every sample the killed process served back must survive — same
+	// order, bit-identical — and no index may appear twice.
+	if post.Total < len(pre.Samples) {
+		t.Fatalf("recovered %d samples, killed daemon had served %d", post.Total, len(pre.Samples))
+	}
+	seen := make(map[int]bool, post.Total)
+	for _, s := range post.Samples {
+		if seen[s.Index] {
+			t.Fatalf("sample index %d recovered twice", s.Index)
+		}
+		seen[s.Index] = true
+	}
+	for i, want := range pre.Samples {
+		if !reflect.DeepEqual(post.Samples[i], want) {
+			t.Fatalf("sample %d drifted across the kill:\npre:  %+v\npost: %+v", i, want, post.Samples[i])
+		}
+	}
+
+	// The id sequence continues past the stored campaigns instead of
+	// reissuing c000001.
+	next := submitCampaign(t, srv, campaign.Spec{
+		Name:   "post-restart",
+		Attack: attack.Config{Kind: attack.KindJSMA, Theta: 0.2, Gamma: 0.3},
+		Rows:   testCampaignRows(3, 7, 13),
+	})
+	if next.ID != "c000002" {
+		t.Fatalf("post-restart campaign id %s, want c000002", next.ID)
+	}
+	if fin := awaitCampaign(t, srv, next.ID); fin.Status != campaign.StatusDone {
+		t.Fatalf("post-restart campaign: %s (%s)", fin.Status, fin.Error)
+	}
+	var list ResultsListResponse
+	decodeInto(t, getPath(t, srv, "/v1/results"), &list)
+	if len(list.Campaigns) != 2 {
+		t.Fatalf("store lists %d campaigns after restart, want 2", len(list.Campaigns))
+	}
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"malevade/internal/attack"
+	"malevade/internal/campaign"
+	"malevade/internal/store"
+	"malevade/internal/tensor"
+	"malevade/internal/wire"
+)
+
+func getPath(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func decodeInto(t *testing.T, w *httptest.ResponseRecorder, out any) {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultsRequireStore: a storeless daemon (no registry) refuses every
+// results/mine route with 422 no_store — the refinement that tells clients
+// to restart with -registry, not to fix their spec.
+func TestResultsRequireStore(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	routes := []struct{ method, path string }{
+		{http.MethodGet, "/v1/results"},
+		{http.MethodGet, "/v1/results/c000001"},
+		{http.MethodGet, "/v1/results/traffic"},
+		{http.MethodPost, "/v1/results/c000001/replay"},
+		{http.MethodPost, "/v1/mine"},
+		{http.MethodGet, "/v1/mine"},
+		{http.MethodGet, "/v1/mine/m000001"},
+		{http.MethodDelete, "/v1/mine/m000001"},
+	}
+	for _, rt := range routes {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(rt.method, rt.path, nil))
+		if w.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("%s %s: status %d, want 422", rt.method, rt.path, w.Code)
+		}
+		var env wire.Envelope
+		if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Code != wire.CodeNoStore {
+			t.Fatalf("%s %s: code %q, want %q", rt.method, rt.path, env.Code, wire.CodeNoStore)
+		}
+	}
+}
+
+// TestResultsAPILifecycle: a campaign streamed through the daemon's sink is
+// served back by /v1/results with filters, pagination and per-sample
+// replay agreeing with the engine's own terminal snapshot.
+func TestResultsAPILifecycle(t *testing.T) {
+	s, net := newTestServer(t, Options{RegistryDir: t.TempDir()})
+	sp := campaign.Spec{
+		Name:     "results-api",
+		Attack:   attack.Config{Kind: attack.KindJSMA, Theta: 0.2, Gamma: 0.3},
+		Rows:     testCampaignRows(10, net.InDim(), 5),
+		KeepRows: true,
+	}
+	final := awaitCampaign(t, s, submitCampaign(t, s, sp).ID)
+	if final.Status != campaign.StatusDone {
+		t.Fatalf("campaign ended %s (%s)", final.Status, final.Error)
+	}
+
+	var list ResultsListResponse
+	decodeInto(t, getPath(t, s, "/v1/results"), &list)
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != final.ID {
+		t.Fatalf("results list %+v, want campaign %s", list.Campaigns, final.ID)
+	}
+	if list.Campaigns[0].Samples != 10 || list.Records < 12 || list.Bytes <= 0 {
+		t.Fatalf("list counters: %+v records=%d bytes=%d", list.Campaigns[0], list.Records, list.Bytes)
+	}
+	// The model filter excludes campaigns that targeted other models.
+	decodeInto(t, getPath(t, s, "/v1/results?model=nope"), &list)
+	if len(list.Campaigns) != 0 {
+		t.Fatalf("model filter kept %d campaigns", len(list.Campaigns))
+	}
+
+	var page ResultsPage
+	decodeInto(t, getPath(t, s, "/v1/results/"+final.ID), &page)
+	if page.Total != 10 || len(page.Samples) != 10 || page.NextCursor != 0 {
+		t.Fatalf("full page: total=%d got=%d next=%d", page.Total, len(page.Samples), page.NextCursor)
+	}
+	// The stored stream must match the engine's snapshot exactly — same
+	// verdicts, same generations, same ordering.
+	for i, sr := range page.Samples {
+		want := final.Results[i]
+		if sr.Index != want.Index || sr.Generation != want.Generation ||
+			sr.Evaded != want.Evaded || sr.BaselineDetected != want.BaselineDetected ||
+			len(sr.Adversarial) != len(want.Adversarial) {
+			t.Fatalf("stored sample %d drifted:\n got %+v\nwant %+v", i, sr, want)
+		}
+	}
+
+	// Cursor pagination walks the full set without duplicates or gaps.
+	var walked int
+	cursor := 0
+	for {
+		var p ResultsPage
+		decodeInto(t, getPath(t, s, fmt.Sprintf("/v1/results/%s?cursor=%d&limit=3", final.ID, cursor)), &p)
+		for _, sr := range p.Samples {
+			if sr.Index != walked {
+				t.Fatalf("pagination out of order: sample %d at position %d", sr.Index, walked)
+			}
+			walked++
+		}
+		if p.NextCursor == 0 {
+			break
+		}
+		cursor = p.NextCursor
+	}
+	if walked != 10 {
+		t.Fatalf("pagination walked %d samples, want 10", walked)
+	}
+
+	// Filters: verdict flips and generation.
+	wantFlips := 0
+	for _, r := range final.Results {
+		if r.BaselineDetected && r.Evaded {
+			wantFlips++
+		}
+	}
+	var flipsPage ResultsPage
+	decodeInto(t, getPath(t, s, "/v1/results/"+final.ID+"?flips=true"), &flipsPage)
+	if len(flipsPage.Samples) != wantFlips {
+		t.Fatalf("flips filter: %d samples, want %d", len(flipsPage.Samples), wantFlips)
+	}
+	var genPage ResultsPage
+	decodeInto(t, getPath(t, s, "/v1/results/"+final.ID+"?generation=99"), &genPage)
+	if len(genPage.Samples) != 0 {
+		t.Fatalf("generation=99 kept %d samples", len(genPage.Samples))
+	}
+
+	// Error surface: unknown id → 404, malformed cursor → 400.
+	if w := getPath(t, s, "/v1/results/c999999"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown campaign: %d", w.Code)
+	}
+	if w := getPath(t, s, "/v1/results/"+final.ID+"?cursor=-1"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad cursor: %d", w.Code)
+	}
+
+	// Replay: re-scoring a stored perturbation against the current default
+	// model must agree with direct inference on the stored row.
+	var idx int = -1
+	for _, r := range final.Results {
+		if len(r.Adversarial) > 0 {
+			idx = r.Index
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no stored adversarial rows despite KeepRows")
+	}
+	w := postJSON(t, s, "/v1/results/"+final.ID+"/replay", fmt.Sprintf(`{"index":%d}`, idx))
+	var rep ReplayResponse
+	decodeInto(t, w, &rep)
+	decodeInto(t, getPath(t, s, "/v1/results/"+final.ID), &page)
+	adv := page.Samples
+	want := expectedResults(net, tensor.FromRows([][]float64{adv[idx].Adversarial}), 1)[0]
+	if rep.Prob != want.Prob || rep.Class != want.Class {
+		t.Fatalf("replay verdict (%v, %d) != direct inference (%v, %d)", rep.Prob, rep.Class, want.Prob, want.Class)
+	}
+	if rep.StoredGeneration != adv[idx].Generation || rep.StoredEvaded != adv[idx].Evaded {
+		t.Fatalf("replay stored echo drifted: %+v vs %+v", rep, adv[idx])
+	}
+	if rep.ModelVersion != 1 {
+		t.Fatalf("replay model_version %d, want 1", rep.ModelVersion)
+	}
+
+	// Replay error surface: missing sample → 422ish error, bad model → 404.
+	if w := postJSON(t, s, "/v1/results/"+final.ID+"/replay", `{"index":12345}`); w.Code == http.StatusOK {
+		t.Fatal("replay of unknown index succeeded")
+	}
+	if w := postJSON(t, s, "/v1/results/"+final.ID+"/replay",
+		fmt.Sprintf(`{"index":%d,"model":"ghost"}`, idx)); w.Code != http.StatusNotFound {
+		t.Fatalf("replay against unknown model: %d, want 404", w.Code)
+	}
+	if w := postJSON(t, s, "/v1/results/"+final.ID+"/replay", `{"index":0,"bogus":1}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", w.Code)
+	}
+}
+
+// TestReplayWithoutKeptRows: campaigns submitted without KeepRows cannot
+// replay — the daemon explains rather than serving an empty vector.
+func TestReplayWithoutKeptRows(t *testing.T) {
+	s, net := newTestServer(t, Options{RegistryDir: t.TempDir()})
+	sp := campaign.Spec{
+		Attack: attack.Config{Kind: attack.KindFGSM, Theta: 0.1},
+		Rows:   testCampaignRows(2, net.InDim(), 3),
+	}
+	final := awaitCampaign(t, s, submitCampaign(t, s, sp).ID)
+	w := postJSON(t, s, "/v1/results/"+final.ID+"/replay", `{"index":0}`)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("replay without kept rows: %d, want 422", w.Code)
+	}
+}
+
+// TestTrafficRecordingAndMining: with -record sampling on, served score and
+// label traffic lands in the store, pages back with filters, and mines.
+func TestTrafficRecordingAndMining(t *testing.T) {
+	s, _ := newTestServer(t, Options{RegistryDir: t.TempDir(), RecordTraffic: 1})
+	f32, f64 := frameRows(4, 3)
+	if w := postJSON(t, s, "/v1/score", scoreBody(f64)); w.Code != 200 {
+		t.Fatalf("score: %d %s", w.Code, w.Body)
+	}
+	if w := postFrame(t, s, "/v1/score", mustFrame32(t, "", 4, 3, f32)); w.Code != 200 {
+		t.Fatalf("binary score: %d", w.Code)
+	}
+	if w := postJSON(t, s, "/v1/label", scoreBody(f64[:2])); w.Code != 200 {
+		t.Fatalf("label: %d %s", w.Code, w.Body)
+	}
+
+	var page TrafficPage
+	decodeInto(t, getPath(t, s, "/v1/results/traffic"), &page)
+	if page.Total != 10 {
+		t.Fatalf("recorded %d rows, want 10 (4 JSON + 4 binary + 2 label)", page.Total)
+	}
+	score, label := 0, 0
+	for _, row := range page.Rows {
+		switch row.Endpoint {
+		case "score":
+			if !row.HasProb {
+				t.Fatalf("score row without prob: %+v", row)
+			}
+			score++
+		case "label":
+			if row.HasProb {
+				t.Fatalf("label row with prob: %+v", row)
+			}
+			label++
+		}
+		if len(row.Row) != 3 || row.Generation != 1 {
+			t.Fatalf("recorded row malformed: %+v", row)
+		}
+	}
+	if score != 8 || label != 2 {
+		t.Fatalf("recorded %d score + %d label rows, want 8 + 2", score, label)
+	}
+
+	// The binary path records the same float values as the JSON path: the
+	// frame rows are exactly float32-representable, so dedup by identical
+	// vector groups JSON and binary recordings of the same row together.
+	decodeInto(t, getPath(t, s, "/v1/results/traffic?min_prob=0&max_prob=1"), &page)
+	if len(page.Rows) != 8 {
+		t.Fatalf("prob band [0,1] kept %d rows, want the 8 score rows", len(page.Rows))
+	}
+	decodeInto(t, getPath(t, s, "/v1/results/traffic?generation=99"), &page)
+	if len(page.Rows) != 0 {
+		t.Fatalf("generation filter kept %d rows", len(page.Rows))
+	}
+	if w := getPath(t, s, "/v1/results/traffic?min_prob=2"); w.Code != http.StatusBadRequest {
+		t.Fatalf("min_prob=2: %d, want 400", w.Code)
+	}
+
+	// Pagination over traffic.
+	decodeInto(t, getPath(t, s, "/v1/results/traffic?limit=6"), &page)
+	if len(page.Rows) != 6 || page.NextCursor != 6 {
+		t.Fatalf("traffic page: %d rows next=%d", len(page.Rows), page.NextCursor)
+	}
+	var tail TrafficPage
+	decodeInto(t, getPath(t, s, "/v1/results/traffic?cursor=6"), &tail)
+	if len(tail.Rows) != 4 || tail.NextCursor != 0 {
+		t.Fatalf("traffic tail: %d rows next=%d", len(tail.Rows), tail.NextCursor)
+	}
+
+	// Mining over the recorded traffic: the widest band sweeps everything
+	// near the boundary; the job runs to done and ranks deterministically.
+	w := postJSON(t, s, "/v1/mine", `{"name":"api-sweep","band":0.5}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("mine submit: %d %s", w.Code, w.Body)
+	}
+	var snap store.MineSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		decodeInto(t, getPath(t, s, "/v1/mine/"+snap.ID), &snap)
+		if snap.Status.Terminal() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if snap.Status != "done" || snap.Swept != 10 {
+		t.Fatalf("mine %s: status %s swept %d, want done/10", snap.ID, snap.Status, snap.Swept)
+	}
+	for i, f := range snap.Findings {
+		if f.Rank != i+1 || len(f.Row) != 3 {
+			t.Fatalf("finding %d malformed: %+v", i, f)
+		}
+	}
+
+	var ml MineList
+	decodeInto(t, getPath(t, s, "/v1/mine"), &ml)
+	if len(ml.Jobs) != 1 || ml.Jobs[0].ID != snap.ID || ml.Jobs[0].Findings != nil {
+		t.Fatalf("mine list %+v", ml.Jobs)
+	}
+
+	// Mine error surface.
+	if w := postJSON(t, s, "/v1/mine", `{"band":0.7}`); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("band=0.7: %d, want 422", w.Code)
+	}
+	if w := postJSON(t, s, "/v1/mine", `{"bogus":true}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", w.Code)
+	}
+	if w := getPath(t, s, "/v1/mine/m999999"); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", w.Code)
+	}
+	wDel := httptest.NewRecorder()
+	s.ServeHTTP(wDel, httptest.NewRequest(http.MethodDelete, "/v1/mine/m999999", nil))
+	if wDel.Code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: %d, want 404", wDel.Code)
+	}
+
+	// /v1/stats surfaces the store counters.
+	var stats StatsResponse
+	decodeInto(t, getPath(t, s, "/v1/stats"), &stats)
+	if stats.ResultsRecords < 10 || stats.ResultsBytes <= 0 || stats.MineJobs != 1 {
+		t.Fatalf("stats store counters: records=%d bytes=%d mine=%d",
+			stats.ResultsRecords, stats.ResultsBytes, stats.MineJobs)
+	}
+}
+
+// TestTrafficSamplingRate: RecordTraffic=N keeps every Nth row, so
+// production sampling bounds store growth deterministically.
+func TestTrafficSamplingRate(t *testing.T) {
+	s, _ := newTestServer(t, Options{RegistryDir: t.TempDir(), RecordTraffic: 2})
+	_, f64 := frameRows(6, 3)
+	if w := postJSON(t, s, "/v1/score", scoreBody(f64)); w.Code != 200 {
+		t.Fatalf("score: %d %s", w.Code, w.Body)
+	}
+	var page TrafficPage
+	decodeInto(t, getPath(t, s, "/v1/results/traffic"), &page)
+	if page.Total != 3 {
+		t.Fatalf("1-in-2 sampling recorded %d of 6 rows, want 3", page.Total)
+	}
+}

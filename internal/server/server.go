@@ -27,6 +27,18 @@
 //	GET    /v1/harden/{id}  status + per-round metrics
 //	DELETE /v1/harden/{id}  cancel
 //
+// and the durable results store + historical attack mining API
+// (see results.go), persisted under RegistryDir/.results:
+//
+//	GET    /v1/results              stored campaigns + store counters
+//	GET    /v1/results/{id}         per-sample results, paginated/filtered
+//	GET    /v1/results/traffic      recorded live traffic (serve -record)
+//	POST   /v1/results/{id}/replay  re-score a stored perturbation
+//	POST   /v1/mine                 sweep recorded traffic for evasions
+//	GET    /v1/mine                 list sweeps
+//	GET    /v1/mine/{id}            ranked findings
+//	DELETE /v1/mine/{id}            cancel a queued sweep
+//
 // docs/http-api.md is the full wire reference.
 //
 // The model behind the endpoints hot-reloads atomically: a reload (SIGHUP in
@@ -60,6 +72,7 @@ import (
 	"malevade/internal/nn"
 	"malevade/internal/registry"
 	"malevade/internal/serve"
+	"malevade/internal/store"
 	"malevade/internal/tensor"
 	"malevade/internal/wire"
 )
@@ -127,6 +140,23 @@ type Options struct {
 	// when RegistryDir is set — hardening retrains and promotes named,
 	// durable models.
 	Harden harden.Options
+	// Results tunes the durable campaign-results store behind /v1/results
+	// (traffic flush threshold). Dir is filled by the server: results
+	// persist under RegistryDir/.results, campaign per-sample results
+	// stream into it as they are judged, and a restarted daemon serves
+	// them back bit-identically. The store only exists when RegistryDir is
+	// set — a registry-less daemon runs fully in-memory.
+	Results store.Options
+	// Miner tunes the historical-attack miner behind /v1/mine (workers,
+	// queue depth, suspicion band). The miner sweeps the store's recorded
+	// traffic, so it too only exists when RegistryDir is set.
+	Miner store.MinerOptions
+	// RecordTraffic, when positive, samples one in every RecordTraffic
+	// scoring/label rows into the results store's traffic log (1 records
+	// everything) — the daemon-side half of in-the-wild evasion mining.
+	// Off by default: recording live traffic is an explicit operator
+	// opt-in (`serve -record`).
+	RecordTraffic int
 }
 
 func (o Options) withDefaults() Options {
@@ -184,6 +214,20 @@ type Server struct {
 	// hardening jobs.
 	harden *harden.Engine
 
+	// store is the durable campaign-results store behind /v1/results (nil
+	// unless a registry is configured). It lives under
+	// RegistryDir/.results; the campaign engine streams every job's
+	// per-sample results into it, and — behind Options.RecordTraffic —
+	// sampled live scoring rows land in its traffic log.
+	store *store.Store
+
+	// miner runs queued historical-attack sweeps over the store's
+	// recorded traffic behind /v1/mine (nil without a store).
+	miner *store.Miner
+
+	// recordSeq drives the 1-in-RecordTraffic row sampler.
+	recordSeq atomic.Int64
+
 	started  time.Time    // process start, for uptime_seconds
 	requests atomic.Int64 // scoring requests served (score + label)
 	rejected atomic.Int64 // scoring requests rejected with 4xx
@@ -228,9 +272,26 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.registry = reg
+		// The results store nests beside the registry (Open skips
+		// manifest-less directories, so .results is invisible to it) and
+		// recovers prior campaigns before the engine below seeds its id
+		// counter from them.
+		resultsOpts := opts.Results
+		if resultsOpts.Dir == "" {
+			resultsOpts.Dir = filepath.Join(opts.RegistryDir, ".results")
+		}
+		st, err := store.Open(resultsOpts)
+		if err != nil {
+			s.registry.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = st
 	}
 	m, err := s.load(opts.ModelPath)
 	if err != nil {
+		if s.store != nil {
+			s.store.Close()
+		}
 		if s.registry != nil {
 			s.registry.Close()
 		}
@@ -238,6 +299,15 @@ func New(opts Options) (*Server, error) {
 	}
 	s.slot.Store(m)
 	campaignOpts := opts.Campaigns
+	if s.store != nil && campaignOpts.Sink == nil {
+		// Stream every campaign's per-sample results into the store, and
+		// seed the id counter past recovered campaigns so c%06d ids stay
+		// unique across restarts.
+		campaignOpts.Sink = s.store
+		if campaignOpts.BaseSeq == 0 {
+			campaignOpts.BaseSeq = s.store.MaxCampaignSeq()
+		}
+	}
 	if campaignOpts.LocalTarget == nil {
 		campaignOpts.LocalTarget = serverTarget{s}
 	}
@@ -280,6 +350,7 @@ func New(opts Options) (*Server, error) {
 		h, err := harden.NewEngine(hardenOpts)
 		if err != nil {
 			s.campaigns.Close()
+			s.store.Close()
 			s.registry.Close()
 			old := s.slot.Swap(nil)
 			if old != nil {
@@ -288,6 +359,9 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.harden = h
+	}
+	if s.store != nil {
+		s.miner = store.NewMiner(s.store, opts.Miner)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/score", s.handleScore)
@@ -303,6 +377,13 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/harden", s.handleHardenList)
 	s.mux.HandleFunc("GET /v1/harden/{id}", s.handleHardenGet)
 	s.mux.HandleFunc("DELETE /v1/harden/{id}", s.handleHardenCancel)
+	s.mux.HandleFunc("GET /v1/results", s.handleResultsList)
+	s.mux.HandleFunc("GET /v1/results/{id}", s.handleResultsGet)
+	s.mux.HandleFunc("POST /v1/results/{id}/replay", s.handleResultsReplay)
+	s.mux.HandleFunc("POST /v1/mine", s.handleMineSubmit)
+	s.mux.HandleFunc("GET /v1/mine", s.handleMineList)
+	s.mux.HandleFunc("GET /v1/mine/{id}", s.handleMineGet)
+	s.mux.HandleFunc("DELETE /v1/mine/{id}", s.handleMineCancel)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
 	s.mux.HandleFunc("POST /v1/models", s.handleModelRegister)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
@@ -404,6 +485,15 @@ func (s *Server) Close() {
 		s.harden.Close()
 	}
 	s.campaigns.Close()
+	// The miner and store close after campaigns: the drained engine has
+	// delivered every terminal snapshot to its sink by now, so the store
+	// seals each campaign log before closing.
+	if s.miner != nil {
+		s.miner.Close()
+	}
+	if s.store != nil {
+		s.store.Close()
+	}
 	if s.registry != nil {
 		s.registry.Close()
 	}
@@ -508,6 +598,14 @@ type StatsResponse struct {
 	// HardenJobs counts hardening jobs accepted by /v1/harden (absent
 	// without a registry).
 	HardenJobs int64 `json:"harden_jobs,omitempty"`
+	// ResultsRecords/ResultsBytes count the durable results store's
+	// committed records and bytes across every log (absent without a
+	// registry, and therefore without a store).
+	ResultsRecords int64 `json:"results_records,omitempty"`
+	ResultsBytes   int64 `json:"results_bytes,omitempty"`
+	// MineJobs counts mining sweeps accepted by /v1/mine (absent without
+	// a registry).
+	MineJobs int64 `json:"mine_jobs,omitempty"`
 	// ModelRequests counts model-addressed scoring/label requests served
 	// per registry model (absent without a registry).
 	ModelRequests map[string]int64 `json:"model_requests,omitempty"`
@@ -789,6 +887,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
+		s.recordRows("score", m, x.Row, x.Rows, func(i int) (float64, bool, int) {
+			return resp.Results[i].Prob, true, resp.Results[i].Class
+		})
 		writeJSON(w, http.StatusOK, resp)
 	}, func(m *model, x *tensor.Matrix32, precision string) {
 		ps, classes, err := m.Scorer.Verdicts32(x, precision)
@@ -803,8 +904,51 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		for i := range resp.Results {
 			resp.Results[i] = ScoreResult{Prob: ps[i], Class: classes[i]}
 		}
+		s.recordRows("score", m, row32(x), x.Rows, func(i int) (float64, bool, int) {
+			return ps[i], true, classes[i]
+		})
 		writeJSON(w, http.StatusOK, resp)
 	})
+}
+
+// recordRows samples rows of one served scoring batch into the results
+// store's traffic log (Options.RecordTraffic is the 1-in-N rate; 0
+// disables). Recording failures are swallowed: a full disk must never fail
+// a scoring request.
+func (s *Server) recordRows(endpoint string, m *model, rowAt func(int) []float64, n int, verdict func(int) (prob float64, hasProb bool, class int)) {
+	if s.store == nil || s.opts.RecordTraffic <= 0 {
+		return
+	}
+	every := int64(s.opts.RecordTraffic)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		if s.recordSeq.Add(1)%every != 0 {
+			continue
+		}
+		prob, hasProb, class := verdict(i)
+		_ = s.store.RecordTraffic(store.TrafficRow{
+			Time:       now,
+			Endpoint:   endpoint,
+			Model:      m.Name,
+			Generation: m.Generation,
+			Prob:       prob,
+			HasProb:    hasProb,
+			Class:      class,
+			Row:        append([]float64(nil), rowAt(i)...),
+		})
+	}
+}
+
+// row32 adapts a float32 batch's rows to the float64 row accessor
+// recordRows wants — conversion happens only for the sampled rows.
+func row32(x *tensor.Matrix32) func(int) []float64 {
+	return func(i int) []float64 {
+		out := make([]float64, x.Cols)
+		for j := 0; j < x.Cols; j++ {
+			out[j] = float64(x.Data[i*x.Cols+j])
+		}
+		return out
+	}
 }
 
 // detectorVerdicts fetches probabilities and classes for one batch,
@@ -830,6 +974,11 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 				resp.Labels[i] = logits.RowArgmax(i)
 			}
 		}
+		s.recordRows("label", m, x.Row, x.Rows, func(i int) (float64, bool, int) {
+			// Label rows carry only the hard class: the oracle endpoint
+			// never computed a probability.
+			return 0, false, resp.Labels[i]
+		})
 		writeJSON(w, http.StatusOK, resp)
 	}, func(m *model, x *tensor.Matrix32, precision string) {
 		_, classes, err := m.Scorer.Verdicts32(x, precision)
@@ -837,6 +986,9 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		s.recordRows("label", m, row32(x), x.Rows, func(i int) (float64, bool, int) {
+			return 0, false, classes[i]
+		})
 		writeJSON(w, http.StatusOK, LabelResponse{ModelVersion: m.Generation, Labels: classes})
 	})
 }
@@ -906,6 +1058,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.harden != nil {
 		resp.HardenJobs = s.harden.Submitted()
+	}
+	if s.store != nil {
+		resp.ResultsRecords = s.store.Records()
+		resp.ResultsBytes = s.store.Bytes()
+	}
+	if s.miner != nil {
+		resp.MineJobs = s.miner.Submitted()
 	}
 	if m := s.acquire(); m != nil {
 		b, rows := m.Scorer.Stats()

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"malevade/internal/campaign/spec"
+)
+
+// BenchmarkRecordAppend measures the durable write path one campaign batch
+// at a time: encode + checksum + append + fsync for a batch of 16 samples
+// with kept 491-wide adversarial rows — the store-side cost a running
+// campaign pays per CampaignSamples call.
+func BenchmarkRecordAppend(b *testing.B) {
+	st, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.CampaignStarted("c000001", spec.Spec{Name: "bench", KeepRows: true}, time.Unix(1, 0)); err != nil {
+		b.Fatal(err)
+	}
+	const batch = 16
+	const width = 491
+	results := make([]spec.SampleResult, batch)
+	for i := range results {
+		adv := make([]float64, width)
+		for j := range adv {
+			adv[j] = float64(i*width+j) / 1024
+		}
+		results[i] = spec.SampleResult{
+			Index: i, Generation: 1, BaselineDetected: true, Evaded: i%2 == 0,
+			L2: 1.5, ModifiedFeatures: 12, Adversarial: adv,
+		}
+	}
+	b.SetBytes(int64(batch * width * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.CampaignSamples("c000001", results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineSweep measures one synchronous mining sweep over 4096
+// recorded 491-wide traffic rows spread across 3 model generations with a
+// sprinkling of plantable signals — the per-job cost behind /v1/mine.
+func BenchmarkMineSweep(b *testing.B) {
+	const rows = 4096
+	const width = 491
+	traffic := make([]TrafficRow, rows)
+	for i := range traffic {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = float64((i+j)%7) / 8
+		}
+		prob := 0.02
+		class := 0
+		switch {
+		case i%3 == 0:
+			prob, class = 0.99, 1
+		case i%97 == 0:
+			prob = 0.47 // low-confidence clean: inside the default band
+		}
+		traffic[i] = TrafficRow{
+			Time: time.Unix(int64(i), 0), Endpoint: "score",
+			Model: fmt.Sprintf("m%d", i%2), Generation: int64(1 + i%3),
+			Prob: prob, HasProb: true, Class: class, Row: row,
+		}
+	}
+	sp := MineSpec{Name: "bench", Band: 0.15, MaxFindings: 256}
+	b.SetBytes(int64(rows * width * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := SweepTraffic(traffic, sp); len(findings) == 0 {
+			b.Fatal("sweep found nothing; planted signals missing")
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"malevade/internal/campaign/spec"
+)
+
+// Record-log kinds (the file header's kind byte) and payload kinds (each
+// record payload's first byte). Campaign logs interleave meta, sample and
+// terminal records; the traffic log holds only traffic records.
+const (
+	// logKindCampaign tags one campaign's record log.
+	logKindCampaign = 1
+	// logKindTraffic tags the sampled live-traffic log.
+	logKindTraffic = 2
+
+	// payloadMeta opens a campaign log: the submitted spec and identity,
+	// as JSON (specs are already the wire's JSON vocabulary).
+	payloadMeta = 1
+	// payloadSample is one judged sample, in the compact binary form
+	// below — the hot append path stays off encoding/json.
+	payloadSample = 2
+	// payloadTerminal closes a campaign log: the terminal snapshot
+	// summary, as JSON.
+	payloadTerminal = 3
+	// payloadTraffic is one sampled live scoring/label row, binary.
+	payloadTraffic = 4
+)
+
+// metaRecord is the JSON payload opening a campaign log.
+type metaRecord struct {
+	ID          string    `json:"id"`
+	Spec        spec.Spec `json:"spec"`
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// terminalRecord is the JSON payload closing a campaign log.
+type terminalRecord struct {
+	Status      spec.Status `json:"status"`
+	Error       string      `json:"error,omitempty"`
+	FinishedAt  time.Time   `json:"finished_at"`
+	Generations []int64     `json:"generations,omitempty"`
+}
+
+// TrafficRow is one sampled live scoring/label row: what the daemon saw,
+// what it answered, and which model generation answered — the raw material
+// the miner sweeps for in-the-wild evasions.
+type TrafficRow struct {
+	// Time is when the daemon served the row.
+	Time time.Time `json:"time"`
+	// Endpoint is "score" or "label".
+	Endpoint string `json:"endpoint"`
+	// Model is the addressed registry model ("" = the default slot).
+	Model string `json:"model,omitempty"`
+	// Generation is the model generation that answered.
+	Generation int64 `json:"generation"`
+	// Prob is P(malware|row) when the endpoint reported one; label rows
+	// carry only a class (HasProb false).
+	Prob float64 `json:"prob,omitempty"`
+	// HasProb reports whether Prob is meaningful.
+	HasProb bool `json:"has_prob"`
+	// Class is the answered class (0 clean, 1 malware).
+	Class int `json:"class"`
+	// Row is the submitted feature vector.
+	Row []float64 `json:"row,omitempty"`
+}
+
+// Traffic endpoint tags in the binary codec.
+const (
+	endpointScore = 1
+	endpointLabel = 2
+)
+
+// Sample flags.
+const (
+	sampleBaseline = 1 << iota
+	sampleEvaded
+	sampleCraftEvaded
+	sampleHasAdv
+)
+
+// appendSample encodes one spec.SampleResult as a binary sample payload:
+//
+//	u8  payloadSample
+//	u32 index
+//	i64 generation
+//	u8  flags (baseline/evaded/craft-evaded/has-adversarial)
+//	f64 l2
+//	u32 modified features
+//	u32 adversarial length + that many f64 (only with the has-adv flag)
+//
+// all little-endian, floats as IEEE-754 bits — appends round-trip decode
+// bit-identically.
+func appendSample(dst []byte, sr spec.SampleResult) []byte {
+	dst = append(dst, payloadSample)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sr.Index))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(sr.Generation))
+	var flags byte
+	if sr.BaselineDetected {
+		flags |= sampleBaseline
+	}
+	if sr.Evaded {
+		flags |= sampleEvaded
+	}
+	if sr.CraftEvaded {
+		flags |= sampleCraftEvaded
+	}
+	if sr.Adversarial != nil {
+		flags |= sampleHasAdv
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sr.L2))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sr.ModifiedFeatures))
+	if sr.Adversarial != nil {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(sr.Adversarial)))
+		for _, v := range sr.Adversarial {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// byteReader is a bounds-checked cursor over one payload; every read
+// reports truncation instead of panicking, so hostile payloads decode into
+// errors.
+type byteReader struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (r *byteReader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.raw)-r.off < n {
+		r.err = fmt.Errorf("store: payload truncated at offset %d (need %d of %d bytes)", r.off, n, len(r.raw))
+		return false
+	}
+	return true
+}
+
+func (r *byteReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.raw[r.off]
+	r.off++
+	return v
+}
+
+func (r *byteReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.raw[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *byteReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.raw[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.raw[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *byteReader) f64s(n int) []float64 {
+	if n < 0 || !r.need(8*n) {
+		if r.err == nil {
+			r.err = fmt.Errorf("store: negative float count %d", n)
+		}
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	v := r.raw[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *byteReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.raw) {
+		return fmt.Errorf("store: %d trailing bytes after payload", len(r.raw)-r.off)
+	}
+	return nil
+}
+
+// maxVectorLen caps decoded feature-vector lengths so a hostile length
+// field cannot reserve unbounded memory (a record payload is already
+// capped by wire.MaxRecordLen; this tightens the per-vector bound).
+const maxVectorLen = 1 << 20
+
+// decodeSample decodes a binary sample payload (including its leading kind
+// byte, which the caller has already matched).
+func decodeSample(raw []byte) (spec.SampleResult, error) {
+	r := &byteReader{raw: raw}
+	if k := r.u8(); k != payloadSample && r.err == nil {
+		return spec.SampleResult{}, fmt.Errorf("store: payload kind %d, want sample", k)
+	}
+	var sr spec.SampleResult
+	sr.Index = int(r.u32())
+	sr.Generation = int64(r.u64())
+	flags := r.u8()
+	sr.BaselineDetected = flags&sampleBaseline != 0
+	sr.Evaded = flags&sampleEvaded != 0
+	sr.CraftEvaded = flags&sampleCraftEvaded != 0
+	sr.L2 = r.f64()
+	sr.ModifiedFeatures = int(r.u32())
+	if flags&sampleHasAdv != 0 {
+		n := int(r.u32())
+		if n > maxVectorLen {
+			return spec.SampleResult{}, fmt.Errorf("store: adversarial vector length %d exceeds %d", n, maxVectorLen)
+		}
+		sr.Adversarial = r.f64s(n)
+	}
+	if err := r.done(); err != nil {
+		return spec.SampleResult{}, err
+	}
+	return sr, nil
+}
+
+// appendTraffic encodes one TrafficRow as a binary traffic payload:
+//
+//	u8  payloadTraffic
+//	i64 unix nanoseconds
+//	u8  endpoint (1 score, 2 label)
+//	u8  flags (1 = prob present)
+//	u16 model-name length + bytes
+//	i64 generation
+//	f64 prob
+//	u8  class
+//	u32 row length + that many f64
+func appendTraffic(dst []byte, row TrafficRow) ([]byte, error) {
+	dst = append(dst, payloadTraffic)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(row.Time.UnixNano()))
+	switch row.Endpoint {
+	case "score":
+		dst = append(dst, endpointScore)
+	case "label":
+		dst = append(dst, endpointLabel)
+	default:
+		return nil, fmt.Errorf("store: unknown traffic endpoint %q", row.Endpoint)
+	}
+	var flags byte
+	if row.HasProb {
+		flags = 1
+	}
+	dst = append(dst, flags)
+	if len(row.Model) > math.MaxUint16 {
+		return nil, fmt.Errorf("store: model name %d bytes too long", len(row.Model))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(row.Model)))
+	dst = append(dst, row.Model...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(row.Generation))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(row.Prob))
+	dst = append(dst, byte(row.Class))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(row.Row)))
+	for _, v := range row.Row {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst, nil
+}
+
+// decodeTraffic decodes a binary traffic payload.
+func decodeTraffic(raw []byte) (TrafficRow, error) {
+	r := &byteReader{raw: raw}
+	if k := r.u8(); k != payloadTraffic && r.err == nil {
+		return TrafficRow{}, fmt.Errorf("store: payload kind %d, want traffic", k)
+	}
+	var row TrafficRow
+	row.Time = time.Unix(0, int64(r.u64())).UTC()
+	switch ep := r.u8(); ep {
+	case endpointScore:
+		row.Endpoint = "score"
+	case endpointLabel:
+		row.Endpoint = "label"
+	default:
+		if r.err == nil {
+			return TrafficRow{}, fmt.Errorf("store: unknown traffic endpoint tag %d", ep)
+		}
+	}
+	row.HasProb = r.u8()&1 != 0
+	row.Model = string(r.bytes(int(r.u16())))
+	row.Generation = int64(r.u64())
+	row.Prob = r.f64()
+	row.Class = int(r.u8())
+	n := int(r.u32())
+	if n > maxVectorLen {
+		return TrafficRow{}, fmt.Errorf("store: traffic row length %d exceeds %d", n, maxVectorLen)
+	}
+	row.Row = r.f64s(n)
+	if err := r.done(); err != nil {
+		return TrafficRow{}, err
+	}
+	return row, nil
+}
+
+// encodeMeta/encodeTerminal render the JSON bookend payloads of a campaign
+// log. Explicit rows are elided from the stored spec — the samples carry
+// the per-row outcomes, and explicit-rows populations can be megabytes.
+func encodeMeta(id string, sp spec.Spec, submitted time.Time) ([]byte, error) {
+	sp.Rows = nil
+	raw, err := json.Marshal(metaRecord{ID: id, Spec: sp, SubmittedAt: submitted})
+	if err != nil {
+		return nil, fmt.Errorf("store: encode meta: %w", err)
+	}
+	return append([]byte{payloadMeta}, raw...), nil
+}
+
+func encodeTerminal(tr terminalRecord) ([]byte, error) {
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode terminal: %w", err)
+	}
+	return append([]byte{payloadTerminal}, raw...), nil
+}
+
+func decodeMeta(raw []byte) (metaRecord, error) {
+	var m metaRecord
+	if len(raw) < 1 || raw[0] != payloadMeta {
+		return m, fmt.Errorf("store: not a meta payload")
+	}
+	if err := json.Unmarshal(raw[1:], &m); err != nil {
+		return m, fmt.Errorf("store: decode meta: %w", err)
+	}
+	return m, nil
+}
+
+func decodeTerminal(raw []byte) (terminalRecord, error) {
+	var tr terminalRecord
+	if len(raw) < 1 || raw[0] != payloadTerminal {
+		return tr, fmt.Errorf("store: not a terminal payload")
+	}
+	if err := json.Unmarshal(raw[1:], &tr); err != nil {
+		return tr, fmt.Errorf("store: decode terminal: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,543 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"malevade/internal/campaign/spec"
+	"malevade/internal/tensor"
+)
+
+// Miner lifecycle errors, mirroring the campaign engine's shape so the
+// server maps them onto the same HTTP statuses.
+var (
+	// ErrMineQueueFull rejects a submit when the job queue is at capacity.
+	ErrMineQueueFull = errors.New("store: mine queue full")
+	// ErrMinerClosed rejects operations after Close.
+	ErrMinerClosed = errors.New("store: miner closed")
+	// ErrUnknownMineJob marks a lookup for a mine job id the miner has
+	// never assigned.
+	ErrUnknownMineJob = errors.New("store: unknown mine job")
+)
+
+// MineSpec parameterizes one traffic sweep.
+type MineSpec struct {
+	// Name is an optional human-readable label echoed in snapshots.
+	Name string `json:"name,omitempty"`
+	// Model restricts the sweep to traffic answered by one registry model
+	// ("" sweeps everything, with the default slot recorded as "").
+	Model string `json:"model,omitempty"`
+	// Band is the probability half-width around the decision boundary
+	// (0.5) that counts as suspicious: clean verdicts with
+	// P(malware) ≥ 0.5−Band are low-confidence flips, and any verdict with
+	// |P(malware)−0.5| ≤ Band is a near-boundary probe. 0 means the
+	// miner's default (0.15); otherwise it must lie in (0, 0.5].
+	Band float64 `json:"band,omitempty"`
+	// MaxFindings truncates the ranked report (0 = the miner's default).
+	MaxFindings int `json:"max_findings,omitempty"`
+}
+
+// Validate rejects semantically invalid sweeps at submit time.
+func (sp MineSpec) Validate() error {
+	if math.IsNaN(sp.Band) || sp.Band < 0 || sp.Band > 0.5 {
+		return fmt.Errorf("store: mine band must lie in (0, 0.5], got %v", sp.Band)
+	}
+	if sp.MaxFindings < 0 {
+		return fmt.Errorf("store: max_findings must be non-negative, got %d", sp.MaxFindings)
+	}
+	return nil
+}
+
+// Finding is one suspected in-the-wild evasion: a recorded traffic row (or
+// a group of identical rows) whose verdicts look like an attacker probing
+// or crossing the decision boundary.
+type Finding struct {
+	// Rank orders the report, 1 = most suspicious.
+	Rank int `json:"rank"`
+	// Suspicion is the summed signal score; higher is more suspicious.
+	Suspicion float64 `json:"suspicion"`
+	// Signals names the evidence: "generation_flip" (the same row drew
+	// different verdicts from different model generations),
+	// "low_confidence_clean" (a clean verdict within Band of the
+	// boundary — the shape of a successful evasion), "near_boundary" (any
+	// verdict within Band — the shape of an attacker's probe).
+	Signals []string `json:"signals"`
+	// Model is the registry model the row was scored against.
+	Model string `json:"model,omitempty"`
+	// Generations lists the distinct model generations that saw this row,
+	// in first-seen order.
+	Generations []int64 `json:"generations,omitempty"`
+	// Count is the number of recorded occurrences of this exact row.
+	Count int `json:"count"`
+	// Prob is the most suspicious recorded P(malware) for the row (the
+	// one closest to the boundary from the clean side, when any verdict
+	// carried a probability).
+	Prob float64 `json:"prob,omitempty"`
+	// HasProb reports whether Prob is meaningful.
+	HasProb bool `json:"has_prob"`
+	// Class is the verdict attached to Prob.
+	Class int `json:"class"`
+	// FirstSeen is the earliest recorded occurrence.
+	FirstSeen time.Time `json:"first_seen"`
+	// Row is the feature vector — the harvestable artifact.
+	Row []float64 `json:"row,omitempty"`
+
+	// firstIdx is the row's first position in the swept traffic — the
+	// deterministic tie-break for equal suspicion.
+	firstIdx int
+}
+
+// MineSnapshot is a point-in-time view of one mine job.
+type MineSnapshot struct {
+	// ID is the miner-assigned job id.
+	ID string `json:"id"`
+	// Spec echoes the submitted sweep parameters (defaults resolved).
+	Spec MineSpec `json:"spec"`
+	// Status reuses the campaign lifecycle states.
+	Status spec.Status `json:"status"`
+	// Error holds the failure (or cancellation) reason for terminal
+	// non-Done statuses.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt / StartedAt / FinishedAt bound the job's lifecycle.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Swept counts the traffic rows the sweep examined.
+	Swept int `json:"swept"`
+	// Findings is the ranked report, most suspicious first.
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// MinerOptions configures NewMiner. The zero value is usable.
+type MinerOptions struct {
+	// Workers is the sweep worker-pool size (default 1 — sweeps are
+	// CPU-light; ordering beats parallelism here).
+	Workers int
+	// QueueDepth bounds queued jobs (default 8); a full queue rejects
+	// with ErrMineQueueFull.
+	QueueDepth int
+	// MaxHistory bounds retained terminal jobs (default 64; oldest
+	// terminal jobs are evicted first).
+	MaxHistory int
+	// DefaultBand is the Band applied when a spec leaves it zero
+	// (default 0.15).
+	DefaultBand float64
+	// MaxFindings is the report cap applied when a spec leaves it zero
+	// (default 256).
+	MaxFindings int
+	// Log receives job lifecycle notices. Nil discards them.
+	Log *log.Logger
+}
+
+func (o MinerOptions) withDefaults() MinerOptions {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = 64
+	}
+	if o.DefaultBand <= 0 {
+		o.DefaultBand = 0.15
+	}
+	if o.MaxFindings <= 0 {
+		o.MaxFindings = 256
+	}
+	return o
+}
+
+// mineJob is one queued/running/terminal sweep.
+type mineJob struct {
+	mu   sync.Mutex
+	snap MineSnapshot
+	stop chan struct{} // closed by Cancel
+}
+
+// Miner runs queued traffic sweeps against a Store — the campaign/harden
+// worker-pool shape applied to historical attack mining.
+type Miner struct {
+	store *Store
+	opts  MinerOptions
+
+	mu     sync.Mutex
+	seq    int64
+	jobs   map[string]*mineJob
+	order  []string
+	queue  chan *mineJob
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted int64
+}
+
+// NewMiner starts a miner over st with opts.Workers sweep workers.
+func NewMiner(st *Store, opts MinerOptions) *Miner {
+	opts = opts.withDefaults()
+	m := &Miner{
+		store: st,
+		opts:  opts,
+		jobs:  make(map[string]*mineJob),
+		queue: make(chan *mineJob, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Miner) logf(format string, args ...any) {
+	if m.opts.Log != nil {
+		m.opts.Log.Printf(format, args...)
+	}
+}
+
+// Submit validates and enqueues one sweep, returning its job id.
+func (m *Miner) Submit(sp MineSpec) (string, error) {
+	if err := sp.Validate(); err != nil {
+		return "", err
+	}
+	if sp.Band == 0 {
+		sp.Band = m.opts.DefaultBand
+	}
+	if sp.MaxFindings == 0 {
+		sp.MaxFindings = m.opts.MaxFindings
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrMinerClosed
+	}
+	if len(m.queue) == cap(m.queue) {
+		return "", ErrMineQueueFull
+	}
+	m.seq++
+	id := fmt.Sprintf("m%06d", m.seq)
+	j := &mineJob{
+		snap: MineSnapshot{ID: id, Spec: sp, Status: spec.StatusQueued, SubmittedAt: time.Now()},
+		stop: make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.evictLocked()
+	m.queue <- j // cannot block: capacity checked above under m.mu
+	m.submitted++
+	m.logf("mine %s submitted (model=%q band=%v)", id, sp.Model, sp.Band)
+	return id, nil
+}
+
+// evictLocked drops the oldest terminal jobs past MaxHistory.
+func (m *Miner) evictLocked() {
+	for len(m.order) > m.opts.MaxHistory {
+		evicted := false
+		for i, id := range m.order {
+			if j := m.jobs[id]; j != nil && j.terminal() {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still live
+		}
+	}
+}
+
+func (j *mineJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap.Status.Terminal()
+}
+
+func (m *Miner) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+func (m *Miner) run(j *mineJob) {
+	j.mu.Lock()
+	select {
+	case <-j.stop:
+		j.snap.Status = spec.StatusCancelled
+		j.snap.Error = "cancelled before start"
+		j.snap.FinishedAt = time.Now()
+		j.mu.Unlock()
+		return
+	default:
+	}
+	j.snap.Status = spec.StatusRunning
+	j.snap.StartedAt = time.Now()
+	sp := j.snap.Spec
+	j.mu.Unlock()
+
+	rows, err := m.store.Traffic()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snap.FinishedAt = time.Now()
+	if err != nil {
+		j.snap.Status = spec.StatusFailed
+		j.snap.Error = err.Error()
+		m.logf("mine %s failed: %v", j.snap.ID, err)
+		return
+	}
+	j.snap.Swept = len(rows)
+	j.snap.Findings = SweepTraffic(rows, sp)
+	j.snap.Status = spec.StatusDone
+	m.logf("mine %s done: swept %d rows, %d findings", j.snap.ID, j.snap.Swept, len(j.snap.Findings))
+}
+
+// Get returns a snapshot of one job.
+func (m *Miner) Get(id string) (MineSnapshot, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return MineSnapshot{}, fmt.Errorf("%w: %s", ErrUnknownMineJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return cloneMineSnapshot(j.snap), nil
+}
+
+// List returns snapshots of every retained job in submission order, with
+// findings elided (fetch one job for its report).
+func (m *Miner) List() []MineSnapshot {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*mineJob, len(ids))
+	for i, id := range ids {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	out := make([]MineSnapshot, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		snap := cloneMineSnapshot(j.snap)
+		j.mu.Unlock()
+		snap.Findings = nil
+		out = append(out, snap)
+	}
+	return out
+}
+
+// Cancel cancels a queued job (running sweeps are too short to interrupt;
+// cancelling one is a no-op that reports its current status).
+func (m *Miner) Cancel(id string) (MineSnapshot, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return MineSnapshot{}, fmt.Errorf("%w: %s", ErrUnknownMineJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.snap.Status == spec.StatusQueued {
+		close(j.stop)
+		j.snap.Status = spec.StatusCancelled
+		j.snap.Error = "cancelled"
+		j.snap.FinishedAt = time.Now()
+	}
+	return cloneMineSnapshot(j.snap), nil
+}
+
+// Submitted counts jobs accepted since the miner started.
+func (m *Miner) Submitted() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.submitted
+}
+
+// Close drains the queue and stops the workers. Queued jobs still run;
+// Submit after Close fails with ErrMinerClosed.
+func (m *Miner) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func cloneMineSnapshot(snap MineSnapshot) MineSnapshot {
+	out := snap
+	out.Findings = make([]Finding, len(snap.Findings))
+	copy(out.Findings, snap.Findings)
+	return out
+}
+
+// rowKey identifies one exact (model, feature-vector) pair: FNV-1a over the
+// model name and the row's IEEE-754 bits, so bit-identical rows group and
+// anything else doesn't.
+func rowKey(model string, row []float64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	var b [8]byte
+	for _, v := range row {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// SweepTraffic is the miner's core, exposed for direct use and
+// benchmarking: group recorded rows by exact (model, features) identity,
+// score each group's evasion signals, and return the ranked report.
+//
+// Signals (summed per group):
+//
+//   - generation_flip (+1.0): the same row drew different verdicts from
+//     different model generations — the strongest in-the-wild signal, an
+//     input whose classification a retrain changed.
+//   - low_confidence_clean (+0.5 … +1.0): a clean verdict with P(malware)
+//     within Band below the boundary — the closer to 0.5, the higher the
+//     score. This is what a successful evasion looks like from the
+//     defender's side.
+//   - near_boundary (+0 … +0.25): any probability within Band of the
+//     boundary — attackers binary-searching the surface leave these.
+//
+// Rows the sweep cannot use (no feature vector, or filtered out by
+// sp.Model) are skipped. Ties rank deterministically (earliest first
+// occurrence wins).
+func SweepTraffic(rows []TrafficRow, sp MineSpec) []Finding {
+	band := sp.Band
+	if band <= 0 {
+		band = 0.15
+	}
+	type group struct {
+		finding  Finding
+		firstIdx int
+		classes  map[int]bool
+		genSet   map[int64]bool
+		lowConf  float64
+		nearB    float64
+	}
+	groups := make(map[uint64]*group)
+	var keys []uint64
+	for i, row := range rows {
+		if len(row.Row) == 0 {
+			continue
+		}
+		if sp.Model != "" && row.Model != sp.Model {
+			continue
+		}
+		key := rowKey(row.Model, row.Row)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{
+				finding: Finding{
+					Model:     row.Model,
+					FirstSeen: row.Time,
+					Row:       row.Row,
+				},
+				firstIdx: i,
+				classes:  make(map[int]bool),
+				genSet:   make(map[int64]bool),
+			}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.finding.Count++
+		g.classes[row.Class] = true
+		if !g.genSet[row.Generation] {
+			g.genSet[row.Generation] = true
+			g.finding.Generations = append(g.finding.Generations, row.Generation)
+		}
+		if row.HasProb {
+			if row.Class == 0 && row.Prob >= 0.5-band && row.Prob < 0.5 {
+				if c := 0.5 + (row.Prob-(0.5-band))/band*0.5; c > g.lowConf {
+					g.lowConf = c
+					g.finding.Prob = row.Prob
+					g.finding.HasProb = true
+					g.finding.Class = row.Class
+				}
+			}
+			if d := math.Abs(row.Prob - 0.5); d <= band {
+				if c := (band - d) / band * 0.25; c > g.nearB {
+					g.nearB = c
+					if g.lowConf == 0 {
+						g.finding.Prob = row.Prob
+						g.finding.HasProb = true
+						g.finding.Class = row.Class
+					}
+				}
+			}
+		}
+	}
+	findings := make([]Finding, 0, len(groups))
+	for _, k := range keys {
+		g := groups[k]
+		f := g.finding
+		if len(g.genSet) >= 2 && len(g.classes) >= 2 {
+			f.Suspicion += 1.0
+			f.Signals = append(f.Signals, "generation_flip")
+		}
+		if g.lowConf > 0 {
+			f.Suspicion += g.lowConf
+			f.Signals = append(f.Signals, "low_confidence_clean")
+		}
+		if g.nearB > 0 {
+			f.Suspicion += g.nearB
+			f.Signals = append(f.Signals, "near_boundary")
+		}
+		if f.Suspicion > 0 {
+			f.firstIdx = g.firstIdx
+			findings = append(findings, f)
+		}
+	}
+	sort.SliceStable(findings, func(a, b int) bool {
+		if findings[a].Suspicion != findings[b].Suspicion {
+			return findings[a].Suspicion > findings[b].Suspicion
+		}
+		return findings[a].firstIdx < findings[b].firstIdx
+	})
+	maxF := sp.MaxFindings
+	if maxF <= 0 {
+		maxF = 256
+	}
+	if len(findings) > maxF {
+		findings = findings[:maxF]
+	}
+	for i := range findings {
+		findings[i].Rank = i + 1
+	}
+	return findings
+}
+
+// HarvestFindings stacks the findings' feature vectors into a matrix ready
+// for defense.BuildAdvTrainingSet — the bridge from mined in-the-wild
+// evasions to adversarial retraining. Every finding must carry a row, and
+// all rows must share one width.
+func HarvestFindings(findings []Finding) (*tensor.Matrix, error) {
+	if len(findings) == 0 {
+		return nil, fmt.Errorf("store: no findings to harvest")
+	}
+	width := len(findings[0].Row)
+	if width == 0 {
+		return nil, fmt.Errorf("store: finding 0 has no feature row")
+	}
+	rows := make([][]float64, len(findings))
+	for i, f := range findings {
+		if len(f.Row) != width {
+			return nil, fmt.Errorf("store: finding %d row width %d != %d", i, len(f.Row), width)
+		}
+		rows[i] = f.Row
+	}
+	return tensor.FromRows(rows), nil
+}

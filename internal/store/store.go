@@ -1,0 +1,714 @@
+// Package store is the durable campaign-results subsystem: an append-only
+// record-log store rooted next to the model registry (by convention
+// REGISTRY/.results/) that survives daemon restarts bit-identically.
+//
+// Three layers live here. The record log (internal/wire's MVR1 format)
+// holds one file per campaign — a JSON meta record, binary per-sample
+// records streamed in while the campaign runs, and a JSON terminal record —
+// plus one shared traffic log of sampled live score/label rows recorded
+// behind the daemon's opt-in -record flag. The query layer reads those logs
+// back: campaign summaries, full per-sample history, single samples for
+// deterministic replay, and the recorded traffic. The miner (Miner, in
+// miner.go) sweeps recorded traffic for suspected in-the-wild evasions and
+// ranks them for harvest into adversarial retraining.
+//
+// Every append is checksummed; Open recovers from a killed daemon by
+// truncating torn tails (keeping every record wholly written before the
+// crash) and marking campaigns that died mid-flight as failed. Damage
+// inside a committed region is reported as wire.ErrRecordCorrupt, never a
+// panic.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malevade/internal/campaign/spec"
+	"malevade/internal/wire"
+)
+
+// ErrUnknownCampaign marks a results lookup for a campaign id the store has
+// never seen.
+var ErrUnknownCampaign = errors.New("store: unknown campaign")
+
+// interruptedError marks campaigns recovered without a terminal record — the
+// daemon died while they were queued or running.
+const interruptedError = "interrupted: daemon restarted mid-campaign"
+
+// Options configures Open. The zero value is almost usable — only Dir is
+// required.
+type Options struct {
+	// Dir roots the store on disk. The daemon places it at
+	// REGISTRY/.results (the registry skips manifest-less directories, so
+	// the nesting is safe).
+	Dir string
+	// TrafficFlushBytes is the traffic appender's buffer threshold: sampled
+	// rows accumulate in memory and hit disk (one write + fsync) when the
+	// buffer crosses it, keeping the hot scoring path off the syscall
+	// boundary. 0 means 64 KiB; Flush and Close drain regardless.
+	TrafficFlushBytes int
+	// Log receives recovery and eviction notices. Nil discards them.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.TrafficFlushBytes <= 0 {
+		o.TrafficFlushBytes = 64 << 10
+	}
+	return o
+}
+
+// CampaignSummary is one stored campaign's identity and progress — the list
+// view of GET /v1/results.
+type CampaignSummary struct {
+	// ID is the engine-assigned campaign id.
+	ID string `json:"id"`
+	// Name echoes the spec's optional label.
+	Name string `json:"name,omitempty"`
+	// Model is the spec's target model ("" = the default slot).
+	Model string `json:"model,omitempty"`
+	// Status is the stored lifecycle state. A campaign recovered without a
+	// terminal record is failed with Error "interrupted: …".
+	Status spec.Status `json:"status"`
+	// Error is the terminal failure reason, when any.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt / FinishedAt bound the stored lifecycle.
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// Samples counts durably stored per-sample results.
+	Samples int `json:"samples"`
+	// Recovered reports that this campaign was reconstructed from disk
+	// after a restart rather than streamed in this process's lifetime.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// CampaignHistory is one stored campaign in full: the summary plus the
+// submitted spec and every durably stored per-sample result, in stream
+// order.
+type CampaignHistory struct {
+	CampaignSummary
+	// Spec is the submitted spec with explicit Rows elided.
+	Spec spec.Spec `json:"spec"`
+	// Generations lists the distinct target generations that judged
+	// batches, in first-seen order (terminal campaigns only).
+	Generations []int64 `json:"generations,omitempty"`
+	// Samples holds the per-sample results in the order they were judged.
+	Samples []spec.SampleResult `json:"samples,omitempty"`
+}
+
+// campaignState is the in-memory index entry for one campaign log.
+type campaignState struct {
+	summary CampaignSummary
+	spec    spec.Spec
+	file    *os.File // open while non-terminal; nil afterwards
+}
+
+// Store is the durable results store. All methods are safe for concurrent
+// use; appends serialize on one store-wide mutex (the control-plane write
+// rate is batches per second, not rows per second — the hot scoring path
+// only ever appends to the in-memory traffic buffer).
+type Store struct {
+	opts Options
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	order     []string // campaign ids in first-seen order
+	traffic    *os.File
+	trafBuf    []byte
+	trafBufRec int64 // records currently buffered in trafBuf
+	trafCount  int64 // total traffic records, buffered ones included
+	closed     bool
+
+	records atomic.Int64 // durably committed records, all logs
+	bytes   atomic.Int64 // durably committed bytes, all logs
+}
+
+// Open opens (creating if absent) the store rooted at opts.Dir, recovering
+// prior state: campaign logs are scanned, torn tails truncated, and
+// campaigns without a terminal record — the daemon died mid-flight — are
+// marked failed on disk so the interruption itself is durable. The traffic
+// log is truncated to its last intact record and reopened for append.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, "campaigns"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		opts:      opts,
+		campaigns: make(map[string]*campaignState),
+	}
+	if err := s.recoverCampaigns(); err != nil {
+		return nil, err
+	}
+	if err := s.openTraffic(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log.Printf(format, args...)
+	}
+}
+
+func campaignPath(dir, id string) string {
+	return filepath.Join(dir, "campaigns", id+".mrl")
+}
+
+// recoverCampaigns rebuilds the in-memory index from the campaign logs on
+// disk, repairing crash artifacts as it goes.
+func (s *Store) recoverCampaigns() error {
+	entries, err := os.ReadDir(filepath.Join(s.opts.Dir, "campaigns"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mrl") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(e.Name(), ".mrl"))
+	}
+	sort.Strings(ids) // c%06d ids sort chronologically
+	for _, id := range ids {
+		if err := s.recoverCampaign(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) recoverCampaign(id string) error {
+	path := campaignPath(s.opts.Dir, id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, body, err := wire.ParseRecordLogHeader(raw)
+	if err != nil {
+		// A header too damaged to parse means nothing is recoverable;
+		// refuse to open rather than silently shadowing stored results.
+		return fmt.Errorf("store: campaign log %s: %w", id, err)
+	}
+	payloads, scanErr := wire.ScanRecords(body)
+	if scanErr != nil && errors.Is(scanErr, wire.ErrRecordCorrupt) {
+		return fmt.Errorf("store: campaign log %s: %w", id, scanErr)
+	}
+	if len(payloads) == 0 || len(payloads[0]) == 0 || payloads[0][0] != payloadMeta {
+		return fmt.Errorf("store: campaign log %s has no meta record: %w", id, wire.ErrRecordCorrupt)
+	}
+	meta, err := decodeMeta(payloads[0])
+	if err != nil {
+		return fmt.Errorf("store: campaign log %s: %w", id, err)
+	}
+	st := &campaignState{
+		summary: CampaignSummary{
+			ID:          meta.ID,
+			Name:        meta.Spec.Name,
+			Model:       meta.Spec.TargetModel,
+			Status:      spec.StatusRunning,
+			SubmittedAt: meta.SubmittedAt,
+			Recovered:   true,
+		},
+		spec: meta.Spec,
+	}
+	goodLen := wire.RecordLogHeaderLen
+	for _, p := range payloads {
+		goodLen += wire.RecordHeaderLen + len(p)
+		switch p[0] {
+		case payloadMeta:
+		case payloadSample:
+			if _, err := decodeSample(p); err != nil {
+				return fmt.Errorf("store: campaign log %s: %w: %v", id, wire.ErrRecordCorrupt, err)
+			}
+			st.summary.Samples++
+		case payloadTerminal:
+			tr, err := decodeTerminal(p)
+			if err != nil {
+				return fmt.Errorf("store: campaign log %s: %w: %v", id, wire.ErrRecordCorrupt, err)
+			}
+			st.summary.Status = tr.Status
+			st.summary.Error = tr.Error
+			st.summary.FinishedAt = tr.FinishedAt
+		default:
+			return fmt.Errorf("store: campaign log %s: unknown payload kind %d: %w", id, p[0], wire.ErrRecordCorrupt)
+		}
+	}
+	if scanErr != nil { // torn tail: drop the partial append
+		s.logf("store: campaign %s: truncating torn tail (%d of %d bytes intact)", id, goodLen, len(raw))
+		if err := os.Truncate(path, int64(goodLen)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.records.Add(int64(len(payloads)))
+	s.bytes.Add(int64(goodLen))
+	if !st.summary.Status.Terminal() {
+		// The daemon died with this campaign in flight. Make the
+		// interruption durable: append a terminal record now.
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		st.summary.Status = spec.StatusFailed
+		st.summary.Error = interruptedError
+		payload, err := encodeTerminal(terminalRecord{
+			Status:     spec.StatusFailed,
+			Error:      interruptedError,
+			FinishedAt: meta.SubmittedAt, // best effort: true finish time died with the daemon
+		})
+		if err == nil {
+			err = s.appendLocked(f, payload)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		st.summary.FinishedAt = meta.SubmittedAt
+		s.logf("store: campaign %s recovered with %d samples, marked failed (%s)", id, st.summary.Samples, interruptedError)
+	}
+	s.campaigns[meta.ID] = st
+	s.order = append(s.order, meta.ID)
+	return nil
+}
+
+// openTraffic opens the traffic log for append, truncating any torn tail.
+func (s *Store) openTraffic() error {
+	path := filepath.Join(s.opts.Dir, "traffic.mrl")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(raw) == 0 {
+		hdr := wire.AppendRecordLogHeader(nil, logKindTraffic)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.bytes.Add(int64(len(hdr)))
+		s.traffic = f
+		return nil
+	}
+	_, body, err := wire.ParseRecordLogHeader(raw)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: traffic log: %w", err)
+	}
+	payloads, scanErr := wire.ScanRecords(body)
+	if scanErr != nil && errors.Is(scanErr, wire.ErrRecordCorrupt) {
+		f.Close()
+		return fmt.Errorf("store: traffic log: %w", scanErr)
+	}
+	goodLen := wire.RecordLogHeaderLen
+	for _, p := range payloads {
+		if _, err := decodeTraffic(p); err != nil {
+			f.Close()
+			return fmt.Errorf("store: traffic log: %w: %v", wire.ErrRecordCorrupt, err)
+		}
+		goodLen += wire.RecordHeaderLen + len(p)
+	}
+	if scanErr != nil {
+		s.logf("store: traffic log: truncating torn tail (%d of %d bytes intact)", goodLen, len(raw))
+		if err := f.Truncate(int64(goodLen)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(goodLen), io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.trafCount = int64(len(payloads))
+	s.records.Add(int64(len(payloads)))
+	s.bytes.Add(int64(goodLen))
+	s.traffic = f
+	return nil
+}
+
+// appendLocked frames payload onto f and fsyncs. Callers hold s.mu (or are
+// in Open, before the store is shared).
+func (s *Store) appendLocked(f *os.File, payloads ...[]byte) error {
+	var buf []byte
+	n := 0
+	for _, p := range payloads {
+		var err error
+		buf, err = wire.AppendRecord(buf, p)
+		if err != nil {
+			return err
+		}
+		n++
+	}
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.records.Add(int64(n))
+	s.bytes.Add(int64(len(buf)))
+	return nil
+}
+
+// CampaignStarted begins a campaign log: creates <dir>/campaigns/<id>.mrl
+// and durably writes the meta record (spec Rows elided). It is the first
+// leg of campaign.Sink.
+func (s *Store) CampaignStarted(id string, sp spec.Spec, submitted time.Time) error {
+	payload, err := encodeMeta(id, sp, submitted)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.campaigns[id]; ok {
+		return fmt.Errorf("store: campaign %s already stored", id)
+	}
+	f, err := os.OpenFile(campaignPath(s.opts.Dir, id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	hdr := wire.AppendRecordLogHeader(nil, logKindCampaign)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.bytes.Add(int64(len(hdr)))
+	if err := s.appendLocked(f, payload); err != nil {
+		f.Close()
+		return err
+	}
+	sp.Rows = nil
+	s.campaigns[id] = &campaignState{
+		summary: CampaignSummary{
+			ID:          id,
+			Name:        sp.Name,
+			Model:       sp.TargetModel,
+			Status:      spec.StatusQueued,
+			SubmittedAt: submitted,
+		},
+		spec: sp,
+		file: f,
+	}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// CampaignSamples durably appends a batch of judged samples to the
+// campaign's log — one write, one fsync, however many results the batch
+// carried. It is the streaming leg of campaign.Sink.
+func (s *Store) CampaignSamples(id string, results []spec.SampleResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(results))
+	for i, sr := range results {
+		payloads[i] = appendSample(nil, sr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.campaigns[id]
+	if !ok || st.file == nil {
+		return fmt.Errorf("store: campaign %s has no open log", id)
+	}
+	if err := s.appendLocked(st.file, payloads...); err != nil {
+		return err
+	}
+	st.summary.Status = spec.StatusRunning
+	st.summary.Samples += len(results)
+	return nil
+}
+
+// CampaignFinished seals a campaign log with its terminal record and closes
+// the file. It is the final leg of campaign.Sink. Unknown ids auto-begin
+// from the snapshot's spec first, so a sink attached to an engine with
+// pre-existing jobs still captures their outcomes.
+func (s *Store) CampaignFinished(id string, snap spec.Snapshot) error {
+	s.mu.Lock()
+	known := false
+	if st, ok := s.campaigns[id]; ok && st.file != nil {
+		known = true
+	}
+	s.mu.Unlock()
+	if !known {
+		if err := s.CampaignStarted(id, snap.Spec, snap.SubmittedAt); err != nil {
+			return err
+		}
+	}
+	payload, err := encodeTerminal(terminalRecord{
+		Status:      snap.Status,
+		Error:       snap.Error,
+		FinishedAt:  snap.FinishedAt,
+		Generations: snap.Generations,
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.campaigns[id]
+	if st == nil || st.file == nil {
+		return fmt.Errorf("store: campaign %s has no open log", id)
+	}
+	if err := s.appendLocked(st.file, payload); err != nil {
+		return err
+	}
+	err = st.file.Close()
+	st.file = nil
+	st.summary.Status = snap.Status
+	st.summary.Error = snap.Error
+	st.summary.FinishedAt = snap.FinishedAt
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Campaigns lists every stored campaign's summary in first-stored order.
+func (s *Store) Campaigns() []CampaignSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CampaignSummary, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.campaigns[id].summary)
+	}
+	return out
+}
+
+// Campaign reads one campaign's full stored history — spec, terminal
+// outcome, and every durably committed per-sample result in stream order —
+// back off disk. Unknown ids return ErrUnknownCampaign; damage inside the
+// log surfaces as wire.ErrRecordCorrupt.
+func (s *Store) Campaign(id string) (CampaignHistory, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaignLocked(id)
+}
+
+func (s *Store) campaignLocked(id string) (CampaignHistory, error) {
+	st, ok := s.campaigns[id]
+	if !ok {
+		return CampaignHistory{}, fmt.Errorf("%w: %s", ErrUnknownCampaign, id)
+	}
+	raw, err := os.ReadFile(campaignPath(s.opts.Dir, id))
+	if err != nil {
+		return CampaignHistory{}, fmt.Errorf("store: %w", err)
+	}
+	_, body, err := wire.ParseRecordLogHeader(raw)
+	if err != nil {
+		return CampaignHistory{}, err
+	}
+	payloads, err := wire.ScanRecords(body)
+	if err != nil && !errors.Is(err, wire.ErrRecordTorn) {
+		// A torn tail can only be the append racing this read's file
+		// snapshot; committed records are all intact. Anything else is
+		// real damage.
+		return CampaignHistory{}, err
+	}
+	h := CampaignHistory{CampaignSummary: st.summary, Spec: st.spec}
+	h.Samples = make([]spec.SampleResult, 0, st.summary.Samples)
+	for _, p := range payloads {
+		if len(p) == 0 {
+			return CampaignHistory{}, fmt.Errorf("store: empty payload: %w", wire.ErrRecordCorrupt)
+		}
+		switch p[0] {
+		case payloadMeta:
+		case payloadSample:
+			sr, err := decodeSample(p)
+			if err != nil {
+				return CampaignHistory{}, fmt.Errorf("%w: %v", wire.ErrRecordCorrupt, err)
+			}
+			h.Samples = append(h.Samples, sr)
+		case payloadTerminal:
+			tr, err := decodeTerminal(p)
+			if err != nil {
+				return CampaignHistory{}, fmt.Errorf("%w: %v", wire.ErrRecordCorrupt, err)
+			}
+			h.Generations = tr.Generations
+		default:
+			return CampaignHistory{}, fmt.Errorf("store: unknown payload kind %d: %w", p[0], wire.ErrRecordCorrupt)
+		}
+	}
+	h.CampaignSummary.Samples = len(h.Samples)
+	return h, nil
+}
+
+// Sample reads one stored sample by population index — the unit of
+// deterministic replay. The campaign must have stored that index.
+func (s *Store) Sample(id string, index int) (spec.SampleResult, error) {
+	h, err := s.Campaign(id)
+	if err != nil {
+		return spec.SampleResult{}, err
+	}
+	for _, sr := range h.Samples {
+		if sr.Index == index {
+			return sr, nil
+		}
+	}
+	return spec.SampleResult{}, fmt.Errorf("store: campaign %s has no stored sample %d", id, index)
+}
+
+// RecordTraffic buffers one sampled live row for the traffic log. The row
+// hits disk when the buffer crosses Options.TrafficFlushBytes (or on
+// Flush/Close); the caller — the daemon's scoring hot path — pays only an
+// in-memory encode.
+func (s *Store) RecordTraffic(row TrafficRow) error {
+	payload, err := appendTraffic(nil, row)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	s.trafBuf, err = wire.AppendRecord(s.trafBuf, payload)
+	if err != nil {
+		return err
+	}
+	s.trafBufRec++
+	s.trafCount++
+	if len(s.trafBuf) >= s.opts.TrafficFlushBytes {
+		return s.flushTrafficLocked()
+	}
+	return nil
+}
+
+func (s *Store) flushTrafficLocked() error {
+	if len(s.trafBuf) == 0 {
+		return nil
+	}
+	if _, err := s.traffic.Write(s.trafBuf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.traffic.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.records.Add(s.trafBufRec)
+	s.bytes.Add(int64(len(s.trafBuf)))
+	s.trafBuf = s.trafBuf[:0]
+	s.trafBufRec = 0
+	return nil
+}
+
+// Flush forces buffered traffic rows to disk.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.flushTrafficLocked()
+}
+
+// Traffic reads back every recorded traffic row (flushing the buffer
+// first), in record order.
+func (s *Store) Traffic() ([]TrafficRow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		if err := s.flushTrafficLocked(); err != nil {
+			return nil, err
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(s.opts.Dir, "traffic.mrl"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	_, body, err := wire.ParseRecordLogHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	payloads, err := wire.ScanRecords(body)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TrafficRow, 0, len(payloads))
+	for _, p := range payloads {
+		row, err := decodeTraffic(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", wire.ErrRecordCorrupt, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TrafficRecords counts recorded traffic rows, buffered ones included.
+func (s *Store) TrafficRecords() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trafCount
+}
+
+// Records counts durably committed records across every log.
+func (s *Store) Records() int64 { return s.records.Load() }
+
+// Bytes counts durably committed bytes across every log (headers included).
+func (s *Store) Bytes() int64 { return s.bytes.Load() }
+
+// MaxCampaignSeq returns the highest numeric suffix among stored campaign
+// ids of the engine's c%06d form (0 when none) — the seed that keeps
+// engine-assigned ids unique across restarts.
+func (s *Store) MaxCampaignSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var maxSeq int64
+	for _, id := range s.order {
+		num, ok := strings.CutPrefix(id, "c")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(num, 10, 64)
+		if err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	return maxSeq
+}
+
+// Close flushes buffered traffic and closes every open log. Campaigns
+// still streaming keep their logs open-ended; a later Open recovers their
+// samples and marks them interrupted.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.flushTrafficLocked()
+	if cerr := s.traffic.Close(); err == nil {
+		err = cerr
+	}
+	for _, st := range s.campaigns {
+		if st.file != nil {
+			if cerr := st.file.Close(); err == nil {
+				err = cerr
+			}
+			st.file = nil
+		}
+	}
+	return err
+}

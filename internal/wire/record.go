@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The record log is the durable-results counterpart of the rows frame: an
+// append-only sequence of length-prefixed, checksummed records behind the
+// campaign-results store (internal/store). It reuses the MVF1 framing
+// discipline — a fixed magic/version header validated before anything
+// else, exact length checks, and hostile-length caps — but optimizes for
+// crash-safe appends instead of zero-copy reads: every record carries its
+// own CRC, so a log cut short by a crash (or damaged by a flipped bit)
+// recovers every record before the first bad byte and reports exactly why
+// it stopped.
+//
+// File layout:
+//
+//	offset  size  field
+//	0       4     magic "MVR1"
+//	4       1     version (currently 1)
+//	5       1     kind (opaque to this package; the store tags campaign
+//	              logs and traffic logs differently)
+//	6       2     reserved, zero
+//
+// followed by zero or more records:
+//
+//	offset  size  field
+//	0       4     payload length, uint32 little-endian (1..MaxRecordLen)
+//	4       4     CRC-32 (IEEE) of the payload, uint32 little-endian
+//	8       len   payload
+const (
+	recordLogMagic = "MVR1"
+	// RecordLogVersion is the current record-log format version.
+	RecordLogVersion = 1
+	// RecordLogHeaderLen is the fixed file-header size.
+	RecordLogHeaderLen = 8
+	// RecordHeaderLen is the per-record prefix (length + CRC).
+	RecordHeaderLen = 8
+	// MaxRecordLen caps one record's payload so a hostile length prefix
+	// can never reserve unbounded memory. Campaign sample records are a
+	// few KiB even with retained adversarial rows; 16 MiB is far past any
+	// legitimate record.
+	MaxRecordLen = 16 << 20
+)
+
+// Record-log read errors. A torn tail is the expected artifact of a crash
+// mid-append; corruption means bytes inside a committed region changed.
+// Both stop a scan; everything before the damage is still valid.
+var (
+	// ErrRecordTorn marks a log that ends mid-record — the torn tail a
+	// killed process leaves behind. Records before the tear are intact.
+	ErrRecordTorn = errors.New("wire: record log torn")
+	// ErrRecordCorrupt marks a record whose checksum (or length field)
+	// does not match its bytes — damage inside a committed region, not a
+	// crash artifact.
+	ErrRecordCorrupt = errors.New("wire: record log corrupt")
+)
+
+// AppendRecordLogHeader appends the 8-byte file header opening a record
+// log of the given kind.
+func AppendRecordLogHeader(dst []byte, kind byte) []byte {
+	dst = append(dst, recordLogMagic...)
+	return append(dst, RecordLogVersion, kind, 0, 0)
+}
+
+// ParseRecordLogHeader validates a record log's file header and returns
+// its kind byte plus the bytes after the header (the record sequence).
+func ParseRecordLogHeader(raw []byte) (kind byte, rest []byte, err error) {
+	if len(raw) < RecordLogHeaderLen {
+		return 0, nil, fmt.Errorf("%w: %d bytes < %d-byte header", ErrRecordTorn, len(raw), RecordLogHeaderLen)
+	}
+	if string(raw[:4]) != recordLogMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrRecordCorrupt, raw[:4])
+	}
+	if raw[4] != RecordLogVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrRecordCorrupt, raw[4])
+	}
+	if raw[6] != 0 || raw[7] != 0 {
+		return 0, nil, fmt.Errorf("%w: reserved header bytes not zero", ErrRecordCorrupt)
+	}
+	return raw[5], raw[RecordLogHeaderLen:], nil
+}
+
+// AppendRecord frames one payload — length prefix, CRC, bytes — onto dst.
+// Empty and oversized payloads are refused; a record must round-trip.
+func AppendRecord(dst, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("wire: record payload must not be empty")
+	}
+	if len(payload) > MaxRecordLen {
+		return nil, fmt.Errorf("wire: record payload %d bytes exceeds %d", len(payload), MaxRecordLen)
+	}
+	var hdr [RecordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// NextRecord parses one record off the front of raw, returning its payload
+// (a subslice of raw — valid only while raw is) and the remaining bytes.
+// An empty raw returns (nil, nil, nil): the clean end of the log. A tail
+// too short for its own header or declared length is ErrRecordTorn; a
+// zero/oversized length or a CRC mismatch is ErrRecordCorrupt.
+func NextRecord(raw []byte) (payload, rest []byte, err error) {
+	if len(raw) == 0 {
+		return nil, nil, nil
+	}
+	if len(raw) < RecordHeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes < %d-byte record header", ErrRecordTorn, len(raw), RecordHeaderLen)
+	}
+	n := binary.LittleEndian.Uint32(raw[0:4])
+	if n == 0 || n > MaxRecordLen {
+		return nil, nil, fmt.Errorf("%w: record length %d out of range", ErrRecordCorrupt, n)
+	}
+	if uint64(len(raw)-RecordHeaderLen) < uint64(n) {
+		return nil, nil, fmt.Errorf("%w: record declares %d payload bytes, %d remain", ErrRecordTorn, n, len(raw)-RecordHeaderLen)
+	}
+	payload = raw[RecordHeaderLen : RecordHeaderLen+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(raw[4:8]); got != want {
+		return nil, nil, fmt.Errorf("%w: record CRC %08x != stored %08x", ErrRecordCorrupt, got, want)
+	}
+	return payload, raw[RecordHeaderLen+int(n):], nil
+}
+
+// ScanRecords walks a whole record log body (the bytes after the file
+// header), returning every intact payload before the first damage. The
+// error is nil for a cleanly terminated log, ErrRecordTorn/ErrRecordCorrupt
+// otherwise; recovered payloads are valid either way.
+func ScanRecords(raw []byte) (payloads [][]byte, err error) {
+	for len(raw) > 0 {
+		var p []byte
+		p, raw, err = NextRecord(raw)
+		if err != nil {
+			return payloads, err
+		}
+		payloads = append(payloads, p)
+	}
+	return payloads, nil
+}

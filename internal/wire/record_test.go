@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// buildLog frames a file header plus the given payloads.
+func buildLog(t testing.TB, kind byte, payloads ...[]byte) []byte {
+	t.Helper()
+	raw := AppendRecordLogHeader(nil, kind)
+	for _, p := range payloads {
+		var err error
+		raw, err = AppendRecord(raw, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return raw
+}
+
+func TestRecordLogRoundTrip(t *testing.T) {
+	payloads := [][]byte{{1}, []byte("hello record"), make([]byte, 4096)}
+	for i := range payloads[2] {
+		payloads[2][i] = byte(i * 7)
+	}
+	raw := buildLog(t, 3, payloads...)
+	kind, body, err := ParseRecordLogHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != 3 {
+		t.Fatalf("kind = %d, want 3", kind)
+	}
+	got, err := ScanRecords(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(payloads))
+	}
+	for i, p := range payloads {
+		if string(got[i]) != string(p) {
+			t.Fatalf("record %d does not round-trip", i)
+		}
+	}
+}
+
+// TestRecordLogTornTail: truncating a log at every possible byte offset
+// must recover exactly the records wholly before the cut, and report a
+// clean end or a torn tail — never corruption, never a panic.
+func TestRecordLogTornTail(t *testing.T) {
+	payloads := [][]byte{[]byte("aa"), []byte("bbbb"), []byte("cccccc")}
+	raw := buildLog(t, 1, payloads...)
+	// boundaries[i] is the offset at which record i is fully committed.
+	boundaries := []int{RecordLogHeaderLen}
+	off := RecordLogHeaderLen
+	for _, p := range payloads {
+		off += RecordHeaderLen + len(p)
+		boundaries = append(boundaries, off)
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		_, body, err := ParseRecordLogHeader(raw[:cut])
+		if cut < RecordLogHeaderLen {
+			if !errors.Is(err, ErrRecordTorn) {
+				t.Fatalf("cut %d: header error %v, want ErrRecordTorn", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: header error %v", cut, err)
+		}
+		got, err := ScanRecords(body)
+		whole := 0
+		for _, b := range boundaries[1:] {
+			if cut >= b {
+				whole++
+			}
+		}
+		if len(got) != whole {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), whole)
+		}
+		atBoundary := false
+		for _, b := range boundaries {
+			if cut == b {
+				atBoundary = true
+			}
+		}
+		if atBoundary && err != nil {
+			t.Fatalf("cut %d: clean boundary reported %v", cut, err)
+		}
+		if !atBoundary && !errors.Is(err, ErrRecordTorn) {
+			t.Fatalf("cut %d: got %v, want ErrRecordTorn", cut, err)
+		}
+	}
+}
+
+// TestRecordLogBitFlip: flipping any byte of a committed record must
+// surface as ErrRecordCorrupt (or, for length bytes, possibly a torn tail
+// when the length grows past the data) — and keep every record before it.
+func TestRecordLogBitFlip(t *testing.T) {
+	raw := buildLog(t, 1, []byte("first"), []byte("second"))
+	firstEnd := RecordLogHeaderLen + RecordHeaderLen + len("first")
+	for i := firstEnd; i < len(raw); i++ {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		_, body, err := ParseRecordLogHeader(mut)
+		if err != nil {
+			t.Fatalf("offset %d: header refused: %v", i, err)
+		}
+		got, err := ScanRecords(body)
+		if err == nil {
+			t.Fatalf("offset %d: corruption went undetected", i)
+		}
+		if !errors.Is(err, ErrRecordCorrupt) && !errors.Is(err, ErrRecordTorn) {
+			t.Fatalf("offset %d: unexpected error %v", i, err)
+		}
+		if len(got) != 1 || string(got[0]) != "first" {
+			t.Fatalf("offset %d: lost the intact first record (got %d)", i, len(got))
+		}
+	}
+}
+
+func TestRecordLogHeaderRejects(t *testing.T) {
+	good := AppendRecordLogHeader(nil, 1)
+	cases := map[string][]byte{
+		"bad magic":    append([]byte("MVRX"), good[4:]...),
+		"bad version":  {byte('M'), byte('V'), byte('R'), byte('1'), 99, 1, 0, 0},
+		"reserved set": {byte('M'), byte('V'), byte('R'), byte('1'), RecordLogVersion, 1, 1, 0},
+	}
+	for name, raw := range cases {
+		if _, _, err := ParseRecordLogHeader(raw); !errors.Is(err, ErrRecordCorrupt) {
+			t.Errorf("%s: got %v, want ErrRecordCorrupt", name, err)
+		}
+	}
+	if _, _, err := ParseRecordLogHeader([]byte("MV")); !errors.Is(err, ErrRecordTorn) {
+		t.Errorf("short header: got %v, want ErrRecordTorn", err)
+	}
+}
+
+func TestRecordHostileLength(t *testing.T) {
+	// A hostile length prefix far past the data must be a bounded error,
+	// not an allocation or a panic.
+	raw := AppendRecordLogHeader(nil, 1)
+	var hdr [RecordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxRecordLen+1)
+	raw = append(raw, hdr[:]...)
+	_, body, err := ParseRecordLogHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanRecords(body); !errors.Is(err, ErrRecordCorrupt) {
+		t.Fatalf("oversize length: got %v, want ErrRecordCorrupt", err)
+	}
+	// Zero-length records are invalid on write and corrupt on read.
+	if _, err := AppendRecord(nil, nil); err == nil {
+		t.Fatal("AppendRecord accepted an empty payload")
+	}
+	zero := make([]byte, RecordHeaderLen)
+	if _, _, err := NextRecord(zero); !errors.Is(err, ErrRecordCorrupt) {
+		t.Fatalf("zero length: got %v, want ErrRecordCorrupt", err)
+	}
+}

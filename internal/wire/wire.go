@@ -73,6 +73,18 @@ const (
 	// shutting down still answers CodeUnavailable, an empty fleet answers
 	// this, and the two decode into distinct sentinels.
 	CodeNoReplicas = "no_replicas"
+	// CodeNoStore (422): the request needs the durable results store but
+	// the daemon runs without one (no registry directory). A refinement of
+	// the 422 status: a malformed spec still answers CodeInvalidSpec, a
+	// storeless daemon answers this, and the two decode into distinct
+	// sentinels.
+	CodeNoStore = "no_store"
+	// CodeStoreCorrupt (500): the durable results store found damage
+	// inside a committed record region while serving the request. A
+	// refinement of the 500 status: unexpected daemon failures still
+	// answer CodeInternal, detected store corruption answers this, and
+	// the two decode into distinct sentinels.
+	CodeStoreCorrupt = "store_corrupt"
 )
 
 // Sentinel errors, one per code. Use errors.Is against these to branch on
@@ -111,6 +123,14 @@ var (
 	// envelope code distinguishes an empty gateway fleet from a single
 	// daemon shutting down.
 	ErrNoReplicas = errors.New("wire: no healthy replicas")
+	// ErrNoStore is the no_store sentinel, carried on a 422 whose envelope
+	// code distinguishes a daemon running without a results store from a
+	// malformed spec.
+	ErrNoStore = errors.New("wire: no results store")
+	// ErrStoreCorrupt is the store_corrupt sentinel, carried on a 500
+	// whose envelope code distinguishes detected results-store damage from
+	// a generic internal failure.
+	ErrStoreCorrupt = errors.New("wire: results store corrupt")
 
 	// ErrMixedGenerations is the client-side taxonomy member with no HTTP
 	// status: a version-pinned batch had to be split across requests and
@@ -176,6 +196,8 @@ var refinementTable = []struct {
 }{
 	{http.StatusNotFound, CodeUnknownModel, ErrUnknownModel},
 	{http.StatusServiceUnavailable, CodeNoReplicas, ErrNoReplicas},
+	{http.StatusUnprocessableEntity, CodeNoStore, ErrNoStore},
+	{http.StatusInternalServerError, CodeStoreCorrupt, ErrStoreCorrupt},
 }
 
 // Statuses lists every error-bearing HTTP status of the API, ascending.

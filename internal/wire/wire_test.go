@@ -69,7 +69,7 @@ func TestErrorIsMatchesExactlyOneSentinel(t *testing.T) {
 		ErrBadRequest, ErrNotFound, ErrMethodNotAllowed, ErrVersionConflict,
 		ErrTooLarge, ErrUnsupportedMedia, ErrInvalidSpec, ErrQueueFull,
 		ErrInternal, ErrBadGateway, ErrUnavailable, ErrRegistryFull,
-		ErrUnknownModel, ErrNoReplicas,
+		ErrUnknownModel, ErrNoReplicas, ErrNoStore, ErrStoreCorrupt,
 	}
 	for _, status := range Statuses() {
 		err := FromEnvelope(status, Envelope{Error: "boom", Code: CodeForStatus(status)})
@@ -116,6 +116,20 @@ func TestRefinementCodes(t *testing.T) {
 	plain := FromEnvelope(http.StatusNotFound, Envelope{Error: "no such campaign"})
 	if !errors.Is(plain, ErrNotFound) || errors.Is(plain, ErrUnknownModel) {
 		t.Fatal("bare 404 must decode to the canonical ErrNotFound only")
+	}
+	storeless := FromEnvelope(http.StatusUnprocessableEntity, Envelope{Error: "no results store", Code: CodeNoStore})
+	if !errors.Is(storeless, ErrNoStore) || errors.Is(storeless, ErrInvalidSpec) {
+		t.Fatal("no_store envelope must match ErrNoStore and only ErrNoStore")
+	}
+	if plain422 := FromEnvelope(http.StatusUnprocessableEntity, Envelope{Error: "bad spec"}); !errors.Is(plain422, ErrInvalidSpec) || errors.Is(plain422, ErrNoStore) {
+		t.Fatal("bare 422 must decode to the canonical ErrInvalidSpec only")
+	}
+	corrupt := FromEnvelope(http.StatusInternalServerError, Envelope{Error: "log damaged", Code: CodeStoreCorrupt})
+	if !errors.Is(corrupt, ErrStoreCorrupt) || errors.Is(corrupt, ErrInternal) {
+		t.Fatal("store_corrupt envelope must match ErrStoreCorrupt and only ErrStoreCorrupt")
+	}
+	if plain500 := FromEnvelope(http.StatusInternalServerError, Envelope{Error: "boom"}); !errors.Is(plain500, ErrInternal) || errors.Is(plain500, ErrStoreCorrupt) {
+		t.Fatal("bare 500 must decode to the canonical ErrInternal only")
 	}
 	// CodeForStatus never emits a refinement; StatusForCode resolves both.
 	if got := CodeForStatus(http.StatusNotFound); got != CodeNotFound {
