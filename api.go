@@ -38,6 +38,7 @@ import (
 	"malevade/internal/experiments"
 	"malevade/internal/gateway"
 	"malevade/internal/harden"
+	"malevade/internal/obs"
 	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/server"
@@ -78,6 +79,14 @@ type (
 	Profile = experiments.Profile
 	// Lab caches the corpora and models an experiment run shares.
 	Lab = experiments.Lab
+	// MetricsRegistry is the stdlib-only observability registry behind
+	// GET /metrics on both serving tiers: concurrency-safe counters,
+	// gauges and fixed-bucket histograms (labeled and callback
+	// variants) with Prometheus text exposition. Pass one shared
+	// registry via ServerOptions.Obs / GatewayOptions.Obs to embed a
+	// daemon's metrics in a larger process's exposition; nil makes each
+	// tier create its own. See docs/OBSERVABILITY.md.
+	MetricsRegistry = obs.Registry
 	// Scorer is the concurrent batched scoring engine: a worker pool
 	// that coalesces concurrent callers' rows into shared batched
 	// forward passes. It implements Detector and is safe for any number
@@ -617,6 +626,25 @@ func NewDetectorCampaignTarget(d Detector) CampaignTarget {
 func NewRemoteCampaignTarget(baseURL string) CampaignTarget {
 	return client.NewRemoteTarget(baseURL)
 }
+
+// NewMetricsRegistry creates an empty metrics registry; share one across
+// embedded servers to merge their expositions.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RequestIDHeader is the trace header both serving tiers mint, propagate
+// and echo; the client SDK forwards the ID from WithRequestID contexts.
+const RequestIDHeader = obs.RequestIDHeader
+
+// WithRequestID attaches a trace ID to ctx so every SDK call made with it
+// carries the ID to the daemon's (and gateway's) access logs.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// LintMetrics checks a Prometheus text-exposition scrape against the
+// conventions the registry enforces (tools/metriclint is the CLI over
+// this). One human-readable problem per violation; empty means clean.
+func LintMetrics(raw []byte) []string { return obs.Lint(raw) }
 
 // NewJSMA builds the paper's attack: add-only JSMA with per-step magnitude
 // theta and iteration budget gamma·491.

@@ -37,8 +37,13 @@ func cmdGateway(args []string) error {
 	craftModel := fs.String("craft-model", "",
 		"default crafting model file for campaigns whose spec has no craft_model_path")
 	timeouts := httpTimeoutFlags(fs)
+	obsf := observabilityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := obsf.logger()
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
 	}
 	if *fleetPath != "" {
 		raw, err := os.ReadFile(*fleetPath)
@@ -63,16 +68,21 @@ func cmdGateway(args []string) error {
 		MaxBodyBytes:   *maxBytes,
 		Retries:        *retries,
 		CraftModelPath: *craftModel,
-		Log:            os.Stderr,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer gw.Close()
+	stopDebug, err := obsf.startDebug(logger)
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	defer stopDebug()
 
 	banner := func(bound string) {
-		fmt.Fprintf(os.Stderr, "gateway on http://%s fronting %d replica(s); SIGHUP re-probes, SIGTERM drains\n",
-			bound, len(replicas))
+		logger.Info("gateway listening",
+			"addr", bound, "replicas", len(replicas))
 	}
-	return runHTTP("gateway", *addr, gw, timeouts, gw.Probe, banner)
+	return runHTTP("gateway", *addr, gw, timeouts, logger, gw.Probe, banner)
 }

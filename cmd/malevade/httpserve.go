@@ -12,6 +12,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -19,6 +20,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"malevade/internal/obs"
 )
 
 // httpTimeouts carries the shared -read-timeout/-write-timeout/
@@ -62,7 +65,8 @@ func hardenedServer(handler http.Handler, t *httpTimeouts) *http.Server {
 // receives the bound address), serve handler on a hardened http.Server,
 // then block handling signals: SIGHUP invokes onHUP (ignored when nil),
 // SIGTERM/SIGINT drain within t.drain and return nil.
-func runHTTP(name, addr string, handler http.Handler, t *httpTimeouts, onHUP func(), banner func(bound string)) error {
+func runHTTP(name, addr string, handler http.Handler, t *httpTimeouts, log *slog.Logger, onHUP func(), banner func(bound string)) error {
+	log = obs.Or(log)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("%s: listen %s: %w", name, addr, err)
@@ -91,7 +95,8 @@ func runHTTP(name, addr string, handler http.Handler, t *httpTimeouts, onHUP fun
 				}
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "%s: %v received, draining...\n", name, sig)
+			log.Info("draining", "command", name, "signal", sig.String(),
+				"timeout", t.drain.String())
 			ctx, cancel := context.WithTimeout(context.Background(), t.drain)
 			err := httpSrv.Shutdown(ctx)
 			cancel()
@@ -101,6 +106,47 @@ func runHTTP(name, addr string, handler http.Handler, t *httpTimeouts, onHUP fun
 			return nil
 		}
 	}
+}
+
+// obsFlags carries the shared observability flags: structured-log level
+// and format, plus the optional pprof debug listener. The debug listener
+// binds its own address and never joins the public mux — profiling
+// endpoints must not be reachable by scoring clients.
+type obsFlags struct {
+	logLevel, logFormat, debugAddr string
+}
+
+// observabilityFlags registers -log-level/-log-format/-debug-addr on fs.
+func observabilityFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.logLevel, "log-level", "info",
+		"structured log level: debug, info, warn, or error")
+	fs.StringVar(&o.logFormat, "log-format", "text",
+		"structured log format: text or json")
+	fs.StringVar(&o.debugAddr, "debug-addr", "",
+		"optional net/http/pprof listen address (e.g. 127.0.0.1:6060); off by default, never on the public address")
+	return o
+}
+
+// logger builds the process logger from the parsed flags.
+func (o *obsFlags) logger() (*slog.Logger, error) {
+	return obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
+}
+
+// startDebug starts the pprof listener when -debug-addr was given. The
+// returned stop function closes it; both are no-ops without the flag.
+func (o *obsFlags) startDebug(log *slog.Logger) (func(), error) {
+	if o.debugAddr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", o.debugAddr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: listen %s: %w", o.debugAddr, err)
+	}
+	srv := &http.Server{Handler: obs.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	log.Info("pprof debug listener up", "addr", ln.Addr().String())
+	return func() { srv.Close() }, nil
 }
 
 // stringList is a repeatable string flag (e.g. -replica A -replica B).

@@ -84,7 +84,7 @@ func TestRunHTTPBindsPortZero(t *testing.T) {
 	go func() {
 		errCh <- runHTTP("test", "127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprint(w, "pong")
-		}), timeouts, nil, func(bound string) { boundCh <- bound })
+		}), timeouts, nil, nil, func(bound string) { boundCh <- bound })
 	}()
 	var bound string
 	select {

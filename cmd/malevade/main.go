@@ -12,6 +12,7 @@
 //	malevade harden  -model prod -rounds 2            closed-loop adversarial hardening
 //	malevade mine    -band 0.15                       mine recorded traffic for evasions
 //	malevade models  list|register|promote|gc|rm      manage registered detectors
+//	malevade stats   -server http://127.0.0.1:8446 -watch   live daemon/gateway counters
 //	malevade vocab                                    print the 491-API vocabulary
 //	malevade explain -model target.gob -data data/test.gob -row 0
 //
@@ -61,6 +62,8 @@ func run(args []string) error {
 		return cmdMine(args[1:])
 	case "models":
 		return cmdModels(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
 	case "vocab":
 		return cmdVocab(args[1:])
 	case "explain":
@@ -89,6 +92,7 @@ commands:
   harden    run closed-loop adversarial hardening against a registry model
   mine      sweep recorded daemon traffic for in-the-wild evasion attempts
   models    list/register/promote/gc/rm the daemon's registered detectors
+  stats     fetch /v1/stats from a daemon or gateway (-watch for deltas)
   vocab     print the 491-API feature vocabulary
   explain   attribute a detector verdict over the API features
 

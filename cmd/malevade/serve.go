@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 
 	"malevade/internal/defense"
 	"malevade/internal/serve"
@@ -33,8 +32,13 @@ func cmdServe(args []string) error {
 		"inference precision for binary-framed requests: float32, int8, or float64 (JSON requests always use the float64 reference)")
 	record := fs.Int("record", 0,
 		"record every Nth served score/label row into the results store for 'malevade mine' (0 = off; requires -registry)")
+	obsf := observabilityFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := obsf.logger()
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	if *record > 0 && *registryDir == "" {
 		return fmt.Errorf("serve: -record requires -registry (traffic persists in the results store beside it)")
@@ -55,23 +59,30 @@ func cmdServe(args []string) error {
 		RegistryDir:     *registryDir,
 		BinaryPrecision: *precision,
 		RecordTraffic:   *record,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	stopDebug, err := obsf.startDebug(logger)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer stopDebug()
 
 	onHUP := func() {
 		version, err := srv.Reload("")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serve: reload failed, keeping current model: %v\n", err)
+			logger.Error("reload failed, keeping current model", "error", err.Error())
 			return
 		}
-		fmt.Fprintf(os.Stderr, "serve: hot-reloaded model (version %d)\n", version)
+		logger.Info("hot-reloaded model", "generation", version)
 	}
 	banner := func(bound string) {
-		fmt.Fprintf(os.Stderr, "serving %s on http://%s (version %d); SIGHUP reloads, SIGTERM drains\n",
-			*modelPath, bound, srv.ModelVersion())
+		logger.Info("daemon listening",
+			"addr", bound, "model", *modelPath,
+			"generation", srv.ModelVersion())
 	}
-	return runHTTP("serve", *addr, srv, timeouts, onHUP, banner)
+	return runHTTP("serve", *addr, srv, timeouts, logger, onHUP, banner)
 }

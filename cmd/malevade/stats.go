@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"malevade/internal/client"
+)
+
+// cmdStats fetches /v1/stats from a daemon or gateway and prints it. The
+// endpoint shapes differ between the two tiers, so the command works on
+// the raw JSON rather than the typed client structs: one shot pretty-
+// prints the whole payload; -watch polls and prints a delta line per
+// tick, turning cumulative counters into visible rates.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:8446", "daemon or gateway base URL")
+	watch := fs.Bool("watch", false, "poll and print one summary line per interval")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval with -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := cliContext()
+	defer stop()
+	c := client.New(*serverURL)
+	if !*watch {
+		raw, err := fetchStats(ctx, c)
+		if err != nil {
+			return err
+		}
+		var buf []byte
+		var pretty map[string]any
+		if err := json.Unmarshal(raw, &pretty); err != nil {
+			return fmt.Errorf("stats: decoding /v1/stats: %w", err)
+		}
+		buf, err = json.MarshalIndent(pretty, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+		return nil
+	}
+	prev := map[string]int64{}
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		raw, err := fetchStats(ctx, c)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted while polling: a clean exit
+			}
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+		} else {
+			prev = printStatsLine(raw, prev)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// fetchStats GETs /v1/stats through the SDK's raw exchange, returning the
+// response body or the daemon's decoded error envelope.
+func fetchStats(ctx context.Context, c *client.Client) ([]byte, error) {
+	res, err := c.Raw(ctx, http.MethodGet, "/v1/stats", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != http.StatusOK {
+		return nil, fmt.Errorf("stats: /v1/stats answered %d: %s", res.Status, res.Body)
+	}
+	return res.Body, nil
+}
+
+// watchCounters are the cumulative top-level counters worth a delta
+// column, in display order. Keys absent from a payload (a gateway has no
+// "reloads"-free view, a daemon no "gateway_requests") are skipped.
+var watchCounters = []string{
+	"requests", "rejected", "rows", "batches", "reloads", "campaigns",
+	"gateway_requests", "gateway_rejected", "gateway_retries",
+}
+
+// printStatsLine renders one -watch tick — each known counter with its
+// delta since the previous tick — and returns the new baseline.
+func printStatsLine(raw []byte, prev map[string]int64) map[string]int64 {
+	var payload map[string]json.Number
+	// Top-level non-numeric fields (fleet arrays, model maps) fail
+	// json.Number decoding per-field, not per-document, so decode loosely.
+	var loose map[string]any
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		fmt.Fprintf(os.Stderr, "stats: decoding /v1/stats: %v\n", err)
+		return prev
+	}
+	payload = make(map[string]json.Number, len(loose))
+	for k, v := range loose {
+		if f, ok := v.(float64); ok {
+			payload[k] = json.Number(fmt.Sprintf("%.0f", f))
+		}
+	}
+	next := make(map[string]int64, len(payload))
+	line := time.Now().Format("15:04:05")
+	if up, ok := loose["uptime_seconds"].(float64); ok {
+		line += fmt.Sprintf(" up=%s", (time.Duration(up) * time.Second).String())
+	}
+	for _, k := range watchCounters {
+		n, ok := payload[k]
+		if !ok {
+			continue
+		}
+		v, err := n.Int64()
+		if err != nil {
+			continue
+		}
+		next[k] = v
+		line += fmt.Sprintf(" %s=%d", k, v)
+		if old, seen := prev[k]; seen && v != old {
+			line += fmt.Sprintf("(+%d)", v-old)
+		}
+	}
+	fmt.Println(line)
+	return next
+}

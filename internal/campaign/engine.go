@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,8 +12,16 @@ import (
 	"malevade/internal/attack"
 	"malevade/internal/experiments"
 	"malevade/internal/nn"
+	"malevade/internal/obs"
 	"malevade/internal/tensor"
 )
+
+// JobSecondsBuckets are the job-duration histogram bounds shared by the
+// campaign, harden and mine engines: 10ms (a tiny smoke-test campaign)
+// through 10 minutes (a full hardening round).
+var JobSecondsBuckets = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
 
 // Options configures an Engine. The zero value picks defaults; LocalTarget
 // and CraftModel are only required for specs that actually use them (a spec
@@ -68,8 +76,13 @@ type Options struct {
 	// BaseSeq seeds the id counter so engine-assigned c%06d ids stay
 	// unique across daemon restarts (the store's MaxCampaignSeq).
 	BaseSeq int64
-	// Log, when non-nil, receives one line per campaign transition.
-	Log io.Writer
+	// Logger, when non-nil, receives a structured event per campaign
+	// transition (queued, running, terminal, cancelled, evicted).
+	Logger *slog.Logger
+	// Obs, when set, receives engine metrics: terminal campaigns by
+	// status (malevade_campaign_jobs_total) and a wall-clock duration
+	// histogram (malevade_campaign_seconds).
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -147,11 +160,23 @@ type Engine struct {
 
 	submitted atomic.Int64
 	evicted   atomic.Int64
+
+	log      *slog.Logger
+	jobsDone *obs.CounterVec // nil without Options.Obs
+	duration *obs.Histogram  // nil without Options.Obs
 }
 
 // NewEngine starts an engine with opts.Workers campaign workers.
 func NewEngine(opts Options) *Engine {
 	e := &Engine{opts: opts.withDefaults(), jobs: make(map[string]*job)}
+	e.log = obs.Or(e.opts.Logger)
+	if e.opts.Obs != nil {
+		e.jobsDone = e.opts.Obs.CounterVec("malevade_campaign_jobs_total",
+			"Campaigns reaching a terminal status.", "status")
+		e.duration = e.opts.Obs.Histogram("malevade_campaign_seconds",
+			"Campaign wall-clock duration from start to terminal, in seconds.",
+			JobSecondsBuckets)
+	}
 	e.seq = e.opts.BaseSeq
 	e.queue = make(chan *job, e.opts.QueueDepth)
 	e.wg.Add(e.opts.Workers)
@@ -164,12 +189,6 @@ func NewEngine(opts Options) *Engine {
 		}()
 	}
 	return e
-}
-
-func (e *Engine) logf(format string, args ...any) {
-	if e.opts.Log != nil {
-		fmt.Fprintf(e.opts.Log, format, args...)
-	}
 }
 
 // Submit validates a spec, enqueues it and returns the queued snapshot.
@@ -221,7 +240,8 @@ func (e *Engine) Submit(spec Spec) (Snapshot, error) {
 		// the sink's event stream always begins with Started. A sink
 		// failure downgrades this campaign to in-memory only.
 		if err := e.opts.Sink.CampaignStarted(j.id, spec, j.submitted); err != nil {
-			e.logf("campaign %s: results sink rejected start: %v\n", j.id, err)
+			e.log.Warn("results sink rejected campaign start",
+				slog.String("campaign", j.id), slog.String("error", err.Error()))
 		} else {
 			j.sink = e.opts.Sink
 		}
@@ -234,7 +254,10 @@ func (e *Engine) Submit(spec Spec) (Snapshot, error) {
 	e.evictLocked()
 	e.mu.Unlock()
 	e.submitted.Add(1)
-	e.logf("campaign %s queued: %s\n", j.id, spec.Attack.String())
+	e.log.Info("campaign queued",
+		slog.String("campaign", j.id),
+		slog.String("attack", spec.Attack.String()),
+		slog.String("model", spec.TargetModel))
 	return j.snapshot(0, false), nil
 }
 
@@ -285,7 +308,7 @@ func (e *Engine) Cancel(id string) (Snapshot, bool) {
 		j.markCancelledLocked()
 	}
 	j.mu.Unlock()
-	e.logf("campaign %s cancel requested\n", id)
+	e.log.Info("campaign cancel requested", slog.String("campaign", id))
 	return j.snapshot(0, false), true
 }
 
@@ -317,11 +340,9 @@ func (e *Engine) evictLocked() {
 			delete(e.jobs, id)
 			excess--
 			e.evicted.Add(1)
-			if j.sink != nil {
-				e.logf("campaign %s evicted from history (archived in the results store)\n", id)
-			} else {
-				e.logf("campaign %s evicted from history (no results store: results dropped)\n", id)
-			}
+			e.log.Info("campaign evicted from history",
+				slog.String("campaign", id),
+				slog.Bool("archived", j.sink != nil))
 			continue
 		}
 		kept = append(kept, id)
@@ -365,7 +386,7 @@ func (e *Engine) run(j *job) {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.mu.Unlock()
-	e.logf("campaign %s running\n", j.id)
+	e.log.Info("campaign running", slog.String("campaign", j.id))
 
 	err := e.execute(j)
 
@@ -382,8 +403,18 @@ func (e *Engine) run(j *job) {
 		j.errMsg = err.Error()
 	}
 	status, done, total := j.status, len(j.results), j.total
+	elapsed := j.finished.Sub(j.started)
 	j.mu.Unlock()
-	e.logf("campaign %s %s (%d/%d samples)\n", j.id, status, done, total)
+	if e.jobsDone != nil {
+		e.jobsDone.With(string(status)).Inc()
+		e.duration.Observe(elapsed.Seconds())
+	}
+	e.log.Info("campaign finished",
+		slog.String("campaign", j.id),
+		slog.String("status", string(status)),
+		slog.Int("samples", done),
+		slog.Int("total", total),
+		slog.Duration("elapsed", elapsed))
 	j.finishSink(e)
 }
 
@@ -395,7 +426,8 @@ func (j *job) finishSink(e *Engine) {
 		return
 	}
 	if err := j.sink.CampaignFinished(j.id, j.snapshot(0, false)); err != nil {
-		e.logf("campaign %s: results sink rejected finish: %v\n", j.id, err)
+		e.log.Warn("results sink rejected campaign finish",
+			slog.String("campaign", j.id), slog.String("error", err.Error()))
 	}
 }
 
@@ -519,7 +551,8 @@ func (e *Engine) runBatch(j *job, craft *nn.Network, target Target, x *tensor.Ma
 	// so batches arrive in judged order.
 	if j.sink != nil {
 		if err := j.sink.CampaignSamples(j.id, batchResults); err != nil {
-			e.logf("campaign %s: results sink rejected batch: %v\n", j.id, err)
+			e.log.Warn("results sink rejected batch",
+				slog.String("campaign", j.id), slog.String("error", err.Error()))
 		}
 	}
 	return nil

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"malevade/internal/obs"
 	"malevade/internal/tensor"
 	"malevade/internal/wire"
 )
@@ -311,6 +312,11 @@ func (c *Client) once(ctx context.Context, method, path, contentType string, bod
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if id := obs.RequestID(ctx); id != "" {
+		// Propagate the caller's trace ID so the daemon's access log and
+		// the caller's share one correlation key end to end.
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// Unwrap url.Error so ctx cancellation surfaces as ctx.Err().
@@ -391,6 +397,9 @@ func (c *Client) Raw(ctx context.Context, method, path, contentType string, body
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

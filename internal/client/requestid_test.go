@@ -1,0 +1,53 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"malevade/internal/obs"
+)
+
+// TestRequestIDHeaderPropagation pins the SDK half of the tracing
+// contract: a request ID placed in the context by the obs middleware (or
+// by a caller) rides every outbound exchange — the typed JSON path and
+// the raw relay path — as X-Malevade-Request-Id, and a context without
+// one adds no header at all.
+func TestRequestIDHeaderPropagation(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(obs.RequestIDHeader))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","model_version":1,"model_path":"m","loaded_at":"now","in_dim":3}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx := obs.WithRequestID(context.Background(), "ride-along-1")
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Raw(ctx, http.MethodGet, "/healthz", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("saw %d requests, want 3", len(seen))
+	}
+	if seen[0] != "ride-along-1" || seen[1] != "ride-along-1" {
+		t.Fatalf("propagated IDs %q, %q; want ride-along-1 on both paths", seen[0], seen[1])
+	}
+	if seen[2] != "" {
+		t.Fatalf("ID-less context sent header %q, want none", seen[2])
+	}
+}

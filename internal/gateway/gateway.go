@@ -21,7 +21,7 @@ package gateway
 
 import (
 	"fmt"
-	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -31,6 +31,7 @@ import (
 	"malevade/internal/campaign"
 	"malevade/internal/client"
 	"malevade/internal/nn"
+	"malevade/internal/obs"
 	"malevade/internal/wire"
 )
 
@@ -72,8 +73,13 @@ type Options struct {
 	// depth, sample caps). Target factories left nil are filled with
 	// fleet-routing implementations.
 	Campaigns campaign.Options
-	// Log, when non-nil, receives one line per replica state transition.
-	Log io.Writer
+	// Obs, when set, is the metrics registry the gateway records into and
+	// serves at GET /metrics; nil makes the gateway create a private one.
+	Obs *obs.Registry
+	// Logger receives structured lifecycle events (boot, replica up/down
+	// transitions, campaign job transitions) and per-request access logs
+	// carrying X-Malevade-Request-Id. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -150,9 +156,17 @@ type Gateway struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
-	requests atomic.Int64 // scoring calls proxied (success or relayed refusal)
-	rejected atomic.Int64 // scoring calls the gateway itself refused (4xx)
-	retries  atomic.Int64 // retry-on-next-replica occurrences
+	// obs is the registry behind GET /metrics; /v1/stats reads the same
+	// counters back through Value(). handler is the mux wrapped in the
+	// shared HTTP middleware (request counts, latency, request IDs).
+	obs     *obs.Registry
+	log     *slog.Logger
+	handler http.Handler
+
+	requests    *obs.Counter    // scoring calls proxied (success or relayed refusal)
+	rejected    *obs.Counter    // scoring calls the gateway itself refused (4xx)
+	retries     *obs.Counter    // retry-on-next-replica occurrences
+	transitions *obs.CounterVec // replica up/down flips, by replica and direction
 }
 
 // New builds a gateway over opts.Replicas, runs one synchronous probe
@@ -168,6 +182,20 @@ func New(opts Options) (*Gateway, error) {
 		started: time.Now(),
 		stop:    make(chan struct{}),
 	}
+	g.obs = opts.Obs
+	if g.obs == nil {
+		g.obs = obs.NewRegistry()
+	}
+	g.log = obs.Or(opts.Logger)
+	g.requests = g.obs.Counter("malevade_gateway_requests_total",
+		"Scoring calls the gateway proxied to a replica (including relayed refusals).")
+	g.rejected = g.obs.Counter("malevade_gateway_rejected_total",
+		"Scoring calls the gateway itself refused with a 4xx before any replica.")
+	g.retries = g.obs.Counter("malevade_gateway_retries_total",
+		"Retry-on-next-replica occurrences across all proxied calls.")
+	g.transitions = g.obs.CounterVec("malevade_gateway_replica_transitions_total",
+		"Replica health-state flips recorded by the prober, by direction.",
+		"replica", "state")
 	seen := make(map[string]bool, len(opts.Replicas))
 	for _, raw := range opts.Replicas {
 		url := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -182,6 +210,12 @@ func New(opts Options) (*Gateway, error) {
 	}
 
 	campaignOpts := opts.Campaigns
+	if campaignOpts.Obs == nil {
+		campaignOpts.Obs = g.obs
+	}
+	if campaignOpts.Logger == nil {
+		campaignOpts.Logger = opts.Logger
+	}
 	if campaignOpts.LocalTarget == nil {
 		campaignOpts.LocalTarget = &fleetTarget{g: g}
 	}
@@ -213,11 +247,55 @@ func New(opts Options) (*Gateway, error) {
 	g.mux.HandleFunc("GET /v1/campaigns", g.handleCampaignList)
 	g.mux.HandleFunc("GET /v1/campaigns/{id}", g.handleCampaignGet)
 	g.mux.HandleFunc("DELETE /v1/campaigns/{id}", g.handleCampaignCancel)
+	g.mux.Handle("GET /metrics", g.obs.Handler())
+	g.registerFuncMetrics()
+	g.handler = obs.NewHTTP(g.obs, opts.Logger, nil).Wrap(g.mux)
 
 	g.probeAll() // synchronous first round: healthy replicas are up before New returns
 	g.wg.Add(1)
 	go g.probeLoop()
+	g.log.Info("gateway ready",
+		"replicas", len(g.replicas),
+		"replicas_up", len(g.healthy()),
+		"retries", opts.Retries,
+	)
 	return g, nil
+}
+
+// registerFuncMetrics exposes routing state the gateway already
+// maintains — per-replica served/failed counters and fleet size — as
+// callback metrics so scrapes and /v1/stats read identical sources.
+func (g *Gateway) registerFuncMetrics() {
+	g.obs.GaugeFunc("malevade_uptime_seconds",
+		"Seconds since the gateway process booted.",
+		func() float64 { return time.Since(g.started).Seconds() })
+	g.obs.GaugeFunc("malevade_gateway_replicas",
+		"Replicas configured in the fleet.",
+		func() float64 { return float64(len(g.replicas)) })
+	g.obs.GaugeFunc("malevade_gateway_replicas_up",
+		"Replicas currently in rotation.",
+		func() float64 { return float64(len(g.healthy())) })
+	g.obs.CounterFunc("malevade_gateway_campaigns_submitted_total",
+		"Adversarial campaigns accepted by the gateway's own engine.",
+		func() float64 { return float64(g.campaigns.Submitted()) })
+	g.obs.CounterVecFunc("malevade_gateway_replica_served_total",
+		"Proxied scoring calls each replica answered.", "replica",
+		func() map[string]float64 {
+			out := make(map[string]float64, len(g.replicas))
+			for _, r := range g.replicas {
+				out[r.url] = float64(r.served.Load())
+			}
+			return out
+		})
+	g.obs.CounterVecFunc("malevade_gateway_replica_failed_total",
+		"Probe and traffic failures charged to each replica.", "replica",
+		func() map[string]float64 {
+			out := make(map[string]float64, len(g.replicas))
+			for _, r := range g.replicas {
+				out[r.url] = float64(r.failed.Load())
+			}
+			return out
+		})
 }
 
 // ServeHTTP implements http.Handler.
@@ -226,7 +304,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		wire.WriteError(w, http.StatusServiceUnavailable, "gateway is shut down")
 		return
 	}
-	g.mux.ServeHTTP(w, r)
+	g.handler.ServeHTTP(w, r)
 }
 
 // Close stops the prober, cancels running campaigns and drains the
@@ -238,12 +316,8 @@ func (g *Gateway) Close() {
 	close(g.stop)
 	g.wg.Wait()
 	g.campaigns.Close()
-}
-
-func (g *Gateway) logf(format string, args ...any) {
-	if g.opts.Log != nil {
-		fmt.Fprintf(g.opts.Log, format, args...)
-	}
+	g.log.Info("gateway shut down",
+		"uptime_seconds", time.Since(g.started).Seconds())
 }
 
 // healthy snapshots the replicas currently marked up.

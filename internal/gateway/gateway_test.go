@@ -211,7 +211,7 @@ func TestGatewayFailover(t *testing.T) {
 			t.Fatalf("round %d: status %d, want 200 via failover: %s", i, w.Code, w.Body.Bytes())
 		}
 	}
-	if g.retries.Load() == 0 {
+	if g.retries.Value() == 0 {
 		t.Fatal("failover happened without incrementing the retry counter")
 	}
 	// A malformed body is the client's fault: the replica's 400 must come
@@ -471,7 +471,7 @@ func TestGatewayRejectsOversizeBody(t *testing.T) {
 	if w.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413: %s", w.Code, w.Body.Bytes())
 	}
-	if g.rejected.Load() != 1 {
-		t.Fatalf("gateway_rejected = %d, want 1", g.rejected.Load())
+	if g.rejected.Value() != 1 {
+		t.Fatalf("gateway_rejected = %d, want 1", g.rejected.Value())
 	}
 }

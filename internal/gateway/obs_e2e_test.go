@@ -1,0 +1,233 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"malevade/internal/obs"
+	"malevade/internal/server"
+)
+
+// syncBuffer is a goroutine-safe log sink: the daemon and gateway log
+// from request goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// requestIDsIn extracts the request_id field from every JSON access-log
+// line for the given path.
+func requestIDsIn(t *testing.T, logs, path string) []string {
+	t.Helper()
+	var ids []string
+	sc := bufio.NewScanner(strings.NewReader(logs))
+	for sc.Scan() {
+		var line struct {
+			Msg       string `json:"msg"`
+			Path      string `json:"path"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			continue
+		}
+		if line.Msg == "http request" && line.Path == path {
+			ids = append(ids, line.RequestID)
+		}
+	}
+	return ids
+}
+
+// TestRequestIDFollowsFleet pins the tracing contract end to end: one
+// scoring call entering the gateway carries a single request ID through
+// the gateway's access log, the replica daemon's access log, and the
+// response header the caller sees — the ID is minted once at the edge
+// and propagated verbatim by the relay and the SDK underneath it.
+func TestRequestIDFollowsFleet(t *testing.T) {
+	modelPath := saveTestNet(t, t.TempDir(), "m.gob", []int{3, 8, 2}, 7)
+
+	var replicaLogs, gatewayLogs syncBuffer
+	replicaLogger, err := obs.NewLogger(&replicaLogs, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatewayLogger, err := obs.NewLogger(&gatewayLogs, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replica := newReplica(t, server.Options{ModelPath: modelPath, Logger: replicaLogger})
+	g := newGateway(t, Options{
+		Replicas:  []string{replica.URL},
+		NewClient: fastClient,
+		Logger:    gatewayLogger,
+	})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, gts.URL+"/v1/score",
+		strings.NewReader(`{"rows":[[0.1,0.2,0.3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("score via gateway: status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get(obs.RequestIDHeader)
+	if !obs.ValidRequestID(id) {
+		t.Fatalf("gateway response ID %q is not valid", id)
+	}
+
+	gwIDs := requestIDsIn(t, gatewayLogs.String(), "/v1/score")
+	if len(gwIDs) != 1 || gwIDs[0] != id {
+		t.Fatalf("gateway access log IDs %v, want exactly [%s]\nlogs:\n%s",
+			gwIDs, id, gatewayLogs.String())
+	}
+	repIDs := requestIDsIn(t, replicaLogs.String(), "/v1/score")
+	if len(repIDs) != 1 || repIDs[0] != id {
+		t.Fatalf("replica access log IDs %v, want exactly [%s]\nlogs:\n%s",
+			repIDs, id, replicaLogs.String())
+	}
+
+	// A caller-supplied ID wins over minting at every tier.
+	req, err = http.NewRequest(http.MethodPost, gts.URL+"/v1/score",
+		strings.NewReader(`{"rows":[[0.1,0.2,0.3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "caller-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "caller-7" {
+		t.Fatalf("caller-supplied ID not propagated: got %q", got)
+	}
+	if ids := requestIDsIn(t, replicaLogs.String(), "/v1/score"); len(ids) != 2 || ids[1] != "caller-7" {
+		t.Fatalf("replica access log IDs %v, want caller-7 last", ids)
+	}
+}
+
+// TestGatewayMetrics scrapes the gateway's own GET /metrics after
+// proxied traffic and checks the fleet counters agree with /v1/stats'
+// gateway_* fields, the per-replica families carry the replica URL as a
+// label, and the exposition is lint-clean.
+func TestGatewayMetrics(t *testing.T) {
+	modelPath := saveTestNet(t, t.TempDir(), "m.gob", []int{3, 8, 2}, 7)
+	replica := newReplica(t, server.Options{ModelPath: modelPath})
+	g := newGateway(t, Options{Replicas: []string{replica.URL}, NewClient: fastClient})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(gts.URL+"/v1/score", "application/json",
+			strings.NewReader(`{"rows":[[0,0,0]]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(gts.URL + "/v1/metrics-nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var stats StatsResponse
+	resp, err = http.Get(gts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(gts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("GET /metrics Content-Type %q, want %q", got, obs.ContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	raw := buf.Bytes()
+	if problems := obs.Lint(raw); len(problems) != 0 {
+		t.Fatalf("gateway scrape lint: %v", problems)
+	}
+	samples, err := obs.ParseText(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	served := map[string]float64{}
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			byName[s.Name] = s.Value
+		}
+		if s.Name == "malevade_gateway_replica_served_total" {
+			served[s.Labels["replica"]] = s.Value
+		}
+	}
+	if got := int64(byName["malevade_gateway_requests_total"]); got != stats.GatewayRequests {
+		t.Errorf("gateway_requests: metrics %d, stats %d", got, stats.GatewayRequests)
+	}
+	if got := int64(byName["malevade_gateway_retries_total"]); got != stats.GatewayRetries {
+		t.Errorf("gateway_retries: metrics %d, stats %d", got, stats.GatewayRetries)
+	}
+	if byName["malevade_gateway_replicas"] != 1 || byName["malevade_gateway_replicas_up"] != 1 {
+		t.Errorf("fleet gauges: replicas %v up %v, want 1/1",
+			byName["malevade_gateway_replicas"], byName["malevade_gateway_replicas_up"])
+	}
+	if served[replica.URL] < 3 {
+		t.Errorf("replica_served_total{replica=%q} = %v, want >= 3",
+			replica.URL, served[replica.URL])
+	}
+	if byName["malevade_gateway_replica_transitions_total"] != 0 {
+		// Unlabeled lookup must miss — transitions are labeled — but the
+		// family should exist with the up flip from the first probe.
+		t.Errorf("unexpected unlabeled transitions sample")
+	}
+	var sawUpFlip bool
+	for _, s := range samples {
+		if s.Name == "malevade_gateway_replica_transitions_total" &&
+			s.Labels["state"] == "up" && s.Labels["replica"] == replica.URL && s.Value >= 1 {
+			sawUpFlip = true
+		}
+	}
+	if !sawUpFlip {
+		t.Errorf("no up transition recorded for %s:\n%s", replica.URL, raw)
+	}
+}

@@ -95,7 +95,9 @@ func (g *Gateway) reportSuccess(r *replica, h client.Health) {
 	}
 	r.mu.Unlock()
 	if transitioned {
-		g.logf("gateway: replica %s up (generation %d)\n", r.url, h.ModelVersion)
+		g.transitions.With(r.url, "up").Inc()
+		g.log.Info("replica up",
+			"replica", r.url, "generation", h.ModelVersion)
 	}
 }
 
@@ -124,6 +126,8 @@ func (g *Gateway) reportFailure(r *replica, err error) {
 	}
 	r.mu.Unlock()
 	if transitioned {
-		g.logf("gateway: replica %s down: %v\n", r.url, err)
+		g.transitions.With(r.url, "down").Inc()
+		g.log.Warn("replica down",
+			"replica", r.url, "error", err.Error())
 	}
 }

@@ -24,14 +24,14 @@ import (
 // one-generation-per-response guarantee carries through.
 func (g *Gateway) proxyScoring(w http.ResponseWriter, r *http.Request, path string) {
 	if r.Method != http.MethodPost {
-		g.rejected.Add(1)
+		g.rejected.Inc()
 		w.Header().Set("Allow", http.MethodPost)
 		wire.WriteError(w, http.StatusMethodNotAllowed, "%s requires POST", path)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.opts.MaxBodyBytes))
 	if err != nil {
-		g.rejected.Add(1)
+		g.rejected.Inc()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			wire.WriteError(w, http.StatusRequestEntityTooLarge,
@@ -46,7 +46,7 @@ func (g *Gateway) proxyScoring(w http.ResponseWriter, r *http.Request, path stri
 		// The transport would refuse to send this header; failing the
 		// request here keeps a hostile Content-Type from being charged
 		// to a replica as a transport failure.
-		g.rejected.Add(1)
+		g.rejected.Inc()
 		wire.WriteError(w, http.StatusBadRequest, "invalid Content-Type header value")
 		return
 	}
@@ -63,7 +63,7 @@ func (g *Gateway) proxyScoring(w http.ResponseWriter, r *http.Request, path stri
 		wire.WriteError(w, http.StatusInternalServerError, "%v", gwErr)
 		return
 	}
-	g.requests.Add(1)
+	g.requests.Inc()
 	if res.ContentType != "" {
 		w.Header().Set("Content-Type", res.ContentType)
 	}
@@ -94,7 +94,7 @@ func (g *Gateway) exchange(ctx context.Context, method, path, contentType string
 		}
 		tried[r] = true
 		if attempted > 0 {
-			g.retries.Add(1)
+			g.retries.Inc()
 		}
 		attempted++
 		res, err := r.c.Raw(ctx, method, path, contentType, body)

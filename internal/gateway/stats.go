@@ -141,9 +141,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds:    time.Since(g.started).Seconds(),
 		Replicas:         len(g.replicas),
-		GatewayRequests:  g.requests.Load(),
-		GatewayRejected:  g.rejected.Load(),
-		GatewayRetries:   g.retries.Load(),
+		GatewayRequests:  g.requests.Value(),
+		GatewayRejected:  g.rejected.Value(),
+		GatewayRetries:   g.retries.Value(),
 		GatewayCampaigns: g.campaigns.Submitted(),
 		Fleet:            make([]ReplicaStats, len(g.replicas)),
 	}

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -18,6 +18,7 @@ import (
 	"malevade/internal/experiments"
 	"malevade/internal/harden/spec"
 	"malevade/internal/nn"
+	"malevade/internal/obs"
 	"malevade/internal/registry"
 	"malevade/internal/tensor"
 )
@@ -78,8 +79,13 @@ type Options struct {
 	MaxHistory int
 	// PollInterval is the campaign polling cadence (default 15ms).
 	PollInterval time.Duration
-	// Log, when non-nil, receives one line per job transition.
-	Log io.Writer
+	// Logger, when non-nil, receives a structured event per job
+	// transition and per completed round.
+	Logger *slog.Logger
+	// Obs, when set, receives engine metrics: terminal jobs by status
+	// (malevade_harden_jobs_total) and a per-round duration histogram
+	// (malevade_harden_round_seconds).
+	Obs *obs.Registry
 
 	// roundHook, when non-nil, runs after each round is recorded and
 	// persisted — a test seam for restart-mid-job coverage.
@@ -151,6 +157,10 @@ type Engine struct {
 	seq    int64
 
 	submitted atomic.Int64
+
+	log      *slog.Logger
+	jobsDone *obs.CounterVec // nil without Options.Obs
+	rounds   *obs.Histogram  // nil without Options.Obs
 }
 
 // NewEngine opens (or creates) the state directory, reloads every recorded
@@ -167,10 +177,18 @@ func NewEngine(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("harden: create state dir: %w", err)
 	}
 	e := &Engine{opts: opts.withDefaults(), jobs: make(map[string]*job)}
+	e.log = obs.Or(e.opts.Logger)
+	if e.opts.Obs != nil {
+		e.jobsDone = e.opts.Obs.CounterVec("malevade_harden_jobs_total",
+			"Hardening jobs reaching a terminal status.", "status")
+		e.rounds = e.opts.Obs.Histogram("malevade_harden_round_seconds",
+			"Duration of each completed hardening round (campaign, harvest, retrain, promote), in seconds.",
+			campaign.JobSecondsBuckets)
+	}
 
 	states, skipped := loadStates(e.opts.Dir)
 	for _, name := range skipped {
-		e.logf("harden: skipping unreadable state file %s\n", name)
+		e.log.Warn("skipping unreadable harden state file", slog.String("file", name))
 	}
 	var resumed []*job
 	for _, st := range states {
@@ -198,7 +216,9 @@ func NewEngine(opts Options) (*Engine, error) {
 	e.queue = make(chan *job, e.opts.QueueDepth+len(resumed))
 	for _, j := range resumed {
 		e.queue <- j
-		e.logf("harden %s resumed at round %d\n", j.id, len(j.snap.Rounds))
+		e.log.Info("harden job resumed",
+			slog.String("job", j.id),
+			slog.Int("rounds", len(j.snap.Rounds)))
 	}
 	e.wg.Add(e.opts.Workers)
 	for i := 0; i < e.opts.Workers; i++ {
@@ -210,12 +230,6 @@ func NewEngine(opts Options) (*Engine, error) {
 		}()
 	}
 	return e, nil
-}
-
-func (e *Engine) logf(format string, args ...any) {
-	if e.opts.Log != nil {
-		fmt.Fprintf(e.opts.Log, format, args...)
-	}
 }
 
 // Submit validates a spec, resolves its profile and target model
@@ -264,7 +278,10 @@ func (e *Engine) Submit(sp spec.Spec) (spec.Snapshot, error) {
 	e.mu.Unlock()
 	e.submitted.Add(1)
 	e.persist(j)
-	e.logf("harden %s queued: model %s, budget %d rounds\n", j.id, sp.Model, sp.RoundBudget())
+	e.log.Info("harden job queued",
+		slog.String("job", j.id),
+		slog.String("model", sp.Model),
+		slog.Int("round_budget", sp.RoundBudget()))
 	return j.snapshot(), nil
 }
 
@@ -318,7 +335,7 @@ func (e *Engine) Cancel(id string) (spec.Snapshot, bool) {
 	if wasQueued {
 		e.persist(j)
 	}
-	e.logf("harden %s cancel requested\n", id)
+	e.log.Info("harden cancel requested", slog.String("job", id))
 	return j.snapshot(), true
 }
 
@@ -390,7 +407,8 @@ func (e *Engine) persist(j *job) {
 	// the interrupted round from scratch.
 	st.Snapshot.CurrentCampaign = ""
 	if err := writeState(e.opts.Dir, st); err != nil {
-		e.logf("%v\n", err)
+		e.log.Error("harden state persist failed",
+			slog.String("job", j.id), slog.String("error", err.Error()))
 	}
 }
 
@@ -414,7 +432,7 @@ func (e *Engine) run(j *job) {
 	}
 	j.mu.Unlock()
 	e.persist(j)
-	e.logf("harden %s running\n", j.id)
+	e.log.Info("harden job running", slog.String("job", j.id))
 
 	err := e.execute(j)
 
@@ -442,7 +460,8 @@ func (e *Engine) run(j *job) {
 		j.snap.CurrentCampaign = ""
 		rounds := len(j.snap.Rounds)
 		j.mu.Unlock()
-		e.logf("harden %s interrupted after %d rounds (resumable)\n", j.id, rounds)
+		e.log.Warn("harden job interrupted (resumable)",
+			slog.String("job", j.id), slog.Int("rounds", rounds))
 		return
 	}
 
@@ -469,7 +488,14 @@ func (e *Engine) run(j *job) {
 	rounds := len(j.snap.Rounds)
 	j.mu.Unlock()
 	e.persist(j)
-	e.logf("harden %s %s (%d rounds, stop=%s)\n", j.id, status, rounds, reason)
+	if e.jobsDone != nil {
+		e.jobsDone.With(string(status)).Inc()
+	}
+	e.log.Info("harden job finished",
+		slog.String("job", j.id),
+		slog.String("status", string(status)),
+		slog.Int("rounds", rounds),
+		slog.String("stop", reason))
 }
 
 // execute runs the hardening loop. Panics from the attack or training
@@ -520,7 +546,10 @@ func (e *Engine) execute(j *job) (err error) {
 		j.snap.EvasionRate = rate
 		j.mu.Unlock()
 		e.persist(j)
-		e.logf("harden %s campaign %s: evasion rate %.4f\n", j.id, camp.ID, rate)
+		e.log.Info("harden campaign judged",
+			slog.String("job", j.id),
+			slog.String("campaign", camp.ID),
+			slog.Float64("evasion_rate", rate))
 
 		if done >= sp.RoundBudget() {
 			e.stop(j, spec.StopRoundBudget)
@@ -578,8 +607,15 @@ func (e *Engine) execute(j *job) (err error) {
 		j.snap.Versions = append(j.snap.Versions, info.Live)
 		j.mu.Unlock()
 		e.persist(j)
-		e.logf("harden %s round %d: %d rows harvested, promoted v%d (gen %d)\n",
-			j.id, round, rec.RowsHarvested, rec.Version, rec.Generation)
+		if e.rounds != nil {
+			e.rounds.Observe(rec.FinishedAt.Sub(rec.StartedAt).Seconds())
+		}
+		e.log.Info("harden round complete",
+			slog.String("job", j.id),
+			slog.Int("round", round),
+			slog.Int("rows_harvested", rec.RowsHarvested),
+			slog.Int("version", rec.Version),
+			slog.Int64("generation", rec.Generation))
 		if e.opts.roundHook != nil {
 			e.opts.roundHook(j.id, round)
 		}

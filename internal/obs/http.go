@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader carries the per-request correlation ID. The edge tier
+// (gateway, or the daemon when hit directly) generates one if the caller
+// did not send a valid ID; every inner hop propagates it verbatim, so one
+// ID follows a request across the fleet and appears in every tier's
+// access log and in the response.
+const RequestIDHeader = "X-Malevade-Request-Id"
+
+type requestIDKey struct{}
+
+// WithRequestID stores a request ID in the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID stored in the context, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+var requestIDFallback atomic.Int64
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand does not fail on supported platforms; keep IDs
+		// unique within the process anyway.
+		return "proc-" + strconv.FormatInt(requestIDFallback.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a caller-supplied ID is acceptable for
+// verbatim propagation: 1–64 characters from [0-9A-Za-z._-]. Anything
+// else is replaced at the edge (it would need escaping in logs and
+// headers, and unbounded IDs are a log-stuffing vector).
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EndpointLabel normalizes a URL path to a bounded-cardinality endpoint
+// label for metrics: fixed routes map to themselves, parameterized routes
+// collapse the variable segment, and anything unknown becomes "other" so
+// a path-scanning client cannot mint unbounded label values.
+func EndpointLabel(path string) string {
+	switch path {
+	case "/v1/score", "/v1/label", "/v1/reload", "/v1/stats",
+		"/healthz", "/metrics", "/v1/campaigns", "/v1/harden",
+		"/v1/mine", "/v1/models", "/v1/results", "/v1/results/traffic":
+		return path
+	}
+	seg, rest := splitSeg(path)
+	switch seg {
+	case "v1":
+	default:
+		return "other"
+	}
+	seg, rest = splitSeg(rest)
+	switch seg {
+	case "campaigns", "harden", "mine":
+		if _, rest = splitSeg(rest); rest == "" {
+			return "/v1/" + seg + "/{id}"
+		}
+	case "models":
+		if _, rest = splitSeg(rest); rest == "" {
+			return "/v1/models/{name}"
+		}
+	case "results":
+		if _, rest = splitSeg(rest); rest == "" {
+			return "/v1/results/{id}"
+		}
+		if seg2, rest2 := splitSeg(rest); seg2 == "replay" && rest2 == "" {
+			return "/v1/results/{id}/replay"
+		}
+	}
+	return "other"
+}
+
+// splitSeg splits "/a/b/c" into ("a", "/b/c").
+func splitSeg(path string) (seg, rest string) {
+	if len(path) == 0 || path[0] != '/' {
+		return "", ""
+	}
+	path = path[1:]
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i], path[i:]
+		}
+	}
+	return path, ""
+}
+
+// HTTP is the shared server/gateway middleware: per-endpoint request
+// counts by status class, in-flight gauges, latency histograms, request-ID
+// assignment/propagation, and structured access logs.
+type HTTP struct {
+	log      *slog.Logger
+	endpoint func(*http.Request) string
+	requests *CounterVec
+	inflight *GaugeVec
+	latency  *HistogramVec
+}
+
+// NewHTTP builds the middleware against a registry. endpoint maps a
+// request to its metrics label; nil means EndpointLabel on the URL path.
+// A nil logger discards access logs.
+func NewHTTP(reg *Registry, log *slog.Logger, endpoint func(*http.Request) string) *HTTP {
+	if endpoint == nil {
+		endpoint = func(r *http.Request) string { return EndpointLabel(r.URL.Path) }
+	}
+	if log == nil {
+		log = Discard()
+	}
+	return &HTTP{
+		log:      log,
+		endpoint: endpoint,
+		requests: reg.CounterVec("malevade_http_requests_total",
+			"HTTP requests served, by endpoint and status class.", "endpoint", "code"),
+		inflight: reg.GaugeVec("malevade_http_in_flight_requests",
+			"HTTP requests currently being served, by endpoint.", "endpoint"),
+		latency: reg.HistogramVec("malevade_http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.", DefLatencyBuckets, "endpoint"),
+	}
+}
+
+// Wrap instruments a handler. The request ID is resolved (propagated if
+// valid, minted otherwise) before the handler runs, set on the response
+// header immediately, and stored in the request context for inner layers
+// (internal/client forwards it on outbound hops).
+func (h *HTTP) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := h.endpoint(r)
+		id := r.Header.Get(RequestIDHeader)
+		if !ValidRequestID(id) {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+		g := h.inflight.With(ep)
+		g.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		g.Add(-1)
+		status := sw.Status()
+		h.requests.With(ep, statusClass(status)).Inc()
+		h.latency.With(ep).Observe(elapsed.Seconds())
+		level := slog.LevelInfo
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			level = slog.LevelDebug // scrape traffic; visible at -log-level debug
+		}
+		h.log.LogAttrs(r.Context(), level, "http request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", ep),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// statusClass buckets a status code into "2xx".."5xx" (bounded label
+// cardinality; exact codes live in the access log).
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// statusWriter records the status code and body bytes written.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+// Status returns the status code sent, defaulting to 200 when the handler
+// never called WriteHeader.
+func (w *statusWriter) Status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkMiddlewarePerRequest measures the absolute per-request cost
+// of the HTTP middleware — request-ID resolution, the three metric
+// families, the status recorder — over a no-op handler. BENCH_obs.json
+// divides this by the binary fast path's per-frame time to bound the
+// middleware's relative overhead, because on shared CI hardware the
+// end-to-end instrumented/uninstrumented pair is noisier than the
+// quantity being measured.
+func BenchmarkMiddlewarePerRequest(b *testing.B) {
+	reg := NewRegistry()
+	h := NewHTTP(reg, nil, nil).Wrap(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+		}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/score", nil)
+	req.Header.Set(RequestIDHeader, "bench-1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEndpointLabel(t *testing.T) {
+	cases := map[string]string{
+		"/v1/score":                "/v1/score",
+		"/v1/stats":                "/v1/stats",
+		"/metrics":                 "/metrics",
+		"/healthz":                 "/healthz",
+		"/v1/campaigns":            "/v1/campaigns",
+		"/v1/campaigns/abc123":     "/v1/campaigns/{id}",
+		"/v1/harden/xyz":           "/v1/harden/{id}",
+		"/v1/mine/7":               "/v1/mine/{id}",
+		"/v1/models/spam":          "/v1/models/{name}",
+		"/v1/results":              "/v1/results",
+		"/v1/results/traffic":      "/v1/results/traffic",
+		"/v1/results/abc":          "/v1/results/{id}",
+		"/v1/results/abc/replay":   "/v1/results/{id}/replay",
+		"/v1/results/abc/nope":     "other",
+		"/v1/campaigns/a/b":        "other",
+		"/etc/passwd":              "other",
+		"/v2/score":                "other",
+		"":                         "other",
+		"/v1/models/spam/versions": "other",
+	}
+	for in, want := range cases {
+		if got := EndpointLabel(in); got != want {
+			t.Errorf("EndpointLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	ok := []string{"a", "abc-DEF_1.2", strings.Repeat("x", 64)}
+	bad := []string{"", strings.Repeat("x", 65), "has space", "nl\n", `q"uote`, "ünïcode"}
+	for _, id := range ok {
+		if !ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range bad {
+		if ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !ValidRequestID(id) {
+			t.Fatalf("generated invalid id %q", id)
+		}
+		if len(id) != 16 {
+			t.Fatalf("id %q length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMiddlewareMetricsAndRequestID(t *testing.T) {
+	reg := NewRegistry()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	var seenCtxID string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenCtxID = RequestID(r.Context())
+		if r.URL.Path == "/v1/score" {
+			w.Write([]byte("ok"))
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	})
+	h := NewHTTP(reg, logger, nil).Wrap(inner)
+
+	// No inbound ID: one is minted, set on the response, stored in ctx.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/score", nil))
+	minted := rec.Header().Get(RequestIDHeader)
+	if !ValidRequestID(minted) {
+		t.Fatalf("minted id %q invalid", minted)
+	}
+	if seenCtxID != minted {
+		t.Fatalf("ctx id %q != header id %q", seenCtxID, minted)
+	}
+
+	// Valid inbound ID: propagated verbatim.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/score", nil)
+	req.Header.Set(RequestIDHeader, "upstream-id-1")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "upstream-id-1" {
+		t.Fatalf("inbound id not propagated, got %q", got)
+	}
+
+	// Invalid inbound ID: replaced.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/v1/score", nil)
+	req.Header.Set(RequestIDHeader, "bad id with spaces")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); !ValidRequestID(got) || got == "bad id with spaces" {
+		t.Fatalf("invalid inbound id not replaced, got %q", got)
+	}
+
+	// 404 path counts under 4xx and endpoint "other".
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`malevade_http_requests_total{endpoint="/v1/score",code="2xx"} 3`,
+		`malevade_http_requests_total{endpoint="other",code="4xx"} 1`,
+		`malevade_http_in_flight_requests{endpoint="/v1/score"} 0`,
+		`malevade_http_request_seconds_count{endpoint="/v1/score"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if problems := Lint([]byte(out)); len(problems) != 0 {
+		t.Errorf("self-lint: %v", problems)
+	}
+
+	// Access log lines are JSON with request_id/status/endpoint fields.
+	dec := json.NewDecoder(&logBuf)
+	var sawScore bool
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("access log not JSON: %v", err)
+		}
+		if rec["msg"] != "http request" {
+			continue
+		}
+		if rec["endpoint"] == "/v1/score" {
+			sawScore = true
+			if rec["request_id"] == "" || rec["status"] != float64(200) {
+				t.Errorf("bad access log record: %v", rec)
+			}
+		}
+	}
+	if !sawScore {
+		t.Error("no access log line for /v1/score")
+	}
+}
+
+func TestMiddlewareInFlightGauge(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	})
+	h := NewHTTP(reg, nil, nil).Wrap(inner)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/score", nil))
+	}()
+	<-entered
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	if !strings.Contains(b.String(), `malevade_http_in_flight_requests{endpoint="/v1/score"} 1`) {
+		t.Errorf("in-flight gauge not 1 during request:\n%s", b.String())
+	}
+	close(release)
+	<-done
+	b.Reset()
+	_ = reg.WriteText(&b)
+	if !strings.Contains(b.String(), `malevade_http_in_flight_requests{endpoint="/v1/score"} 0`) {
+		t.Errorf("in-flight gauge not back to 0:\n%s", b.String())
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("bad record: %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("level filter broken: %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("want error for bad level")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("want error for bad format")
+	}
+}
+
+func TestDebugHandlerServesPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", res.StatusCode)
+	}
+}

@@ -1,0 +1,382 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses a Prometheus text-format (0.0.4) payload into samples,
+// ignoring comment lines. It is strict about line shape: a malformed line
+// is an error, not a skip — the linter and the stats CLI both want to
+// know when the scrape is broken.
+func ParseText(raw []byte) ([]Sample, error) {
+	var samples []Sample
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	// Metric name runs to '{' or whitespace.
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if s.Name == "" {
+		return s, fmt.Errorf("missing metric name")
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// Value is the first field; an optional timestamp may follow.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block and returns the
+// remainder of the line.
+func parseLabels(in string, out map[string]string) (string, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ' ' || in[i] == ',') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return in[i+1:], nil
+		}
+		start := i
+		for i < len(in) && in[i] != '=' {
+			i++
+		}
+		if i == len(in) {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		name := strings.TrimSpace(in[start:i])
+		if !labelNameRe.MatchString(name) && name != "le" {
+			return "", fmt.Errorf("bad label name %q", name)
+		}
+		i++ // '='
+		if i >= len(in) || in[i] != '"' {
+			return "", fmt.Errorf("label %s: value must be quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %s: bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return "", fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// Lint checks a text-format scrape for exposition and naming problems and
+// returns one message per finding (empty means clean). Checks: every
+// sample family has HELP and TYPE declared before its first sample; names
+// and labels match the Prometheus charsets; counters end in _total and
+// nothing else does; histograms expose consistent _bucket/_sum/_count
+// triplets with ascending cumulative buckets ending at le="+Inf" equal to
+// _count; no duplicate series; no NaN samples.
+func Lint(raw []byte) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	helpOf := map[string]string{}
+	typeOf := map[string]string{}
+	sawSample := map[string]bool{}
+	seen := map[string]bool{} // duplicate series detection
+
+	// histogram reassembly: family -> series key (non-le labels) -> parts
+	type histSeries struct {
+		buckets map[float64]float64 // le -> cumulative count
+		sum     *float64
+		count   *float64
+	}
+	hists := map[string]map[string]*histSeries{}
+	histAt := func(fam, key string) *histSeries {
+		m := hists[fam]
+		if m == nil {
+			m = map[string]*histSeries{}
+			hists[fam] = m
+		}
+		h := m[key]
+		if h == nil {
+			h = &histSeries{buckets: map[float64]float64{}}
+			m[key] = h
+		}
+		return h
+	}
+
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimRight(line, "\r")
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 4 || fields[3] == "" {
+					addf("line %d: HELP without text", lineNo)
+					continue
+				}
+				name := fields[2]
+				if _, dup := helpOf[name]; dup {
+					addf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				helpOf[name] = fields[3]
+			case "TYPE":
+				if len(fields) < 4 {
+					addf("line %d: malformed TYPE line", lineNo)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if _, dup := typeOf[name]; dup {
+					addf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sawSample[name] {
+					addf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				switch typ {
+				case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+				default:
+					addf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+				}
+				typeOf[name] = typ
+			}
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		if !metricNameRe.MatchString(s.Name) {
+			addf("line %d: invalid metric name %q", lineNo, s.Name)
+			continue
+		}
+		// Resolve the family: histogram components report under base name.
+		fam, part := s.Name, ""
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suffix)
+			if base != s.Name && typeOf[base] == typeHistogram {
+				fam, part = base, suffix
+				break
+			}
+		}
+		sawSample[fam] = true
+		typ, ok := typeOf[fam]
+		if !ok {
+			addf("line %d: sample %s has no TYPE declaration", lineNo, s.Name)
+		}
+		if _, ok := helpOf[fam]; !ok {
+			addf("line %d: sample %s has no HELP declaration", lineNo, s.Name)
+		}
+		switch typ {
+		case typeCounter:
+			if !strings.HasSuffix(fam, "_total") {
+				addf("counter %s should end in _total", fam)
+			}
+			if s.Value < 0 {
+				addf("line %d: counter %s is negative", lineNo, s.Name)
+			}
+		case typeGauge:
+			if strings.HasSuffix(fam, "_total") {
+				addf("gauge %s should not end in _total", fam)
+			}
+		}
+		if math.IsNaN(s.Value) {
+			addf("line %d: sample %s is NaN", lineNo, s.Name)
+		}
+		key := seriesKey(s.Name, s.Labels)
+		if seen[key] {
+			addf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+
+		if typ == typeHistogram {
+			nonLE := map[string]string{}
+			var le string
+			for k, v := range s.Labels {
+				if k == "le" {
+					le = v
+				} else {
+					nonLE[k] = v
+				}
+			}
+			h := histAt(fam, seriesKey("", nonLE))
+			switch part {
+			case "_bucket":
+				if le == "" {
+					addf("line %d: %s_bucket without le label", lineNo, fam)
+					continue
+				}
+				bound, err := parseValue(le)
+				if err != nil {
+					addf("line %d: %s_bucket bad le %q", lineNo, fam, le)
+					continue
+				}
+				h.buckets[bound] = s.Value
+			case "_sum":
+				v := s.Value
+				h.sum = &v
+			case "_count":
+				v := s.Value
+				h.count = &v
+			default:
+				addf("line %d: histogram %s has bare sample %s", lineNo, fam, s.Name)
+			}
+		}
+	}
+
+	// Histogram structural checks.
+	famNames := make([]string, 0, len(hists))
+	for fam := range hists {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		keys := make([]string, 0, len(hists[fam]))
+		for k := range hists[fam] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			h := hists[fam][key]
+			where := fam + key
+			if h.sum == nil {
+				addf("histogram %s missing _sum", where)
+			}
+			if h.count == nil {
+				addf("histogram %s missing _count", where)
+			}
+			bounds := make([]float64, 0, len(h.buckets))
+			for b := range h.buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			if len(bounds) == 0 || !math.IsInf(bounds[len(bounds)-1], 1) {
+				addf("histogram %s missing le=\"+Inf\" bucket", where)
+				continue
+			}
+			prev := -1.0
+			for _, b := range bounds {
+				if h.buckets[b] < prev {
+					addf("histogram %s buckets not cumulative at le=%s", where, formatValue(b))
+				}
+				prev = h.buckets[b]
+			}
+			if h.count != nil && h.buckets[math.Inf(1)] != *h.count {
+				addf("histogram %s le=\"+Inf\" (%s) != _count (%s)", where,
+					formatValue(h.buckets[math.Inf(1)]), formatValue(*h.count))
+			}
+		}
+	}
+	return problems
+}
+
+// seriesKey builds a stable identity for duplicate detection: name plus
+// sorted labels.
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

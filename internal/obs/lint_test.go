@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const cleanScrape = `# HELP app_requests_total Requests.
+# TYPE app_requests_total counter
+app_requests_total{endpoint="/v1/score",code="2xx"} 10
+app_requests_total{endpoint="/v1/score",code="5xx"} 1
+# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth 3
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 4
+app_latency_seconds_bucket{le="1"} 9
+app_latency_seconds_bucket{le="+Inf"} 11
+app_latency_seconds_sum 12.5
+app_latency_seconds_count 11
+`
+
+func TestLintClean(t *testing.T) {
+	if problems := Lint([]byte(cleanScrape)); len(problems) != 0 {
+		t.Fatalf("clean scrape flagged: %v", problems)
+	}
+}
+
+func TestParseText(t *testing.T) {
+	samples, err := ParseText([]byte(cleanScrape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("got %d samples, want 8", len(samples))
+	}
+	if samples[0].Name != "app_requests_total" ||
+		samples[0].Labels["endpoint"] != "/v1/score" ||
+		samples[0].Value != 10 {
+		t.Fatalf("bad first sample: %+v", samples[0])
+	}
+}
+
+func TestParseTextEscapes(t *testing.T) {
+	samples, err := ParseText([]byte(`m_total{k="a\"b\\c\nd"} 1` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples[0].Labels["k"]; got != "a\"b\\c\nd" {
+		t.Fatalf("unescape wrong: %q", got)
+	}
+}
+
+func TestLintFindsProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of at least one problem
+	}{
+		{"no type", "app_x_total 1\n", "no TYPE"},
+		{"no help", "# TYPE app_x_total counter\napp_x_total 1\n", "no HELP"},
+		{"counter without _total",
+			"# HELP app_x X.\n# TYPE app_x counter\napp_x 1\n",
+			"should end in _total"},
+		{"gauge with _total",
+			"# HELP app_x_total X.\n# TYPE app_x_total gauge\napp_x_total 1\n",
+			"should not end in _total"},
+		{"negative counter",
+			"# HELP app_x_total X.\n# TYPE app_x_total counter\napp_x_total -1\n",
+			"negative"},
+		{"duplicate series",
+			"# HELP app_x_total X.\n# TYPE app_x_total counter\napp_x_total 1\napp_x_total 2\n",
+			"duplicate series"},
+		{"nan sample",
+			"# HELP app_x X.\n# TYPE app_x gauge\napp_x NaN\n",
+			"NaN"},
+		{"type after sample",
+			"# HELP app_x X.\napp_x 1\n# TYPE app_x gauge\n",
+			"after its samples"},
+		{"malformed line",
+			"# HELP app_x X.\n# TYPE app_x gauge\napp_x one\n",
+			"bad value"},
+		{"hist missing inf", `# HELP h_s H.
+# TYPE h_s histogram
+h_s_bucket{le="1"} 1
+h_s_sum 1
+h_s_count 1
+`, "+Inf"},
+		{"hist non-cumulative", `# HELP h_s H.
+# TYPE h_s histogram
+h_s_bucket{le="1"} 5
+h_s_bucket{le="2"} 3
+h_s_bucket{le="+Inf"} 5
+h_s_sum 1
+h_s_count 5
+`, "not cumulative"},
+		{"hist count mismatch", `# HELP h_s H.
+# TYPE h_s histogram
+h_s_bucket{le="+Inf"} 5
+h_s_sum 1
+h_s_count 4
+`, "_count"},
+		{"hist missing sum", `# HELP h_s H.
+# TYPE h_s histogram
+h_s_bucket{le="+Inf"} 1
+h_s_count 1
+`, "missing _sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := Lint([]byte(tc.in))
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("no problem containing %q, got %v", tc.want, problems)
+		})
+	}
+}
+
+func TestLintHistogramPerSeries(t *testing.T) {
+	// Two labeled series of one histogram family are checked independently.
+	in := `# HELP h_s H.
+# TYPE h_s histogram
+h_s_bucket{ep="a",le="1"} 1
+h_s_bucket{ep="a",le="+Inf"} 2
+h_s_sum{ep="a"} 1.5
+h_s_count{ep="a"} 2
+h_s_bucket{ep="b",le="1"} 1
+h_s_bucket{ep="b",le="+Inf"} 1
+h_s_sum{ep="b"} 0.5
+h_s_count{ep="b"} 1
+`
+	if problems := Lint([]byte(in)); len(problems) != 0 {
+		t.Fatalf("per-series histograms flagged: %v", problems)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests.")
+	c.Add(3)
+	g := reg.Gauge("test_depth", "Depth.")
+	g.Set(2.5)
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests.\n# TYPE test_requests_total counter\ntest_requests_total 3\n",
+		"# TYPE test_depth gauge\ntest_depth 2.5\n",
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 5.55",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if problems := Lint([]byte(out)); len(problems) != 0 {
+		t.Errorf("self-lint: %v", problems)
+	}
+}
+
+func TestHistogramBucketBoundaryIsInclusive(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_hist_seconds", "H.", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	if !strings.Contains(b.String(), `test_hist_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("v==bound must land in that bucket:\n%s", b.String())
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("test_by_model_total", "By model.", "model")
+	v.With(`we"ird\name` + "\n").Inc()
+	v.With("plain").Add(2)
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_by_model_total{model="we\"ird\\name\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `test_by_model_total{model="plain"} 2`) {
+		t.Errorf("plain series missing:\n%s", out)
+	}
+	if v.With("plain") != v.With("plain") {
+		t.Error("With must return the same series")
+	}
+	if problems := Lint([]byte(out)); len(problems) != 0 {
+		t.Errorf("self-lint: %v", problems)
+	}
+}
+
+func TestGetOrCreateSharesState(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_shared_total", "S.").Inc()
+	reg.Counter("test_shared_total", "S.").Inc()
+	if got := reg.Counter("test_shared_total", "S.").Value(); got != 2 {
+		t.Fatalf("shared counter = %d, want 2", got)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Registry)
+	}{
+		{"counter without _total", func(r *Registry) { r.Counter("test_bad", "x") }},
+		{"gauge ending _total", func(r *Registry) { r.Gauge("test_bad_total", "x") }},
+		{"histogram ending _count", func(r *Registry) { r.Histogram("test_bad_count", "x", []float64{1}) }},
+		{"empty buckets", func(r *Registry) { r.Histogram("test_h", "x", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("test_h", "x", []float64{2, 1}) }},
+		{"bad name", func(r *Registry) { r.Gauge("test-bad", "x") }},
+		{"le label", func(r *Registry) { r.CounterVec("test_x_total", "x", "le") }},
+		{"shape change", func(r *Registry) {
+			r.Counter("test_x_total", "x")
+			r.Gauge("test_x_total", "x")
+		}},
+		{"wrong label count", func(r *Registry) {
+			r.CounterVec("test_x_total", "x", "a").With("1", "2")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	reg := NewRegistry()
+	n := 7.0
+	reg.CounterFunc("test_cb_total", "CB.", func() float64 { return n })
+	reg.GaugeFunc("test_cb_depth", "CB.", func() float64 { return 1.5 })
+	reg.CounterVecFunc("test_cb_by_model_total", "CB.", "model",
+		func() map[string]float64 { return map[string]float64{"b": 2, "a": 1} })
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"test_cb_total 7\n",
+		"test_cb_depth 1.5\n",
+		"test_cb_by_model_total{model=\"a\"} 1\ntest_cb_by_model_total{model=\"b\"} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Re-registration replaces the callback.
+	reg.CounterFunc("test_cb_total", "CB.", func() float64 { return 9 })
+	b.Reset()
+	_ = reg.WriteText(&b)
+	if !strings.Contains(b.String(), "test_cb_total 9\n") {
+		t.Errorf("callback not replaced:\n%s", b.String())
+	}
+	if problems := Lint([]byte(b.String())); len(problems) != 0 {
+		t.Errorf("self-lint: %v", problems)
+	}
+}
+
+func TestConcurrentUseAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_conc_total", "C.")
+	h := reg.Histogram("test_conc_seconds", "H.", []float64{0.001, 0.1, 1})
+	v := reg.GaugeVec("test_conc_gauge", "G.", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				v.With("a").Add(1)
+				v.With("b").Add(-1)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if problems := Lint([]byte(b.String())); len(problems) != 0 {
+				t.Errorf("lint under churn: %v", problems)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8*500 {
+		t.Fatalf("counter = %d, want %d", c.Value(), 8*500)
+	}
+	if h.Count() != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), 8*500)
+	}
+}
+
+func TestGaugeAddAndNegatives(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_neg", "G.")
+	g.Add(2)
+	g.Add(-5)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %v, want -3", got)
+	}
+	var b strings.Builder
+	_ = reg.WriteText(&b)
+	if !strings.Contains(b.String(), "test_neg -3\n") {
+		t.Fatalf("negative gauge render:\n%s", b.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		3:           "3",
+		2.5:         "2.5",
+		math.Inf(1): "+Inf",
+		1e15:        "1e+15",
+		0.0001:      "0.0001",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_h_total", "H.").Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	post, err := srv.Client().Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status %d, want 405", post.StatusCode)
+	}
+}

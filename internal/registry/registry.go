@@ -28,6 +28,7 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +38,7 @@ import (
 
 	"malevade/internal/defense"
 	"malevade/internal/nn"
+	"malevade/internal/obs"
 	"malevade/internal/serve"
 )
 
@@ -75,6 +77,10 @@ type Options struct {
 	// from one monotonic sequence). Open raises it to at least the largest
 	// generation persisted in the manifests.
 	Gen *atomic.Int64
+	// Logger, when set, receives lifecycle events — models recovered on
+	// Open, registrations, promotions, deletions, GC — with structured
+	// fields. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +110,9 @@ type model struct {
 type Registry struct {
 	opts Options
 	gen  *atomic.Int64
+	log  *slog.Logger
+
+	promotions atomic.Int64 // live-version swaps (Promote + promoting Registers)
 
 	// opMu serializes mutations, including their file copies, hashing and
 	// model loads. Lock order: opMu before mu, never the reverse.
@@ -127,7 +136,7 @@ func Open(opts Options) (*Registry, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("registry: create %s: %w", opts.Dir, err)
 	}
-	r := &Registry{opts: opts, gen: opts.Gen, models: make(map[string]*model)}
+	r := &Registry{opts: opts, gen: opts.Gen, log: obs.Or(opts.Logger), models: make(map[string]*model)}
 	if r.gen == nil {
 		r.gen = new(atomic.Int64)
 	}
@@ -171,7 +180,15 @@ func Open(opts Options) (*Registry, error) {
 			raiseAtLeast(r.gen, g)
 		}
 		r.models[name] = m
+		r.log.Info("registry model recovered",
+			slog.String("model", name),
+			slog.Int("live_version", man.Live),
+			slog.Int("versions", len(man.Versions)))
 	}
+	r.log.Info("registry opened",
+		slog.String("dir", opts.Dir),
+		slog.Int("models", len(r.models)),
+		slog.Int64("generation", r.gen.Load()))
 	return r, nil
 }
 
@@ -345,6 +362,15 @@ func (r *Registry) Register(req RegisterRequest) (Info, error) {
 	if old != nil {
 		old.Retire()
 	}
+	if promote {
+		r.promotions.Add(1)
+	}
+	r.log.Info("model registered",
+		slog.String("model", req.Name),
+		slog.Int("version", next),
+		slog.Bool("promoted", promote),
+		slog.Int64("generation", vi.Generation),
+		slog.String("sha256", sum))
 	return info, nil
 }
 
@@ -390,6 +416,11 @@ func (r *Registry) Promote(name string, version int) (Info, error) {
 	if old != nil {
 		old.Retire()
 	}
+	r.promotions.Add(1)
+	r.log.Info("model promoted",
+		slog.String("model", name),
+		slog.Int("version", version),
+		slog.Int64("generation", gen))
 	return info, nil
 }
 
@@ -437,6 +468,7 @@ func (r *Registry) Delete(name string) error {
 	if err != nil {
 		return fmt.Errorf("registry: delete %s: %w", name, err)
 	}
+	r.log.Info("model deleted", slog.String("model", name))
 	return nil
 }
 
@@ -644,6 +676,26 @@ func (r *Registry) RequestCounts() map[string]int64 {
 		out[name] = m.requests.Load()
 	}
 	return out
+}
+
+// Promotions counts live-version swaps over the registry's lifetime —
+// explicit Promote calls plus Registers that promoted. Feeds the
+// malevade_registry_promotions_total metric.
+func (r *Registry) Promotions() int64 { return r.promotions.Load() }
+
+// EngineLoad sums queue depth and in-flight requests across every live
+// model instance's scoring engine — the registry side of the daemon's
+// saturation gauges (the default slot's engine is added by the server).
+func (r *Registry) EngineLoad() (queue, inflight int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.models {
+		if inst := m.slot.Load(); inst != nil {
+			queue += int64(inst.Scorer.QueueDepth())
+			inflight += inst.Scorer.InFlight()
+		}
+	}
+	return queue, inflight
 }
 
 // Len reports how many models the registry holds.

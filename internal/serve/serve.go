@@ -27,8 +27,13 @@ import (
 	"malevade/internal/dataset"
 	"malevade/internal/detector"
 	"malevade/internal/nn"
+	"malevade/internal/obs"
 	"malevade/internal/tensor"
 )
+
+// BatchRowsBuckets are the coalesced-batch-size histogram bounds: powers
+// of two up to the default MaxBatch and one bucket past it.
+var BatchRowsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 // Options tunes a Scorer. The zero value picks sensible defaults.
 type Options struct {
@@ -42,6 +47,12 @@ type Options struct {
 	// QueueDepth is the pending-request queue capacity (default
 	// 4×Workers).
 	QueueDepth int
+	// Obs, when set, receives engine metrics: a coalesced-batch-size
+	// histogram (malevade_serve_batch_rows) shared by every scorer built
+	// against the same registry. Queue depth and in-flight counts are
+	// exposed as accessors instead — the serving layer aggregates them
+	// across live engines into gauges.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -83,8 +94,11 @@ type Scorer struct {
 	reqs   chan *request
 	wg     sync.WaitGroup
 
-	batches atomic.Int64 // merged batches executed
-	rows    atomic.Int64 // rows scored
+	batches  atomic.Int64 // merged batches executed
+	rows     atomic.Int64 // rows scored
+	inflight atomic.Int64 // requests submitted but not yet completed
+
+	batchRows *obs.Histogram // nil without Options.Obs
 
 	// Lazily compiled reduced-precision plans for the float32/int8 direct
 	// scoring path (see serve32.go). Compilation is once per precision.
@@ -102,6 +116,10 @@ func New(net *nn.Network, temperature float64, opts Options) *Scorer {
 		temperature = 1
 	}
 	s := &Scorer{net: net, temp: temperature, opts: opts.withDefaults()}
+	if s.opts.Obs != nil {
+		s.batchRows = s.opts.Obs.Histogram("malevade_serve_batch_rows",
+			"Rows coalesced into each merged forward pass.", BatchRowsBuckets)
+	}
 	s.reqs = make(chan *request, s.opts.QueueDepth)
 	s.wg.Add(s.opts.Workers)
 	for i := 0; i < s.opts.Workers; i++ {
@@ -160,12 +178,19 @@ func (s *Scorer) score(ws *nn.Workspace, merged *tensor.Matrix, pend []*request)
 		r := pend[0]
 		r.logits.CopyFrom(s.net.Infer(ws, r.x))
 		s.rows.Add(int64(r.x.Rows))
+		if s.batchRows != nil {
+			s.batchRows.Observe(float64(r.x.Rows))
+		}
+		s.inflight.Add(-1)
 		close(r.done)
 		return merged
 	}
 	total := 0
 	for _, r := range pend {
 		total += r.x.Rows
+	}
+	if s.batchRows != nil {
+		s.batchRows.Observe(float64(total))
 	}
 	if merged == nil || merged.Rows != total {
 		merged = tensor.New(total, s.net.InDim())
@@ -182,6 +207,7 @@ func (s *Scorer) score(ws *nn.Workspace, merged *tensor.Matrix, pend []*request)
 		copy(r.logits.Data, logits.Data[off:off+n])
 		off += n
 		s.rows.Add(int64(r.x.Rows))
+		s.inflight.Add(-1)
 		close(r.done)
 	}
 	return merged
@@ -196,10 +222,14 @@ func (s *Scorer) submit(r *request, cancel <-chan struct{}) error {
 	if s.closed {
 		panic("serve: Scorer used after Close")
 	}
+	// Count the request in-flight before the enqueue: a worker may drain
+	// and complete it (decrementing) before the send even returns.
+	s.inflight.Add(1)
 	select {
 	case s.reqs <- r:
 		return nil
 	case <-cancel:
+		s.inflight.Add(-1)
 		return context.Canceled
 	}
 }
@@ -312,6 +342,15 @@ func (s *Scorer) OutDim() int { return s.net.OutDim() }
 func (s *Scorer) Stats() (batches, rows int64) {
 	return s.batches.Load(), s.rows.Load()
 }
+
+// InFlight reports how many submitted requests have not yet completed —
+// queued plus being scored. Zero on an idle engine.
+func (s *Scorer) InFlight() int64 { return s.inflight.Load() }
+
+// QueueDepth reports how many requests are sitting in the queue awaiting
+// a worker, a direct saturation signal: nonzero sustained depth means the
+// pool is behind.
+func (s *Scorer) QueueDepth() int { return len(s.reqs) }
 
 // Close stops the workers after draining in-flight requests. Idempotent;
 // scoring after Close panics.

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"malevade/internal/wire"
+)
+
+// The observability-overhead benchmark pair: the binary fast path driven
+// through the fully instrumented handler (request-ID middleware, HTTP
+// families, per-precision row counters) versus the same handler chain
+// with the middleware bypassed. BENCH_obs.json commits the measured
+// pair; the budget is middleware overhead below 2% at the binary
+// operating point (256-row float32 frames on a paper-sized model).
+
+var (
+	obsBenchOnce  sync.Once
+	obsBenchSrv   *Server
+	obsBenchFrame []byte
+)
+
+func obsBenchSetup(b *testing.B) {
+	b.Helper()
+	obsBenchOnce.Do(func() {
+		dir := b.TempDir()
+		path, _ := saveTestNet(b, dir, "model.gob", []int{491, 512, 256, 2}, 7)
+		s, err := New(Options{ModelPath: path})
+		if err != nil {
+			panic(err)
+		}
+		obsBenchSrv = s
+
+		const rows, cols = 256, 491
+		values := make([]float32, rows*cols)
+		rng := uint64(99)
+		for i := range values {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			if rng%10 < 3 {
+				values[i] = 1
+			}
+		}
+		obsBenchFrame, err = wire.AppendFrame(nil, "", rows, cols, values)
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+func benchScoreFrames(b *testing.B, handler http.Handler) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/score",
+			bytes.NewReader(obsBenchFrame))
+		req.Header.Set("Content-Type", wire.ContentTypeRowsF32)
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.ReportMetric(256*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkScoreInstrumented is the production path: every binary frame
+// crosses the request-ID middleware and records into the HTTP and
+// precision families on its way to the float32 plan.
+func BenchmarkScoreInstrumented(b *testing.B) {
+	obsBenchSetup(b)
+	benchScoreFrames(b, obsBenchSrv)
+}
+
+// BenchmarkScoreUninstrumented is the same frames through the bare mux —
+// no middleware, no request IDs, no HTTP families — isolating exactly
+// the per-request cost the observability layer adds.
+func BenchmarkScoreUninstrumented(b *testing.B) {
+	obsBenchSetup(b)
+	benchScoreFrames(b, obsBenchSrv.mux)
+}

@@ -55,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -70,6 +71,7 @@ import (
 	"malevade/internal/detector"
 	"malevade/internal/harden"
 	"malevade/internal/nn"
+	"malevade/internal/obs"
 	"malevade/internal/registry"
 	"malevade/internal/serve"
 	"malevade/internal/store"
@@ -157,6 +159,17 @@ type Options struct {
 	// Off by default: recording live traffic is an explicit operator
 	// opt-in (`serve -record`).
 	RecordTraffic int
+	// Obs, when set, is the metrics registry the daemon records into and
+	// serves at GET /metrics; nil makes the server create a private one.
+	// Passing a shared registry embeds the daemon's metrics in a larger
+	// process's exposition. /v1/stats is a backward-compatible view over
+	// the same sources (docs/OBSERVABILITY.md maps every field).
+	Obs *obs.Registry
+	// Logger receives structured lifecycle events (boot, reload,
+	// promotion, campaign/harden/mine transitions, store recovery) and
+	// per-request access logs carrying X-Malevade-Request-Id. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -228,10 +241,20 @@ type Server struct {
 	// recordSeq drives the 1-in-RecordTraffic row sampler.
 	recordSeq atomic.Int64
 
-	started  time.Time    // process start, for uptime_seconds
-	requests atomic.Int64 // scoring requests served (score + label)
-	rejected atomic.Int64 // scoring requests rejected with 4xx
-	reloads  atomic.Int64 // successful hot-reloads
+	started time.Time // process start, for uptime_seconds
+
+	// obs is the metrics registry behind GET /metrics; /v1/stats renders
+	// the same sources, so the two views cannot drift. handler is the mux
+	// wrapped in the shared HTTP middleware (request counts, latency
+	// histograms, request IDs, access logs).
+	obs     *obs.Registry
+	log     *slog.Logger
+	handler http.Handler
+
+	requests      *obs.Counter    // scoring requests served (score + label)
+	rejected      *obs.Counter    // scoring requests rejected with 4xx
+	reloads       *obs.Counter    // successful hot-reloads
+	precisionRows *obs.CounterVec // rows scored, by kernel precision
 
 	// retiredBatches/retiredRows accumulate the engine counters of closed
 	// generations so /v1/stats is cumulative across reloads.
@@ -254,6 +277,29 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	s := &Server{opts: opts, started: time.Now()}
+	s.obs = opts.Obs
+	if s.obs == nil {
+		s.obs = obs.NewRegistry()
+	}
+	s.log = obs.Or(opts.Logger)
+	// Core scoring counters live in the obs registry; /v1/stats reads
+	// them back through Value(), so the JSON view and /metrics cannot
+	// disagree.
+	s.requests = s.obs.Counter("malevade_scoring_requests_total",
+		"Scoring requests served (score + label), summed across reloads.")
+	s.rejected = s.obs.Counter("malevade_scoring_rejected_total",
+		"Scoring requests rejected with a 4xx before reaching an engine.")
+	s.reloads = s.obs.Counter("malevade_reloads_total",
+		"Successful hot model reloads on the default slot.")
+	s.precisionRows = s.obs.CounterVec("malevade_serve_precision_rows_total",
+		"Rows scored, by the kernel precision that actually ran them.",
+		"precision")
+	// Thread the registry into every engine the daemon builds: the slot
+	// scorer and all registry-loaded scorers share one batch-rows
+	// histogram, and the store/campaign/harden layers register their own
+	// instruments against the same exposition.
+	opts.Scorer.Obs = s.obs
+	s.opts.Scorer.Obs = s.obs
 	// The registry opens before the default slot loads: Open raises the
 	// shared generation counter past every generation persisted in the
 	// manifests, so the default model's generation — and everything after
@@ -267,6 +313,7 @@ func New(opts Options) (*Server, error) {
 			MaxModels:   opts.RegistryMaxModels,
 			MaxVersions: opts.RegistryMaxVersions,
 			Gen:         &s.version,
+			Logger:      opts.Logger,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -279,6 +326,12 @@ func New(opts Options) (*Server, error) {
 		resultsOpts := opts.Results
 		if resultsOpts.Dir == "" {
 			resultsOpts.Dir = filepath.Join(opts.RegistryDir, ".results")
+		}
+		if resultsOpts.Obs == nil {
+			resultsOpts.Obs = s.obs
+		}
+		if resultsOpts.Logger == nil {
+			resultsOpts.Logger = opts.Logger
 		}
 		st, err := store.Open(resultsOpts)
 		if err != nil {
@@ -336,6 +389,12 @@ func New(opts Options) (*Server, error) {
 			campaignOpts.NamedCraftModel = s.registry.LoadLive
 		}
 	}
+	if campaignOpts.Obs == nil {
+		campaignOpts.Obs = s.obs
+	}
+	if campaignOpts.Logger == nil {
+		campaignOpts.Logger = opts.Logger
+	}
 	s.campaigns = campaign.NewEngine(campaignOpts)
 	if s.registry != nil {
 		hardenOpts := opts.Harden
@@ -347,6 +406,12 @@ func New(opts Options) (*Server, error) {
 		}
 		hardenOpts.Campaigns = s.campaigns
 		hardenOpts.Models = s.registry
+		if hardenOpts.Obs == nil {
+			hardenOpts.Obs = s.obs
+		}
+		if hardenOpts.Logger == nil {
+			hardenOpts.Logger = opts.Logger
+		}
 		h, err := harden.NewEngine(hardenOpts)
 		if err != nil {
 			s.campaigns.Close()
@@ -361,7 +426,11 @@ func New(opts Options) (*Server, error) {
 		s.harden = h
 	}
 	if s.store != nil {
-		s.miner = store.NewMiner(s.store, opts.Miner)
+		minerOpts := opts.Miner
+		if minerOpts.Logger == nil {
+			minerOpts.Logger = opts.Logger
+		}
+		s.miner = store.NewMiner(s.store, minerOpts)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/score", s.handleScore)
@@ -389,11 +458,122 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
 	s.mux.HandleFunc("POST /v1/models/{name}", s.handleModelAction)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleModelDelete)
+	s.mux.Handle("GET /metrics", s.obs.Handler())
+	s.registerFuncMetrics()
+	s.handler = obs.NewHTTP(s.obs, opts.Logger, nil).Wrap(s.mux)
+	s.log.Info("daemon ready",
+		"model_path", opts.ModelPath,
+		"generation", s.ModelVersion(),
+		"precision", opts.BinaryPrecision,
+		"registry", opts.RegistryDir != "",
+		"record_traffic", opts.RecordTraffic,
+	)
 	return s, nil
 }
 
+// registerFuncMetrics exposes values other layers already maintain —
+// engine counters, registry state, store sizes, job-queue totals — as
+// callback metrics so scrapes read the exact sources /v1/stats renders.
+func (s *Server) registerFuncMetrics() {
+	s.obs.GaugeFunc("malevade_uptime_seconds",
+		"Seconds since the daemon process booted.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.obs.GaugeFunc("malevade_model_generation",
+		"Monotonic generation of the model live on the default slot.",
+		func() float64 { return float64(s.ModelVersion()) })
+	s.obs.CounterFunc("malevade_serve_batches_total",
+		"Forward passes executed, cumulative across hot reloads.",
+		func() float64 { b, _ := s.engineTotals(); return float64(b) })
+	s.obs.CounterFunc("malevade_serve_rows_total",
+		"Rows scored by the engine, cumulative across hot reloads.",
+		func() float64 { _, r := s.engineTotals(); return float64(r) })
+	s.obs.GaugeFunc("malevade_serve_queue_depth",
+		"Scoring requests buffered across every live engine's queue.",
+		func() float64 { q, _ := s.engineLoad(); return float64(q) })
+	s.obs.GaugeFunc("malevade_serve_inflight_requests",
+		"Scoring requests submitted to engines and not yet answered.",
+		func() float64 { _, f := s.engineLoad(); return float64(f) })
+	s.obs.CounterFunc("malevade_campaigns_submitted_total",
+		"Adversarial campaigns accepted over the daemon lifetime.",
+		func() float64 { return float64(s.campaigns.Submitted()) })
+	if s.registry != nil {
+		s.obs.GaugeFunc("malevade_registry_models",
+			"Named models currently resident in the registry.",
+			func() float64 { return float64(len(s.registry.List())) })
+		s.obs.CounterFunc("malevade_registry_promotions_total",
+			"Version promotions (register-with-promote + explicit promote).",
+			func() float64 { return float64(s.registry.Promotions()) })
+		s.obs.CounterVecFunc("malevade_model_requests_total",
+			"Scoring requests served per registry model.",
+			"model",
+			func() map[string]float64 {
+				counts := s.registry.RequestCounts()
+				out := make(map[string]float64, len(counts))
+				for name, n := range counts {
+					out[name] = float64(n)
+				}
+				return out
+			})
+	}
+	if s.harden != nil {
+		s.obs.CounterFunc("malevade_harden_submitted_total",
+			"Hardening jobs accepted over the daemon lifetime.",
+			func() float64 { return float64(s.harden.Submitted()) })
+	}
+	if s.store != nil {
+		s.obs.CounterFunc("malevade_store_records_total",
+			"Result records appended to the campaign store.",
+			func() float64 { return float64(s.store.Records()) })
+		s.obs.GaugeFunc("malevade_store_bytes",
+			"Bytes held by the campaign result logs on disk.",
+			func() float64 { return float64(s.store.Bytes()) })
+		s.obs.GaugeFunc("malevade_store_traffic_bytes",
+			"Bytes held by the sampled live-traffic log (traffic.mrl).",
+			func() float64 { return float64(s.store.TrafficBytes()) })
+		s.obs.GaugeFunc("malevade_store_traffic_records",
+			"Sampled live-traffic records available for mining.",
+			func() float64 { return float64(s.store.TrafficRecords()) })
+	}
+	if s.miner != nil {
+		s.obs.CounterFunc("malevade_mine_submitted_total",
+			"Traffic-mining jobs accepted over the daemon lifetime.",
+			func() float64 { return float64(s.miner.Submitted()) })
+	}
+}
+
+// engineTotals sums batch/row counters across retired generations and
+// the live slot. The live engine is pinned before retired counters are
+// read so a concurrent reload cannot fold the pinned engine's counters
+// mid-sum — successive scrapes stay monotone.
+func (s *Server) engineTotals() (batches, rows int64) {
+	m := s.acquire()
+	batches, rows = s.retiredBatches.Load(), s.retiredRows.Load()
+	if m != nil {
+		b, r := m.Scorer.Stats()
+		batches += b
+		rows += r
+		s.release(m)
+	}
+	return batches, rows
+}
+
+// engineLoad sums queue depth and in-flight counts over the default
+// slot and every live registry engine.
+func (s *Server) engineLoad() (queue, inflight int64) {
+	if m := s.slot.Load(); m != nil {
+		queue += int64(m.Scorer.QueueDepth())
+		inflight += m.Scorer.InFlight()
+	}
+	if s.registry != nil {
+		q, f := s.registry.EngineLoad()
+		queue += q
+		inflight += f
+	}
+	return queue, inflight
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // load builds the next default-slot generation from a saved network file,
 // through the registry's shared instance builder (engine + optional
@@ -459,7 +639,9 @@ func (s *Server) reload(path string) (*model, error) {
 		return nil, err
 	}
 	s.slot.Store(m)
-	s.reloads.Add(1)
+	s.reloads.Inc()
+	s.log.Info("model reloaded",
+		"path", m.Path, "generation", m.Generation)
 	s.retire(old)
 	return m, nil
 }
@@ -502,6 +684,8 @@ func (s *Server) Close() {
 	old := s.slot.Swap(nil)
 	if old != nil {
 		s.retire(old)
+		s.log.Info("daemon shut down",
+			"uptime_seconds", time.Since(s.started).Seconds())
 	}
 }
 
@@ -631,7 +815,7 @@ func writeErrorCode(w http.ResponseWriter, status int, code, format string, args
 }
 
 func (s *Server) reject(w http.ResponseWriter, status int, format string, args ...any) {
-	s.rejected.Add(1)
+	s.rejected.Inc()
 	writeError(w, status, format, args...)
 }
 
@@ -777,7 +961,8 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	if x, ok := fastParseRows(raw, m.Scorer.InDim(), s.opts.MaxRows); ok {
-		s.requests.Add(1)
+		s.requests.Inc()
+		s.precisionRows.With(serve.PrecisionFloat64).Add(int64(x.Rows))
 		m.CountRequest()
 		render(m, x)
 		return
@@ -791,7 +976,7 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 	if req.Model != "" {
 		named, status, code, err := s.registryAcquire(req.Model)
 		if err != nil {
-			s.rejected.Add(1)
+			s.rejected.Inc()
 			writeErrorCode(w, status, code, "%v", err)
 			return
 		}
@@ -803,7 +988,8 @@ func (s *Server) score(w http.ResponseWriter, r *http.Request,
 		s.reject(w, status, "%v", err)
 		return
 	}
-	s.requests.Add(1)
+	s.requests.Inc()
+	s.precisionRows.With(serve.PrecisionFloat64).Add(int64(x.Rows))
 	target.CountRequest()
 	render(target, x)
 }
@@ -827,7 +1013,7 @@ func (s *Server) scoreFrame(w http.ResponseWriter, m *model, raw []byte,
 	if f.Model != "" {
 		named, status, code, err := s.registryAcquire(f.Model)
 		if err != nil {
-			s.rejected.Add(1)
+			s.rejected.Inc()
 			writeErrorCode(w, status, code, "%v", err)
 			return
 		}
@@ -850,14 +1036,16 @@ func (s *Server) scoreFrame(w http.ResponseWriter, m *model, raw []byte,
 			return
 		}
 	}
-	s.requests.Add(1)
+	s.requests.Inc()
 	target.CountRequest()
 	precision := s.opts.BinaryPrecision
 	if target.Det != nil || precision == serve.PrecisionFloat64 ||
 		target.Scorer.EnsurePlan(precision) != nil {
+		s.precisionRows.With(serve.PrecisionFloat64).Add(int64(f.Rows))
 		render(target, x32.Float64())
 		return
 	}
+	s.precisionRows.With(precision).Add(int64(f.Rows))
 	render32(target, x32, precision)
 }
 
@@ -1047,13 +1235,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	batches, rows := s.engineTotals()
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.requests.Load(),
-		Rejected:      s.rejected.Load(),
-		Reloads:       s.reloads.Load(),
-		Batches:       s.retiredBatches.Load(),
-		Rows:          s.retiredRows.Load(),
+		Requests:      s.requests.Value(),
+		Rejected:      s.rejected.Value(),
+		Reloads:       s.reloads.Value(),
+		Batches:       batches,
+		Rows:          rows,
 		Campaigns:     s.campaigns.Submitted(),
 	}
 	if s.harden != nil {
@@ -1066,12 +1255,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.miner != nil {
 		resp.MineJobs = s.miner.Submitted()
 	}
-	if m := s.acquire(); m != nil {
-		b, rows := m.Scorer.Stats()
+	if m := s.slot.Load(); m != nil {
 		resp.ModelVersion = m.Generation
-		resp.Batches += b
-		resp.Rows += rows
-		s.release(m)
 	}
 	if s.registry != nil {
 		resp.ModelRequests = s.registry.RequestCounts()

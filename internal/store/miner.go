@@ -4,13 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"malevade/internal/campaign/spec"
+	"malevade/internal/obs"
 	"malevade/internal/tensor"
 )
 
@@ -131,8 +132,8 @@ type MinerOptions struct {
 	// MaxFindings is the report cap applied when a spec leaves it zero
 	// (default 256).
 	MaxFindings int
-	// Log receives job lifecycle notices. Nil discards them.
-	Log *log.Logger
+	// Logger receives job lifecycle events. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o MinerOptions) withDefaults() MinerOptions {
@@ -167,6 +168,8 @@ type Miner struct {
 	store *Store
 	opts  MinerOptions
 
+	log *slog.Logger
+
 	mu     sync.Mutex
 	seq    int64
 	jobs   map[string]*mineJob
@@ -184,6 +187,7 @@ func NewMiner(st *Store, opts MinerOptions) *Miner {
 	m := &Miner{
 		store: st,
 		opts:  opts,
+		log:   obs.Or(opts.Logger),
 		jobs:  make(map[string]*mineJob),
 		queue: make(chan *mineJob, opts.QueueDepth),
 	}
@@ -192,12 +196,6 @@ func NewMiner(st *Store, opts MinerOptions) *Miner {
 		go m.worker()
 	}
 	return m
-}
-
-func (m *Miner) logf(format string, args ...any) {
-	if m.opts.Log != nil {
-		m.opts.Log.Printf(format, args...)
-	}
 }
 
 // Submit validates and enqueues one sweep, returning its job id.
@@ -230,7 +228,10 @@ func (m *Miner) Submit(sp MineSpec) (string, error) {
 	m.evictLocked()
 	m.queue <- j // cannot block: capacity checked above under m.mu
 	m.submitted++
-	m.logf("mine %s submitted (model=%q band=%v)", id, sp.Model, sp.Band)
+	m.log.Info("mine job submitted",
+		slog.String("job", id),
+		slog.String("model", sp.Model),
+		slog.Float64("band", sp.Band))
 	return id, nil
 }
 
@@ -288,13 +289,18 @@ func (m *Miner) run(j *mineJob) {
 	if err != nil {
 		j.snap.Status = spec.StatusFailed
 		j.snap.Error = err.Error()
-		m.logf("mine %s failed: %v", j.snap.ID, err)
+		m.log.Warn("mine job failed",
+			slog.String("job", j.snap.ID),
+			slog.String("error", err.Error()))
 		return
 	}
 	j.snap.Swept = len(rows)
 	j.snap.Findings = SweepTraffic(rows, sp)
 	j.snap.Status = spec.StatusDone
-	m.logf("mine %s done: swept %d rows, %d findings", j.snap.ID, j.snap.Swept, len(j.snap.Findings))
+	m.log.Info("mine job done",
+		slog.String("job", j.snap.ID),
+		slog.Int("swept", j.snap.Swept),
+		slog.Int("findings", len(j.snap.Findings)))
 }
 
 // Get returns a snapshot of one job.

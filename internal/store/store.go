@@ -23,7 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,8 +34,16 @@ import (
 	"time"
 
 	"malevade/internal/campaign/spec"
+	"malevade/internal/obs"
 	"malevade/internal/wire"
 )
+
+// FsyncBuckets are the fsync-latency histogram bounds: 50µs (page cache
+// absorbing the write) through 1s (a stalled disk).
+var FsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
 
 // ErrUnknownCampaign marks a results lookup for a campaign id the store has
 // never seen.
@@ -57,8 +65,15 @@ type Options struct {
 	// buffer crosses it, keeping the hot scoring path off the syscall
 	// boundary. 0 means 64 KiB; Flush and Close drain regardless.
 	TrafficFlushBytes int
-	// Log receives recovery and eviction notices. Nil discards them.
-	Log *log.Logger
+	// Logger receives recovery notices (torn tails truncated, interrupted
+	// campaigns marked failed) as structured events. Nil discards them.
+	Logger *slog.Logger
+	// Obs, when set, receives write-path metrics: a per-fsync latency
+	// histogram (malevade_store_fsync_seconds) and a this-process appended
+	// bytes counter (malevade_store_append_bytes_total). Totals that
+	// survive restarts — records, bytes, traffic size — are exposed by the
+	// serving layer over the Records/Bytes/Traffic* accessors instead.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -120,17 +135,22 @@ type campaignState struct {
 type Store struct {
 	opts Options
 
-	mu        sync.Mutex
-	campaigns map[string]*campaignState
-	order     []string // campaign ids in first-seen order
+	mu         sync.Mutex
+	campaigns  map[string]*campaignState
+	order      []string // campaign ids in first-seen order
 	traffic    *os.File
 	trafBuf    []byte
 	trafBufRec int64 // records currently buffered in trafBuf
 	trafCount  int64 // total traffic records, buffered ones included
 	closed     bool
 
-	records atomic.Int64 // durably committed records, all logs
-	bytes   atomic.Int64 // durably committed bytes, all logs
+	records   atomic.Int64 // durably committed records, all logs
+	bytes     atomic.Int64 // durably committed bytes, all logs
+	trafBytes atomic.Int64 // durably committed bytes in traffic.mrl
+
+	log         *slog.Logger
+	fsync       *obs.Histogram // nil without Options.Obs
+	appendBytes *obs.Counter   // nil without Options.Obs
 }
 
 // Open opens (creating if absent) the store rooted at opts.Dir, recovering
@@ -149,6 +169,13 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		opts:      opts,
 		campaigns: make(map[string]*campaignState),
+		log:       obs.Or(opts.Logger),
+	}
+	if opts.Obs != nil {
+		s.fsync = opts.Obs.Histogram("malevade_store_fsync_seconds",
+			"Latency of each record-log fsync.", FsyncBuckets)
+		s.appendBytes = opts.Obs.Counter("malevade_store_append_bytes_total",
+			"Record-log bytes appended by this process (recovered bytes excluded).")
 	}
 	if err := s.recoverCampaigns(); err != nil {
 		return nil, err
@@ -156,13 +183,22 @@ func Open(opts Options) (*Store, error) {
 	if err := s.openTraffic(); err != nil {
 		return nil, err
 	}
+	s.log.Info("results store opened",
+		slog.String("dir", opts.Dir),
+		slog.Int("campaigns", len(s.order)),
+		slog.Int64("traffic_records", s.trafCount),
+		slog.Int64("bytes", s.bytes.Load()))
 	return s, nil
 }
 
-func (s *Store) logf(format string, args ...any) {
-	if s.opts.Log != nil {
-		s.opts.Log.Printf(format, args...)
+// sync fsyncs f, feeding the latency histogram when metrics are wired.
+func (s *Store) sync(f *os.File) error {
+	start := time.Now()
+	err := f.Sync()
+	if s.fsync != nil {
+		s.fsync.Observe(time.Since(start).Seconds())
 	}
+	return err
 }
 
 func campaignPath(dir, id string) string {
@@ -249,7 +285,10 @@ func (s *Store) recoverCampaign(id string) error {
 		}
 	}
 	if scanErr != nil { // torn tail: drop the partial append
-		s.logf("store: campaign %s: truncating torn tail (%d of %d bytes intact)", id, goodLen, len(raw))
+		s.log.Warn("campaign log torn tail truncated",
+			slog.String("campaign", id),
+			slog.Int("intact_bytes", goodLen),
+			slog.Int("file_bytes", len(raw)))
 		if err := os.Truncate(path, int64(goodLen)); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
@@ -280,7 +319,10 @@ func (s *Store) recoverCampaign(id string) error {
 			return err
 		}
 		st.summary.FinishedAt = meta.SubmittedAt
-		s.logf("store: campaign %s recovered with %d samples, marked failed (%s)", id, st.summary.Samples, interruptedError)
+		s.log.Warn("interrupted campaign recovered",
+			slog.String("campaign", id),
+			slog.Int("samples", st.summary.Samples),
+			slog.String("error", interruptedError))
 	}
 	s.campaigns[meta.ID] = st
 	s.order = append(s.order, meta.ID)
@@ -306,6 +348,7 @@ func (s *Store) openTraffic() error {
 			return fmt.Errorf("store: %w", err)
 		}
 		s.bytes.Add(int64(len(hdr)))
+		s.trafBytes.Store(int64(len(hdr)))
 		s.traffic = f
 		return nil
 	}
@@ -328,7 +371,9 @@ func (s *Store) openTraffic() error {
 		goodLen += wire.RecordHeaderLen + len(p)
 	}
 	if scanErr != nil {
-		s.logf("store: traffic log: truncating torn tail (%d of %d bytes intact)", goodLen, len(raw))
+		s.log.Warn("traffic log torn tail truncated",
+			slog.Int("intact_bytes", goodLen),
+			slog.Int("file_bytes", len(raw)))
 		if err := f.Truncate(int64(goodLen)); err != nil {
 			f.Close()
 			return fmt.Errorf("store: %w", err)
@@ -341,6 +386,7 @@ func (s *Store) openTraffic() error {
 	s.trafCount = int64(len(payloads))
 	s.records.Add(int64(len(payloads)))
 	s.bytes.Add(int64(goodLen))
+	s.trafBytes.Store(int64(goodLen))
 	s.traffic = f
 	return nil
 }
@@ -361,11 +407,14 @@ func (s *Store) appendLocked(f *os.File, payloads ...[]byte) error {
 	if _, err := f.Write(buf); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := s.sync(f); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.records.Add(int64(n))
 	s.bytes.Add(int64(len(buf)))
+	if s.appendBytes != nil {
+		s.appendBytes.Add(int64(len(buf)))
+	}
 	return nil
 }
 
@@ -395,6 +444,9 @@ func (s *Store) CampaignStarted(id string, sp spec.Spec, submitted time.Time) er
 		return fmt.Errorf("store: %w", err)
 	}
 	s.bytes.Add(int64(len(hdr)))
+	if s.appendBytes != nil {
+		s.appendBytes.Add(int64(len(hdr)))
+	}
 	if err := s.appendLocked(f, payload); err != nil {
 		f.Close()
 		return err
@@ -602,11 +654,15 @@ func (s *Store) flushTrafficLocked() error {
 	if _, err := s.traffic.Write(s.trafBuf); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := s.traffic.Sync(); err != nil {
+	if err := s.sync(s.traffic); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.records.Add(s.trafBufRec)
 	s.bytes.Add(int64(len(s.trafBuf)))
+	s.trafBytes.Add(int64(len(s.trafBuf)))
+	if s.appendBytes != nil {
+		s.appendBytes.Add(int64(len(s.trafBuf)))
+	}
 	s.trafBuf = s.trafBuf[:0]
 	s.trafBufRec = 0
 	return nil
@@ -661,6 +717,11 @@ func (s *Store) TrafficRecords() int64 {
 	defer s.mu.Unlock()
 	return s.trafCount
 }
+
+// TrafficBytes reports the traffic log's durable on-disk size — the
+// watchable form of the ROADMAP's unbounded-growth risk (traffic.mrl has
+// no rotation yet).
+func (s *Store) TrafficBytes() int64 { return s.trafBytes.Load() }
 
 // Records counts durably committed records across every log.
 func (s *Store) Records() int64 { return s.records.Load() }

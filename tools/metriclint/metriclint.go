@@ -1,0 +1,83 @@
+// Command metriclint checks a Prometheus text-exposition scrape for the
+// conventions internal/obs enforces at registration time — HELP and TYPE
+// before samples, counters ending in _total, no negative counters, no
+// NaN samples, no duplicate series, cumulative histogram buckets with a
+// +Inf bucket matching _count — so a scrape produced by any process (or
+// edited by hand in a test fixture) can be gated in CI:
+//
+//	malevade serve ... &
+//	go run ./tools/metriclint -url http://127.0.0.1:8446/metrics
+//	go run ./tools/metriclint scrape.txt
+//	curl -s localhost:8446/metrics | go run ./tools/metriclint
+//
+// Violations print one per line; the exit code is 1 when any exist. The
+// tool is a thin CLI over obs.Lint, so the rules cannot drift from the
+// ones the in-process registry enforces — and from the lint tests every
+// instrumented package runs against its own scrape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"malevade/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("metriclint", flag.ContinueOnError)
+	url := fs.String("url", "", "scrape this /metrics URL instead of reading a file or stdin")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP timeout with -url")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, source, err := input(*url, *timeout, fs.Args())
+	if err != nil {
+		return err
+	}
+	problems := obs.Lint(raw)
+	for _, p := range problems {
+		fmt.Printf("%s: %s\n", source, p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d problem(s) in %s", len(problems), source)
+	}
+	return nil
+}
+
+// input resolves the scrape bytes and a display name for them from the
+// three sources, in precedence order: -url, a file argument, stdin.
+func input(url string, timeout time.Duration, args []string) ([]byte, string, error) {
+	switch {
+	case url != "":
+		c := &http.Client{Timeout: timeout}
+		resp, err := c.Get(url)
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		return raw, url, err
+	case len(args) > 1:
+		return nil, "", fmt.Errorf("at most one scrape file; got %d", len(args))
+	case len(args) == 1:
+		raw, err := os.ReadFile(args[0])
+		return raw, args[0], err
+	default:
+		raw, err := io.ReadAll(io.LimitReader(os.Stdin, 64<<20))
+		return raw, "<stdin>", err
+	}
+}
